@@ -1,0 +1,25 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+timing numbers come from pytest-benchmark; the regenerated rows are
+printed and also written to ``benchmarks/results/<id>.txt`` so they
+survive output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(result, benchmark=None) -> None:
+    """Print an ExperimentResult and persist it under results/."""
+    text = result.format_table()
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"{result.experiment_id}.txt"
+    out.write_text(text + "\n")
+    if benchmark is not None:
+        benchmark.extra_info["experiment"] = result.experiment_id
+        benchmark.extra_info["rows"] = len(result.rows)

@@ -1,0 +1,23 @@
+"""Bench (ablation): the analog eye-pattern fallback at low SNR."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_ablation_analog(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation_analog"), rounds=1,
+        iterations=1)
+    record(result, benchmark)
+    # The fallback never hurts, and at the low end of the sweep it
+    # acquires streams the edge-based search cannot.
+    gains = 0
+    for row in result.rows:
+        assert row["acquired_with_fallback"] >= \
+            row["acquired_without"] - 1e-9
+        if row["acquired_with_fallback"] > row["acquired_without"]:
+            gains += 1
+    assert gains >= 1
+    # At comfortable SNR both paths acquire everything.
+    assert result.rows[-1]["acquired_with_fallback"] == 1.0

@@ -1,0 +1,23 @@
+"""Bench (ablation): decoder tolerance to clock drift (Section 4.1)."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_ablation_drift(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation_drift"), rounds=1,
+        iterations=1)
+    record(result, benchmark)
+    by_drift = {r["drift_ppm"]: r["goodput_fraction"]
+                for r in result.rows}
+    # Within the paper's 200 ppm tolerance budget the decoder holds.
+    assert by_drift[200.0] > 0.85
+    # At the Moo DCO's drift class the decoder collapses, which is why
+    # the paper replaced it with a crystal (Section 4.1).  (Our
+    # progressive tracker actually absorbs constant ppm offsets well
+    # past the paper's 200 ppm budget — the binding limit is the
+    # per-bit phase walk against the matching tolerance.)
+    assert by_drift[40000.0] < 0.5 * by_drift[0.0]
+    assert by_drift[1000.0] > 0.85

@@ -1,0 +1,47 @@
+"""Pure performance benchmark: decoder throughput in samples/second.
+
+Not a paper artefact — this measures the *implementation*: how fast the
+full pipeline chews through a 16-tag epoch.  Useful for tracking
+regressions when the decoder changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import LFDecoder, LFDecoderConfig
+from repro.phy.channel import ChannelModel, random_coefficients
+from repro.reader.simulator import NetworkSimulator
+from repro.tags.lf_tag import LFTag
+from repro.types import SimulationProfile, TagConfig
+
+
+@pytest.fixture(scope="module")
+def sixteen_tag_capture():
+    profile = SimulationProfile.fast()
+    gen = np.random.default_rng(77)
+    coeffs = random_coefficients(16, rng=gen)
+    channel = ChannelModel({k: coeffs[k] for k in range(16)},
+                           environment_offset=0.5 + 0.3j)
+    tags = [LFTag(TagConfig(tag_id=k, bitrate_bps=10e3,
+                            channel_coefficient=coeffs[k]),
+                  profile=profile,
+                  rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
+            for k in range(16)]
+    sim = NetworkSimulator(tags, channel, profile=profile,
+                           noise_std=0.01, rng=gen)
+    return profile, sim.run_epoch(0.010)
+
+
+def test_decode_speed_16_tags(benchmark, sixteen_tag_capture):
+    profile, capture = sixteen_tag_capture
+    decoder = LFDecoder(LFDecoderConfig(
+        candidate_bitrates_bps=[10e3], profile=profile), rng=1)
+
+    result = benchmark(decoder.decode_epoch, capture.trace)
+    assert result.n_streams >= 12
+    samples_per_second = len(capture.trace) / benchmark.stats["mean"]
+    benchmark.extra_info["samples_per_second"] = samples_per_second
+    # Sanity floor only — absolute speed depends on the host; the
+    # recorded samples_per_second in extra_info is the number to watch
+    # across runs.
+    assert samples_per_second > 10_000

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 1 (channel-coefficient dynamics)."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_fig01_dynamics(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig1"), rounds=1, iterations=1)
+    record(result, benchmark)
+    rows = {r["scenario"]: r for r in result.rows}
+    assert rows["coupled_tag_a"]["excursion_first_half"] == 0.0
+    assert rows["coupled_tag_a"]["excursion_second_half"] > 0.01
+    assert rows["people_movement"]["excursion_total"] > 0.05
+    assert rows["tag_rotation"]["excursion_total"] > 0.5

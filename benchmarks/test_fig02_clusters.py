@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 2 (IQ cluster structure vs tag count)."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_fig02_clusters(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig2"), rounds=1, iterations=1)
+    record(result, benchmark)
+    rows = {r["scenario"]: r for r in result.rows}
+    assert rows["2_tags"]["n_clusters"] == 4
+    assert rows["6_tags"]["n_clusters"] == 64
+    # Figure 2c: 64 clusters crowd together and decoding degrades.
+    assert rows["6_tags"]["symbol_accuracy"] < \
+        rows["2_tags"]["symbol_accuracy"]
+    assert rows["6_tags"]["min_gap_over_noise"] < \
+        rows["2_tags"]["min_gap_over_noise"]

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 4 (comparator fire-time jitter)."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_fig04_capacitor(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig4"), rounds=1, iterations=1)
+    record(result, benchmark)
+    rows = {r["quantity"]: r["value_bit_periods"] for r in result.rows}
+    assert rows["crossing_time_energy_0.8"] > \
+        rows["crossing_time_energy_1.0"] > \
+        rows["crossing_time_energy_1.2"]
+    assert rows["fire_time_spread"] > 1.0
+    assert rows["phase_std"] > 0.15
+    assert rows["single_tag_epoch_jitter_std"] > 0.0

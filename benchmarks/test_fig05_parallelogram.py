@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 5 (collision parallelogram separation)."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_fig05_parallelogram(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig5"), rounds=1, iterations=1)
+    record(result, benchmark)
+    for row in result.rows:
+        assert row["mean_basis_error"] < 0.1
+    methods = {r["method"] for r in result.rows}
+    assert "lattice_fit" in methods
+    assert "collinear_midpoints (paper)" in methods

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 9 (decoder-stage ablation)."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_fig09_breakdown(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig9", n_epochs=3),
+        rounds=1, iterations=1)
+    record(result, benchmark)
+    for row in result.rows:
+        # Each stage adds (or at least never costs) throughput.
+        assert row["edge_iq_x"] >= row["edge_x"] * 0.95
+        assert row["edge_iq_error_x"] >= row["edge_iq_x"] * 0.95
+    # The gap matters most at high concurrency (Figure 9's story).
+    last = result.rows[-1]
+    assert last["edge_iq_error_x"] >= last["edge_x"]

@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 10 (throughput vs per-tag bitrate)."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_fig10_bitrate(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig10", n_epochs=2),
+        rounds=1, iterations=1)
+    record(result, benchmark)
+    by_rate = {r["rate_x"]: r for r in result.rows}
+    rates = sorted(by_rate)
+    # Throughput grows through the moderate-rate region...
+    assert by_rate[1.0]["edge_iq_error_x"] > \
+        by_rate[rates[0]]["edge_iq_error_x"]
+    # ...and crashes once edges can no longer interleave (the paper's
+    # collapse past ~2x the reference rate).
+    peak = max(r["edge_iq_error_x"] for r in result.rows)
+    crash = by_rate[rates[-1]]["edge_iq_error_x"]
+    assert crash < 0.65 * peak

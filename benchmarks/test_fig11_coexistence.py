@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 11 (slow/fast tag coexistence)."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_fig11_coexistence(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig11"), rounds=1, iterations=1)
+    record(result, benchmark)
+    # Figure 11's claim: slow nodes are not hurt by fast nodes (the
+    # paper reports zero loss; our slow frames carry ~20 bits, so one
+    # residual bit error already reads as 5%).
+    slow_rows = [r for r in result.rows if r["rate_x"] <= 0.05]
+    fast_rows = [r for r in result.rows if r["rate_x"] >= 0.5]
+    assert slow_rows and fast_rows
+    lossless = sum(1 for r in slow_rows if r["loss_rate"] == 0.0)
+    assert lossless >= len(slow_rows) / 2
+    for row in slow_rows:
+        assert row["loss_rate"] < 0.25
+    # Fast nodes reach a large fraction of their upper bound.
+    for row in fast_rows:
+        assert row["achieved_bps_x"] > 0.7 * row["upper_bound_x"]

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 13 (energy efficiency, bits/uJ)."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_fig13_energy(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig13", n_epochs=2),
+        rounds=1, iterations=1)
+    record(result, benchmark)
+    for row in result.rows:
+        assert row["lf_bits_per_uj"] > row["buzz_bits_per_uj"] \
+            > row["tdma_bits_per_uj"]
+    last = result.rows[-1]
+    # Paper: LF ~20x Buzz, ~two orders of magnitude over Gen 2.
+    assert 10 < last["lf_bits_per_uj"] / last["buzz_bits_per_uj"] < 40
+    assert last["lf_bits_per_uj"] / last["tdma_bits_per_uj"] > 60
+    # Absolute scale near the paper's ~3000 bits/uJ.
+    assert 1000 < last["lf_bits_per_uj"] < 6000

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 14 (SNR vs BER, LF vs ASK)."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_fig14_snr_ber(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig14", n_bits=400, n_trials=3),
+        rounds=1, iterations=1)
+    record(result, benchmark)
+    rows = result.rows
+    # LF needs more SNR than ASK throughout the waterfall.
+    worse = sum(1 for r in rows if r["lf_ber"] >= r["ask_ber"])
+    assert worse >= len(rows) - 1
+    # Both reach (near) zero by the top of the sweep, like the paper's
+    # 15 dB point.
+    assert rows[-1]["lf_ber"] < 0.02
+    assert rows[-1]["ask_ber"] < 0.01
+    # Monotone-ish waterfalls.
+    assert rows[0]["lf_ber"] > rows[-1]["lf_ber"]
+    assert rows[0]["ask_ber"] > rows[-1]["ask_ber"]

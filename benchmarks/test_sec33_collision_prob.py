@@ -1,0 +1,23 @@
+"""Bench: regenerate the Section 3.3 collision probabilities."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_sec33_collision_prob(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("sec33"), rounds=1, iterations=1)
+    record(result, benchmark)
+    rows = {r["case"]: r for r in result.rows}
+    two = rows["16 nodes @100kbps, 2-way"]
+    three = rows["16 nodes @100kbps, 3-way"]
+    assert two["analytic"] == pytest.approx(two["paper"], abs=0.02)
+    assert three["analytic"] == pytest.approx(three["paper"],
+                                              abs=0.01)
+    assert two["monte_carlo"] == pytest.approx(two["analytic"],
+                                               abs=0.02)
+    # Three-way collisions are an order of magnitude rarer.
+    assert three["analytic"] < two["analytic"] / 5

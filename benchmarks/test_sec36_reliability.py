@@ -1,0 +1,18 @@
+"""Bench (extension): Section 3.6's Broadcast-ACK reliability loop."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_sec36_reliability(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("sec36"), rounds=1, iterations=1)
+    record(result, benchmark)
+    for row in result.rows:
+        assert row["delivery_ratio"] == 1.0
+    # Epoch-level retransmission converges quickly: even the largest
+    # network completes within a handful of epochs.
+    assert result.rows[-1]["mean_epochs_to_complete"] <= 8
+    # Small networks mostly deliver in the first epoch.
+    assert result.rows[0]["first_epoch_delivery"] > 0.8

@@ -1,0 +1,24 @@
+"""Bench (extension): Section 5.2's reduced-rate scalability claim."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_sec52_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("sec52"), rounds=1, iterations=1)
+    record(result, benchmark)
+    analytic = {r["rate_x"]: r for r in result.rows
+                if r["max_tags_p3_below_1pct"] > 0}
+    # "a few hundred tags" at a tenth of the reference rate.
+    assert analytic[0.1]["max_tags_p3_below_1pct"] >= 150
+    # Capacity grows as the bitrate falls.
+    caps = [analytic[x]["max_tags_p3_below_1pct"]
+            for x in sorted(analytic, reverse=True)]
+    assert caps == sorted(caps)
+    # The empirical spot check: a 32-tag decode at reduced rate keeps
+    # high goodput (double the paper's 16-tag testbed).
+    empirical = result.rows[-1]
+    assert empirical["empirical_n_tags"] >= 32
+    assert empirical["empirical_goodput_fraction"] > 0.8

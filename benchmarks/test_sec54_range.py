@@ -1,0 +1,21 @@
+"""Bench: regenerate the Section 5.4 range-equivalence numbers."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_sec54_range(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("sec54"), rounds=1, iterations=1)
+    record(result, benchmark)
+    by_ask = {row["ask_range_ft"]: row for row in result.rows[:2]}
+    # Paper: 10 ft ASK ~ 8.1 ft LF; 30 ft ~ 23.7 ft.
+    assert by_ask[10.0]["lf_range_ft"] == pytest.approx(8.0, abs=0.3)
+    assert by_ask[30.0]["lf_range_ft"] == pytest.approx(23.8,
+                                                        abs=0.5)
+    # The full radar-equation cross-check row agrees on the ratio.
+    assert result.rows[-1]["range_ratio"] == pytest.approx(
+        by_ask[10.0]["range_ratio"], rel=1e-6)

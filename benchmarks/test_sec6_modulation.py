@@ -1,0 +1,21 @@
+"""Bench (extension): Section 6's modulation-efficiency comparison."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_sec6_modulation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("sec6"), rounds=1, iterations=1)
+    record(result, benchmark)
+    by_mod = {r["modulation"]: r for r in result.rows}
+    ask = by_mod["ask (LF-Backscatter)"]
+    fsk = by_mod["fsk"]
+    qam = by_mod["qam16"]
+    # FSK burns several times ASK's per-bit energy (multiple edge
+    # transitions per bit, Section 6).
+    assert fsk["energy_pj_per_bit"] > 3 * ask["energy_pj_per_bit"]
+    # QAM trades toggles for a much bigger tag switch network.
+    assert qam["tag_transistors"] > 5 * ask["tag_transistors"]
+    assert qam["toggles_per_bit"] < ask["toggles_per_bit"]

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 1 (anchor-bit single-node recovery)."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_table1_anchor(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1"), rounds=1, iterations=1)
+    record(result, benchmark)
+    row = result.rows[0]
+    assert row["bit_errors"] == 0
+    assert row["anchor_resolved"]
+    assert row["sent_bits"] == row["decoded_bits"]

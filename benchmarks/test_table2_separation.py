@@ -1,0 +1,24 @@
+"""Bench: regenerate Table 2 (IQ separation accuracy, 3 settings)."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_table2_separation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table2", n_trials=12),
+        rounds=1, iterations=1)
+    record(result, benchmark)
+    by_setting = {r["setting"]: r["accuracy"] for r in result.rows}
+    clean = by_setting["fast rate, no background"]
+    background = by_setting["fast rate, background nodes"]
+    slow = by_setting["slow rate, no background"]
+    # The paper's dominant ordering: background chatter hurts most.
+    assert background < clean
+    # The slow-rate averaging gain is muted in our regime — collider
+    # losses are dominated by degenerate (near-parallel) IQ geometry
+    # rather than differential noise — so slow ~ clean within trial
+    # noise rather than clearly above it.
+    assert slow >= clean - 0.15
+    assert clean > 0.6

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 3 (tag hardware complexity)."""
+
+from repro.experiments import run_experiment
+
+from conftest import record
+
+
+def test_table3_transistors(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table3"), rounds=1, iterations=1)
+    record(result, benchmark)
+    for row in result.rows:
+        assert row["transistors_without_fifo"] == \
+            row["paper_without_fifo"]
+        assert row["transistors_with_1k_fifo"] == \
+            row["paper_with_fifo"]

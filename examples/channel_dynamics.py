@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Channel dynamics: why estimation-free decoding matters (Figure 1).
+
+A person walks around the room while six tags stream.  Buzz estimated
+every tag's channel coefficient at t=0; by the time it transmits, the
+coefficients have wandered and its least-squares inversion starts
+mis-decoding.  LF-Backscatter never estimated anything: each epoch's
+cluster geometry is learned from that epoch's own differentials, so the
+decode is unaffected as long as the channel holds still for a few
+milliseconds at a time (the paper's only channel assumption).
+
+Run:  python examples/channel_dynamics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis.throughput import score_epoch
+from repro.baselines.buzz import BuzzSimulator
+from repro.phy.dynamics import people_movement
+
+
+def main() -> None:
+    profile = repro.SimulationProfile.fast()
+    n_tags = 6
+    rng = np.random.default_rng(1)
+
+    base = repro.random_coefficients(n_tags, rng=rng)
+    trajectories = {
+        k: people_movement(base[k], duration_s=20.0,
+                           wander_scale=0.04, rng=k)
+        for k in range(n_tags)}
+    channel = repro.ChannelModel(
+        {k: base[k] for k in range(n_tags)},
+        environment_offset=0.5 + 0.3j,
+        trajectories=trajectories)
+
+    # --- Buzz: estimate once, decode later with stale coefficients.
+    buzz = BuzzSimulator(channel, noise_std=0.01, rng=2)
+    estimates = buzz.estimate_channels(at_time_s=0.0)
+    messages = {k: rng.integers(0, 2, 64).astype(np.int8)
+                for k in range(n_tags)}
+    print("Buzz (channel estimated once at t=0):")
+    print(f"  {'t (s)':>6s} {'bit errors':>11s}")
+    for t in (0.0, 5.0, 12.0, 18.0):
+        decoded, _ = buzz.transmit(messages, at_time_s=t,
+                                   estimated=estimates)
+        errors = sum(int(np.count_nonzero(decoded[k] != messages[k]))
+                     for k in range(n_tags))
+        print(f"  {t:6.1f} {errors:11d} / {n_tags * 64}")
+
+    # --- LF: decode the same moving channel, epoch by epoch.
+    tags = [repro.LFTag(
+        repro.TagConfig(tag_id=k, bitrate_bps=10e3,
+                        channel_coefficient=base[k]),
+        profile=profile,
+        rng=np.random.default_rng(rng.integers(0, 2 ** 63)))
+        for k in range(n_tags)]
+    sim = repro.NetworkSimulator(tags, channel, profile=profile,
+                                 noise_std=0.01, rng=3)
+    decoder = repro.LFDecoder(
+        repro.LFDecoderConfig(candidate_bitrates_bps=[10e3],
+                              profile=profile),
+        rng=4)
+    print("\nLF-Backscatter (no estimation; same moving channel):")
+    print(f"  {'epoch t (s)':>11s} {'goodput':>8s}")
+    for index, t in enumerate((0.0, 5.0, 12.0, 18.0)):
+        # Place the 10 ms epoch at time t within the wander.
+        capture = sim.run_epoch(0.010,
+                                epoch_index=int(t / 0.010))
+        report = score_epoch(capture,
+                             decoder.decode_epoch(capture.trace))
+        print(f"  {t:11.1f} {report.goodput_fraction:8.2f}")
+
+    print("\nBuzz degrades as its estimates go stale; LF's per-epoch "
+          "cluster geometry\nis self-contained (Section 2.2 vs 2.4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate four laissez-faire tags and decode them.
+
+Demonstrates the core loop of the library:
+
+1. place tags in front of a simulated reader (complex channel
+   coefficients per tag + environment reflection),
+2. run one carrier epoch — every tag blindly transmits as soon as it
+   sees the carrier, at its own rate, from a naturally-jittered offset,
+3. decode the combined IQ capture with the LF-Backscatter pipeline,
+4. compare against ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    profile = repro.SimulationProfile.fast()   # 2.5 Msps, 10 kbps tags
+    n_tags = 4
+    rng = np.random.default_rng(2015)
+
+    # 1. Channel: one complex coefficient per tag, plus the static
+    #    environment reflection (Equation 1 of the paper).
+    coefficients = repro.random_coefficients(n_tags, rng=rng)
+    channel = repro.ChannelModel(
+        {k: coefficients[k] for k in range(n_tags)},
+        environment_offset=0.5 + 0.3j)
+
+    # 2. Tags: blind NRZ ASK transmitters.  No MAC, no buffers — each
+    #    tag starts when its comparator fires and streams its frame.
+    tags = [
+        repro.LFTag(
+            repro.TagConfig(tag_id=k, bitrate_bps=10e3,
+                            channel_coefficient=coefficients[k]),
+            profile=profile,
+            rng=np.random.default_rng(rng.integers(0, 2 ** 63)))
+        for k in range(n_tags)
+    ]
+
+    # 3. One 10 ms epoch through a noisy reader front end.
+    simulator = repro.NetworkSimulator(tags, channel, profile=profile,
+                                       noise_std=0.01, rng=rng)
+    capture = simulator.run_epoch(duration_s=0.010)
+    print(f"captured {len(capture.trace)} IQ samples "
+          f"({capture.duration_s * 1e3:.1f} ms at "
+          f"{capture.trace.sample_rate_hz / 1e6:.1f} Msps)")
+
+    # 4. Decode: edge detection -> eye-pattern folding -> collision
+    #    handling -> Viterbi -> anchor disambiguation.
+    decoder = repro.LFDecoder(
+        repro.LFDecoderConfig(candidate_bitrates_bps=[10e3],
+                              profile=profile),
+        rng=rng)
+    result = decoder.decode_epoch(capture.trace)
+    print(f"decoded {result.n_streams} concurrent streams "
+          f"({result.n_edges_detected} edges, "
+          f"{result.n_collisions_detected} collisions detected)")
+
+    # 5. Score against ground truth.
+    from repro.analysis.throughput import match_streams
+    matches = match_streams(capture, result)
+    total_bits = sum(m.bits_sent for m in matches)
+    correct = sum(m.bits_correct for m in matches)
+    for match in matches:
+        status = "ok" if match.matched else "LOST"
+        print(f"  tag {match.tag_id}: {status:4s} "
+              f"{match.bits_correct}/{match.bits_sent} bits correct")
+    print(f"aggregate goodput: {correct / capture.duration_s / 1e3:.1f} "
+          f"kbps ({100 * correct / total_bits:.1f}% of transmitted)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Record-and-replay: save an IQ capture to disk, decode it offline.
+
+The decoder consumes raw complex baseband samples, so the workflow with
+real SDR recordings is identical: record an epoch at the reader, store
+it, and run the pipeline offline — here the "recording" comes from the
+simulator, and we also demonstrate decoding a deliberately degraded
+copy (extra noise injected post-capture) to see the pipeline's
+robustness margin.
+
+Run:  python examples/record_and_replay.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.analysis.throughput import match_streams
+from repro.utils.serialization import load_trace, save_trace
+
+
+def decode_and_score(trace, capture, decoder) -> float:
+    result = decoder.decode_epoch(trace)
+    matches = match_streams(capture, result)
+    sent = sum(m.bits_sent for m in matches)
+    correct = sum(m.bits_correct for m in matches)
+    return correct / sent if sent else 0.0
+
+
+def main() -> None:
+    profile = repro.SimulationProfile.fast()
+    rng = np.random.default_rng(99)
+
+    coefficients = repro.random_coefficients(3, rng=rng)
+    channel = repro.ChannelModel(
+        {k: coefficients[k] for k in range(3)},
+        environment_offset=0.5 + 0.3j)
+    tags = [repro.LFTag(
+        repro.TagConfig(tag_id=k, bitrate_bps=10e3,
+                        channel_coefficient=coefficients[k]),
+        profile=profile,
+        rng=np.random.default_rng(rng.integers(0, 2 ** 63)))
+        for k in range(3)]
+    simulator = repro.NetworkSimulator(tags, channel, profile=profile,
+                                       noise_std=0.008, rng=rng)
+    capture = simulator.run_epoch(0.012)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_trace(capture.trace, Path(tmp) / "epoch0.npz")
+        size_kb = path.stat().st_size / 1024
+        print(f"recorded {len(capture.trace)} samples -> {path.name} "
+              f"({size_kb:.0f} KiB compressed)")
+
+        recording = load_trace(path)
+        decoder = repro.LFDecoder(
+            repro.LFDecoderConfig(candidate_bitrates_bps=[10e3],
+                                  profile=profile),
+            rng=rng)
+        clean_score = decode_and_score(recording, capture, decoder)
+        print(f"offline decode of the recording: "
+              f"{100 * clean_score:.1f}% of bits recovered")
+
+        # Replay with extra injected noise to probe the margin.
+        print("\nrobustness sweep (extra noise injected post-capture):")
+        for extra_noise in (0.01, 0.03, 0.06):
+            noisy = repro.IQTrace(
+                samples=recording.samples + (
+                    rng.normal(0, extra_noise / np.sqrt(2),
+                               len(recording))
+                    + 1j * rng.normal(0, extra_noise / np.sqrt(2),
+                                      len(recording))),
+                sample_rate_hz=recording.sample_rate_hz)
+            score = decode_and_score(noisy, capture, decoder)
+            print(f"  +{extra_noise:.2f} noise std: "
+                  f"{100 * score:5.1f}% recovered")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""RFID inventory: read every tag's EPC identifier, three ways.
+
+The canonical backscatter application (Section 5.2): N tags must each
+deliver a 96-bit EPC identifier (plus CRC-5) reliably.  This example
+races the three protocols the paper compares:
+
+* LF-Backscatter — all tags blast concurrently each epoch, CRC-checked,
+  retransmitting with fresh random offsets until read (measured
+  end-to-end through the real simulator + decoder);
+* stripped EPC Gen 2 TDMA — framed slotted ALOHA;
+* Buzz — channel estimation plus lock-step randomized retransmission.
+
+Run:  python examples/rfid_inventory.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis.latency import LFIdentification
+from repro.baselines.buzz import BuzzConfig, BuzzSimulator
+from repro.baselines.tdma import TdmaConfig, TdmaSimulator
+from repro.phy.channel import ChannelModel, random_coefficients
+
+
+def main() -> None:
+    profile = repro.SimulationProfile.fast()
+    rate = profile.default_bitrate_bps
+    rng = np.random.default_rng(42)
+    id_airtime = (96 + 5) / rate  # one identifier's raw airtime
+
+    print(f"{'tags':>5s} {'LF (ms)':>10s} {'Buzz (ms)':>10s} "
+          f"{'TDMA (ms)':>10s} {'TDMA/LF':>8s}")
+    for n_tags in (4, 8, 12, 16):
+        ident = LFIdentification(
+            n_tags, bitrate_bps=rate, profile=profile,
+            rng=np.random.default_rng(rng.integers(0, 2 ** 63)))
+        lf_result = ident.run()
+        assert lf_result.complete, "LF inventory did not finish"
+        lf_ms = lf_result.elapsed_s * 1e3
+
+        tdma = TdmaSimulator(TdmaConfig(bitrate_bps=rate),
+                             rng=np.random.default_rng(
+                                 rng.integers(0, 2 ** 63)))
+        tdma_ms = np.mean([tdma.identification_time_s(n_tags)
+                           for _ in range(10)]) * 1e3
+
+        coeffs = random_coefficients(n_tags, rng=rng)
+        buzz = BuzzSimulator(
+            ChannelModel({k: c for k, c in enumerate(coeffs)}),
+            BuzzConfig(bitrate_bps=rate), rng=rng)
+        buzz_ms = buzz.identification_time_s(n_tags) * 1e3
+
+        print(f"{n_tags:5d} {lf_ms:10.2f} {buzz_ms:10.2f} "
+              f"{tdma_ms:10.2f} {tdma_ms / lf_ms:8.1f}x")
+
+    print(f"\n(one identifier's airtime is {id_airtime * 1e3:.2f} ms "
+          "at this bitrate; LF reads every tag in a handful of "
+          "concurrent epochs while TDMA serializes slots and Buzz "
+          "pays estimation plus lock-step retransmission)")
+
+
+if __name__ == "__main__":
+    main()

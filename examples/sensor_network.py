@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Heterogeneous sensor network: a slow harvesting sensor next to a
+fast streaming sensor.
+
+This is the scenario the paper's introduction motivates: a battery-less
+temperature sensor that samples at a trickle and must stay under a few
+micro-watts, sharing the air with a data-rich sensor streaming at the
+full rate.  Laissez-faire lets both transmit blindly; the reader's
+eye-pattern fold separates the rates, and the slow sensor pays no
+protocol cost for the fast one's presence.
+
+The temperature sensor transmits 16-bit ADC words from a counter-like
+source (a sense-and-transmit loop with no buffering); the streaming
+sensor sends random payload standing in for compressed audio.
+
+Run:  python examples/sensor_network.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis.throughput import match_streams
+from repro.hardware.power import default_tag_power_w
+
+
+def main() -> None:
+    profile = repro.SimulationProfile.fast()
+    rng = np.random.default_rng(7)
+
+    slow_rate = 200.0      # the "2 kbps at 25 Msps" class of sensor
+    fast_rate = 10e3       # full-rate streaming sensor
+
+    coefficients = repro.random_coefficients(2, min_separation=0.03,
+                                             rng=rng)
+    channel = repro.ChannelModel(
+        {0: coefficients[0], 1: coefficients[1]},
+        environment_offset=0.5 + 0.3j)
+
+    temperature_sensor = repro.LFTag(
+        repro.TagConfig(tag_id=0, bitrate_bps=slow_rate,
+                        channel_coefficient=coefficients[0]),
+        payload_source=repro.CounterPayload(word_bits=16, start=4096),
+        profile=profile,
+        rng=np.random.default_rng(rng.integers(0, 2 ** 63)))
+    audio_sensor = repro.LFTag(
+        repro.TagConfig(tag_id=1, bitrate_bps=fast_rate,
+                        channel_coefficient=coefficients[1]),
+        profile=profile,
+        rng=np.random.default_rng(rng.integers(0, 2 ** 63)))
+
+    simulator = repro.NetworkSimulator(
+        [temperature_sensor, audio_sensor], channel, profile=profile,
+        noise_std=0.01, rng=rng)
+
+    # Epoch long enough for the slow sensor to deliver two ADC words.
+    duration = 45.0 / slow_rate
+    capture = simulator.run_epoch(duration)
+
+    decoder = repro.LFDecoder(
+        repro.LFDecoderConfig(
+            candidate_bitrates_bps=[slow_rate, fast_rate],
+            profile=profile),
+        rng=rng)
+    result = decoder.decode_epoch(capture.trace)
+    matches = {m.tag_id: m for m in match_streams(capture, result)}
+
+    print(f"epoch: {duration * 1e3:.0f} ms, "
+          f"{len(capture.trace)} samples\n")
+
+    slow = matches[0]
+    print("temperature sensor (slow, harvesting-class):")
+    print(f"  rate: {slow_rate:.0f} bps, "
+          f"loss rate: {slow.bit_errors / slow.bits_sent:.3f}")
+    if slow.matched and slow.stream_index is not None:
+        payload = result.streams[slow.stream_index].payload_bits()
+        words = [int("".join(map(str, payload[k:k + 16])), 2)
+                 for k in range(0, len(payload) - 15, 16)]
+        print(f"  decoded ADC words: {words[:4]}")
+    power = default_tag_power_w("lf", slow_rate)
+    print(f"  modeled radio power at this rate: {power * 1e6:.1f} uW")
+
+    fast = matches[1]
+    print("\naudio sensor (fast, streaming):")
+    print(f"  rate: {fast_rate / 1e3:.0f} kbps, "
+          f"goodput: {fast.bits_correct / duration / 1e3:.2f} kbps, "
+          f"loss rate: {fast.bit_errors / fast.bits_sent:.3f}")
+    power = default_tag_power_w("lf", fast_rate)
+    print(f"  modeled radio power at this rate: {power * 1e6:.1f} uW")
+
+    print("\nthe slow sensor transmitted blindly through the fast "
+          "sensor's stream —\nno MAC, no slotting, no receive circuit "
+          "(the laissez-faire model).")
+
+
+if __name__ == "__main__":
+    main()

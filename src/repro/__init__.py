@@ -1,0 +1,137 @@
+"""LF-Backscatter: fully asymmetric backscatter communication.
+
+A from-scratch Python reproduction of *Laissez-Faire: Fully Asymmetric
+Backscatter Communication* (Hu, Zhang, Ganesan — SIGCOMM 2015).
+
+Quick start::
+
+    import repro
+
+    profile = repro.SimulationProfile.fast()
+    configs = [repro.TagConfig(tag_id=k, bitrate_bps=10e3)
+               for k in range(2)]
+    channel = repro.ChannelModel.with_random_coefficients(
+        [c.tag_id for c in configs], rng=1)
+    tags = [repro.LFTag(c.with_coefficient(channel.coefficients[c.tag_id]),
+                        profile=profile, rng=c.tag_id)
+            for c in configs]
+    sim = repro.NetworkSimulator(tags, channel, profile=profile,
+                                 noise_std=0.005, rng=7)
+    capture = sim.run_epoch(duration_s=0.01)
+
+    decoder = repro.LFDecoder(repro.LFDecoderConfig(
+        candidate_bitrates_bps=[10e3], profile=profile))
+    result = decoder.decode_epoch(capture.trace)
+    for stream in result.streams:
+        print(stream.bitrate_bps, stream.payload_bits())
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the paper-vs-measured record of every table and figure.
+"""
+
+from . import constants
+from .errors import (
+    ReproError,
+    ConfigurationError,
+    SignalError,
+    DecodeError,
+    CollisionUnresolvableError,
+    ChannelEstimationError,
+    HardwareModelError,
+)
+from .types import (
+    SimulationProfile,
+    IQTrace,
+    TagConfig,
+    DecodedStream,
+    EpochResult,
+    ThroughputReport,
+    bits_from_string,
+    bits_to_string,
+)
+from .phy import (
+    ChannelModel,
+    random_coefficients,
+    CapacitorModel,
+    ComparatorJitterModel,
+    DriftingClock,
+    EpochSchedule,
+    LinkBudget,
+    equivalent_range,
+)
+from .tags import (
+    LFTag,
+    AskTag,
+    TdmaTag,
+    BuzzTag,
+    FixedPayload,
+    RandomPayload,
+    CounterPayload,
+    UniformOffsetModel,
+)
+from .reader import (
+    NetworkSimulator,
+    ReaderFrontend,
+    EpochCapture,
+    TagTruth,
+)
+from .core import (
+    LFDecoder,
+    LFDecoderConfig,
+    EdgeDetector,
+    EdgeDetectorConfig,
+    ViterbiDecoder,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "constants",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SignalError",
+    "DecodeError",
+    "CollisionUnresolvableError",
+    "ChannelEstimationError",
+    "HardwareModelError",
+    # types
+    "SimulationProfile",
+    "IQTrace",
+    "TagConfig",
+    "DecodedStream",
+    "EpochResult",
+    "ThroughputReport",
+    "bits_from_string",
+    "bits_to_string",
+    # phy
+    "ChannelModel",
+    "random_coefficients",
+    "CapacitorModel",
+    "ComparatorJitterModel",
+    "DriftingClock",
+    "EpochSchedule",
+    "LinkBudget",
+    "equivalent_range",
+    # tags
+    "LFTag",
+    "AskTag",
+    "TdmaTag",
+    "BuzzTag",
+    "FixedPayload",
+    "RandomPayload",
+    "CounterPayload",
+    "UniformOffsetModel",
+    # reader
+    "NetworkSimulator",
+    "ReaderFrontend",
+    "EpochCapture",
+    "TagTruth",
+    # core
+    "LFDecoder",
+    "LFDecoderConfig",
+    "EdgeDetector",
+    "EdgeDetectorConfig",
+    "ViterbiDecoder",
+    "__version__",
+]

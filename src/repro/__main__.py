@@ -1,0 +1,123 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — show every registered experiment (paper artefacts and
+  extensions/ablations);
+* ``run <id> [--quick] [--save PATH]`` — run one experiment and print
+  the regenerated table;
+* ``decode <trace.npz> --bitrates R[,R...]`` — decode a recorded IQ
+  capture offline and print the recovered streams.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .core.pipeline import LFDecoder, LFDecoderConfig
+from .errors import ReproError
+from .experiments import REGISTRY, run_experiment
+from .types import SimulationProfile, bits_to_string
+from .utils.serialization import load_trace, save_results
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    paper = sorted(k for k in REGISTRY
+                   if k.startswith(("fig", "table"))
+                   or k in ("sec33", "sec54"))
+    extensions = sorted(set(REGISTRY) - set(paper))
+    print("paper artefacts:")
+    for key in paper:
+        print(f"  {key}")
+    print("extensions / ablations:")
+    for key in extensions:
+        print(f"  {key}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment, quick=args.quick)
+    print(result.format_table())
+    if args.save:
+        payload = {
+            "experiment_id": result.experiment_id,
+            "description": result.description,
+            "rows": result.rows,
+            "paper_reference": result.paper_reference,
+            "notes": result.notes,
+        }
+        path = save_results(payload, args.save)
+        print(f"\nsaved to {path}")
+    return 0
+
+
+def _cmd_decode(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    bitrates = [float(r) for r in args.bitrates.split(",")]
+    profile = SimulationProfile(
+        sample_rate_hz=trace.sample_rate_hz,
+        base_rate_bps=args.base_rate,
+        default_bitrate_bps=max(bitrates))
+    decoder = LFDecoder(LFDecoderConfig(
+        candidate_bitrates_bps=bitrates, profile=profile))
+    result = decoder.decode_epoch(trace)
+    print(f"{result.n_streams} stream(s) decoded "
+          f"({result.n_edges_detected} edges, "
+          f"{result.n_collisions_detected} collisions, "
+          f"{result.n_collisions_resolved} resolved)")
+    for i, stream in enumerate(result.streams):
+        payload = stream.payload_bits()
+        shown = bits_to_string(payload[:64])
+        suffix = "..." if payload.size > 64 else ""
+        print(f"  [{i}] {stream.bitrate_bps:.0f} bps, offset "
+              f"{stream.offset_samples:.1f} samples, confidence "
+              f"{stream.confidence:.2f}"
+              f"{' (collided)' if stream.collided else ''}")
+        print(f"      payload[{payload.size}]: {shown}{suffix}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LF-Backscatter reproduction (SIGCOMM 2015)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", choices=sorted(REGISTRY))
+    run_p.add_argument("--quick", action="store_true",
+                       help="reduced-size run for a fast look")
+    run_p.add_argument("--save", metavar="PATH",
+                       help="also write the rows as JSON")
+
+    dec_p = sub.add_parser("decode",
+                           help="decode a recorded IQ capture (.npz)")
+    dec_p.add_argument("trace", help="path to a trace saved with "
+                                     "repro.utils.serialization")
+    dec_p.add_argument("--bitrates", required=True,
+                       help="comma-separated candidate bitrates in bps")
+    dec_p.add_argument("--base-rate", type=float, default=10.0,
+                       help="protocol base rate in bps (default 10)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run,
+                "decode": _cmd_decode}
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Evaluation machinery: scoring, probabilities, latency, BER, range."""
+
+from .throughput import match_streams, score_epoch, lf_throughput_sweep
+from .collision_prob import (
+    collision_probability,
+    collision_probability_mc,
+)
+from .latency import LFIdentification, crc5, append_crc5, check_crc5
+from .ber import ber_sweep, fitted_ber_curve, snr_gap_db
+from .link_budget import range_equivalents
+
+__all__ = [
+    "match_streams",
+    "score_epoch",
+    "lf_throughput_sweep",
+    "collision_probability",
+    "collision_probability_mc",
+    "LFIdentification",
+    "crc5",
+    "append_crc5",
+    "check_crc5",
+    "ber_sweep",
+    "fitted_ber_curve",
+    "snr_gap_db",
+    "range_equivalents",
+]

@@ -1,0 +1,26 @@
+"""Baseline systems the paper compares against (Sections 2 and 4.2).
+
+* :mod:`ask` — conventional matched-filter ASK decoding (the Figure 14
+  robustness baseline);
+* :mod:`tdma` — a stripped EPC Gen 2 TDMA protocol (96-bit slots at
+  100 kbps);
+* :mod:`buzz` — Buzz [Wang et al., SIGCOMM 2012]: lock-step randomized
+  retransmission with least-squares separation;
+* :mod:`qam_cluster` — pure IQ-cluster separation (Section 2.3), which
+  does not scale past two tags.
+"""
+
+from .ask import AskDecoder
+from .tdma import TdmaConfig, TdmaSimulator
+from .buzz import BuzzConfig, BuzzSimulator, BuzzDecoder
+from .qam_cluster import ClusterSeparator
+
+__all__ = [
+    "AskDecoder",
+    "TdmaConfig",
+    "TdmaSimulator",
+    "BuzzConfig",
+    "BuzzSimulator",
+    "BuzzDecoder",
+    "ClusterSeparator",
+]

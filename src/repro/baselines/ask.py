@@ -1,0 +1,101 @@
+"""Conventional ASK (on-off keying) decoding of a single backscatter tag.
+
+The Figure 14 baseline: instead of decoding from 3-sample edge
+differentials, a conventional ASK receiver integrates the received
+signal over the *whole* bit period and thresholds, which buys it an
+averaging gain of roughly the oversampling factor.  The paper measures
+LF-Backscatter needing ~4 dB more SNR than this decoder for the same
+bit error rate, and maps that gap to operating range in Section 5.4.
+
+The decoder is given the stream timing (offset and bit period) — a
+conventional receiver recovers timing from the preamble; granting it
+exact timing isolates the comparison to the detection method itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import constants
+from ..errors import ConfigurationError, DecodeError
+from ..tags.base import build_frame
+from ..types import IQTrace
+
+
+class AskDecoder:
+    """Matched-filter (per-bit integration) OOK decoder for one tag."""
+
+    def __init__(self, preamble_bits: int = constants.PREAMBLE_BITS,
+                 anchor_bit: int = constants.ANCHOR_BIT,
+                 edge_guard_samples: int = constants.EDGE_WIDTH_SAMPLES):
+        if preamble_bits < 2:
+            raise ConfigurationError(
+                "ASK decoding needs a preamble of at least 2 bits to "
+                "learn the on/off levels")
+        self.preamble_bits = preamble_bits
+        self.anchor_bit = anchor_bit
+        self.edge_guard_samples = edge_guard_samples
+
+    def bit_means(self, trace: IQTrace, offset_samples: float,
+                  period_samples: float,
+                  n_bits: Optional[int] = None) -> np.ndarray:
+        """Complex mean of the received signal over each bit window.
+
+        A guard of one edge width is trimmed from both ends of every
+        window so the transition ramps do not dilute the level.
+        """
+        if period_samples <= 2 * self.edge_guard_samples + 1:
+            raise ConfigurationError(
+                f"bit period {period_samples} too short for the edge "
+                f"guard {self.edge_guard_samples}")
+        n = len(trace)
+        max_bits = int(np.floor((n - offset_samples) / period_samples))
+        if n_bits is None:
+            n_bits = max_bits
+        if n_bits < 1 or n_bits > max_bits:
+            raise ConfigurationError(
+                f"cannot read {n_bits} bits; only {max_bits} fit")
+        csum = np.concatenate([[0], np.cumsum(trace.samples)])
+        starts = offset_samples + np.arange(n_bits) * period_samples
+        lo = np.clip(np.round(starts + self.edge_guard_samples
+                              ).astype(np.int64), 0, n)
+        hi = np.clip(np.round(starts + period_samples
+                              - self.edge_guard_samples
+                              ).astype(np.int64), 0, n)
+        hi = np.maximum(hi, lo + 1)
+        return (csum[hi] - csum[lo]) / (hi - lo)
+
+    def decode(self, trace: IQTrace, offset_samples: float,
+               period_samples: float,
+               n_bits: Optional[int] = None) -> np.ndarray:
+        """Decode the tag's frame bits given its timing.
+
+        The on/off reference levels are learned from the known
+        alternating preamble, then every bit is assigned to the nearer
+        level in the complex plane.
+        """
+        means = self.bit_means(trace, offset_samples, period_samples,
+                               n_bits)
+        header = build_frame(np.empty(0, dtype=np.int8),
+                             preamble_bits=self.preamble_bits,
+                             anchor_bit=self.anchor_bit)
+        if means.size < header.size:
+            raise DecodeError(
+                f"only {means.size} bits available; header needs "
+                f"{header.size}")
+        on_ref = means[:header.size][header == 1].mean()
+        off_ref = means[:header.size][header == 0].mean()
+        if abs(on_ref - off_ref) == 0:
+            raise DecodeError("on/off levels are indistinguishable")
+        d_on = np.abs(means - on_ref)
+        d_off = np.abs(means - off_ref)
+        return (d_on < d_off).astype(np.int8)
+
+    def decode_payload(self, trace: IQTrace, offset_samples: float,
+                       period_samples: float,
+                       n_bits: Optional[int] = None) -> np.ndarray:
+        """Frame decode with the header stripped."""
+        bits = self.decode(trace, offset_samples, period_samples, n_bits)
+        return bits[self.preamble_bits + 1:]

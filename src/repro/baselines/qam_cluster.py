@@ -1,0 +1,150 @@
+"""Pure IQ-cluster separation, the Section 2.3 strawman.
+
+When N tags toggle concurrently, the raw received IQ samples form 2^N
+clusters (one per combination of antenna states).  Decoding by nearest
+cluster works for two tags but "simply does not scale to a larger
+number of nodes" — with 6 tags the 64 clusters crowd together (Figure
+2c) and dwell points between clusters dominate.  This module implements
+that approach so the scaling failure can be measured rather than
+asserted.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, DecodeError
+from ..utils.rng import SeedLike, make_rng
+from ..core.clustering import kmeans
+
+
+@dataclass
+class ClusterSeparator:
+    """Nearest-cluster decoding of synchronous multi-tag ASK.
+
+    ``coefficients`` are the per-tag channel coefficients; with them
+    the 2^N ideal cluster centres are known exactly and decoding is a
+    nearest-centre lookup.  Without them (``calibrate_from_samples``)
+    centres are learned by k-means, which is where the approach starts
+    to crumble as N grows.
+    """
+
+    coefficients: Sequence[complex]
+    environment: complex = 0j
+    _centres: np.ndarray = field(init=False, repr=False)
+    _combos: Tuple[Tuple[int, ...], ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        coeffs = [complex(c) for c in self.coefficients]
+        if not coeffs:
+            raise ConfigurationError("need at least one coefficient")
+        if len(coeffs) > 12:
+            raise ConfigurationError(
+                f"2^{len(coeffs)} clusters is not tractable; the whole "
+                "point of Section 2.3 is that this fails long before")
+        self.coefficients = coeffs
+        self._combos = tuple(itertools.product((0, 1),
+                                               repeat=len(coeffs)))
+        self._centres = np.array(
+            [self.environment + sum(c * s for c, s in zip(coeffs, combo))
+             for combo in self._combos], dtype=np.complex128)
+
+    @property
+    def n_tags(self) -> int:
+        return len(self.coefficients)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self._combos)
+
+    def cluster_centres(self) -> np.ndarray:
+        """Ideal cluster centres for the current coefficients."""
+        return self._centres.copy()
+
+    def min_cluster_gap(self) -> float:
+        """Smallest pairwise distance between ideal cluster centres.
+
+        This is the decodability margin: once it falls near the noise
+        scale, nearest-cluster decoding collapses (Figure 2c).
+        """
+        diffs = np.abs(self._centres[:, None] - self._centres[None, :])
+        np.fill_diagonal(diffs, np.inf)
+        return float(diffs.min())
+
+    def decode_samples(self, samples: np.ndarray) -> np.ndarray:
+        """Map each IQ sample to the per-tag states of its nearest
+        centre; returns an (n_samples, n_tags) 0/1 matrix."""
+        pts = np.asarray(samples, dtype=np.complex128).ravel()
+        if pts.size == 0:
+            raise DecodeError("no samples to decode")
+        nearest = np.argmin(np.abs(pts[:, None]
+                                   - self._centres[None, :]), axis=1)
+        combos = np.asarray(self._combos, dtype=np.int8)
+        return combos[nearest]
+
+    def symbol_accuracy(self, samples: np.ndarray,
+                        true_states: np.ndarray) -> float:
+        """Fraction of samples whose full state vector decodes exactly."""
+        decoded = self.decode_samples(samples)
+        truth = np.asarray(true_states, dtype=np.int8)
+        if truth.shape != decoded.shape:
+            raise ConfigurationError(
+                f"true states shape {truth.shape} != decoded "
+                f"{decoded.shape}")
+        return float(np.mean(np.all(decoded == truth, axis=1)))
+
+
+def synthesize_synchronous_samples(
+        coefficients: Sequence[complex],
+        n_symbols: int,
+        samples_per_symbol: int = 20,
+        environment: complex = 0j,
+        noise_std: float = 0.01,
+        rng: SeedLike = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate the Figure 2(b)/(c) style scatter for N synchronous tags.
+
+    Returns (samples, per-sample true state matrix).  Tags flip to an
+    independent random state each symbol; every symbol contributes
+    ``samples_per_symbol`` noisy IQ points at its combined reflection.
+    """
+    coeffs = np.asarray([complex(c) for c in coefficients])
+    if n_symbols < 1 or samples_per_symbol < 1:
+        raise ConfigurationError("need at least one symbol and sample")
+    gen = make_rng(rng)
+    states = gen.integers(0, 2, (n_symbols, coeffs.size)).astype(np.int8)
+    centres = environment + states @ coeffs
+    samples = np.repeat(centres, samples_per_symbol)
+    truth = np.repeat(states, samples_per_symbol, axis=0)
+    if noise_std > 0:
+        scale = noise_std / np.sqrt(2.0)
+        samples = samples + (gen.normal(0, scale, samples.size)
+                             + 1j * gen.normal(0, scale, samples.size))
+    return samples, truth
+
+
+def blind_cluster_accuracy(samples: np.ndarray, n_tags: int,
+                           rng: SeedLike = None) -> float:
+    """How well blind k-means recovers the 2^N cluster structure.
+
+    Returns the fraction of samples assigned to a cluster whose centroid
+    is nearest to the sample's true centre — a proxy for decodability
+    without known coefficients.  Used to quantify the Figure 2(c)
+    degradation.
+    """
+    pts = np.asarray(samples, dtype=np.complex128).ravel()
+    k = 2 ** n_tags
+    if pts.size < k:
+        raise ConfigurationError(
+            f"need at least {k} samples for {k} clusters")
+    fit = kmeans(pts, k, rng=rng, n_init=2)
+    dist = np.abs(pts - fit.centroids[fit.labels])
+    # Tight assignment: a sample "decodes" if it sits within a quarter
+    # of the median inter-centroid gap of its own centroid.
+    centre_gaps = np.abs(fit.centroids[:, None] - fit.centroids[None, :])
+    np.fill_diagonal(centre_gaps, np.inf)
+    margin = float(np.median(np.min(centre_gaps, axis=1))) / 4.0
+    return float(np.mean(dist < margin))

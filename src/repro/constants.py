@@ -1,0 +1,87 @@
+"""Shared physical and protocol constants for the LF-Backscatter reproduction.
+
+Values mirror the experimental setup in the paper (Section 4 and 5):
+a USRP N210 reader sampling at 25 Msps in the 900 MHz ISM band, UMass Moo
+tags with a 150 ppm crystal, NRZ ASK modulation at bitrates that are
+multiples of a 100 bps base rate, and EPC Gen 2 style 96-bit messages.
+"""
+
+from __future__ import annotations
+
+# --- Reader (Section 4.1, "USRP Reader") -------------------------------
+
+#: Default reader sampling rate in samples per second.  The paper's USRP
+#: N210 with an SBX daughterboard samples at 25 MHz.
+READER_SAMPLE_RATE_HZ: float = 25e6
+
+#: Carrier frequency of the reader, centre of the 902-928 MHz ISM band.
+CARRIER_FREQ_HZ: float = 915e6
+
+#: Speed of light, used by the radar-equation link budget (Section 5.4).
+SPEED_OF_LIGHT_M_S: float = 299_792_458.0
+
+# --- Tag (Section 4.1, "Backscatter node") ------------------------------
+
+#: Default tag bitrate used throughout the evaluation (Section 5.1).
+DEFAULT_BITRATE_BPS: float = 100e3
+
+#: Base rate: every valid tag bitrate is an integer multiple of this
+#: (Section 3.2: "the base rate is 100 bps, and any multiple of that is a
+#: valid data rate").
+BASE_RATE_BPS: float = 100.0
+
+#: Width of a signal edge in reader samples at the 25 Msps reference rate
+#: (Section 2.4: "An edge is roughly 3 samples wide at the reader's
+#: sampling rate").
+EDGE_WIDTH_SAMPLES: int = 3
+
+#: Typical clock drift of the Moo's replacement 8 MHz crystal oscillator
+#: (Section 4.1): 150 parts per million.
+DEFAULT_CLOCK_DRIFT_PPM: float = 150.0
+
+#: Maximum clock drift the decoder is designed to tolerate (Section 4.1:
+#: "Our decoding method can tolerate roughly 200 ppm of clock drift").
+MAX_TOLERATED_DRIFT_PPM: float = 200.0
+
+#: Capacitor tolerance used by the comparator-jitter model (Section 3.2:
+#: "typical capacitors have about 20% tolerance").
+CAPACITOR_TOLERANCE: float = 0.20
+
+# --- Protocol framing ----------------------------------------------------
+
+#: EPC Gen 2 identifier length in bits (Section 5.2).
+EPC_ID_BITS: int = 96
+
+#: CRC length appended to the identifier in the LF identification
+#: protocol (Section 5.2: "96 bits + 5 bit CRC").
+EPC_CRC_BITS: int = 5
+
+#: TDMA slot length in bits (Section 4.2: "slots are 96 bits long").
+TDMA_SLOT_BITS: int = 96
+
+#: Alternating preamble transmitted at the start of every epoch so the
+#: reader's eye-pattern folding locks onto the stream quickly.  The paper
+#: only requires "a header from each tag" containing the anchor bit
+#: (Section 3.4); we use an 8-bit 10101010 preamble followed by the
+#: anchor.
+PREAMBLE_BITS: int = 8
+
+#: The anchor bit value embedded at a known location in the header
+#: (Section 3.4, Table 1: "the first bit is an anchor with value one").
+ANCHOR_BIT: int = 1
+
+# --- Derived helpers ------------------------------------------------------
+
+
+def samples_per_bit(bitrate_bps: float,
+                    sample_rate_hz: float = READER_SAMPLE_RATE_HZ) -> float:
+    """Number of reader samples spanned by one tag bit.
+
+    At the paper's reference point (100 kbps tag, 25 Msps reader) this is
+    250 samples per bit (Section 2.4).
+    """
+    if bitrate_bps <= 0:
+        raise ValueError(f"bitrate must be positive, got {bitrate_bps}")
+    if sample_rate_hz <= 0:
+        raise ValueError(f"sample rate must be positive, got {sample_rate_hz}")
+    return sample_rate_hz / bitrate_bps

@@ -1,0 +1,48 @@
+"""The paper's contribution: the LF-Backscatter reader-side decoder.
+
+Pipeline stages (Section 3), each in its own module:
+
+1. :mod:`edges` — reliable edge detection on the IQ differential (§3.1)
+2. :mod:`folding` — eye-pattern stream separation (§3.2)
+3. :mod:`streams` — drift-tracking refinement of stream timing
+4. :mod:`clustering` — k-means with cluster-count model selection
+5. :mod:`collision` — 3^k-cluster collision detection (§3.3)
+6. :mod:`separation` — parallelogram separation of 2-way collisions (§3.4)
+7. :mod:`viterbi` — 4-state edge-sequence error correction (§3.5)
+8. :mod:`anchor` — anchor-bit cluster disambiguation (§3.4, Table 1)
+9. :mod:`pipeline` — :class:`LFDecoder` tying it all together
+"""
+
+from .edges import EdgeDetector, EdgeDetectorConfig
+from .folding import FoldingConfig, find_stream_hypotheses
+from .streams import StreamTrack, track_stream, read_grid_differentials
+from .clustering import KMeansResult, kmeans, select_cluster_count
+from .collision import CollisionReport, detect_collision
+from .separation import SeparationResult, separate_two_way
+from .viterbi import ViterbiDecoder, edge_states_to_bits, bits_to_edge_states
+from .anchor import resolve_polarity, assemble_bits
+from .pipeline import LFDecoder, LFDecoderConfig
+
+__all__ = [
+    "EdgeDetector",
+    "EdgeDetectorConfig",
+    "FoldingConfig",
+    "find_stream_hypotheses",
+    "StreamTrack",
+    "track_stream",
+    "read_grid_differentials",
+    "KMeansResult",
+    "kmeans",
+    "select_cluster_count",
+    "CollisionReport",
+    "detect_collision",
+    "SeparationResult",
+    "separate_two_way",
+    "ViterbiDecoder",
+    "edge_states_to_bits",
+    "bits_to_edge_states",
+    "resolve_polarity",
+    "assemble_bits",
+    "LFDecoder",
+    "LFDecoderConfig",
+]

@@ -1,0 +1,365 @@
+"""Eye-pattern folding: separating edges into streams (Section 3.2).
+
+Tags transmit periodically at a multiple of the base rate starting at a
+random offset, so all edges of one stream satisfy
+``position = offset + k * period`` (within clock drift).  Folding the
+detected edge positions modulo each candidate period produces sharp
+peaks at stream offsets — the paper's "eye pattern" — while spurious
+edges spread uniformly and are rejected.
+
+Rate ambiguity is resolved by processing candidate rates fastest-first
+and letting accepted streams *claim* their edges: a slow tag's edges
+would fold into a single bin at a faster period too, but claiming
+removes genuine fast streams before slow folds run, and the
+consecutive-edge test (the alternating preamble guarantees back-to-back
+edges at the true rate) rejects the slow-tag-as-fast-stream alias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import constants
+from ..errors import ConfigurationError
+from ..types import DetectedEdge, StreamHypothesis
+
+
+@dataclass(frozen=True)
+class FoldingConfig:
+    """Tuning of the stream search.
+
+    ``bin_width_samples`` is the fold-histogram resolution (about one
+    edge width); ``min_edges`` the minimum number of folded edges to
+    accept a stream; ``match_tolerance_samples`` how far an edge may sit
+    from the stream grid and still be claimed (covers residual drift
+    between consecutive edges plus edge-position quantization).
+    """
+
+    bin_width_samples: float = float(constants.EDGE_WIDTH_SAMPLES)
+    min_edges: int = 5
+    match_tolerance_samples: float = constants.EDGE_WIDTH_SAMPLES + 1.0
+    require_consecutive: bool = True
+    peak_span_bins: int = 1
+    #: Fold only edges from the first N bit periods when seeding a
+    #: stream's phase: over long traces a tag's ppm clock drift walks
+    #: its phase across many samples, smearing a whole-trace fold into
+    #: uselessness, while the progressive tracker has no trouble
+    #: following the drift once seeded near the stream's start.
+    fold_window_periods: float = 80.0
+    #: Drift corrections tried per candidate period.  The phase walk of
+    #: a tag's constant ppm error is period * ppm per bit — several
+    #: samples per bit at slow rates — so the fold searches a small
+    #: grid of corrected periods and keeps the sharpest peak.
+    max_drift_ppm: float = 250.0
+    n_drift_steps: int = 11
+
+    def __post_init__(self) -> None:
+        if self.bin_width_samples <= 0:
+            raise ConfigurationError("bin width must be positive")
+        if self.min_edges < 2:
+            raise ConfigurationError("min_edges must be >= 2")
+        if self.match_tolerance_samples <= 0:
+            raise ConfigurationError("match tolerance must be positive")
+
+
+def fold_histogram(positions: np.ndarray, period: float,
+                   bin_width: float) -> Tuple[np.ndarray, float]:
+    """Fold ``positions`` modulo ``period``; returns (counts, bin_width).
+
+    The actual bin width is adjusted so an integral number of bins tiles
+    the period.
+    """
+    if period <= 0:
+        raise ConfigurationError("period must be positive")
+    n_bins = max(int(round(period / bin_width)), 1)
+    actual_width = period / n_bins
+    phases = np.mod(np.asarray(positions, dtype=np.float64), period)
+    idx = np.minimum((phases / actual_width).astype(np.int64), n_bins - 1)
+    return np.bincount(idx, minlength=n_bins), actual_width
+
+
+def _circular_peak_offsets(counts: np.ndarray, bin_width: float,
+                           min_count: int, span_bins: int = 1
+                           ) -> List[float]:
+    """Offsets (sample units) of local count clusters in a fold histogram.
+
+    Sums counts over a short circular window so one stream whose edges
+    straddle two bins (drift smear) still registers as a single peak,
+    then greedily extracts maxima with non-overlap suppression.
+    """
+    n_bins = counts.size
+    if n_bins == 0:
+        return []
+    window = np.zeros(n_bins, dtype=np.int64)
+    for shift in range(-span_bins, span_bins + 1):
+        window += np.roll(counts, -shift)
+    offsets: List[float] = []
+    remaining = window.astype(np.int64).copy()
+    suppress = 2 * span_bins + 1
+    while True:
+        best = int(np.argmax(remaining))
+        if remaining[best] < min_count:
+            break
+        # Centroid of counts around the peak for sub-bin offset accuracy.
+        idx = np.arange(best - span_bins, best + span_bins + 1)
+        local = counts[np.mod(idx, n_bins)]
+        if local.sum() == 0:
+            remaining[best] = 0
+            continue
+        centroid = float(np.sum(idx * local) / local.sum())
+        offsets.append((centroid % n_bins + 0.5) * bin_width)
+        lo = best - suppress
+        hi = best + suppress + 1
+        wrap = np.mod(np.arange(lo, hi), n_bins)
+        remaining[wrap] = 0
+    return offsets
+
+
+def find_stream_hypotheses(
+        edges: Sequence[DetectedEdge],
+        candidate_periods: Sequence[float],
+        config: Optional[FoldingConfig] = None) -> List[StreamHypothesis]:
+    """Search for streams across candidate bit periods (samples).
+
+    ``candidate_periods`` should be sorted by the caller in the order
+    the search should claim edges (shortest period = fastest rate
+    first); this function enforces that ordering itself for safety.
+    Returns hypotheses with coarse offsets; each accepted hypothesis has
+    claimed its edges so later (slower) folds do not see them.
+    """
+    cfg = config or FoldingConfig()
+    if not candidate_periods:
+        raise ConfigurationError("need at least one candidate period")
+    positions = np.array([e.position for e in edges], dtype=np.float64)
+    available = np.ones(positions.size, dtype=bool)
+    hypotheses: List[StreamHypothesis] = []
+
+    for period in sorted(set(candidate_periods)):
+        if period <= 0:
+            raise ConfigurationError("candidate periods must be positive")
+    for period in sorted(set(candidate_periods)):
+        # Extras (collision partners sharing a grid slot) are claimed
+        # only while this rate is being searched; a slower tag whose
+        # edges happen to coincide with a fast stream's grid must stay
+        # visible to the slower folds.
+        rate_extras: List[int] = []
+        # Re-fold after every accepted stream: two tags whose offsets
+        # differ by only a few samples merge into a single fold peak,
+        # and the second tag only becomes visible once the first has
+        # claimed its edges.
+        window_end = cfg.fold_window_periods * period
+        # The drift search only pays off when a tag's ppm clock error
+        # walks its phase across more than one fold bin within the
+        # seed window (slow rates / long windows); for short fast-rate
+        # windows it would just add noise to the period estimate.
+        visible_bits = min(cfg.fold_window_periods,
+                           (positions.max() / period + 1.0)
+                           if positions.size else 1.0)
+        walk = period * cfg.max_drift_ppm * 1e-6 * visible_bits
+        if walk > 3.0 * cfg.bin_width_samples:
+            drifts = np.linspace(-cfg.max_drift_ppm,
+                                 cfg.max_drift_ppm,
+                                 cfg.n_drift_steps) * 1e-6
+            drifts = drifts[np.argsort(np.abs(drifts),
+                                       kind="stable")]
+        else:
+            drifts = np.array([0.0])
+        while True:
+            live = np.flatnonzero(available
+                                  & (positions < window_end))
+            if live.size < cfg.min_edges:
+                break
+            # Search a drift grid: the corrected period whose fold
+            # peaks sharpest seeds both the phase and the initial
+            # period estimate handed to the tracker.
+            best_fold = None
+            for drift in drifts:
+                p_corr = period * (1.0 + drift)
+                counts, bin_width = fold_histogram(
+                    positions[live], p_corr, cfg.bin_width_samples)
+                peak = int(counts.max())
+                if best_fold is None or peak > best_fold[0]:
+                    best_fold = (peak, counts, bin_width, p_corr)
+            _, counts, bin_width, p_corr = best_fold
+            accepted_any = False
+            for offset in _circular_peak_offsets(counts, bin_width,
+                                                 cfg.min_edges,
+                                                 cfg.peak_span_bins):
+                core, extras = _match_edges(
+                    positions, available, offset, p_corr,
+                    cfg.match_tolerance_samples)
+                if core.size < cfg.min_edges:
+                    continue
+                if cfg.require_consecutive and not _has_consecutive(
+                        positions[core], offset, p_corr):
+                    continue
+                available[core] = False
+                available[extras] = False
+                rate_extras.extend(int(i) for i in extras)
+                matched = np.concatenate([core, extras])
+                # Anchor the grid phase at the earliest matched edge so
+                # the tracker starts where drift has accumulated least.
+                first_pos = float(np.min(positions[core]))
+                hypotheses.append(StreamHypothesis(
+                    offset_samples=first_pos % p_corr,
+                    period_samples=float(p_corr),
+                    score=float(core.size),
+                    edge_indices=[int(i) for i in matched]))
+                accepted_any = True
+                break  # re-fold the remaining edges before continuing
+            if not accepted_any:
+                break
+        if rate_extras:
+            available[np.asarray(rate_extras, dtype=np.int64)] = True
+    return hypotheses
+
+
+def _match_edges(positions: np.ndarray, available: np.ndarray,
+                 offset: float, period: float,
+                 tolerance: float):
+    """Available edges on the stream grid: (core, extras) index arrays.
+
+    ``core`` holds the best-aligned edge per grid slot (these drive the
+    timing fit and are permanently claimed); ``extras`` are additional
+    edges sharing a slot — collision partners at this rate, or a slower
+    tag's coincident edges, which the caller releases again before
+    folding slower rates.
+
+    The stream grid is tracked progressively: the running offset
+    estimate follows matched edges so slow clock drift does not
+    accumulate past the tolerance (Section 4.1's 200 ppm budget).
+    """
+    order = np.argsort(positions)
+    est_offset = offset
+    period_est = period
+    matched: List[int] = []
+    ks: List[float] = []
+    ps: List[float] = []
+    extra: List[int] = []
+    residuals: dict = {}  # grid slot -> (index into ks/ps, |residual|)
+    for i in order:
+        if not available[i]:
+            continue
+        pos = positions[i]
+        k = np.round((pos - est_offset) / period_est)
+        predicted = est_offset + k * period_est
+        residual = abs(pos - predicted)
+        if residual > tolerance:
+            continue
+        slot = int(k)
+        track_updated = False
+        if slot in residuals:
+            # All edges within tolerance of the slot are claimed (a
+            # colliding tag's edge must not be left to seed a junk
+            # stream), but only the best-aligned edge per slot drives
+            # the timing fit.
+            extra.append(int(i))
+            prev_idx, prev_res = residuals[slot]
+            if residual < prev_res:
+                extra.append(int(matched[prev_idx]))
+                extra.remove(int(i))
+                matched[prev_idx] = int(i)
+                ps[prev_idx] = float(pos)
+                residuals[slot] = (prev_idx, residual)
+                track_updated = True
+        else:
+            residuals[slot] = (len(matched), residual)
+            matched.append(int(i))
+            ks.append(float(k))
+            ps.append(float(pos))
+            track_updated = True
+        if not track_updated:
+            continue
+        if len(matched) >= 3 and len(matched) % 4 == 0:
+            # Periodic least-squares refresh of (offset, period).
+            coeffs = np.polyfit(ks, ps, 1)
+            new_period, new_offset = float(coeffs[0]), float(coeffs[1])
+            # Only accept a sane refit (guards against collinear noise).
+            if abs(new_period - period) < 0.05 * period:
+                period_est, est_offset = new_period, new_offset
+        else:
+            # Exponentially track the offset to absorb drift.
+            est_offset += 0.25 * (pos - predicted)
+    return (np.asarray(sorted(set(matched)), dtype=np.int64),
+            np.asarray(sorted(set(extra) - set(matched)),
+                       dtype=np.int64))
+
+
+def _has_consecutive(matched_positions: np.ndarray, offset: float,
+                     period: float) -> bool:
+    """True when at least two matched edges sit on adjacent grid slots.
+
+    Every genuine stream starts with an alternating preamble, so
+    consecutive-slot edges always exist at the true rate; an aliased
+    slower tag can only produce edges >= 2 slots apart.
+    """
+    if matched_positions.size < 2:
+        return False
+    k = np.round((np.sort(matched_positions) - offset) / period)
+    return bool(np.any(np.diff(k) == 1))
+
+
+def analog_fold_search(diff_energy: np.ndarray,
+                       candidate_periods: Sequence[float],
+                       max_drift_ppm: float = 250.0,
+                       n_drift_steps: int = 9,
+                       min_peak_ratio: float = 2.0) -> List[StreamHypothesis]:
+    """Low-SNR stream search by folding the analog differential energy.
+
+    Section 3.2's eye pattern in its original analog form: the
+    squared differential sweep ``|dS(t)|^2`` is summed at every offset
+    modulo each candidate period, so a stream whose individual edges
+    are below the detection threshold still accumulates a visible fold
+    peak.  A small grid of period corrections absorbs tag clock drift
+    (which would otherwise smear the peak over many bins).
+
+    Returns hypotheses with empty ``edge_indices``; the caller builds
+    the stream track directly from (offset, period).
+    """
+    energy = np.asarray(diff_energy, dtype=np.float64)
+    if energy.ndim != 1 or energy.size == 0:
+        raise ConfigurationError("diff_energy must be a non-empty 1-D "
+                                 "array")
+    if n_drift_steps < 1:
+        raise ConfigurationError("need at least one drift step")
+    hypotheses: List[StreamHypothesis] = []
+    t = np.arange(energy.size, dtype=np.float64)
+    drifts = np.linspace(-max_drift_ppm, max_drift_ppm, n_drift_steps) \
+        * 1e-6
+    for period in sorted(set(candidate_periods)):
+        if period <= 0:
+            raise ConfigurationError("candidate periods must be positive")
+        if energy.size < 4 * period:
+            continue  # need a few folds for any averaging gain
+        best = None
+        for drift in drifts:
+            p = period * (1.0 + drift)
+            n_bins = int(round(p))
+            bins = np.mod(t, p).astype(np.int64)
+            np.minimum(bins, n_bins - 1, out=bins)
+            folded = np.bincount(bins, weights=energy,
+                                 minlength=n_bins)
+            counts = np.maximum(np.bincount(bins, minlength=n_bins), 1)
+            folded = folded / counts
+            # Smooth over an edge width so the peak is stable.
+            kernel = np.ones(constants.EDGE_WIDTH_SAMPLES) \
+                / constants.EDGE_WIDTH_SAMPLES
+            smooth = np.convolve(
+                np.concatenate([folded[-2:], folded, folded[:2]]),
+                kernel, mode="same")[2:-2]
+            peak_bin = int(np.argmax(smooth))
+            ratio = smooth[peak_bin] / max(float(np.median(smooth)),
+                                           1e-30)
+            if best is None or ratio > best[0]:
+                best = (float(ratio), float(peak_bin), p)
+        if best is None or best[0] < min_peak_ratio:
+            continue
+        hypotheses.append(StreamHypothesis(
+            offset_samples=best[1],
+            period_samples=best[2],
+            score=best[0],
+            edge_indices=[]))
+    return hypotheses

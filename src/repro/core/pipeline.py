@@ -1,0 +1,380 @@
+"""The end-to-end LF-Backscatter decoder (Section 3, Figure 3).
+
+:class:`LFDecoder` turns one epoch's IQ trace into decoded per-tag bit
+streams by chaining every stage of the paper's pipeline:
+
+    edge detection -> eye-pattern stream separation -> grid differential
+    extraction -> collision detection -> parallelogram separation ->
+    Viterbi error correction -> anchor disambiguation.
+
+The IQ-separation and error-correction stages can be disabled
+independently to reproduce the ablation of Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import constants
+from ..errors import ConfigurationError, DecodeError
+from ..types import (DecodedStream, DetectedEdge, EpochResult, IQTrace,
+                     SimulationProfile)
+from ..utils.rng import SeedLike, make_rng
+from .anchor import assemble_bits
+from .collision import detect_collision
+from .edges import EdgeDetector, EdgeDetectorConfig
+from .folding import (FoldingConfig, analog_fold_search,
+                      find_stream_hypotheses)
+from .separation import separate_collinear, separate_two_way
+from .streams import (StreamTrack, read_grid_differentials,
+                      track_from_analog, track_stream)
+from .viterbi import ViterbiDecoder
+
+
+@dataclass
+class LFDecoderConfig:
+    """Configuration of the full decoding pipeline.
+
+    ``candidate_bitrates_bps`` is the set of rates tags may use (all
+    multiples of the base rate, Section 3.2); the reader knows this set
+    by protocol, not by per-tag signalling.
+    """
+
+    candidate_bitrates_bps: Sequence[float] = (
+        constants.DEFAULT_BITRATE_BPS,)
+    profile: SimulationProfile = field(
+        default_factory=SimulationProfile.paper)
+    edge_config: Optional[EdgeDetectorConfig] = None
+    folding_config: Optional[FoldingConfig] = None
+    enable_iq_separation: bool = True
+    enable_error_correction: bool = True
+    min_header_score: float = 0.75
+    p_flip: float = 0.5
+    collision_guard_extra: int = constants.EDGE_WIDTH_SAMPLES
+    #: Differential averaging windows grow with the bit period (longer
+    #: bits leave more clean samples either side of an edge, Section
+    #: 5.1 / Table 2), capped to keep dense traces tractable.
+    refine_window_fraction: float = 0.8
+    refine_window_cap: int = 2000
+    #: Fold the analog differential energy when the edge-based search
+    #: comes up empty (low-SNR operation, Figure 14's waterfall).
+    enable_analog_fallback: bool = True
+    preamble_bits: int = constants.PREAMBLE_BITS
+    anchor_bit: int = constants.ANCHOR_BIT
+
+    def __post_init__(self) -> None:
+        if not self.candidate_bitrates_bps:
+            raise ConfigurationError("need at least one candidate bitrate")
+        for rate in self.candidate_bitrates_bps:
+            self.profile.validate_bitrate(rate)
+        if not 0.0 <= self.min_header_score <= 1.0:
+            raise ConfigurationError(
+                "min_header_score must be in [0, 1]")
+
+
+class LFDecoder:
+    """Decodes concurrent laissez-faire streams from raw IQ captures."""
+
+    def __init__(self, config: Optional[LFDecoderConfig] = None,
+                 rng: SeedLike = None):
+        self.config = config or LFDecoderConfig()
+        self._rng = make_rng(rng)
+        self.edge_detector = EdgeDetector(self.config.edge_config)
+        self.viterbi = ViterbiDecoder(p_flip=self.config.p_flip)
+
+    def candidate_periods(self) -> List[float]:
+        """Candidate bit periods in samples, shortest (fastest) first."""
+        fs = self.config.profile.sample_rate_hz
+        return sorted(fs / rate
+                      for rate in set(self.config.candidate_bitrates_bps))
+
+    def decode_epoch(self, trace: IQTrace) -> EpochResult:
+        """Run the full pipeline over one epoch's capture."""
+        result = EpochResult(duration_s=trace.duration_s)
+        edges = self.edge_detector.detect(trace)
+        result.n_edges_detected = len(edges)
+        if not edges:
+            return result
+
+        hypotheses = find_stream_hypotheses(
+            edges, self.candidate_periods(),
+            config=self.config.folding_config)
+        claimed = set()
+        for hyp in hypotheses:
+            claimed.update(hyp.edge_indices)
+        result.n_spurious_edges = len(edges) - len(claimed)
+
+        for hyp in hypotheses:
+            try:
+                streams = self._decode_stream(trace, hyp, edges, result)
+            except (DecodeError, ConfigurationError):
+                continue
+            result.streams.extend(streams)
+        if not result.streams and self.config.enable_analog_fallback:
+            result.streams.extend(self._decode_analog(trace, edges))
+        result.streams = _dedup_streams(result.streams)
+        return result
+
+    def _decode_analog(self, trace: IQTrace,
+                       edges: Sequence[DetectedEdge]
+                       ) -> List[DecodedStream]:
+        """Low-SNR fallback: fold the analog differential energy.
+
+        When individual edges are buried in noise the edge-based search
+        finds nothing, but the eye-pattern fold of the *analog*
+        differential energy (Section 3.2's original formulation) still
+        accumulates a stream's periodic energy.  Only single streams
+        are recovered this way — at SNRs where this path is needed,
+        collision separation has no margin anyway.
+        """
+        energy = self.edge_detector.differential_magnitude(trace) ** 2
+        hypotheses = analog_fold_search(energy, self.candidate_periods())
+        streams: List[DecodedStream] = []
+        for hyp in hypotheses:
+            try:
+                track = track_from_analog(hyp, energy)
+                diffs = read_grid_differentials(
+                    trace, track, edges, detector=self.edge_detector,
+                    window_override=self._refine_window(track))
+                observations = _project_single(diffs)
+                stream = self._assemble(observations, track,
+                                        collided=False)
+            except (DecodeError, ConfigurationError):
+                continue
+            if stream is not None:
+                streams.append(stream)
+        return streams
+
+    # -- internals -------------------------------------------------------
+
+    def _refine_window(self, track: StreamTrack) -> int:
+        """Averaging window for this stream's differentials."""
+        cfg = self.config
+        base = self.edge_detector.config.max_refine_window
+        scaled = int(track.period_samples * cfg.refine_window_fraction)
+        return max(base, min(scaled, cfg.refine_window_cap))
+
+    def _decode_stream(self, trace: IQTrace, hypothesis, edges, result
+                       ) -> List[DecodedStream]:
+        cfg = self.config
+        track = track_stream(hypothesis, edges, len(trace))
+        diffs = read_grid_differentials(
+            trace, track, edges, detector=self.edge_detector,
+            window_override=self._refine_window(track))
+        collided = False
+        if cfg.enable_iq_separation and diffs.size >= 9:
+            noise_scale = _hold_cluster_noise(diffs)
+            report = detect_collision(diffs, noise_scale=noise_scale,
+                                      rng=self._rng)
+            if report.is_collision:
+                result.n_collisions_detected += 1
+                if report.estimated_colliders <= 2:
+                    try:
+                        streams = self._decode_collided(trace, track,
+                                                        edges)
+                    except (DecodeError, ConfigurationError):
+                        streams = []
+                    if streams:
+                        result.n_collisions_resolved += 1
+                        return streams
+                # A >2-way collision (or a failed 2-way separation)
+                # falls through: attempt to salvage the strongest
+                # collider as a single stream — the header gate drops
+                # it again if the contamination is too heavy.
+                # Separation failed (degenerate basis or no frame
+                # survived the header check): fall back to decoding the
+                # strongest collider as a single stream rather than
+                # dropping both.
+        observations = _project_single(diffs)
+        if (cfg.enable_iq_separation and diffs.size >= 20
+                and _looks_multilevel(observations, self._rng)):
+            # A collision whose edge vectors are (anti)parallel never
+            # registers as two-dimensional, but its projection carries
+            # more than three levels; the scalar-lattice separator
+            # handles this degenerate case (an extension beyond the
+            # paper's parallelogram method).
+            streams = self._decode_collinear(diffs, track, result)
+            if streams:
+                return streams
+        stream = self._assemble(observations, track, collided=collided)
+        return [stream] if stream is not None else []
+
+    def _decode_collinear(self, diffs: np.ndarray, track: StreamTrack,
+                          result: EpochResult) -> List[DecodedStream]:
+        """Attempt the 1-D scalar-lattice split of a collinear
+        collision; both recovered frames must pass the header gate."""
+        try:
+            separation = separate_collinear(diffs, rng=self._rng)
+        except (DecodeError, ConfigurationError):
+            return []
+        streams: List[DecodedStream] = []
+        for column, edge_vector in ((0, separation.e1),
+                                    (1, separation.e2)):
+            stream = self._assemble(
+                separation.coords[:, column].astype(np.float64),
+                track, collided=True, edge_vector=edge_vector)
+            if stream is not None:
+                streams.append(stream)
+        if len(streams) == 2:
+            result.n_collisions_detected += 1
+            result.n_collisions_resolved += 1
+            return streams
+        return []
+
+    def _decode_collided(self, trace: IQTrace, track: StreamTrack,
+                         edges: Sequence[DetectedEdge]
+                         ) -> List[DecodedStream]:
+        """Split a two-way collision and decode both tags."""
+        cfg = self.config
+        # Wider guard: the two colliders' edges sit a few samples apart
+        # once drift separates them, so exclude a larger transition zone.
+        guard = (self.edge_detector.config.guard
+                 + cfg.collision_guard_extra)
+        diffs = read_grid_differentials(
+            trace, track, edges, detector=self.edge_detector,
+            guard_override=guard,
+            window_override=self._refine_window(track))
+        separation = separate_two_way(diffs, rng=self._rng)
+        scale = max(abs(separation.e1), abs(separation.e2))
+        if scale <= 0 or separation.lattice_error > 0.35 * scale:
+            raise DecodeError(
+                f"collision lattice fit too poor "
+                f"(error {separation.lattice_error:.3g} vs scale "
+                f"{scale:.3g}); likely a false-positive collision")
+        streams: List[DecodedStream] = []
+        for column, edge_vector in ((0, separation.e1),
+                                    (1, separation.e2)):
+            stream = self._assemble(separation.coords[:, column], track,
+                                    collided=True,
+                                    edge_vector=edge_vector)
+            if stream is not None:
+                streams.append(stream)
+        return streams
+
+    def _assemble(self, observations: np.ndarray, track: StreamTrack,
+                  collided: bool,
+                  edge_vector: complex = 0j) -> Optional[DecodedStream]:
+        cfg = self.config
+        try:
+            assembled = assemble_bits(
+                observations,
+                use_viterbi=cfg.enable_error_correction,
+                decoder=self.viterbi,
+                preamble_bits=cfg.preamble_bits,
+                anchor_bit=cfg.anchor_bit,
+                min_header_score=cfg.min_header_score)
+        except DecodeError:
+            return None
+        offset = (track.offset_samples
+                  + assembled.start_slot * track.period_samples)
+        fs = cfg.profile.sample_rate_hz
+        measured_rate = fs / track.period_samples
+        nominal = min(cfg.candidate_bitrates_bps,
+                      key=lambda r: abs(r - measured_rate))
+        return DecodedStream(
+            bits=assembled.bits,
+            offset_samples=offset,
+            period_samples=track.period_samples,
+            bitrate_bps=nominal,
+            collided=collided,
+            edge_vector=edge_vector,
+            confidence=assembled.header_score,
+        )
+
+
+def _project_single(differentials: np.ndarray) -> np.ndarray:
+    """Project a single tag's differentials onto its edge direction.
+
+    The principal axis of the scatter (about the origin) is the tag's
+    edge line {-e, 0, +e}; projecting and normalizing by the edge
+    cluster magnitude yields observations near {-1, 0, +1}.  Sign
+    remains ambiguous; the anchor stage resolves it.
+    """
+    d = np.asarray(differentials, dtype=np.complex128).ravel()
+    if d.size == 0:
+        raise DecodeError("no differentials to project")
+    x = np.stack([d.real, d.imag])
+    moment = x @ x.T / d.size
+    eigvals, eigvecs = np.linalg.eigh(moment)
+    u = eigvecs[:, -1]  # principal direction (unit)
+    proj = d.real * u[0] + d.imag * u[1]
+    peak = float(np.max(np.abs(proj)))
+    if peak <= 0:
+        raise DecodeError("stream has no measurable edges")
+    strong = np.abs(proj) > 0.5 * peak
+    scale = float(np.median(np.abs(proj[strong])))
+    if scale <= 0:
+        raise DecodeError("degenerate projection scale")
+    return proj / scale
+
+
+def _hold_cluster_noise(differentials: np.ndarray) -> float:
+    """Noise scale estimated from the hold (near-zero) cluster."""
+    d = np.asarray(differentials, dtype=np.complex128).ravel()
+    mags = np.abs(d)
+    peak = float(np.max(mags)) if mags.size else 0.0
+    if peak <= 0:
+        return 0.0
+    hold = d[mags < 0.3 * peak]
+    if hold.size < 2:
+        return 0.0
+    return float(np.sqrt(np.mean(np.abs(hold) ** 2)))
+
+
+def _dedup_streams(streams: List[DecodedStream],
+                   offset_tolerance: float = 8.0,
+                   max_disagreement: float = 0.15
+                   ) -> List[DecodedStream]:
+    """Drop ghost duplicates: same rate, same phase, same bits.
+
+    Residual detections of a decoded stream occasionally assemble into
+    a second copy shifted by a few samples.  A ghost decodes (nearly)
+    the same bit sequence as the original, which distinguishes it from
+    a genuinely distinct tag that happens to share the phase — the
+    latter carries different data and must be kept.
+    """
+    kept: List[DecodedStream] = []
+    for stream in sorted(streams,
+                         key=lambda s: (-s.confidence, -s.n_bits)):
+        duplicate = False
+        for existing in kept:
+            if existing.bitrate_bps != stream.bitrate_bps:
+                continue
+            period = existing.period_samples
+            gap = abs(stream.offset_samples - existing.offset_samples)
+            gap_mod = min(gap % period, period - gap % period)
+            if gap_mod > offset_tolerance:
+                continue
+            n = min(existing.n_bits, stream.n_bits)
+            if n == 0:
+                continue
+            disagreement = float(np.count_nonzero(
+                existing.bits[:n] != stream.bits[:n])) / n
+            if disagreement <= max_disagreement:
+                duplicate = True
+                break
+        if not duplicate:
+            kept.append(stream)
+    return kept
+
+
+def _looks_multilevel(observations: np.ndarray,
+                      rng, improvement: float = 5.0) -> bool:
+    """True when a stream's 1-D projection has more than three levels.
+
+    A lone tag's projection clusters at {-1, 0, +1}; a collinear
+    collision adds intermediate levels.  Nine clusters must beat three
+    by a large inertia factor (noise-splitting alone buys ~3x).
+    """
+    obs = np.asarray(observations, dtype=np.float64).ravel()
+    if obs.size < 20:
+        return False
+    from .clustering import kmeans as _kmeans
+    pts = obs.astype(np.complex128)
+    three = _kmeans(pts, 3, rng=rng, n_init=3)
+    nine = _kmeans(pts, 9, rng=rng, n_init=3)
+    floor = max(nine.inertia, 1e-300)
+    return three.inertia / floor >= improvement

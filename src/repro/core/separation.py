@@ -1,0 +1,297 @@
+"""Parallelogram separation of two-way edge collisions (Section 3.4).
+
+A two-way collision's nine cluster centroids are the lattice
+``a*e1 + b*e2`` for a, b in {-1, 0, +1}: a 3x3 parallelogram grid whose
+centre is the origin (both tags holding).  Recovering e1 and e2 from
+the centroids — the paper does it by finding co-linear centroid triples
+and taking their mid-points — splits the collided stream into two
+per-tag edge-state sequences *without ever estimating the tag-reader
+channel* (the decisive advantage over Buzz, Section 2.2).
+
+Two recovery strategies are implemented and cross-validated in tests:
+
+* :func:`basis_from_lattice_fit` — try centroid pairs as basis vectors
+  and keep the pair whose lattice reproduces all nine centroids best;
+* :func:`basis_from_collinear_midpoints` — the paper's geometric
+  construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CollisionUnresolvableError, ConfigurationError, \
+    DecodeError
+from ..utils.rng import SeedLike
+from .clustering import kmeans
+
+#: The nine (a, b) lattice coordinates in a fixed order.
+LATTICE_COORDS: Tuple[Tuple[int, int], ...] = tuple(
+    (a, b) for a in (-1, 0, 1) for b in (-1, 0, 1))
+
+
+@dataclass
+class SeparationResult:
+    """Two-way collision split into per-tag edge observations.
+
+    ``coords`` holds the continuous lattice coordinates (a, b) of each
+    grid differential: column 0 observes tag A's edge state, column 1
+    tag B's.  Values near -1/0/+1 map to fall/hold/rise.
+    """
+
+    e1: complex
+    e2: complex
+    coords: np.ndarray          # float (n, 2)
+    lattice_error: float        # mean centroid-to-lattice distance
+
+    def hard_states(self) -> np.ndarray:
+        """Round coordinates to the nearest edge state in {-1, 0, +1}."""
+        return np.clip(np.round(self.coords), -1, 1).astype(np.int8)
+
+
+def _lattice_points(e1: complex, e2: complex) -> np.ndarray:
+    """The nine lattice points a*e1 + b*e2 in LATTICE_COORDS order."""
+    return np.array([a * e1 + b * e2 for a, b in LATTICE_COORDS],
+                    dtype=np.complex128)
+
+
+def _match_error(centroids: np.ndarray, lattice: np.ndarray) -> float:
+    """Mean distance of a one-to-one greedy matching centroids<->lattice."""
+    remaining = list(range(centroids.size))
+    total = 0.0
+    for lp in lattice:
+        dists = [abs(centroids[i] - lp) for i in remaining]
+        j = int(np.argmin(dists))
+        total += dists[j]
+        remaining.pop(j)
+    return total / lattice.size
+
+
+def basis_from_lattice_fit(centroids: np.ndarray,
+                           min_parallelism: float = 0.15
+                           ) -> Tuple[complex, complex, float]:
+    """Recover (e1, e2) by exhaustive basis search over centroid pairs.
+
+    The origin centroid is removed; every ordered-independent pair of
+    the remaining eight is tried as a basis and scored by how well its
+    lattice reproduces all nine centroids.  ``min_parallelism`` rejects
+    nearly-parallel pairs (normalized cross product below it), which
+    could only arise from tags whose IQ vectors are degenerate.
+    """
+    cents = np.asarray(centroids, dtype=np.complex128).ravel()
+    if cents.size != 9:
+        raise ConfigurationError(
+            f"need exactly 9 centroids, got {cents.size}")
+    origin_idx = int(np.argmin(np.abs(cents)))
+    outer = np.delete(cents, origin_idx)
+    scale = float(np.max(np.abs(outer)))
+    if scale <= 0:
+        raise DecodeError("all centroids at the origin")
+
+    best: Optional[Tuple[complex, complex, float]] = None
+    for i, j in itertools.combinations(range(outer.size), 2):
+        u, v = complex(outer[i]), complex(outer[j])
+        cross = abs(u.real * v.imag - u.imag * v.real)
+        if cross < min_parallelism * abs(u) * abs(v):
+            continue
+        err = _match_error(cents, _lattice_points(u, v))
+        if best is None or err < best[2]:
+            best = (u, v, err)
+    if best is None:
+        raise CollisionUnresolvableError(
+            2, "no independent basis pair among collision centroids "
+               "(tag IQ vectors are parallel)")
+    return best
+
+
+def basis_from_collinear_midpoints(centroids: np.ndarray,
+                                   collinear_tol: float = 0.08
+                                   ) -> Tuple[complex, complex]:
+    """The paper's construction: co-linear triples -> mid-points -> basis.
+
+    The eight outer centroids form a parallelogram; each of its four
+    edges is a co-linear triple of centroids whose middle element is one
+    of +/-e1, +/-e2.  We enumerate triples among the outer centroids,
+    keep those that are co-linear and do *not* pass through the origin,
+    and read the two independent basis vectors off their mid-points.
+    """
+    cents = np.asarray(centroids, dtype=np.complex128).ravel()
+    if cents.size != 9:
+        raise ConfigurationError(
+            f"need exactly 9 centroids, got {cents.size}")
+    origin_idx = int(np.argmin(np.abs(cents)))
+    origin = cents[origin_idx]
+    outer = np.delete(cents, origin_idx) - origin
+    scale = float(np.max(np.abs(outer)))
+    if scale <= 0:
+        raise DecodeError("all centroids at the origin")
+
+    midpoints: List[complex] = []
+    for i, j, k in itertools.combinations(range(outer.size), 3):
+        triple = outer[[i, j, k]]
+        # Order along the line; the middle one is the midpoint candidate.
+        direction = triple[np.argmax(np.abs(triple - triple.mean()))] \
+            - triple.mean()
+        if abs(direction) == 0:
+            continue
+        proj = [(z.real * direction.real + z.imag * direction.imag)
+                for z in triple]
+        order = np.argsort(proj)
+        a, m, b = triple[order[0]], triple[order[1]], triple[order[2]]
+        # Co-linear and evenly spaced: m is the mid-point of a and b.
+        if abs((a + b) / 2 - m) > collinear_tol * scale:
+            continue
+        # Reject the line through the origin (the {-e, 0, +e} diagonal).
+        if abs(m) < collinear_tol * scale:
+            continue
+        midpoints.append(complex(m))
+
+    # Deduplicate: midpoints come in +/- pairs per basis vector, and each
+    # parallelogram edge is found once per side (two sides per vector).
+    unique: List[complex] = []
+    for m in midpoints:
+        if not any(abs(m - u) < collinear_tol * scale
+                   or abs(m + u) < collinear_tol * scale for u in unique):
+            unique.append(m)
+    independent = [m for m in unique]
+    if len(independent) < 2:
+        raise CollisionUnresolvableError(
+            2, f"found {len(independent)} independent mid-points, need 2")
+    # Keep the two most frequent/shortest independent ones.
+    independent.sort(key=abs)
+    e1 = independent[0]
+    e2 = next((m for m in independent[1:]
+               if abs(e1.real * m.imag - e1.imag * m.real)
+               > 0.05 * abs(e1) * abs(m)), None)
+    if e2 is None:
+        raise CollisionUnresolvableError(
+            2, "mid-points are collinear; basis is degenerate")
+    return e1, e2
+
+
+def continuous_coords(differentials: np.ndarray, e1: complex,
+                      e2: complex) -> np.ndarray:
+    """Solve d = a*e1 + b*e2 for real (a, b) per differential.
+
+    Inverts the 2x2 real system formed by the I/Q components; the
+    result feeds per-tag Viterbi decoding as continuous observations.
+    """
+    basis = np.array([[e1.real, e2.real],
+                      [e1.imag, e2.imag]], dtype=np.float64)
+    det = float(np.linalg.det(basis))
+    if abs(det) < 1e-12 * max(abs(e1), abs(e2)) ** 2:
+        raise CollisionUnresolvableError(2, "edge vectors are parallel")
+    inv = np.linalg.inv(basis)
+    d = np.asarray(differentials, dtype=np.complex128).ravel()
+    stacked = np.stack([d.real, d.imag])
+    return (inv @ stacked).T
+
+
+def separate_two_way(differentials: np.ndarray,
+                     rng: SeedLike = None,
+                     method: str = "lattice_fit") -> SeparationResult:
+    """Split a two-way collided stream into per-tag edge observations.
+
+    Clusters the differentials into nine groups, recovers the basis
+    (e1, e2) with the requested method, and returns the continuous
+    lattice coordinates of every grid slot.
+    """
+    pts = np.asarray(differentials, dtype=np.complex128).ravel()
+    if pts.size < 9:
+        raise CollisionUnresolvableError(
+            2, f"only {pts.size} differentials; need >= 9 to fit the "
+               "collision lattice")
+    fit = kmeans(pts, 9, rng=rng, n_init=6)
+    if method == "lattice_fit":
+        e1, e2, err = basis_from_lattice_fit(fit.centroids)
+    elif method == "collinear_midpoints":
+        e1, e2 = basis_from_collinear_midpoints(fit.centroids)
+        err = _match_error(fit.centroids, _lattice_points(e1, e2))
+    else:
+        raise ConfigurationError(
+            f"unknown separation method {method!r}; expected "
+            "'lattice_fit' or 'collinear_midpoints'")
+    coords = continuous_coords(pts, e1, e2)
+    return SeparationResult(e1=e1, e2=e2, coords=coords,
+                            lattice_error=float(err))
+
+
+def separate_collinear(differentials: np.ndarray,
+                       rng: SeedLike = None,
+                       min_scale_ratio: float = 1.35
+                       ) -> SeparationResult:
+    """Separate a two-way collision whose edge vectors are (anti)parallel.
+
+    When h1 and h2 are collinear the 3x3 lattice collapses onto a line
+    and the parallelogram construction fails — but the *scalar* lattice
+    ``a*s1 + b*s2`` still has up to nine distinct values along that
+    line, separable by 1-D clustering whenever the two magnitudes
+    differ enough (``min_scale_ratio`` between |s1| and |s2|).  This
+    extends the paper's method to its documented degenerate case.
+    """
+    pts = np.asarray(differentials, dtype=np.complex128).ravel()
+    if pts.size < 9:
+        raise CollisionUnresolvableError(
+            2, f"only {pts.size} differentials; need >= 9")
+    # Principal axis of the scatter about the origin.
+    x = np.stack([pts.real, pts.imag])
+    eigvals, eigvecs = np.linalg.eigh(x @ x.T / pts.size)
+    axis = eigvecs[:, -1]
+    direction = complex(axis[0], axis[1])
+    proj = pts.real * axis[0] + pts.imag * axis[1]
+
+    fit = kmeans(proj.astype(np.complex128), 9, rng=rng, n_init=6)
+    centroids = np.sort(fit.centroids.real)
+    scale = float(np.max(np.abs(centroids)))
+    if scale <= 0:
+        raise CollisionUnresolvableError(2, "no signal on the axis")
+
+    # Search scalar basis pairs exactly like the 2-D lattice fit.
+    origin_idx = int(np.argmin(np.abs(centroids)))
+    outer = np.delete(centroids, origin_idx)
+    best = None
+    for i, j in itertools.combinations(range(outer.size), 2):
+        s1, s2 = float(outer[i]), float(outer[j])
+        if min(abs(s1), abs(s2)) <= 0:
+            continue
+        ratio = max(abs(s1), abs(s2)) / min(abs(s1), abs(s2))
+        if ratio < min_scale_ratio:
+            continue  # magnitudes too similar: labels ambiguous
+        # The basis must explain the scatter's full extent: the
+        # largest lattice value is |s1|+|s2|, which has to match the
+        # outermost centroid (rejects aliases built from the small
+        # near-cancellation value).
+        if abs((abs(s1) + abs(s2)) - scale) > 0.2 * scale:
+            continue
+        lattice = np.array([a * s1 + b * s2
+                            for a, b in LATTICE_COORDS])
+        # Reject coincidental value collisions (e.g. s1 = -2*s2 makes
+        # two lattice points coincide and the labels ambiguous).
+        gaps = np.abs(np.subtract.outer(lattice, lattice))
+        np.fill_diagonal(gaps, np.inf)
+        if gaps.min() < 0.2 * min(abs(s1), abs(s2)):
+            continue
+        err = _match_error(centroids.astype(np.complex128),
+                           lattice.astype(np.complex128))
+        if best is None or err < best[2]:
+            best = (s1, s2, err)
+    if best is None:
+        raise CollisionUnresolvableError(
+            2, "collinear magnitudes too similar to label")
+    s1, s2, err = best
+    if err > 0.15 * scale:
+        raise CollisionUnresolvableError(
+            2, f"scalar lattice fit too poor (err {err:.3g} vs scale "
+               f"{scale:.3g})")
+
+    # Hard-assign each projection to the nearest lattice point.
+    lattice = np.array([a * s1 + b * s2 for a, b in LATTICE_COORDS])
+    coords_idx = np.argmin(np.abs(proj[:, None] - lattice[None, :]),
+                           axis=1)
+    ab = np.asarray(LATTICE_COORDS, dtype=np.float64)[coords_idx]
+    return SeparationResult(e1=s1 * direction, e2=s2 * direction,
+                            coords=ab, lattice_error=float(err))

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the LF-Backscatter reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch
+everything from this package with a single except clause while still
+being able to distinguish configuration problems from decode failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A simulation or decoder parameter is invalid or inconsistent."""
+
+
+class SignalError(ReproError):
+    """An IQ trace is malformed (wrong dtype, empty, inconsistent rate)."""
+
+
+class DecodeError(ReproError):
+    """The decoder could not recover a stream from the received signal."""
+
+
+class CollisionUnresolvableError(DecodeError):
+    """A collision involved more tags than the separator can split.
+
+    The paper's parallelogram method (Section 3.4) separates two-way
+    collisions; three-way and higher collisions are rare (Section 3.3)
+    and surface as this error so callers can fall back to epoch-level
+    retransmission (Section 3.6).
+    """
+
+    def __init__(self, n_colliders: int, message: str = ""):
+        self.n_colliders = n_colliders
+        if not message:
+            message = (f"cannot separate a {n_colliders}-way collision; "
+                       "the parallelogram separator handles at most 2 tags")
+        super().__init__(message)
+
+
+class ChannelEstimationError(ReproError):
+    """Buzz-style channel estimation failed (ill-conditioned system)."""
+
+
+class HardwareModelError(ReproError):
+    """A hardware design references an unknown component or bad budget."""

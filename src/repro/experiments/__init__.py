@@ -1,0 +1,11 @@
+"""Experiment runners: one per table/figure in the paper's evaluation.
+
+Every module exposes ``run(...) -> ExperimentResult`` with a ``quick``
+flag for fast CI-scale runs; the benchmark harness, the examples and
+EXPERIMENTS.md all call through :mod:`registry`.
+"""
+
+from .common import ExperimentResult
+from .registry import REGISTRY, run_experiment
+
+__all__ = ["ExperimentResult", "REGISTRY", "run_experiment"]

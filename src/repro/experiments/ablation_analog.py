@@ -1,0 +1,70 @@
+"""Ablation: the analog eye-pattern fallback at low SNR (Section 3.2).
+
+The edge-based stream search needs individual edges to clear the noise
+floor; the analog fold accumulates a stream's periodic energy and can
+acquire it when no single edge is detectable.  This ablation measures
+single-tag acquisition probability across raw-sample SNR with the
+fallback enabled vs disabled.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..analysis.ber import _single_tag_capture
+from ..core.pipeline import LFDecoder, LFDecoderConfig
+from ..types import SimulationProfile
+from ..utils.rng import SeedLike, make_rng
+from .common import ExperimentResult
+
+
+def run(snr_db_values: Optional[List[float]] = None,
+        n_trials: int = 6,
+        n_bits: int = 150,
+        profile: Optional[SimulationProfile] = None,
+        rng: SeedLike = 44,
+        quick: bool = False) -> ExperimentResult:
+    """Acquisition probability with and without the analog fold."""
+    snrs = snr_db_values or [-2.0, 0.0, 2.0, 4.0, 6.0, 10.0]
+    if quick:
+        snrs = [0.0, 4.0, 10.0]
+        n_trials = 3
+    prof = profile or SimulationProfile.fast()
+    gen = make_rng(rng)
+
+    rows = []
+    for snr in snrs:
+        acquired = {True: 0, False: 0}
+        for trial in range(n_trials):
+            seed = int(gen.integers(0, 2 ** 31))
+            capture = _single_tag_capture(
+                snr, n_bits, prof, 0.1 + 0.04j,
+                np.random.default_rng(seed))
+            truth = capture.truths[0]
+            for fallback in (True, False):
+                decoder = LFDecoder(LFDecoderConfig(
+                    candidate_bitrates_bps=[prof.default_bitrate_bps],
+                    profile=prof, min_header_score=0.6,
+                    enable_analog_fallback=fallback),
+                    rng=np.random.default_rng(seed + 1))
+                result = decoder.decode_epoch(capture.trace)
+                hit = any(abs(s.offset_samples - truth.offset_samples)
+                          < 30 for s in result.streams)
+                acquired[fallback] += int(hit)
+        rows.append({
+            "snr_db": snr,
+            "acquired_with_fallback": acquired[True] / n_trials,
+            "acquired_without": acquired[False] / n_trials,
+        })
+    return ExperimentResult(
+        experiment_id="ablation_analog",
+        description="Single-tag stream acquisition vs SNR, with/"
+                    "without the analog eye-pattern fallback",
+        rows=rows,
+        paper_reference={
+            "claim": "folding analog samples at the candidate period "
+                     "detects streams whose individual edges are "
+                     "buried (Section 3.2's eye pattern)",
+        })

@@ -1,0 +1,88 @@
+"""Ablation: decoder tolerance to tag clock drift (Section 4.1).
+
+"Our decoding method can tolerate roughly 200 ppm of clock drift" — the
+reason the Moo's 40,000 ppm internal DCO had to be replaced with a
+crystal.  This ablation sweeps the crystal quality and measures decode
+goodput: losses should be negligible through ~200 ppm and degrade
+beyond the fold/tracker tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..analysis.throughput import score_epoch
+from ..core.pipeline import LFDecoder, LFDecoderConfig
+from ..phy.channel import ChannelModel, random_coefficients
+from ..reader.simulator import NetworkSimulator
+from ..tags.lf_tag import LFTag
+from ..types import SimulationProfile, TagConfig
+from ..utils.rng import SeedLike, make_rng
+from .common import ExperimentResult
+
+
+def run(drift_values_ppm: Optional[List[float]] = None,
+        n_tags: int = 4,
+        n_epochs: int = 3,
+        epoch_duration_s: float = 0.012,
+        profile: Optional[SimulationProfile] = None,
+        rng: SeedLike = 41,
+        quick: bool = False) -> ExperimentResult:
+    """Measure goodput across crystal drift magnitudes."""
+    drifts = drift_values_ppm or [0.0, 200.0, 1000.0, 4000.0,
+                                  16000.0, 40000.0]
+    if quick:
+        drifts = [0.0, 200.0, 40000.0]
+        n_epochs = 2
+    prof = profile or SimulationProfile.fast()
+    rate = prof.default_bitrate_bps
+    gen = make_rng(rng)
+
+    rows = []
+    for drift in drifts:
+        correct = 0
+        sent = 0
+        for epoch in range(n_epochs):
+            coeffs = random_coefficients(n_tags, rng=gen)
+            channel = ChannelModel(
+                {k: coeffs[k] for k in range(n_tags)},
+                environment_offset=0.5 + 0.3j)
+            tags = [LFTag(TagConfig(tag_id=k, bitrate_bps=rate,
+                                    channel_coefficient=coeffs[k],
+                                    clock_drift_ppm=drift),
+                          profile=prof,
+                          rng=np.random.default_rng(
+                              gen.integers(0, 2 ** 63)))
+                    for k in range(n_tags)]
+            sim = NetworkSimulator(
+                tags, channel, profile=prof, noise_std=0.01,
+                rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
+            capture = sim.run_epoch(epoch_duration_s,
+                                    epoch_index=epoch)
+            decoder = LFDecoder(
+                LFDecoderConfig(candidate_bitrates_bps=[rate],
+                                profile=prof),
+                rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
+            report = score_epoch(capture,
+                                 decoder.decode_epoch(capture.trace))
+            correct += report.bits_correct
+            sent += report.bits_sent
+        rows.append({
+            "drift_ppm": drift,
+            "goodput_fraction": correct / sent if sent else 0.0,
+        })
+    return ExperimentResult(
+        experiment_id="ablation_drift",
+        description="Decoder goodput vs tag clock drift",
+        rows=rows,
+        paper_reference={
+            "claim": "the decoding method tolerates roughly 200 ppm of "
+                     "clock drift (Section 4.1); the Moo's 40,000 ppm "
+                     "DCO is unusable",
+        },
+        notes="our progressive edge tracker absorbs constant ppm "
+              "offsets well beyond the paper's 200 ppm budget — the "
+              "binding limit is per-bit phase walk vs the matching "
+              "tolerance, reached near DCO-class drift")

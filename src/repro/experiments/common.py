@@ -1,0 +1,63 @@
+"""Shared experiment scaffolding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment run.
+
+    ``rows`` mirrors the table/figure series of the paper: one dict per
+    row/point, with stable keys so the bench harness can print the same
+    columns every run.  ``paper_reference`` records the values the
+    paper reports for side-by-side comparison in EXPERIMENTS.md.
+    """
+
+    experiment_id: str
+    description: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    paper_reference: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def column(self, key: str) -> List[Any]:
+        """Extract one column across all rows."""
+        missing = [i for i, r in enumerate(self.rows) if key not in r]
+        if missing:
+            raise ConfigurationError(
+                f"rows {missing} lack column {key!r}")
+        return [r[key] for r in self.rows]
+
+    def format_table(self) -> str:
+        """Render rows as an aligned text table (bench output)."""
+        if not self.rows:
+            return f"[{self.experiment_id}] (no rows)"
+        keys = list(self.rows[0].keys())
+        for row in self.rows[1:]:
+            for key in row:
+                if key not in keys:
+                    keys.append(key)
+        header = " | ".join(keys)
+        lines = [f"[{self.experiment_id}] {self.description}",
+                 header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(" | ".join(_fmt(row.get(k)) for k in keys))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,91 @@
+"""Figure 1: channel-coefficient dynamics under movement.
+
+Reproduces the three 12-second traces that motivate channel-estimation-
+free decoding: (a) a person walking near a stationary tag, (b) a tag
+rotated in place, and (c) two tags brought within coupling distance.
+The quantitative claim checked here: coefficients are stable in the
+static regime and shift substantially (relative excursion far above the
+noise floor) once the dynamic begins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..phy import dynamics
+from ..utils.rng import SeedLike, make_rng
+from .common import ExperimentResult
+
+
+def _excursion(values: np.ndarray) -> float:
+    """Peak deviation from the initial value, relative to |initial|."""
+    ref = values[0]
+    return float(np.max(np.abs(values - ref)) / max(abs(ref), 1e-12))
+
+
+def run(duration_s: float = 12.0, sample_rate_hz: float = 100.0,
+        rng: SeedLike = 42, quick: bool = False) -> ExperimentResult:
+    """Generate the three Figure 1 scenarios and summarize them."""
+    if quick:
+        duration_s = min(duration_s, 3.0)
+    gen = make_rng(rng)
+    times = np.arange(0.0, duration_s, 1.0 / sample_rate_hz)
+    base_a = 0.15 + 0.05j
+    base_b = -0.08 + 0.12j
+
+    people = dynamics.people_movement(base_a, duration_s, rng=gen)(times)
+    rotation = dynamics.tag_rotation(base_a, duration_s, rng=gen)(times)
+    coup_a_fn, coup_b_fn = dynamics.coupled_tags(
+        base_a, base_b, duration_s,
+        approach_start_s=duration_s / 2.0, rng=gen)
+    coup_a, coup_b = coup_a_fn(times), coup_b_fn(times)
+
+    half = times.size // 2
+    rows = []
+    for name, series in (("people_movement", people),
+                         ("tag_rotation", rotation),
+                         ("coupled_tag_a", coup_a),
+                         ("coupled_tag_b", coup_b)):
+        rows.append({
+            "scenario": name,
+            "excursion_total": _excursion(series),
+            "excursion_first_half": _excursion(series[:half]),
+            "excursion_second_half": _excursion(series[half:]),
+            "i_range": float(np.ptp(series.real)),
+            "q_range": float(np.ptp(series.imag)),
+        })
+    return ExperimentResult(
+        experiment_id="fig1",
+        description="Channel coefficient dynamics (movement, rotation, "
+                    "near-field coupling)",
+        rows=rows,
+        paper_reference={
+            "claim": "channel coefficients change substantially under "
+                     "people movement, tag rotation, and coupling when "
+                     "tags come within ~5cm (Figure 1a-c)",
+        },
+        notes="coupled tags hold steady in the first half (1m apart) "
+              "and shift in the second half (approach to 5cm)")
+
+
+def traces(duration_s: float = 12.0, sample_rate_hz: float = 100.0,
+           rng: SeedLike = 42) -> Dict[str, np.ndarray]:
+    """Raw I/Q coefficient traces for plotting (examples use this)."""
+    gen = make_rng(rng)
+    times = np.arange(0.0, duration_s, 1.0 / sample_rate_hz)
+    base_a = 0.15 + 0.05j
+    base_b = -0.08 + 0.12j
+    coup_a, coup_b = dynamics.coupled_tags(
+        base_a, base_b, duration_s,
+        approach_start_s=duration_s / 2.0, rng=gen)
+    return {
+        "time_s": times,
+        "people_movement": dynamics.people_movement(
+            base_a, duration_s, rng=gen)(times),
+        "tag_rotation": dynamics.tag_rotation(
+            base_a, duration_s, rng=gen)(times),
+        "coupled_tag_a": coup_a(times),
+        "coupled_tag_b": coup_b(times),
+    }

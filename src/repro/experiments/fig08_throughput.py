@@ -1,0 +1,76 @@
+"""Figure 8: aggregate throughput of TDMA, Buzz and LF-Backscatter.
+
+All tags stream at the default rate; the tag count sweeps 4/8/12/16.
+LF throughput is *measured* end-to-end (simulate, decode, score);
+TDMA and Buzz come from their protocol models (TDMA serializes to one
+channel; Buzz needs ~n/2 lock-step retransmissions per bit).
+
+Throughputs are reported normalized to the single-tag bitrate so the
+fast profile's numbers read directly against the paper's 100 kbps
+axis: the paper's 16-node point is ~16x for LF (near the 1600 kbps
+maximum), ~2x for Buzz, and 1x for TDMA.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.throughput import lf_throughput_sweep
+from ..baselines.buzz import BuzzConfig, BuzzSimulator
+from ..baselines.tdma import TdmaConfig, TdmaSimulator
+from ..phy.channel import ChannelModel, random_coefficients
+from ..types import SimulationProfile
+from ..utils.rng import SeedLike, make_rng
+from .common import ExperimentResult
+
+
+def run(tag_counts: Optional[List[int]] = None,
+        n_epochs: int = 4,
+        epoch_duration_s: float = 0.012,
+        profile: Optional[SimulationProfile] = None,
+        rng: SeedLike = 2015,
+        quick: bool = False) -> ExperimentResult:
+    """Measure the Figure 8 sweep."""
+    counts = tag_counts or [4, 8, 12, 16]
+    if quick:
+        counts = [c for c in counts if c <= 8] or counts[:1]
+        n_epochs = 2
+    prof = profile or SimulationProfile.fast()
+    rate = prof.default_bitrate_bps
+    gen = make_rng(rng)
+
+    lf_runs = lf_throughput_sweep(counts, rate, n_epochs=n_epochs,
+                                  epoch_duration_s=epoch_duration_s,
+                                  profile=prof, rng=gen)
+    tdma = TdmaSimulator(TdmaConfig(bitrate_bps=rate), rng=gen)
+
+    rows = []
+    for n in counts:
+        coeffs = random_coefficients(n, rng=gen)
+        buzz = BuzzSimulator(
+            ChannelModel({k: c for k, c in enumerate(coeffs)}),
+            BuzzConfig(bitrate_bps=rate), rng=gen)
+        lf_bps = lf_runs[n].throughput_bps
+        rows.append({
+            "n_tags": n,
+            "tdma_x": tdma.aggregate_throughput_bps(n) / rate,
+            "buzz_x": buzz.aggregate_throughput_bps(n) / rate,
+            "lf_x": lf_bps / rate,
+            "lf_goodput_fraction": lf_runs[n].goodput_fraction,
+            "max_x": float(n),
+        })
+    last = rows[-1]
+    return ExperimentResult(
+        experiment_id="fig8",
+        description="Aggregate throughput vs number of devices "
+                    "(normalized to single-tag bitrate)",
+        rows=rows,
+        paper_reference={
+            "lf_vs_tdma_at_16": 16.4,
+            "lf_vs_buzz_at_16": 7.9,
+            "claim": "LF-Backscatter achieves close to the maximum "
+                     "possible throughput in all cases",
+        },
+        notes=f"measured LF/TDMA at n={last['n_tags']}: "
+              f"{last['lf_x'] / last['tdma_x']:.1f}x, LF/Buzz: "
+              f"{last['lf_x'] / last['buzz_x']:.1f}x")

@@ -1,0 +1,75 @@
+"""Figure 9: contribution of each decoding stage to LF throughput.
+
+Three decoder variants over the same workload:
+
+* **Edge** — time-domain separation only (collisions decode garbled,
+  no error correction),
+* **Edge+IQ** — adds cluster-based collision detection/separation,
+* **Edge+IQ+Error** — adds the Viterbi error-correction stage.
+
+The paper: edge-only leaves ~15.3% of throughput on the table at 16
+nodes; collision recovery adds ~5.6% and error correction ~7.7%.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..analysis.throughput import run_lf_epochs
+from ..core.pipeline import LFDecoderConfig
+from ..types import SimulationProfile
+from ..utils.rng import SeedLike, make_rng
+from .common import ExperimentResult
+
+VARIANTS = (
+    ("edge", False, False),
+    ("edge_iq", True, False),
+    ("edge_iq_error", True, True),
+)
+
+
+def run(tag_counts: Optional[List[int]] = None,
+        n_epochs: int = 3,
+        epoch_duration_s: float = 0.012,
+        profile: Optional[SimulationProfile] = None,
+        rng: SeedLike = 99,
+        quick: bool = False) -> ExperimentResult:
+    """Measure the ablation sweep."""
+    counts = tag_counts or [4, 8, 12, 16]
+    if quick:
+        counts = [c for c in counts if c <= 8] or counts[:1]
+        n_epochs = 2
+    prof = profile or SimulationProfile.fast()
+    rate = prof.default_bitrate_bps
+    gen = make_rng(rng)
+
+    rows = []
+    for n in counts:
+        row = {"n_tags": n, "max_x": float(n)}
+        # Same seed across variants: identical workload, only the
+        # decoder differs.
+        seed = int(gen.integers(0, 2 ** 31))
+        for name, iq, ec in VARIANTS:
+            config = LFDecoderConfig(
+                candidate_bitrates_bps=[rate], profile=prof,
+                enable_iq_separation=iq, enable_error_correction=ec)
+            result = run_lf_epochs(
+                n, rate, n_epochs, epoch_duration_s, profile=prof,
+                decoder_config=config,
+                rng=np.random.default_rng(seed))
+            row[f"{name}_x"] = result.throughput_bps / rate
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig9",
+        description="Decoder-stage ablation: Edge / Edge+IQ / "
+                    "Edge+IQ+Error (normalized throughput)",
+        rows=rows,
+        paper_reference={
+            "edge_only_gap_at_16": 0.153,
+            "iq_gain_at_16": 0.056,
+            "error_correction_gain_at_16": 0.077,
+        },
+        notes="each stage should add throughput, with the gaps growing "
+              "with node count")

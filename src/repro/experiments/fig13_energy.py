@@ -1,0 +1,87 @@
+"""Figure 13: energy efficiency (bits per micro-joule) vs network size.
+
+Efficiency divides each scheme's aggregate goodput by the summed tag
+power from the calibrated hardware/power model.  LF throughput scales
+with the tag count at tens of uW per tag, so its efficiency stays flat
+and high; TDMA and Buzz split one (or two) channels' worth of goodput
+across n tags that all burn receiver/buffer power, so their efficiency
+decays as 1/n.  The paper's 16-node point: LF ~20x Buzz, ~100x Gen 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .. import constants
+from ..analysis.throughput import lf_throughput_sweep
+from ..baselines.buzz import BuzzConfig, BuzzSimulator
+from ..baselines.tdma import TdmaConfig, TdmaSimulator
+from ..hardware.energy import energy_efficiency_bits_per_uj
+from ..phy.channel import ChannelModel, random_coefficients
+from ..types import SimulationProfile
+from ..utils.rng import SeedLike, make_rng
+from .common import ExperimentResult
+
+
+def run(tag_counts: Optional[List[int]] = None,
+        measure_lf: bool = True,
+        n_epochs: int = 2,
+        profile: Optional[SimulationProfile] = None,
+        rng: SeedLike = 1313,
+        quick: bool = False) -> ExperimentResult:
+    """Compute the Figure 13 efficiency sweep.
+
+    The power model is evaluated at the paper's 100 kbps reference
+    bitrate; LF goodput fractions are measured in the fast profile
+    (identical decoder maths) and scaled onto the reference rate.
+    """
+    counts = tag_counts or [1, 4, 8, 12, 16]
+    if quick:
+        counts = [1, 4]
+        n_epochs = 1
+    prof = profile or SimulationProfile.fast()
+    ref_rate = constants.DEFAULT_BITRATE_BPS
+    gen = make_rng(rng)
+
+    lf_fraction: Dict[int, float] = {}
+    if measure_lf:
+        runs = lf_throughput_sweep(counts, prof.default_bitrate_bps,
+                                   n_epochs=n_epochs,
+                                   epoch_duration_s=0.012,
+                                   profile=prof, rng=gen)
+        lf_fraction = {n: runs[n].goodput_fraction for n in counts}
+    tdma = TdmaSimulator(TdmaConfig(bitrate_bps=ref_rate), rng=gen)
+
+    rows = []
+    for n in counts:
+        coeffs = random_coefficients(max(n, 1), rng=gen)
+        buzz = BuzzSimulator(
+            ChannelModel({k: c for k, c in enumerate(coeffs)}),
+            BuzzConfig(bitrate_bps=ref_rate), rng=gen)
+        fraction = lf_fraction.get(n, 1.0)
+        lf_tput = n * ref_rate * fraction
+        buzz_tput = buzz.aggregate_throughput_bps(n)
+        tdma_tput = tdma.aggregate_throughput_bps(n)
+        rows.append({
+            "n_tags": n,
+            "lf_bits_per_uj": energy_efficiency_bits_per_uj(
+                "lf", n, lf_tput, ref_rate),
+            "buzz_bits_per_uj": energy_efficiency_bits_per_uj(
+                "buzz", n, buzz_tput, ref_rate),
+            "tdma_bits_per_uj": energy_efficiency_bits_per_uj(
+                "tdma", n, tdma_tput, ref_rate),
+        })
+    last = rows[-1]
+    return ExperimentResult(
+        experiment_id="fig13",
+        description="Energy efficiency (bits/uJ) vs number of devices",
+        rows=rows,
+        paper_reference={
+            "lf_over_buzz_at_16": 20.0,
+            "lf_over_tdma": "two orders of magnitude",
+        },
+        notes=f"at n={last['n_tags']}: LF/Buzz = "
+              f"{last['lf_bits_per_uj'] / last['buzz_bits_per_uj']:.1f}"
+              f"x, LF/TDMA = "
+              f"{last['lf_bits_per_uj'] / last['tdma_bits_per_uj']:.0f}"
+              "x")

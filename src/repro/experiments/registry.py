@@ -1,0 +1,49 @@
+"""Registry mapping experiment ids to their runners."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import ConfigurationError
+from . import (ablation_analog, ablation_drift, fig01_dynamics,
+               fig02_clusters, fig04_capacitor, fig05_parallelogram,
+               fig08_throughput, fig09_breakdown, fig10_bitrate,
+               fig11_coexistence, fig12_identification, fig13_energy,
+               fig14_snr_ber, sec33_collision_prob,
+               sec36_reliability, sec52_scaling, sec54_range,
+               sec6_modulation, table1_anchor, table2_separation,
+               table3_transistors)
+from .common import ExperimentResult
+
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig1": fig01_dynamics.run,
+    "fig2": fig02_clusters.run,
+    "fig4": fig04_capacitor.run,
+    "fig5": fig05_parallelogram.run,
+    "fig8": fig08_throughput.run,
+    "fig9": fig09_breakdown.run,
+    "fig10": fig10_bitrate.run,
+    "fig11": fig11_coexistence.run,
+    "fig12": fig12_identification.run,
+    "fig13": fig13_energy.run,
+    "fig14": fig14_snr_ber.run,
+    "table1": table1_anchor.run,
+    "table2": table2_separation.run,
+    "table3": table3_transistors.run,
+    "sec33": sec33_collision_prob.run,
+    "sec36": sec36_reliability.run,
+    "sec52": sec52_scaling.run,
+    "sec54": sec54_range.run,
+    "sec6": sec6_modulation.run,
+    "ablation_drift": ablation_drift.run,
+    "ablation_analog": ablation_analog.run,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig8"``)."""
+    if experiment_id not in REGISTRY:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(REGISTRY)}")
+    return REGISTRY[experiment_id](**kwargs)

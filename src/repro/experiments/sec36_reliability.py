@@ -1,0 +1,68 @@
+"""Section 3.6's optional reliability layer, exercised end-to-end.
+
+The Broadcast-ACK loop: tags retransmit CRC-16-framed messages each
+epoch until acknowledged; fresh comparator offsets re-randomize the
+collision pattern between retries, so deliveries converge within a few
+epochs even under heavy concurrency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..link.reliability import ReliableLink, ReliableTransferConfig
+from ..types import SimulationProfile
+from ..utils.rng import SeedLike, make_rng
+from .common import ExperimentResult
+
+
+def run(tag_counts: Optional[List[int]] = None,
+        message_bits: int = 48,
+        n_trials: int = 3,
+        profile: Optional[SimulationProfile] = None,
+        rng: SeedLike = 36,
+        quick: bool = False) -> ExperimentResult:
+    """Measure epochs-to-complete-delivery across network sizes."""
+    counts = tag_counts or [2, 4, 8, 12]
+    if quick:
+        counts = [2, 4]
+        n_trials = 2
+    prof = profile or SimulationProfile.fast()
+    gen = make_rng(rng)
+
+    rows = []
+    for n in counts:
+        epochs = []
+        ratios = []
+        first_epoch = []
+        for _ in range(n_trials):
+            link = ReliableLink(
+                n,
+                ReliableTransferConfig(message_bits=message_bits,
+                                       max_epochs=15),
+                profile=prof,
+                rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
+            outcome = link.run()
+            epochs.append(outcome.epochs_used)
+            ratios.append(outcome.delivery_ratio)
+            first = (outcome.per_epoch_deliveries[0] / n
+                     if outcome.per_epoch_deliveries else 0.0)
+            first_epoch.append(first)
+        rows.append({
+            "n_tags": n,
+            "mean_epochs_to_complete": float(np.mean(epochs)),
+            "delivery_ratio": float(np.mean(ratios)),
+            "first_epoch_delivery": float(np.mean(first_epoch)),
+        })
+    return ExperimentResult(
+        experiment_id="sec36",
+        description="Broadcast-ACK reliable transfer: epochs to full "
+                    "delivery",
+        rows=rows,
+        paper_reference={
+            "claim": "collision patterns differ across epochs, so "
+                     "epoch-level retransmission converges "
+                     "(Section 3.6)",
+        })

@@ -1,0 +1,87 @@
+"""Table 1: single-node data recovery with the anchor bit.
+
+The paper's worked example: a tag sends ``1 0 0 0 0 1 1 0 1 0`` where
+the first bit is the known anchor; the reader sees the edge sequence
+``rise - - - - rise? ...`` (in the paper's notation) and, disambiguated
+by the anchor, recovers the bits exactly.  We run the example through
+the real pipeline end-to-end — waveform synthesis, edge detection,
+projection, anchor resolution — not just the mapping table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.pipeline import LFDecoder, LFDecoderConfig
+from ..phy.channel import ChannelModel
+from ..reader.simulator import NetworkSimulator
+from ..tags.base import FixedPayload
+from ..tags.lf_tag import LFTag
+from ..types import SimulationProfile, TagConfig, bits_from_string
+from ..utils.rng import SeedLike
+from .common import ExperimentResult
+
+#: The paper's example sequence; its first bit (1) is the anchor.
+PAPER_SEQUENCE = "1000011010"
+
+
+def run(rng: SeedLike = 3, quick: bool = False) -> ExperimentResult:
+    """Decode the Table 1 sequence through the full pipeline."""
+    del quick  # the example is already tiny
+    profile = SimulationProfile.fast()
+    payload = bits_from_string(PAPER_SEQUENCE)[1:]  # anchor comes from
+    # the frame header; the paper folds it into the message.
+    coeff = 0.13 + 0.06j
+    tag = LFTag(TagConfig(tag_id=0,
+                          bitrate_bps=profile.default_bitrate_bps,
+                          channel_coefficient=coeff),
+                payload_source=FixedPayload(payload),
+                profile=profile, rng=rng)
+    channel = ChannelModel({0: coeff}, environment_offset=0.5 + 0.3j)
+    sim = NetworkSimulator([tag], channel, profile=profile,
+                           noise_std=0.008, rng=rng)
+    n_bits = tag.header_bits() + payload.size
+    duration = (n_bits + 16) / profile.default_bitrate_bps
+    capture = sim.run_epoch(duration)
+    truth = capture.truths[0]
+
+    decoder = LFDecoder(LFDecoderConfig(
+        candidate_bitrates_bps=[profile.default_bitrate_bps],
+        profile=profile), rng=rng)
+    result = decoder.decode_epoch(capture.trace)
+    stream = result.streams[0] if result.streams else None
+
+    sent = truth.bits
+    decoded = stream.bits[:sent.size] if stream is not None \
+        else np.empty(0, dtype=np.int8)
+    n = min(sent.size, decoded.size)
+    errors = int(np.count_nonzero(sent[:n] != decoded[:n])) \
+        + (sent.size - n)
+    # Render the paper's edge notation for the decoded payload region.
+    edge_marks = []
+    prev = 0
+    for bit in decoded:
+        if bit == 1 and prev == 0:
+            edge_marks.append("rise")
+        elif bit == 0 and prev == 1:
+            edge_marks.append("fall")
+        else:
+            edge_marks.append("-")
+        prev = int(bit)
+    rows = [{
+        "sent_bits": "".join(map(str, sent.tolist())),
+        "decoded_bits": "".join(map(str, decoded.tolist())),
+        "edges": " ".join(edge_marks[:12]) + (" ..." if len(edge_marks)
+                                              > 12 else ""),
+        "bit_errors": errors,
+        "anchor_resolved": bool(stream is not None),
+    }]
+    return ExperimentResult(
+        experiment_id="table1",
+        description="Single node data recovery via the anchor bit",
+        rows=rows,
+        paper_reference={
+            "sent": PAPER_SEQUENCE,
+            "claim": "anchor bit disambiguates rising/falling clusters; "
+                     "sequence decodes exactly (Table 1)",
+        })

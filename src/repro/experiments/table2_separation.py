@@ -1,0 +1,125 @@
+"""Table 2: accuracy of IQ-based separation of collided edges.
+
+Three settings, per the paper (rates quoted at the 25 Msps reference —
+the fast profile uses the same samples-per-bit at 2.5 Msps):
+
+* two colliding tags at the fast rate with background tags chattering,
+* the same without background,
+* colliding tags at 1/10th the rate (10x more samples to average per
+  edge differential), no background.
+
+Accuracy is the fraction of collided-tag payload bits recovered
+correctly after separation — the paper reports 80.88 / 86.89 / 95.40 %.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..analysis.throughput import match_streams, score_epoch
+from ..core.pipeline import LFDecoder, LFDecoderConfig
+from ..phy.channel import ChannelModel, random_coefficients
+from ..reader.simulator import NetworkSimulator
+from ..tags.base import FixedOffsetModel
+from ..tags.lf_tag import LFTag
+from ..types import SimulationProfile, TagConfig
+from ..utils.rng import SeedLike, make_rng
+from .common import ExperimentResult
+
+
+def _collision_accuracy(fast_rate: float, collider_rate: float,
+                        n_background: int, n_trials: int,
+                        profile: SimulationProfile,
+                        rng, noise_std: float = 0.02) -> float:
+    """Mean payload accuracy of two forced-collision tags.
+
+    Colliders get deliberately weak coefficients (the regime where the
+    paper's accuracies sit below 100%); background tags are stronger,
+    raising the effective noise floor as in the measured Table 2.
+    """
+    correct = 0
+    total = 0
+    for trial in range(n_trials):
+        gen = np.random.default_rng(rng.integers(0, 2 ** 63))
+        n_tags = 2 + n_background
+        coeffs = random_coefficients(
+            n_tags, magnitude_range=(0.04, 0.09), rng=gen)
+        channel = ChannelModel({k: coeffs[k] for k in range(n_tags)},
+                               environment_offset=0.5 + 0.3j)
+        # Colliders: identical forced offset => all edges collide.
+        # The paper's setup holds that condition for the whole
+        # measurement, which requires the pair's clocks to stay aligned
+        # (relative ppm drift would walk their edges apart mid-epoch at
+        # the slow rate), so the pair's crystals are pinned to 10 ppm.
+        shared_offset = float(gen.uniform(2, 4)) / collider_rate
+        tags = [
+            LFTag(TagConfig(tag_id=k, bitrate_bps=collider_rate,
+                            channel_coefficient=coeffs[k],
+                            clock_drift_ppm=10.0),
+                  offset_model=FixedOffsetModel(shared_offset),
+                  profile=profile,
+                  rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
+            for k in range(2)]
+        tags += [
+            LFTag(TagConfig(tag_id=k, bitrate_bps=fast_rate,
+                            channel_coefficient=coeffs[k]),
+                  profile=profile,
+                  rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
+            for k in range(2, n_tags)]
+        sim = NetworkSimulator(tags, channel, profile=profile,
+                               noise_std=noise_std,
+                               rng=np.random.default_rng(
+                                   gen.integers(0, 2 ** 63)))
+        duration = 60.0 / collider_rate
+        capture = sim.run_epoch(duration, epoch_index=trial)
+        rates = sorted({collider_rate, fast_rate})
+        decoder = LFDecoder(LFDecoderConfig(
+            candidate_bitrates_bps=rates, profile=profile),
+            rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
+        result = decoder.decode_epoch(capture.trace)
+        matches = match_streams(capture, result)
+        for match in matches:
+            if match.tag_id in (0, 1):
+                correct += match.bits_correct
+                total += match.bits_sent
+    return correct / total if total else 0.0
+
+
+def run(n_trials: int = 20, profile: Optional[SimulationProfile] = None,
+        rng: SeedLike = 17, quick: bool = False) -> ExperimentResult:
+    """Measure collided-edge separation accuracy in the three settings."""
+    if quick:
+        n_trials = min(n_trials, 2)
+    prof = profile or SimulationProfile.fast()
+    gen = make_rng(rng)
+    fast = prof.default_bitrate_bps          # the "100 kbps" point
+    slow = prof.default_bitrate_bps / 10.0   # the "10 kbps" point
+
+    settings = [
+        ("fast rate, background nodes", fast, fast, 6),
+        ("fast rate, no background", fast, fast, 0),
+        ("slow rate, no background", fast, slow, 0),
+    ]
+    rows = []
+    paper_values = (0.8088, 0.8689, 0.9540)
+    for (name, fast_rate, collider_rate, n_bg), paper in zip(
+            settings, paper_values):
+        acc = _collision_accuracy(fast_rate, collider_rate, n_bg,
+                                  n_trials, prof, gen)
+        rows.append({"setting": name, "accuracy": acc,
+                     "paper_accuracy": paper})
+    return ExperimentResult(
+        experiment_id="table2",
+        description="Separating edge collisions with IQ-based "
+                    "classification",
+        rows=rows,
+        paper_reference={
+            "with_background": 0.8088,
+            "no_background": 0.8689,
+            "slow_no_background": 0.9540,
+        },
+        notes="expected ordering: background < clean <= slow "
+                "(the scalar-lattice extension recovers near-parallel\n"
+                "geometries, so the slow case is no longer geometry-capped)")

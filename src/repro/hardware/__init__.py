@@ -1,0 +1,52 @@
+"""Tag hardware complexity and power models (Table 3, Figure 13).
+
+The paper implements LF-Backscatter, Buzz, and an EPC Gen 2 chip in
+Verilog, counts transistors, and runs SPICE for power.  We reproduce
+the *model*: a gate-level transistor inventory (:mod:`gates`,
+:mod:`components`), the three tag designs composed from it
+(:mod:`designs`, calibrated to Table 3's totals), and a power model
+combining digital switching, analog blocks and RF-switch drive
+(:mod:`power`), from which :mod:`energy` derives the bits/uJ efficiency
+of Figure 13.
+"""
+
+from .gates import Gate, TRANSISTORS_PER_GATE, transistor_count
+from .components import (
+    Component,
+    register,
+    counter,
+    lfsr,
+    crc_checker,
+    fifo,
+    logic_block,
+)
+from .designs import (
+    TagDesign,
+    lf_backscatter_design,
+    buzz_design,
+    gen2_design,
+    FIFO_BITS,
+)
+from .power import PowerModel, AnalogBlock
+from .energy import energy_efficiency_bits_per_uj
+
+__all__ = [
+    "Gate",
+    "TRANSISTORS_PER_GATE",
+    "transistor_count",
+    "Component",
+    "register",
+    "counter",
+    "lfsr",
+    "crc_checker",
+    "fifo",
+    "logic_block",
+    "TagDesign",
+    "lf_backscatter_design",
+    "buzz_design",
+    "gen2_design",
+    "FIFO_BITS",
+    "PowerModel",
+    "AnalogBlock",
+    "energy_efficiency_bits_per_uj",
+]

@@ -1,0 +1,111 @@
+"""Composite hardware blocks built from gate primitives.
+
+These are the building blocks the three Table 3 designs are composed
+from: registers, counters, LFSRs (PN generators and PRNGs), CRC
+checkers, SRAM FIFOs and free-form glue-logic blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..errors import HardwareModelError
+from .gates import Gate, transistor_count
+
+
+@dataclass
+class Component:
+    """A named hardware block: its own gates plus sub-components."""
+
+    name: str
+    gates: Dict[Gate, int] = field(default_factory=dict)
+    children: List["Component"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise HardwareModelError("component needs a name")
+        # Validate eagerly so a bad inventory fails at construction.
+        transistor_count(self.gates)
+
+    @property
+    def transistors(self) -> int:
+        """Total transistors including all sub-components."""
+        return transistor_count(self.gates) + sum(
+            child.transistors for child in self.children)
+
+    def flattened(self) -> Dict[str, int]:
+        """Per-block transistor breakdown (leaf-level)."""
+        out: Dict[str, int] = {}
+        own = transistor_count(self.gates)
+        if own:
+            out[self.name] = own
+        for child in self.children:
+            for name, count in child.flattened().items():
+                key = f"{self.name}/{name}"
+                out[key] = out.get(key, 0) + count
+        return out
+
+
+def register(name: str, n_bits: int) -> Component:
+    """An n-bit register: one D flip-flop per bit."""
+    if n_bits < 1:
+        raise HardwareModelError("register must be >= 1 bit")
+    return Component(name, gates={Gate.DFF: n_bits})
+
+
+def counter(name: str, n_bits: int) -> Component:
+    """A ripple/increment counter: DFF plus half-adder per bit."""
+    if n_bits < 1:
+        raise HardwareModelError("counter must be >= 1 bit")
+    return Component(name, gates={Gate.DFF: n_bits,
+                                  Gate.HALF_ADDER: n_bits})
+
+
+def lfsr(name: str, n_bits: int, n_taps: int = 2) -> Component:
+    """A linear-feedback shift register (PN generator / PRNG)."""
+    if n_bits < 2:
+        raise HardwareModelError("LFSR must be >= 2 bits")
+    if n_taps < 1:
+        raise HardwareModelError("LFSR needs at least one feedback tap")
+    return Component(name, gates={Gate.DFF: n_bits, Gate.XOR2: n_taps})
+
+
+def crc_checker(name: str = "crc16", n_bits: int = 16,
+                n_taps: int = 3, n_glue: int = 9) -> Component:
+    """A serial CRC checker: shift register, feedback XORs, glue."""
+    if n_bits < 1:
+        raise HardwareModelError("CRC register must be >= 1 bit")
+    return Component(name, gates={Gate.DFF: n_bits, Gate.XOR2: n_taps,
+                                  Gate.NAND2: n_glue})
+
+
+def fifo(name: str, n_bits: int) -> Component:
+    """An SRAM FIFO buffer: 6 transistors per stored bit.
+
+    Table 3's "1k FIFO" column adds 12288 transistors to both the Gen 2
+    chip and the Buzz tag — exactly a 2048-bit 6T array.
+    """
+    if n_bits < 1:
+        raise HardwareModelError("FIFO must store >= 1 bit")
+    return Component(name, gates={Gate.SRAM_CELL: n_bits})
+
+
+def logic_block(name: str, **gate_counts: int) -> Component:
+    """Free-form glue logic specified as ``gate_name=count`` kwargs.
+
+    Example: ``logic_block("sync_fsm", dff=10, nand2=20, and2=10)``.
+    """
+    gates: Dict[Gate, int] = {}
+    for gate_name, count in gate_counts.items():
+        try:
+            gate = Gate(gate_name)
+        except ValueError:
+            raise HardwareModelError(f"unknown gate {gate_name!r}")
+        gates[gate] = count
+    return Component(name, gates=gates)
+
+
+def total_transistors(components: Sequence[Component]) -> int:
+    """Sum of transistors over a list of components."""
+    return sum(c.transistors for c in components)

@@ -1,0 +1,55 @@
+"""Energy-efficiency accounting in bits per micro-joule (Figure 13).
+
+Efficiency = aggregate goodput / total tag power.  LF-Backscatter tags
+all stream concurrently, so per-tag goodput stays at the full bitrate;
+TDMA and Buzz serialize (fully or partially), so each added tag splits
+the channel while still burning receiver/buffer power — their
+efficiency falls roughly as 1/n while LF stays flat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .. import constants
+from ..errors import ConfigurationError
+from .power import PowerModel, default_tag_power_w
+
+
+def energy_efficiency_bits_per_uj(scheme: str, n_tags: int,
+                                  aggregate_throughput_bps: float,
+                                  bitrate_bps: float = constants.
+                                  DEFAULT_BITRATE_BPS,
+                                  model: Optional[PowerModel] = None
+                                  ) -> float:
+    """Figure 13's metric for one scheme at one network size.
+
+    ``aggregate_throughput_bps`` is the measured (or modelled) goodput
+    of the whole network; the denominator is the summed power of all
+    ``n_tags`` tag radios.
+    """
+    if n_tags < 1:
+        raise ConfigurationError("need at least one tag")
+    if aggregate_throughput_bps < 0:
+        raise ConfigurationError("throughput must be >= 0")
+    per_tag_power = default_tag_power_w(scheme, bitrate_bps, model)
+    total_power_w = per_tag_power * n_tags
+    bits_per_joule = aggregate_throughput_bps / total_power_w
+    return bits_per_joule / 1e6
+
+
+def efficiency_table(throughputs: Dict[str, Dict[int, float]],
+                     bitrate_bps: float = constants.DEFAULT_BITRATE_BPS,
+                     model: Optional[PowerModel] = None
+                     ) -> Dict[str, Dict[int, float]]:
+    """Efficiency for every (scheme, n_tags) cell of Figure 13.
+
+    ``throughputs[scheme][n_tags]`` is the aggregate goodput in bps.
+    """
+    out: Dict[str, Dict[int, float]] = {}
+    for scheme, by_n in throughputs.items():
+        out[scheme] = {
+            n: energy_efficiency_bits_per_uj(scheme, n, tput,
+                                             bitrate_bps, model)
+            for n, tput in by_n.items()}
+    return out

@@ -1,0 +1,65 @@
+"""Transistor counts of CMOS logic primitives.
+
+Counts follow standard static-CMOS implementations (the same accounting
+used by the public Gen 2 Verilog implementation of Yeager et al. [23]
+that Table 3 compares against): an inverter is 2 transistors, a 2-input
+NAND/NOR 4, a transmission-gate XOR 10, a standard-cell D flip-flop 24,
+and a 6T SRAM cell 6.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Mapping
+
+from ..errors import HardwareModelError
+
+
+class Gate(str, Enum):
+    """Logic primitives with known transistor counts."""
+
+    INV = "inv"
+    NAND2 = "nand2"
+    NOR2 = "nor2"
+    AND2 = "and2"
+    OR2 = "or2"
+    XOR2 = "xor2"
+    MUX2 = "mux2"
+    LATCH = "latch"
+    DFF = "dff"
+    SRAM_CELL = "sram_cell"
+    FULL_ADDER = "full_adder"
+    HALF_ADDER = "half_adder"
+
+
+TRANSISTORS_PER_GATE: Dict[Gate, int] = {
+    Gate.INV: 2,
+    Gate.NAND2: 4,
+    Gate.NOR2: 4,
+    Gate.AND2: 6,     # NAND + INV
+    Gate.OR2: 6,      # NOR + INV
+    Gate.XOR2: 10,
+    Gate.MUX2: 8,     # two transmission gates + inverter pair
+    Gate.LATCH: 12,
+    Gate.DFF: 24,     # master-slave standard cell
+    Gate.SRAM_CELL: 6,
+    Gate.FULL_ADDER: 28,
+    Gate.HALF_ADDER: 14,
+}
+
+
+def transistor_count(gates: Mapping[Gate, int]) -> int:
+    """Total transistors of a gate inventory.
+
+    Raises :class:`HardwareModelError` for unknown gates or negative
+    counts.
+    """
+    total = 0
+    for gate, count in gates.items():
+        if gate not in TRANSISTORS_PER_GATE:
+            raise HardwareModelError(f"unknown gate {gate!r}")
+        if count < 0:
+            raise HardwareModelError(
+                f"negative count {count} for gate {gate.value}")
+        total += TRANSISTORS_PER_GATE[gate] * count
+    return total

@@ -1,0 +1,29 @@
+"""Optional link-layer services (Section 3.6).
+
+The base LF-Backscatter design deliberately omits link-layer
+reliability to keep tags simple.  Section 3.6 sketches the two hooks a
+deployment can add at modest tag cost, both implemented here:
+
+* :mod:`reliability` — a Broadcast-ACK epoch loop: the reader asks the
+  whole network to retransmit next epoch; fresh comparator jitter
+  re-randomizes the collision pattern, so retries converge quickly;
+* :mod:`rate_control` — reader-commanded maximum-bitrate reduction when
+  collisions persist; stringently constrained (slow) tags may ignore
+  the command, as the paper allows.
+"""
+
+from .reliability import (ReliableLink, ReliableTransferConfig,
+                          TransferOutcome, append_crc16, check_crc16,
+                          crc16)
+from .rate_control import RateController, RateDecision
+
+__all__ = [
+    "ReliableLink",
+    "ReliableTransferConfig",
+    "TransferOutcome",
+    "crc16",
+    "append_crc16",
+    "check_crc16",
+    "RateController",
+    "RateDecision",
+]

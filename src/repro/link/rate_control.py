@@ -1,0 +1,120 @@
+"""Reader-commanded bitrate reduction (Section 3.6).
+
+"The reader might broadcast a message to reduce the maximum bit-rate
+in the network to reduce collisions. ... stringently constrained tags
+can ignore these ACK messages [since] their transmissions are unlikely
+to cause collisions, so it is sufficient to slow down the faster
+nodes."
+
+The controller watches per-epoch decode health (streams decoded vs
+expected, collisions detected) and steps the network's maximum bitrate
+down — always to a multiple of the base rate — when collisions persist,
+and back up after a run of clean epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..types import EpochResult, SimulationProfile
+
+
+@dataclass(frozen=True)
+class RateDecision:
+    """The controller's output after observing one epoch."""
+
+    max_bitrate_bps: float
+    changed: bool
+    reason: str
+
+
+class RateController:
+    """Hysteresis controller over the network's maximum bitrate.
+
+    ``reduce_threshold`` is the fraction of expected streams that must
+    fail (or be involved in unresolved collisions) before the rate is
+    halved; after ``recover_after`` consecutive clean epochs the rate
+    steps back up (never beyond the initial maximum).
+    """
+
+    def __init__(self, initial_bitrate_bps: float,
+                 profile: Optional[SimulationProfile] = None,
+                 min_bitrate_bps: Optional[float] = None,
+                 reduce_threshold: float = 0.25,
+                 recover_after: int = 3):
+        self.profile = profile or SimulationProfile.fast()
+        self.profile.validate_bitrate(initial_bitrate_bps)
+        if min_bitrate_bps is None:
+            min_bitrate_bps = max(self.profile.base_rate_bps,
+                                  initial_bitrate_bps / 8.0)
+        if min_bitrate_bps > initial_bitrate_bps:
+            raise ConfigurationError(
+                "minimum bitrate exceeds the initial bitrate")
+        if not 0.0 < reduce_threshold <= 1.0:
+            raise ConfigurationError(
+                "reduce_threshold must be in (0, 1]")
+        if recover_after < 1:
+            raise ConfigurationError("recover_after must be >= 1")
+        self.initial_bitrate_bps = initial_bitrate_bps
+        self.min_bitrate_bps = min_bitrate_bps
+        self.reduce_threshold = reduce_threshold
+        self.recover_after = recover_after
+        self._current = initial_bitrate_bps
+        self._clean_streak = 0
+        self.history: List[RateDecision] = []
+
+    @property
+    def current_bitrate_bps(self) -> float:
+        return self._current
+
+    def _snap_to_base(self, rate: float) -> float:
+        """Round down to the nearest multiple of the base rate."""
+        base = self.profile.base_rate_bps
+        snapped = max(base, int(rate / base) * base)
+        return float(snapped)
+
+    def observe(self, result: EpochResult,
+                expected_streams: int) -> RateDecision:
+        """Update the rate command from one epoch's decode outcome."""
+        if expected_streams < 1:
+            raise ConfigurationError(
+                "expected_streams must be >= 1")
+        missing = max(expected_streams - result.n_streams, 0)
+        unresolved = (result.n_collisions_detected
+                      - result.n_collisions_resolved)
+        trouble = (missing + max(unresolved, 0)) / expected_streams
+
+        decision: RateDecision
+        if trouble >= self.reduce_threshold:
+            self._clean_streak = 0
+            reduced = self._snap_to_base(self._current / 2.0)
+            if reduced < self.min_bitrate_bps:
+                reduced = self._snap_to_base(self.min_bitrate_bps)
+            if reduced < self._current:
+                self._current = reduced
+                decision = RateDecision(
+                    self._current, True,
+                    f"{trouble:.0%} of streams in trouble; halving")
+            else:
+                decision = RateDecision(
+                    self._current, False,
+                    "already at the minimum bitrate")
+        else:
+            self._clean_streak += 1
+            if (self._clean_streak >= self.recover_after
+                    and self._current < self.initial_bitrate_bps):
+                recovered = self._snap_to_base(
+                    min(self._current * 2.0,
+                        self.initial_bitrate_bps))
+                self._current = recovered
+                self._clean_streak = 0
+                decision = RateDecision(
+                    self._current, True,
+                    f"{self.recover_after} clean epochs; stepping up")
+            else:
+                decision = RateDecision(self._current, False,
+                                        "healthy")
+        self.history.append(decision)
+        return decision

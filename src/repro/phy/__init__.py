@@ -1,0 +1,35 @@
+"""Physical-layer substrate: carrier, channel, noise, tag analog models.
+
+Everything the paper measures with real RF hardware (USRP reader, Moo
+tags, multipath environment) is modelled here so the decoder in
+:mod:`repro.core` can be exercised on synthetic IQ that has the same
+structure as a real capture.
+"""
+
+from .carrier import EpochSchedule
+from .channel import ChannelModel, random_coefficients
+from .capacitor import CapacitorModel, ComparatorJitterModel
+from .clock import DriftingClock
+from .noise import (awgn, noise_std_for_snr, measure_snr_db,
+                    phase_noise_walk, apply_phase_noise)
+from .modulation import nrz_waveform, toggle_positions, qam_constellation
+from .antenna import LinkBudget, equivalent_range
+
+__all__ = [
+    "EpochSchedule",
+    "ChannelModel",
+    "random_coefficients",
+    "CapacitorModel",
+    "ComparatorJitterModel",
+    "DriftingClock",
+    "awgn",
+    "noise_std_for_snr",
+    "measure_snr_db",
+    "phase_noise_walk",
+    "apply_phase_noise",
+    "nrz_waveform",
+    "toggle_positions",
+    "qam_constellation",
+    "LinkBudget",
+    "equivalent_range",
+]

@@ -1,0 +1,144 @@
+"""Receive-capacitor charging and comparator fire-time jitter (Figure 4).
+
+Section 3.2 ("Selecting fine-grained offsets"): a tag starts transmitting
+when its receive capacitor, charged by the incoming carrier, crosses a
+comparator threshold.  Three randomness sources spread the fire times:
+
+* incoming energy (placement/orientation) scales the charge rate,
+* capacitor tolerance (~20 %) scales the RC constant,
+* charging noise perturbs the curve around the threshold crossing.
+
+The resulting natural jitter is what gives LF-Backscatter its
+fine-grained random offsets without a fine-grained tag clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+from ..errors import ConfigurationError
+from ..utils.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class CapacitorModel:
+    """RC charging of the receive capacitor toward ``v_max``.
+
+    ``V(t) = v_max * (1 - exp(-t / (r_ohm * c_farad)))``
+    """
+
+    c_farad: float = 100e-9
+    r_ohm: float = 50e3
+    v_max: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.c_farad <= 0 or self.r_ohm <= 0 or self.v_max <= 0:
+            raise ConfigurationError(
+                "capacitor parameters must all be positive")
+
+    @property
+    def tau_s(self) -> float:
+        """RC time constant."""
+        return self.r_ohm * self.c_farad
+
+    def voltage(self, t_s: np.ndarray,
+                energy_scale: float = 1.0,
+                tau_scale: float = 1.0) -> np.ndarray:
+        """Charge curve sampled at times ``t_s`` (seconds).
+
+        ``energy_scale`` scales the asymptotic voltage (incoming RF
+        energy); ``tau_scale`` scales the RC constant (capacitor
+        tolerance).
+        """
+        t = np.asarray(t_s, dtype=np.float64)
+        tau = self.tau_s * tau_scale
+        return energy_scale * self.v_max * (1.0 - np.exp(-np.maximum(t, 0.0)
+                                                         / tau))
+
+    def crossing_time(self, threshold_v: float,
+                      energy_scale: float = 1.0,
+                      tau_scale: float = 1.0) -> float:
+        """Deterministic time at which the charge curve hits threshold."""
+        v_inf = energy_scale * self.v_max
+        if threshold_v <= 0:
+            raise ConfigurationError("threshold must be positive")
+        if threshold_v >= v_inf:
+            raise ConfigurationError(
+                f"threshold {threshold_v} V unreachable: asymptote is "
+                f"{v_inf} V")
+        tau = self.tau_s * tau_scale
+        return -tau * math.log(1.0 - threshold_v / v_inf)
+
+
+class ComparatorJitterModel:
+    """Random transmit-start offsets from the capacitor/comparator chain.
+
+    Draws the three randomness sources of Section 3.2 and returns the
+    comparator fire time relative to carrier-on.  With default settings
+    the spread of fire times across tags and epochs covers roughly one
+    bit period, which is what the eye-pattern folding assumes.
+    """
+
+    def __init__(self,
+                 capacitor: CapacitorModel = CapacitorModel(),
+                 threshold_v: float = 1.0,
+                 tolerance: float = constants.CAPACITOR_TOLERANCE,
+                 energy_spread: float = 0.25,
+                 noise_v: float = 0.02,
+                 rng: SeedLike = None):
+        if not 0 <= tolerance < 1:
+            raise ConfigurationError(
+                f"tolerance must be in [0, 1), got {tolerance}")
+        if not 0 <= energy_spread < 1:
+            raise ConfigurationError(
+                f"energy spread must be in [0, 1), got {energy_spread}")
+        if noise_v < 0:
+            raise ConfigurationError("noise must be >= 0 V")
+        self.capacitor = capacitor
+        self.threshold_v = threshold_v
+        self.tolerance = tolerance
+        self.energy_spread = energy_spread
+        self.noise_v = noise_v
+        self._rng = make_rng(rng)
+        # A per-tag placement factor is fixed at construction; epoch-to-
+        # epoch randomness comes from charging noise and supply ripple.
+        self._energy_scale = float(
+            self._rng.uniform(1.0 - energy_spread, 1.0 + energy_spread))
+        self._tau_scale = float(
+            self._rng.uniform(1.0 - tolerance, 1.0 + tolerance))
+
+    @property
+    def energy_scale(self) -> float:
+        return self._energy_scale
+
+    @property
+    def tau_scale(self) -> float:
+        return self._tau_scale
+
+    def fire_time_s(self) -> float:
+        """One comparator fire time (a fresh draw each call = each epoch).
+
+        Charging noise is converted into timing noise through the local
+        slope of the charge curve at the threshold crossing, which is how
+        small voltage ripples translate into fire-time jitter.
+        """
+        t_cross = self.capacitor.crossing_time(
+            self.threshold_v, self._energy_scale, self._tau_scale)
+        if self.noise_v == 0:
+            return t_cross
+        # Slope dV/dt at crossing: (v_inf - v_th) / tau.
+        v_inf = self._energy_scale * self.capacitor.v_max
+        tau = self.capacitor.tau_s * self._tau_scale
+        slope = (v_inf - self.threshold_v) / tau
+        dt = self._rng.normal(0.0, self.noise_v / slope)
+        return max(t_cross + dt, 0.0)
+
+    def fire_times_s(self, n: int) -> np.ndarray:
+        """``n`` independent fire times (one per epoch)."""
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        return np.array([self.fire_time_s() for _ in range(n)])

@@ -1,0 +1,76 @@
+"""Reader carrier gating and epoch scheduling.
+
+Section 3.2: "the reader chops up time into shorter epochs, where each
+epoch is initiated by the reader by shutting off and re-starting its
+carrier wave."  An :class:`EpochSchedule` describes that gating; the
+network simulator uses it to reset tag offsets (fresh comparator fire
+times) at every epoch boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EpochSchedule:
+    """Carrier-on/carrier-off timing for a run of epochs.
+
+    ``epoch_duration_s`` is the carrier-on time available for tag
+    transmission; ``gap_s`` is the carrier-off pause that delimits
+    epochs (long enough for the tags' receive capacitors to discharge).
+    """
+
+    epoch_duration_s: float
+    gap_s: float = 100e-6
+    n_epochs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.epoch_duration_s <= 0:
+            raise ConfigurationError("epoch duration must be positive")
+        if self.gap_s < 0:
+            raise ConfigurationError("gap must be >= 0")
+        if self.n_epochs < 1:
+            raise ConfigurationError("need at least one epoch")
+
+    @property
+    def period_s(self) -> float:
+        """Epoch-to-epoch period including the carrier-off gap."""
+        return self.epoch_duration_s + self.gap_s
+
+    @property
+    def total_duration_s(self) -> float:
+        """Wall-clock duration of the full schedule."""
+        return self.n_epochs * self.period_s
+
+    def epoch_bounds(self) -> Iterator[Tuple[float, float]]:
+        """Yield (carrier_on_s, carrier_off_s) for each epoch."""
+        for k in range(self.n_epochs):
+            start = k * self.period_s
+            yield start, start + self.epoch_duration_s
+
+    def carrier_envelope(self, sample_rate_hz: float) -> np.ndarray:
+        """0/1 envelope of the carrier over the whole schedule."""
+        if sample_rate_hz <= 0:
+            raise ConfigurationError("sample rate must be positive")
+        n = int(round(self.total_duration_s * sample_rate_hz))
+        envelope = np.zeros(n, dtype=np.float64)
+        for start, stop in self.epoch_bounds():
+            lo = int(round(start * sample_rate_hz))
+            hi = min(int(round(stop * sample_rate_hz)), n)
+            envelope[lo:hi] = 1.0
+        return envelope
+
+    def fits_bits(self, bitrate_bps: float, n_bits: int,
+                  max_offset_s: float = 0.0) -> bool:
+        """Can ``n_bits`` at ``bitrate_bps`` fit within one epoch,
+        even for the slowest-starting tag?"""
+        if bitrate_bps <= 0:
+            raise ConfigurationError("bitrate must be positive")
+        needed = max_offset_s + n_bits / bitrate_bps
+        return needed <= self.epoch_duration_s

@@ -1,0 +1,152 @@
+"""Backscatter channel model: per-tag complex coefficients + environment.
+
+Equation 1 of the paper expresses the received signal as a linear
+combination of per-tag complex channel coefficients h_i times the tag's
+antenna state, plus the environment's static reflection.  The decoder's
+IQ cluster geometry is entirely determined by these coefficients, so a
+faithful channel model only needs to (a) place coefficients plausibly in
+the IQ plane and (b) let them vary over time for the Figure 1 dynamics
+experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils.rng import SeedLike, make_rng
+
+#: A time-varying coefficient: maps an array of times (s) to complex values.
+CoefficientTrajectory = Callable[[np.ndarray], np.ndarray]
+
+
+def random_coefficients(n_tags: int,
+                        magnitude_range: Sequence[float] = (0.05, 0.2),
+                        min_separation: float = 0.01,
+                        rng: SeedLike = None,
+                        max_attempts: int = 10_000) -> List[complex]:
+    """Draw per-tag channel coefficients with distinct IQ directions.
+
+    Magnitudes fall in ``magnitude_range`` (the backscattered signal is
+    far weaker than the carrier) and phases are uniform.  A minimum
+    pairwise separation keeps the experiment honest: tags whose
+    coefficients coincide exactly are indistinguishable for *any*
+    receiver, and real placements essentially never produce that.
+    """
+    if n_tags < 0:
+        raise ConfigurationError(f"n_tags must be >= 0, got {n_tags}")
+    lo, hi = magnitude_range
+    if not 0 < lo <= hi:
+        raise ConfigurationError(
+            f"magnitude range must satisfy 0 < lo <= hi, got {magnitude_range}")
+    if min_separation < 0:
+        raise ConfigurationError("min_separation must be >= 0")
+    gen = make_rng(rng)
+    coefficients: List[complex] = []
+    attempts = 0
+    while len(coefficients) < n_tags:
+        attempts += 1
+        if attempts > max_attempts:
+            raise ConfigurationError(
+                f"could not place {n_tags} coefficients with separation "
+                f"{min_separation} in magnitude range {magnitude_range}")
+        mag = gen.uniform(lo, hi)
+        phase = gen.uniform(0.0, 2.0 * math.pi)
+        candidate = mag * complex(math.cos(phase), math.sin(phase))
+        if all(abs(candidate - c) >= min_separation for c in coefficients):
+            coefficients.append(candidate)
+    return coefficients
+
+
+class ChannelModel:
+    """Per-tag complex coefficients plus an environment reflection.
+
+    Coefficients may be static complex numbers or time-varying
+    trajectories (see :mod:`repro.phy.dynamics`).  The environment
+    reflection is an additive complex offset — "the reflection from the
+    environment ... will only add an offset" (Section 2.3).
+    """
+
+    def __init__(self,
+                 coefficients: Dict[int, complex],
+                 environment_offset: complex = 0.5 + 0.3j,
+                 trajectories: Optional[Dict[int,
+                                             CoefficientTrajectory]] = None,
+                 environment_trajectory: Optional[
+                     CoefficientTrajectory] = None):
+        if not coefficients:
+            raise ConfigurationError(
+                "channel model needs at least one tag coefficient")
+        for tag_id, coeff in coefficients.items():
+            if tag_id < 0:
+                raise ConfigurationError(
+                    f"tag ids must be >= 0, got {tag_id}")
+            if coeff == 0:
+                raise ConfigurationError(
+                    f"tag {tag_id} has a zero coefficient")
+        self.coefficients = dict(coefficients)
+        self.environment_offset = environment_offset
+        self.trajectories = dict(trajectories or {})
+        self.environment_trajectory = environment_trajectory
+        unknown = set(self.trajectories) - set(self.coefficients)
+        if unknown:
+            raise ConfigurationError(
+                f"trajectories reference unknown tags: {sorted(unknown)}")
+
+    @classmethod
+    def with_random_coefficients(cls, tag_ids: Sequence[int],
+                                 rng: SeedLike = None,
+                                 **kwargs) -> "ChannelModel":
+        """Convenience constructor drawing coefficients for ``tag_ids``."""
+        coeffs = random_coefficients(len(tag_ids), rng=rng)
+        return cls(dict(zip(tag_ids, coeffs)), **kwargs)
+
+    @property
+    def tag_ids(self) -> List[int]:
+        return sorted(self.coefficients)
+
+    def coefficient_at(self, tag_id: int, times_s: np.ndarray) -> np.ndarray:
+        """Coefficient of ``tag_id`` evaluated at each time in ``times_s``."""
+        if tag_id not in self.coefficients:
+            raise ConfigurationError(f"unknown tag id {tag_id}")
+        times = np.atleast_1d(np.asarray(times_s, dtype=np.float64))
+        if tag_id in self.trajectories:
+            return np.asarray(self.trajectories[tag_id](times),
+                              dtype=np.complex128)
+        return np.full(times.shape, self.coefficients[tag_id],
+                       dtype=np.complex128)
+
+    def environment_at(self, times_s: np.ndarray) -> np.ndarray:
+        """Environment reflection evaluated at each time."""
+        times = np.atleast_1d(np.asarray(times_s, dtype=np.float64))
+        if self.environment_trajectory is not None:
+            return np.asarray(self.environment_trajectory(times),
+                              dtype=np.complex128)
+        return np.full(times.shape, self.environment_offset,
+                       dtype=np.complex128)
+
+    def is_static(self) -> bool:
+        """True when neither tags nor environment vary over time."""
+        return not self.trajectories and self.environment_trajectory is None
+
+    def combine(self, times_s: np.ndarray,
+                states: Dict[int, np.ndarray]) -> np.ndarray:
+        """Combine per-tag antenna states into the received baseband.
+
+        ``states[tag_id]`` is the antenna waveform (0..1) sampled at
+        ``times_s``.  Implements Equation 1 plus the environment offset;
+        noise is added separately by the reader front end.
+        """
+        times = np.asarray(times_s, dtype=np.float64)
+        received = self.environment_at(times).astype(np.complex128)
+        for tag_id, state in states.items():
+            arr = np.asarray(state, dtype=np.float64)
+            if arr.shape != times.shape:
+                raise ConfigurationError(
+                    f"state of tag {tag_id} has shape {arr.shape}, "
+                    f"expected {times.shape}")
+            received = received + self.coefficient_at(tag_id, times) * arr
+        return received

@@ -1,0 +1,89 @@
+"""Tag clock model with crystal drift.
+
+Section 4.1: the Moo's internal DCO drifts ~40,000 ppm which is unusable;
+the paper replaces it with an 8 MHz crystal with a typical drift of
+150 ppm, and states the decoder tolerates roughly 200 ppm.  A
+:class:`DriftingClock` draws one drift realization per instantiation
+(crystals have a fixed offset that changes slowly with temperature) plus
+optional per-tick jitter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import constants
+from ..errors import ConfigurationError
+from ..utils.rng import SeedLike, make_rng
+
+
+class DriftingClock:
+    """A tag clock whose actual period deviates from nominal by ppm drift.
+
+    Parameters
+    ----------
+    nominal_period_s:
+        The intended tick period (one bit time for the communication
+        clock).
+    drift_ppm:
+        Magnitude scale of the part-per-million frequency error.  The
+        realized drift is drawn uniformly from ``[-drift_ppm, drift_ppm]``
+        once per clock.
+    jitter_s:
+        Optional white per-tick timing jitter standard deviation.
+    """
+
+    def __init__(self, nominal_period_s: float,
+                 drift_ppm: float = constants.DEFAULT_CLOCK_DRIFT_PPM,
+                 jitter_s: float = 0.0,
+                 rng: SeedLike = None):
+        if nominal_period_s <= 0:
+            raise ConfigurationError(
+                f"nominal period must be positive, got {nominal_period_s}")
+        if drift_ppm < 0:
+            raise ConfigurationError(
+                f"drift must be >= 0 ppm, got {drift_ppm}")
+        if jitter_s < 0:
+            raise ConfigurationError(
+                f"jitter must be >= 0, got {jitter_s}")
+        self.nominal_period_s = nominal_period_s
+        self.drift_ppm = drift_ppm
+        self.jitter_s = jitter_s
+        self._rng = make_rng(rng)
+        self._realized_ppm = float(
+            self._rng.uniform(-drift_ppm, drift_ppm)) if drift_ppm else 0.0
+
+    @property
+    def realized_drift_ppm(self) -> float:
+        """The drift realization of this particular crystal."""
+        return self._realized_ppm
+
+    @property
+    def actual_period_s(self) -> float:
+        """Nominal period scaled by the realized drift."""
+        return self.nominal_period_s * (1.0 + self._realized_ppm * 1e-6)
+
+    def tick_times(self, n_ticks: int, start_s: float = 0.0) -> np.ndarray:
+        """Timestamps of the first ``n_ticks`` ticks starting at start_s.
+
+        Jitter, when enabled, is white (it does not accumulate): a
+        crystal's cycle-to-cycle wander is tiny compared with its static
+        ppm offset.
+        """
+        if n_ticks < 0:
+            raise ConfigurationError(f"n_ticks must be >= 0, got {n_ticks}")
+        times = start_s + np.arange(n_ticks) * self.actual_period_s
+        if self.jitter_s > 0 and n_ticks > 0:
+            times = times + self._rng.normal(0.0, self.jitter_s, n_ticks)
+        return times
+
+    def reseed_drift(self, rng: Optional[SeedLike] = None) -> float:
+        """Draw a fresh drift realization (e.g. temperature change)."""
+        if rng is not None:
+            self._rng = make_rng(rng)
+        self._realized_ppm = float(
+            self._rng.uniform(-self.drift_ppm, self.drift_ppm)) \
+            if self.drift_ppm else 0.0
+        return self._realized_ppm

@@ -1,0 +1,153 @@
+"""Channel-coefficient dynamics reproducing Figure 1.
+
+Buzz-style decoders need per-tag channel coefficients and therefore have
+to re-estimate whenever the channel moves.  Figure 1 shows the three
+movement regimes that perturb coefficients in practice:
+
+* (a) **people movement** — a person walking near a stationary tag
+  perturbs the multipath environment, producing slow large-amplitude
+  wander in I and Q;
+* (b) **tag rotation** — rotating a tag in place sweeps the phase of its
+  coefficient (and modulates magnitude through the antenna pattern);
+* (c) **near-field coupling** — two tags brought within ~5 cm couple
+  through their antennas, so both coefficients shift when close.
+
+Each generator returns a :data:`CoefficientTrajectory` suitable for
+:class:`repro.phy.channel.ChannelModel`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils.rng import SeedLike, make_rng
+from .channel import CoefficientTrajectory
+
+
+def _smooth_random_walk(duration_s: float, n_knots: int, scale: float,
+                        rng: SeedLike) -> Callable[[np.ndarray], np.ndarray]:
+    """Complex random walk interpolated smoothly over [0, duration]."""
+    gen = make_rng(rng)
+    knot_t = np.linspace(0.0, duration_s, n_knots)
+    steps = (gen.normal(0.0, scale, n_knots)
+             + 1j * gen.normal(0.0, scale, n_knots))
+    walk = np.cumsum(steps)
+    walk -= walk.mean()
+
+    def trajectory(times: np.ndarray) -> np.ndarray:
+        t = np.clip(np.asarray(times, dtype=np.float64), 0.0, duration_s)
+        re = np.interp(t, knot_t, walk.real)
+        im = np.interp(t, knot_t, walk.imag)
+        return re + 1j * im
+
+    return trajectory
+
+
+def people_movement(base: complex, duration_s: float = 12.0,
+                    wander_scale: float = 0.15,
+                    step_rate_hz: float = 2.0,
+                    rng: SeedLike = None) -> CoefficientTrajectory:
+    """Figure 1(a): multipath wander from a person walking nearby.
+
+    The perturbation is a smooth complex random walk around the static
+    coefficient, with knots at roughly footstep rate.
+    """
+    if duration_s <= 0:
+        raise ConfigurationError("duration must be positive")
+    if wander_scale < 0:
+        raise ConfigurationError("wander scale must be >= 0")
+    n_knots = max(int(duration_s * step_rate_hz), 2)
+    walk = _smooth_random_walk(duration_s, n_knots, wander_scale, rng)
+
+    def trajectory(times: np.ndarray) -> np.ndarray:
+        return base + walk(times)
+
+    return trajectory
+
+
+def tag_rotation(base: complex, duration_s: float = 12.0,
+                 total_rotation_rad: float = 2.0 * math.pi,
+                 pattern_depth: float = 0.4,
+                 rng: SeedLike = None) -> CoefficientTrajectory:
+    """Figure 1(b): rotating a tag sweeps its coefficient phase.
+
+    The phase advances with the physical rotation while the antenna
+    pattern modulates the magnitude (``pattern_depth`` = fractional dip
+    at the pattern null).
+    """
+    if duration_s <= 0:
+        raise ConfigurationError("duration must be positive")
+    if not 0 <= pattern_depth < 1:
+        raise ConfigurationError(
+            f"pattern depth must be in [0, 1), got {pattern_depth}")
+    gen = make_rng(rng)
+    wobble = float(gen.uniform(0.0, 2.0 * math.pi))
+
+    def trajectory(times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=np.float64)
+        angle = total_rotation_rad * t / duration_s
+        # Dipole-like pattern: magnitude dips as the tag turns edge-on.
+        magnitude = 1.0 - pattern_depth * np.sin(angle + wobble) ** 2
+        return base * magnitude * np.exp(1j * angle)
+
+    return trajectory
+
+
+def coupled_tags(base_a: complex, base_b: complex,
+                 duration_s: float = 12.0,
+                 approach_start_s: float = 6.0,
+                 far_distance_m: float = 1.0,
+                 near_distance_m: float = 0.05,
+                 coupling_distance_m: float = 0.15,
+                 coupling_strength: float = 0.5,
+                 rng: SeedLike = None
+                 ) -> Tuple[CoefficientTrajectory, CoefficientTrajectory]:
+    """Figure 1(c): two tags brought close enough to couple near-field.
+
+    Both coefficients are unchanged while the tags are ~1 m apart; once
+    the separation drops below ``coupling_distance_m`` the antennas
+    detune each other, mixing a distance-dependent fraction of each
+    coefficient into the other and shifting both.
+    Returns the pair of trajectories ``(tag_a, tag_b)``.
+    """
+    if duration_s <= 0:
+        raise ConfigurationError("duration must be positive")
+    if not 0 < near_distance_m < coupling_distance_m <= far_distance_m:
+        raise ConfigurationError(
+            "distances must satisfy 0 < near < coupling <= far")
+    if not 0 <= approach_start_s < duration_s:
+        raise ConfigurationError(
+            "approach must start within the trace duration")
+    gen = make_rng(rng)
+    detune_phase = float(gen.uniform(0.0, 2.0 * math.pi))
+
+    def distance(t: np.ndarray) -> np.ndarray:
+        """Linear approach from far to near over the second half."""
+        frac = np.clip((t - approach_start_s)
+                       / max(duration_s - approach_start_s, 1e-9), 0.0, 1.0)
+        return far_distance_m + frac * (near_distance_m - far_distance_m)
+
+    def coupling(t: np.ndarray) -> np.ndarray:
+        """0 when far; ramps to coupling_strength at near distance."""
+        d = distance(t)
+        inside = np.clip((coupling_distance_m - d)
+                         / (coupling_distance_m - near_distance_m), 0.0, 1.0)
+        return coupling_strength * inside
+
+    detune = np.exp(1j * detune_phase)
+
+    def trajectory_a(times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=np.float64)
+        k = coupling(t)
+        return base_a * (1.0 - 0.5 * k) + k * detune * base_b
+
+    def trajectory_b(times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=np.float64)
+        k = coupling(t)
+        return base_b * (1.0 - 0.5 * k) + k * detune * base_a
+
+    return trajectory_a, trajectory_b

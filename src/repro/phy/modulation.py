@@ -1,0 +1,132 @@
+"""Waveform synthesis for ASK backscatter and reference constellations.
+
+The simulated tag toggles its antenna between reflecting (1) and detuned
+(0) states; :func:`nrz_waveform` renders that state sequence onto the
+reader's sample grid with finite-width edge ramps ("an edge is roughly 3
+samples wide", Section 2.4).  A QAM reference constellation generator
+supports the Figure 2(a) comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import constants
+from ..errors import ConfigurationError
+from ..utils.rng import SeedLike, make_rng
+
+
+def toggle_positions(bits: Sequence[int], offset_samples: float,
+                     period_samples: float,
+                     initial_state: int = 0) -> np.ndarray:
+    """Fractional sample positions where the antenna state toggles.
+
+    Bit k occupies ``[offset + k*period, offset + (k+1)*period)``; a
+    toggle happens at a bit boundary whenever the NRZ level changes
+    (including the boundary before bit 0 if it differs from
+    ``initial_state``).
+    """
+    arr = np.asarray(bits, dtype=np.int8)
+    if arr.ndim != 1:
+        raise ConfigurationError("bits must be 1-D")
+    if not np.all((arr == 0) | (arr == 1)):
+        raise ConfigurationError("bits must be 0/1")
+    if period_samples <= 0:
+        raise ConfigurationError("period must be positive")
+    if initial_state not in (0, 1):
+        raise ConfigurationError("initial state must be 0 or 1")
+    levels = np.concatenate([[initial_state], arr])
+    boundaries = np.flatnonzero(np.diff(levels) != 0)
+    return offset_samples + boundaries * period_samples
+
+
+def nrz_waveform(bits: Sequence[int], offset_samples: float,
+                 period_samples: float, n_samples: int,
+                 edge_width_samples: int = constants.EDGE_WIDTH_SAMPLES,
+                 initial_state: int = 0,
+                 final_state: Optional[int] = None) -> np.ndarray:
+    """Render an NRZ bit sequence as an antenna-state waveform.
+
+    Returns a float array of length ``n_samples`` in [0, 1].  The state
+    holds ``initial_state`` before the transmission starts, follows the
+    bits, and after the last bit either returns to ``final_state``
+    (default: stays at the last bit's level).  Transitions are linear
+    ramps ``edge_width_samples`` wide, centred on the (possibly
+    fractional) toggle position — the shape a reader sees when a real RF
+    transistor switches over a few sample periods.
+    """
+    arr = np.asarray(bits, dtype=np.int8)
+    if n_samples <= 0:
+        raise ConfigurationError("n_samples must be positive")
+    if edge_width_samples < 1:
+        raise ConfigurationError("edge width must be >= 1 sample")
+    if period_samples <= 0:
+        raise ConfigurationError("period must be positive")
+    if initial_state not in (0, 1):
+        raise ConfigurationError("initial state must be 0 or 1")
+
+    # Build the step sequence: level before each boundary position.
+    toggles = list(toggle_positions(arr, offset_samples, period_samples,
+                                    initial_state))
+    levels = [float(initial_state)]
+    state = initial_state
+    for _ in toggles:
+        state = 1 - state
+        levels.append(float(state))
+    if final_state is not None and arr.size > 0 and final_state != state:
+        toggles.append(offset_samples + arr.size * period_samples)
+        levels.append(float(final_state))
+
+    toggle_arr = np.asarray(toggles, dtype=np.float64)
+    level_arr = np.asarray(levels, dtype=np.float64)
+
+    t = np.arange(n_samples, dtype=np.float64)
+    # Index of the level in effect at each sample (step waveform).
+    idx = np.searchsorted(toggle_arr, t, side="right")
+    waveform = level_arr[idx]
+
+    if edge_width_samples > 1 and toggle_arr.size:
+        # Replace each step with a linear ramp of the requested width.
+        half = edge_width_samples / 2.0
+        for pos, new_level in zip(toggle_arr, level_arr[1:]):
+            old_level = 1.0 - new_level  # the state before the toggle
+            lo = int(np.floor(pos - half))
+            hi = int(np.ceil(pos + half))
+            if hi < 0 or lo >= n_samples:
+                continue
+            span = np.arange(max(lo, 0), min(hi + 1, n_samples))
+            frac = np.clip((span - (pos - half)) / edge_width_samples,
+                           0.0, 1.0)
+            waveform[span] = old_level + (new_level - old_level) * frac
+    return waveform
+
+
+def qam_constellation(order: int = 16,
+                      n_points_per_symbol: int = 200,
+                      noise_std: float = 0.05,
+                      rng: SeedLike = None) -> np.ndarray:
+    """Noisy square-QAM constellation samples (Figure 2a reference).
+
+    Returns complex samples clustered on a unit-average-power square QAM
+    grid; the paper contrasts QAM's *structured* clusters with the
+    unstructured clusters of colliding backscatter tags.
+    """
+    side = int(round(order ** 0.5))
+    if side * side != order or side < 2:
+        raise ConfigurationError(
+            f"order must be a perfect square >= 4, got {order}")
+    if n_points_per_symbol < 1:
+        raise ConfigurationError("need at least one point per symbol")
+    if noise_std < 0:
+        raise ConfigurationError("noise std must be >= 0")
+    gen = make_rng(rng)
+    axis = np.arange(side, dtype=np.float64) * 2.0 - (side - 1)
+    grid = axis[:, None] + 1j * axis[None, :]
+    grid = grid.ravel()
+    grid = grid / np.sqrt(np.mean(np.abs(grid) ** 2))  # unit average power
+    points = np.repeat(grid, n_points_per_symbol)
+    noise = (gen.normal(0.0, noise_std, points.size)
+             + 1j * gen.normal(0.0, noise_std, points.size))
+    return points + noise

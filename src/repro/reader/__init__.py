@@ -1,0 +1,12 @@
+"""Reader-side capture: front end, epoch records, network simulator."""
+
+from .frontend import ReaderFrontend
+from .epoch import EpochCapture, TagTruth
+from .simulator import NetworkSimulator
+
+__all__ = [
+    "ReaderFrontend",
+    "EpochCapture",
+    "TagTruth",
+    "NetworkSimulator",
+]

@@ -1,0 +1,67 @@
+"""Epoch capture records: the IQ trace plus per-tag ground truth.
+
+A simulated epoch keeps the ground truth alongside the trace so the
+evaluation harness can score the decoder exactly — the synthetic
+equivalent of knowing what each Moo tag was programmed to send.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import IQTrace
+
+
+@dataclass
+class TagTruth:
+    """What one tag actually transmitted during a captured epoch."""
+
+    tag_id: int
+    bits: np.ndarray
+    offset_samples: float
+    period_samples: float
+    nominal_bitrate_bps: float
+    coefficient: complex
+
+    def __post_init__(self) -> None:
+        self.bits = np.asarray(self.bits, dtype=np.int8)
+        if self.offset_samples < 0:
+            raise ConfigurationError("offset must be >= 0 samples")
+        if self.period_samples <= 0:
+            raise ConfigurationError("period must be positive")
+
+    @property
+    def n_bits(self) -> int:
+        return int(self.bits.size)
+
+
+@dataclass
+class EpochCapture:
+    """One reader epoch: the captured trace and the per-tag truth."""
+
+    trace: IQTrace
+    truths: List[TagTruth] = field(default_factory=list)
+    epoch_index: int = 0
+
+    @property
+    def n_tags(self) -> int:
+        return len(self.truths)
+
+    @property
+    def duration_s(self) -> float:
+        return self.trace.duration_s
+
+    def truth_for(self, tag_id: int) -> Optional[TagTruth]:
+        """Ground truth for ``tag_id``, or None if it did not transmit."""
+        for truth in self.truths:
+            if truth.tag_id == tag_id:
+                return truth
+        return None
+
+    def total_bits_sent(self) -> int:
+        """Bits transmitted across all tags this epoch (incl. headers)."""
+        return int(sum(t.n_bits for t in self.truths))

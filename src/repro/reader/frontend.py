@@ -1,0 +1,69 @@
+"""Reader RF front end: noise injection and optional ADC quantization.
+
+Models the path between the clean combined backscatter signal (produced
+by :class:`repro.phy.channel.ChannelModel`) and the complex samples the
+decoder sees: additive receiver noise and, optionally, finite ADC
+resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..phy.noise import awgn
+from ..types import IQTrace
+from ..utils.rng import SeedLike, make_rng
+
+
+class ReaderFrontend:
+    """Converts a clean baseband array into a captured :class:`IQTrace`."""
+
+    def __init__(self, sample_rate_hz: float,
+                 noise_std: float = 0.0,
+                 adc_bits: Optional[int] = None,
+                 adc_full_scale: float = 2.0,
+                 rng: SeedLike = None):
+        if sample_rate_hz <= 0:
+            raise ConfigurationError("sample rate must be positive")
+        if noise_std < 0:
+            raise ConfigurationError("noise std must be >= 0")
+        if adc_bits is not None and adc_bits < 2:
+            raise ConfigurationError("ADC must have at least 2 bits")
+        if adc_full_scale <= 0:
+            raise ConfigurationError("ADC full scale must be positive")
+        self.sample_rate_hz = sample_rate_hz
+        self.noise_std = noise_std
+        self.adc_bits = adc_bits
+        self.adc_full_scale = adc_full_scale
+        self._rng = make_rng(rng)
+
+    def capture(self, clean: np.ndarray,
+                start_time_s: float = 0.0) -> IQTrace:
+        """Add noise (and quantization, if configured) to ``clean``."""
+        arr = np.asarray(clean, dtype=np.complex128)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ConfigurationError(
+                "clean signal must be a non-empty 1-D array")
+        received = arr
+        if self.noise_std > 0:
+            received = received + awgn(arr.size, self.noise_std,
+                                       rng=self._rng)
+        if self.adc_bits is not None:
+            received = self._quantize(received)
+        return IQTrace(samples=received, sample_rate_hz=self.sample_rate_hz,
+                       start_time_s=start_time_s)
+
+    def _quantize(self, signal: np.ndarray) -> np.ndarray:
+        """Uniform mid-rise quantization of I and Q independently."""
+        levels = 2 ** self.adc_bits
+        half = self.adc_full_scale / 2.0
+        step = self.adc_full_scale / levels
+
+        def q(x: np.ndarray) -> np.ndarray:
+            clipped = np.clip(x, -half, half - step)
+            return (np.floor(clipped / step) + 0.5) * step
+
+        return q(signal.real) + 1j * q(signal.imag)

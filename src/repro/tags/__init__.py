@@ -1,0 +1,37 @@
+"""Behavioural models of backscatter tags.
+
+:class:`LFTag` is the laissez-faire tag of the paper: it blindly starts
+transmitting NRZ ASK the moment the carrier appears, at a bitrate that
+is a multiple of the base rate, from a start offset given by its
+comparator jitter.  The TDMA and Buzz tags model the baselines of
+Section 4.2 and are driven by their protocol simulators in
+:mod:`repro.baselines`.
+"""
+
+from .base import (
+    FixedPayload,
+    RandomPayload,
+    CounterPayload,
+    UniformOffsetModel,
+    TagEpochPlan,
+    build_frame,
+    frame_payload,
+)
+from .lf_tag import LFTag
+from .ask_tag import AskTag
+from .tdma_tag import TdmaTag
+from .buzz_tag import BuzzTag
+
+__all__ = [
+    "FixedPayload",
+    "RandomPayload",
+    "CounterPayload",
+    "UniformOffsetModel",
+    "TagEpochPlan",
+    "build_frame",
+    "frame_payload",
+    "LFTag",
+    "AskTag",
+    "TdmaTag",
+    "BuzzTag",
+]

@@ -1,0 +1,36 @@
+"""Plain single-tag ASK transmitter, the Figure 14 robustness baseline.
+
+Identical RF behaviour to an :class:`~repro.tags.lf_tag.LFTag` — NRZ
+on-off keying — but intended for the single-tag SNR comparison, so its
+start offset is deterministic and its frame carries the same header the
+conventional ASK receiver would train its timing on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import constants
+from ..types import SimulationProfile, TagConfig
+from ..utils.rng import SeedLike
+from .base import FixedOffsetModel, PayloadSource
+from .lf_tag import LFTag
+
+
+class AskTag(LFTag):
+    """A single conventional ASK tag with a deterministic start offset."""
+
+    def __init__(self, config: TagConfig,
+                 payload_source: Optional[PayloadSource] = None,
+                 start_offset_s: float = 0.0,
+                 profile: Optional[SimulationProfile] = None,
+                 preamble_bits: int = constants.PREAMBLE_BITS,
+                 rng: SeedLike = None):
+        super().__init__(
+            config,
+            payload_source=payload_source,
+            offset_model=FixedOffsetModel(start_offset_s),
+            profile=profile,
+            preamble_bits=preamble_bits,
+            rng=rng,
+        )

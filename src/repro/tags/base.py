@@ -1,0 +1,208 @@
+"""Shared tag machinery: payload sources, framing, offset models.
+
+Framing (Section 3.4): every epoch a tag sends a short header — an
+alternating preamble that gives the reader's eye-pattern fold strong
+periodic edges, followed by a single known anchor bit that disambiguates
+the rising/falling IQ clusters — and then its payload bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from .. import constants
+from ..errors import ConfigurationError
+from ..utils.rng import SeedLike, make_rng
+
+
+def build_frame(payload: Sequence[int],
+                preamble_bits: int = constants.PREAMBLE_BITS,
+                anchor_bit: int = constants.ANCHOR_BIT) -> np.ndarray:
+    """Prefix ``payload`` with the alternating preamble and anchor bit.
+
+    The preamble is ``1010...`` (starting with 1 so the very first
+    transmitted edge is a rising one) and the anchor has the known value
+    the decoder uses as its reference (Table 1).
+    """
+    pay = np.asarray(payload, dtype=np.int8)
+    if pay.ndim != 1:
+        raise ConfigurationError("payload must be 1-D")
+    if pay.size and not np.all((pay == 0) | (pay == 1)):
+        raise ConfigurationError("payload bits must be 0/1")
+    if preamble_bits < 0:
+        raise ConfigurationError("preamble length must be >= 0")
+    if anchor_bit not in (0, 1):
+        raise ConfigurationError("anchor bit must be 0 or 1")
+    preamble = np.fromiter(((k + 1) % 2 for k in range(preamble_bits)),
+                           dtype=np.int8, count=preamble_bits)
+    return np.concatenate([preamble, np.array([anchor_bit], dtype=np.int8),
+                           pay])
+
+
+def frame_payload(frame: Sequence[int],
+                  preamble_bits: int = constants.PREAMBLE_BITS) -> np.ndarray:
+    """Strip the preamble and anchor from a frame, returning the payload."""
+    arr = np.asarray(frame, dtype=np.int8)
+    header = preamble_bits + 1
+    if arr.size < header:
+        raise ConfigurationError(
+            f"frame of {arr.size} bits is shorter than the {header}-bit "
+            "header")
+    return arr[header:]
+
+
+class PayloadSource(Protocol):
+    """Supplies payload bits for each epoch."""
+
+    def bits(self, epoch_index: int, n_bits: int) -> np.ndarray:
+        """Return exactly ``n_bits`` payload bits for ``epoch_index``."""
+        ...
+
+
+class RandomPayload:
+    """Independent uniform random payload bits (sensor-stream stand-in)."""
+
+    def __init__(self, rng: SeedLike = None):
+        self._rng = make_rng(rng)
+
+    def bits(self, epoch_index: int, n_bits: int) -> np.ndarray:
+        if n_bits < 0:
+            raise ConfigurationError(f"n_bits must be >= 0, got {n_bits}")
+        return self._rng.integers(0, 2, n_bits, dtype=np.int8)
+
+
+class FixedPayload:
+    """A fixed message repeated (and truncated) to fill each epoch.
+
+    Used by the identification experiments, where every epoch carries the
+    same EPC identifier.
+    """
+
+    def __init__(self, message: Sequence[int]):
+        arr = np.asarray(message, dtype=np.int8)
+        if arr.size == 0:
+            raise ConfigurationError("message must not be empty")
+        if not np.all((arr == 0) | (arr == 1)):
+            raise ConfigurationError("message bits must be 0/1")
+        self.message = arr
+
+    def bits(self, epoch_index: int, n_bits: int) -> np.ndarray:
+        if n_bits < 0:
+            raise ConfigurationError(f"n_bits must be >= 0, got {n_bits}")
+        reps = int(np.ceil(n_bits / self.message.size)) if n_bits else 0
+        return np.tile(self.message, max(reps, 1))[:n_bits]
+
+
+class CounterPayload:
+    """Incrementing sample counter, like a sense-and-transmit sensor.
+
+    Emits consecutive ``word_bits``-wide big-endian counter values; a
+    1 Hz temperature sensor streaming raw ADC words looks exactly like
+    this on the air.
+    """
+
+    def __init__(self, word_bits: int = 16, start: int = 0):
+        if word_bits < 1:
+            raise ConfigurationError("word width must be >= 1 bit")
+        if start < 0:
+            raise ConfigurationError("start must be >= 0")
+        self.word_bits = word_bits
+        self._next = start
+
+    def bits(self, epoch_index: int, n_bits: int) -> np.ndarray:
+        if n_bits < 0:
+            raise ConfigurationError(f"n_bits must be >= 0, got {n_bits}")
+        out = np.empty(0, dtype=np.int8)
+        while out.size < n_bits:
+            value = self._next % (1 << self.word_bits)
+            self._next += 1
+            word = np.fromiter(
+                ((value >> (self.word_bits - 1 - b)) & 1
+                 for b in range(self.word_bits)),
+                dtype=np.int8, count=self.word_bits)
+            out = np.concatenate([out, word])
+        return out[:n_bits]
+
+
+class OffsetModel(Protocol):
+    """Produces the transmit-start offset for each epoch."""
+
+    def fire_time_s(self) -> float:
+        ...
+
+
+class UniformOffsetModel:
+    """Start offsets drawn uniformly from ``[min_s, min_s + spread_s)``.
+
+    A simple stand-in for the comparator-jitter chain when an experiment
+    wants direct control over the offset distribution (e.g. to force
+    collisions for Table 2).
+    """
+
+    def __init__(self, spread_s: float, min_s: float = 0.0,
+                 rng: SeedLike = None):
+        if spread_s < 0:
+            raise ConfigurationError(f"spread must be >= 0, got {spread_s}")
+        if min_s < 0:
+            raise ConfigurationError(f"min must be >= 0, got {min_s}")
+        self.spread_s = spread_s
+        self.min_s = min_s
+        self._rng = make_rng(rng)
+
+    def fire_time_s(self) -> float:
+        if self.spread_s == 0:
+            return self.min_s
+        return float(self._rng.uniform(self.min_s,
+                                       self.min_s + self.spread_s))
+
+
+class FixedOffsetModel:
+    """Always fires at the same offset (used to force edge collisions)."""
+
+    def __init__(self, offset_s: float):
+        if offset_s < 0:
+            raise ConfigurationError(f"offset must be >= 0, got {offset_s}")
+        self.offset_s = offset_s
+
+    def fire_time_s(self) -> float:
+        return self.offset_s
+
+
+@dataclass
+class TagEpochPlan:
+    """What one tag will transmit during one epoch.
+
+    ``bits`` is the full frame (header + payload); ``start_offset_s`` the
+    comparator fire time after carrier-on; ``bit_period_s`` the actual
+    (drifted) bit period.
+    """
+
+    tag_id: int
+    bits: np.ndarray
+    start_offset_s: float
+    bit_period_s: float
+    nominal_bitrate_bps: float
+
+    def __post_init__(self) -> None:
+        self.bits = np.asarray(self.bits, dtype=np.int8)
+        if self.start_offset_s < 0:
+            raise ConfigurationError("start offset must be >= 0")
+        if self.bit_period_s <= 0:
+            raise ConfigurationError("bit period must be positive")
+
+    @property
+    def n_bits(self) -> int:
+        return int(self.bits.size)
+
+    @property
+    def end_time_s(self) -> float:
+        """Time at which the last bit finishes."""
+        return self.start_offset_s + self.n_bits * self.bit_period_s
+
+    def payload(self,
+                preamble_bits: int = constants.PREAMBLE_BITS) -> np.ndarray:
+        """Payload portion of the planned frame."""
+        return frame_payload(self.bits, preamble_bits)

@@ -1,0 +1,94 @@
+"""Buzz tag model: lock-step randomized retransmission (Section 2.2).
+
+Buzz [Wang et al., SIGCOMM 2012] lets all tags transmit synchronously,
+bit-by-bit.  Each message bit is retransmitted ``m`` times; in
+retransmission slot t, tag i reflects ``d[t, i] * b[i]`` where ``d`` is
+a pre-agreed pseudo-random 0/1 matrix.  The reader, knowing ``d`` and
+the per-tag channel coefficients, inverts the linear system to recover
+all tags' bits (Equation 1 of the paper).
+
+The tag therefore needs a lock-step clock and a buffer to hold samples
+during retransmissions — complexity the LF tag avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import TagConfig
+from ..utils.rng import SeedLike, make_rng
+
+
+def randomization_matrix(m: int, n: int, seed: int = 0) -> np.ndarray:
+    """The pre-defined random 0/1 matrix d of Equation 1.
+
+    Deterministic in ``seed`` because reader and tags must agree on it
+    offline.  Guarantees every tag participates in at least one slot.
+    """
+    if m < 1 or n < 1:
+        raise ConfigurationError("matrix dimensions must be >= 1")
+    gen = np.random.default_rng(seed)
+    for _ in range(1000):
+        d = gen.integers(0, 2, (m, n), dtype=np.int8)
+        if np.all(d.sum(axis=0) > 0) and np.all(d.sum(axis=1) > 0):
+            return d
+    raise ConfigurationError(
+        f"could not draw a usable {m}x{n} randomization matrix")
+
+
+class BuzzTag:
+    """One Buzz tag: reflects ``d[t, i] & bit`` in lock-step slot t."""
+
+    def __init__(self, config: TagConfig, column: np.ndarray):
+        col = np.asarray(column, dtype=np.int8)
+        if col.ndim != 1 or col.size < 1:
+            raise ConfigurationError(
+                "randomization column must be a non-empty 1-D array")
+        if not np.all((col == 0) | (col == 1)):
+            raise ConfigurationError("randomization column must be 0/1")
+        self.config = config
+        self.column = col
+
+    @property
+    def tag_id(self) -> int:
+        return self.config.tag_id
+
+    @property
+    def n_retransmissions(self) -> int:
+        return int(self.column.size)
+
+    def states_for_bit(self, bit: int) -> np.ndarray:
+        """Antenna states over the m lock-step slots for one message bit."""
+        if bit not in (0, 1):
+            raise ConfigurationError(f"bit must be 0/1, got {bit}")
+        return (self.column * bit).astype(np.int8)
+
+    def states_for_message(self, bits: np.ndarray) -> np.ndarray:
+        """Antenna-state matrix (n_bits, m) for a whole message."""
+        arr = np.asarray(bits, dtype=np.int8)
+        if arr.ndim != 1:
+            raise ConfigurationError("message must be 1-D")
+        if arr.size and not np.all((arr == 0) | (arr == 1)):
+            raise ConfigurationError("message bits must be 0/1")
+        return arr[:, None] * self.column[None, :]
+
+
+def estimation_preamble(n_tags: int, repetitions: int = 4) -> np.ndarray:
+    """Channel-estimation schedule: each tag toggles alone, repeated.
+
+    Buzz estimates per-tag channel coefficients with compressive
+    sensing; we model the equivalent airtime as a per-tag sounding
+    schedule of ``repetitions`` exclusive slots each, which is the same
+    order of overhead.  Returns a (n_tags * repetitions, n_tags) 0/1
+    activity matrix.
+    """
+    if n_tags < 1:
+        raise ConfigurationError("need at least one tag")
+    if repetitions < 1:
+        raise ConfigurationError("need at least one repetition")
+    schedule = np.zeros((n_tags * repetitions, n_tags), dtype=np.int8)
+    for rep in range(repetitions):
+        for tag in range(n_tags):
+            schedule[rep * n_tags + tag, tag] = 1
+    return schedule

@@ -1,0 +1,126 @@
+"""The laissez-faire tag: blind, bufferless, asynchronous NRZ ASK.
+
+The tag's entire protocol (Section 3): when it sees the carrier, its
+comparator fires after a naturally-jittered charge-up delay and it
+clocks out its frame at a bitrate that is a multiple of the base rate.
+No decoding, no MAC, no packet buffer, no high-speed oscillator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import constants
+from ..errors import ConfigurationError
+from ..phy.capacitor import CapacitorModel, ComparatorJitterModel
+from ..phy.clock import DriftingClock
+from ..types import SimulationProfile, TagConfig
+from ..utils.rng import SeedLike, make_rng
+from .base import (OffsetModel, PayloadSource, RandomPayload, TagEpochPlan,
+                   build_frame)
+
+
+def default_offset_model(bit_period_s: float,
+                         rng: SeedLike = None,
+                         tau_periods: float = 6.0,
+                         energy_spread: float = 0.25) -> ComparatorJitterModel:
+    """Comparator-jitter model whose fire times spread over several bits.
+
+    The receive capacitor's RC constant is set to ``tau_periods`` tag
+    bit periods: with the paper's 20 % capacitor tolerance and
+    placement-dependent energy spread, the resulting fire times vary by
+    a few bit periods across tags and epochs, so the fire time *modulo
+    one bit period* — the quantity the eye-pattern fold sees — is close
+    to uniform.  This is the fine-grained offset randomization of
+    Section 3.2, obtained with no fine-grained clock at the tag.
+    """
+    c_farad = 1e-9
+    capacitor = CapacitorModel(c_farad=c_farad,
+                               r_ohm=tau_periods * bit_period_s / c_farad,
+                               v_max=1.8)
+    return ComparatorJitterModel(capacitor=capacitor, threshold_v=1.0,
+                                 energy_spread=energy_spread, rng=rng)
+
+
+class LFTag:
+    """One laissez-faire backscatter tag.
+
+    Parameters
+    ----------
+    config:
+        Static tag parameters (id, bitrate, channel coefficient, drift).
+    payload_source:
+        Supplies payload bits per epoch; defaults to random bits.
+    offset_model:
+        Start-offset generator; defaults to the comparator-jitter chain
+        scaled to the tag's bit period.
+    profile:
+        Simulation profile used to validate the bitrate against the base
+        rate.
+    """
+
+    def __init__(self, config: TagConfig,
+                 payload_source: Optional[PayloadSource] = None,
+                 offset_model: Optional[OffsetModel] = None,
+                 profile: Optional[SimulationProfile] = None,
+                 preamble_bits: int = constants.PREAMBLE_BITS,
+                 rng: SeedLike = None):
+        self.config = config
+        self.profile = profile or SimulationProfile.paper()
+        self.profile.validate_bitrate(config.bitrate_bps)
+        self.preamble_bits = preamble_bits
+        gen = make_rng(rng)
+        self.payload_source = payload_source or RandomPayload(
+            rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
+        bit_period = 1.0 / config.bitrate_bps
+        self.offset_model = offset_model or default_offset_model(
+            bit_period, rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
+        self.clock = DriftingClock(
+            nominal_period_s=bit_period,
+            drift_ppm=config.clock_drift_ppm,
+            rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
+
+    @property
+    def tag_id(self) -> int:
+        return self.config.tag_id
+
+    @property
+    def bitrate_bps(self) -> float:
+        return self.config.bitrate_bps
+
+    def header_bits(self) -> int:
+        """Total header length (preamble + anchor)."""
+        return self.preamble_bits + 1
+
+    def plan_epoch(self, epoch_index: int,
+                   epoch_duration_s: float) -> TagEpochPlan:
+        """Decide what this tag transmits during one epoch.
+
+        The tag fills the epoch: header first, then as many payload bits
+        as fit between its (random) start offset and carrier-off.
+        """
+        if epoch_duration_s <= 0:
+            raise ConfigurationError("epoch duration must be positive")
+        offset = self.config.mean_offset_s + self.offset_model.fire_time_s()
+        period = self.clock.actual_period_s
+        budget = epoch_duration_s - offset
+        n_total = int(np.floor(budget / period))
+        header = self.header_bits()
+        if n_total < header + 1:
+            raise ConfigurationError(
+                f"epoch of {epoch_duration_s * 1e3:.3f} ms cannot fit the "
+                f"{header}-bit header plus one payload bit for tag "
+                f"{self.tag_id} at {self.bitrate_bps:.0f} bps "
+                f"(offset {offset * 1e6:.1f} us)")
+        n_payload = n_total - header
+        payload = self.payload_source.bits(epoch_index, n_payload)
+        frame = build_frame(payload, preamble_bits=self.preamble_bits)
+        return TagEpochPlan(
+            tag_id=self.tag_id,
+            bits=frame,
+            start_offset_s=offset,
+            bit_period_s=period,
+            nominal_bitrate_bps=self.bitrate_bps,
+        )

@@ -1,0 +1,81 @@
+"""TDMA tag model: the stripped EPC Gen 2 baseline of Section 4.2.
+
+Each tag buffers its samples and answers only in its assigned slot with
+a fixed-length 96-bit message at 100 kbps.  Unlike the LF tag it must
+(a) decode the reader's slot-boundary control messages and (b) hold a
+packet buffer between slots — the complexity/power cost quantified in
+Table 3 and Figure 13.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+
+from .. import constants
+from ..errors import ConfigurationError
+from ..types import TagConfig
+from ..utils.rng import SeedLike, make_rng
+
+
+class TdmaTag:
+    """A slotted tag with a FIFO buffer and reader-assigned slots."""
+
+    def __init__(self, config: TagConfig,
+                 slot_bits: int = constants.TDMA_SLOT_BITS,
+                 buffer_capacity_bits: int = 2048,
+                 rng: SeedLike = None):
+        if slot_bits < 1:
+            raise ConfigurationError("slot length must be >= 1 bit")
+        if buffer_capacity_bits < slot_bits:
+            raise ConfigurationError(
+                "buffer must hold at least one slot's worth of bits")
+        self.config = config
+        self.slot_bits = slot_bits
+        self.buffer_capacity_bits = buffer_capacity_bits
+        self._buffer: Deque[int] = deque(maxlen=buffer_capacity_bits)
+        self._dropped_bits = 0
+        self._rng = make_rng(rng)
+
+    @property
+    def tag_id(self) -> int:
+        return self.config.tag_id
+
+    @property
+    def buffered_bits(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def dropped_bits(self) -> int:
+        """Bits lost to buffer overflow while waiting for a slot."""
+        return self._dropped_bits
+
+    def sense(self, bits: np.ndarray) -> None:
+        """Push freshly sensed bits into the FIFO (oldest dropped on
+        overflow, like real bounded sensor buffers)."""
+        arr = np.asarray(bits, dtype=np.int8)
+        if arr.size and not np.all((arr == 0) | (arr == 1)):
+            raise ConfigurationError("sensed bits must be 0/1")
+        overflow = max(len(self._buffer) + arr.size
+                       - self.buffer_capacity_bits, 0)
+        self._dropped_bits += overflow
+        self._buffer.extend(int(b) for b in arr)
+
+    def respond_in_slot(self) -> Optional[np.ndarray]:
+        """Transmit one slot's worth of buffered bits, or None if the
+        buffer cannot fill a slot (the slot is then wasted)."""
+        if len(self._buffer) < self.slot_bits:
+            return None
+        out = np.fromiter((self._buffer.popleft()
+                           for _ in range(self.slot_bits)),
+                          dtype=np.int8, count=self.slot_bits)
+        return out
+
+    def make_identifier(self, n_bits: int = constants.EPC_ID_BITS
+                        ) -> np.ndarray:
+        """A random EPC-style identifier for inventory experiments."""
+        if n_bits < 1:
+            raise ConfigurationError("identifier must be >= 1 bit")
+        return self._rng.integers(0, 2, n_bits, dtype=np.int8)

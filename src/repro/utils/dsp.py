@@ -1,0 +1,161 @@
+"""Digital signal processing primitives used by the decoder.
+
+These are deliberately simple, vectorized building blocks: windowed
+means for the IQ differential of Section 3.1, peak finding for edge
+extraction, and modular folding for the eye-pattern stream search of
+Section 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def moving_average(signal: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge-replicated padding.
+
+    Works on real or complex input and always returns an array the same
+    length as the input.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    arr = np.asarray(signal)
+    if arr.ndim != 1:
+        raise ValueError("signal must be 1-D")
+    if window == 1 or arr.size == 0:
+        return arr.copy()
+    window = min(window, arr.size)
+    kernel = np.ones(window) / window
+    left = window // 2
+    right = window - 1 - left
+    padded = np.concatenate([np.repeat(arr[:1], left), arr,
+                             np.repeat(arr[-1:], right)])
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def windowed_means(signal: np.ndarray, centers: np.ndarray,
+                   pre_window: int, post_window: int,
+                   guard: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean of ``signal`` just before and just after each centre index.
+
+    For each centre c this computes the mean over
+    ``[c - guard - pre_window, c - guard)`` and
+    ``(c + guard, c + guard + post_window]``, clipped to the signal
+    bounds.  This is the S(t-) / S(t+) averaging of Section 3.1, with
+    ``guard`` excluding the edge transition itself.
+
+    Returns ``(before, after)`` arrays aligned with ``centers``.
+    """
+    arr = np.asarray(signal)
+    if arr.ndim != 1:
+        raise ValueError("signal must be 1-D")
+    if pre_window < 1 or post_window < 1:
+        raise ValueError("windows must be >= 1")
+    if guard < 0:
+        raise ValueError("guard must be >= 0")
+    centers = np.asarray(centers, dtype=np.int64)
+    n = arr.size
+    # Prefix sums make every window O(1); complex-safe.
+    csum = np.concatenate([[0], np.cumsum(arr)])
+
+    lo_b = np.clip(centers - guard - pre_window, 0, n)
+    hi_b = np.clip(centers - guard, 0, n)
+    lo_a = np.clip(centers + guard + 1, 0, n)
+    hi_a = np.clip(centers + guard + 1 + post_window, 0, n)
+
+    len_b = np.maximum(hi_b - lo_b, 1)
+    len_a = np.maximum(hi_a - lo_a, 1)
+    before = (csum[hi_b] - csum[lo_b]) / len_b
+    after = (csum[hi_a] - csum[lo_a]) / len_a
+    # Where the window collapsed entirely (edge at trace boundary), fall
+    # back to the nearest sample so callers never see NaN.
+    empty_b = hi_b <= lo_b
+    empty_a = hi_a <= lo_a
+    if np.any(empty_b):
+        before = before.copy()
+        before[empty_b] = arr[np.clip(centers[empty_b], 0, n - 1)]
+    if np.any(empty_a):
+        after = after.copy()
+        after[empty_a] = arr[np.clip(centers[empty_a], 0, n - 1)]
+    return before, after
+
+
+def find_peaks_above(values: np.ndarray, threshold: float,
+                     min_separation: int) -> np.ndarray:
+    """Indices of local maxima above ``threshold``.
+
+    Greedy non-maximum suppression: peaks are accepted in decreasing
+    height order and any later candidate within ``min_separation``
+    samples of an accepted peak is discarded.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError("values must be 1-D")
+    if min_separation < 1:
+        raise ValueError("min_separation must be >= 1")
+    candidates = np.flatnonzero(arr > threshold)
+    if candidates.size == 0:
+        return candidates
+    order = candidates[np.argsort(arr[candidates])[::-1]]
+    accepted: List[int] = []
+    taken = np.zeros(arr.size, dtype=bool)
+    for idx in order:
+        if taken[idx]:
+            continue
+        accepted.append(int(idx))
+        lo = max(0, idx - min_separation)
+        hi = min(arr.size, idx + min_separation + 1)
+        taken[lo:hi] = True
+    return np.array(sorted(accepted), dtype=np.int64)
+
+
+def fold_positions(positions: np.ndarray, period: float,
+                   n_bins: int) -> np.ndarray:
+    """Histogram of ``positions`` modulo ``period`` into ``n_bins`` bins.
+
+    This is the eye-pattern fold of Section 3.2: edges belonging to a
+    stream with this period pile into one bin; noise spreads uniformly.
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    pos = np.asarray(positions, dtype=np.float64)
+    phases = np.mod(pos, period) / period  # in [0, 1)
+    bins = np.minimum((phases * n_bins).astype(np.int64), n_bins - 1)
+    return np.bincount(bins, minlength=n_bins)
+
+
+def nrz_levels_from_bits(bits: np.ndarray) -> np.ndarray:
+    """Map a bit sequence to NRZ antenna states (identity for ASK OOK).
+
+    The tag reflects (state 1) for a one bit and detunes (state 0) for a
+    zero bit; edges appear wherever consecutive bits differ.
+    """
+    arr = np.asarray(bits, dtype=np.int8)
+    if not np.all((arr == 0) | (arr == 1)):
+        raise ValueError("bits must be 0/1")
+    return arr.astype(np.float64)
+
+
+def bits_from_levels(levels: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+    """Inverse of :func:`nrz_levels_from_bits` with a decision threshold."""
+    arr = np.asarray(levels, dtype=np.float64)
+    return (arr > threshold).astype(np.int8)
+
+
+def edge_positions_from_bits(bits: Sequence[int], offset: float,
+                             period: float,
+                             initial_state: int = 0) -> np.ndarray:
+    """Sample positions where an NRZ bit sequence toggles the antenna.
+
+    The transmission starts from ``initial_state`` (antenna detuned by
+    default); bit k occupies ``[offset + k*period, offset + (k+1)*period)``
+    and an edge occurs at the bit boundary whenever the level changes.
+    """
+    arr = np.asarray(bits, dtype=np.int8)
+    levels = np.concatenate([[initial_state], arr])
+    toggles = np.flatnonzero(np.diff(levels) != 0)
+    return offset + toggles * period

@@ -1,0 +1,35 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the simulator accepts either a seed or a
+``numpy.random.Generator``.  Centralizing the conversion here keeps all
+experiments reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a Generator from a seed, an existing Generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` independent child generators from one seed.
+
+    Used to give each simulated tag its own stream so adding or removing
+    a tag does not perturb the randomness of the others.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    root = make_rng(seed)
+    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(n)] \
+        if hasattr(root.bit_generator, "seed_seq") and root.bit_generator.seed_seq is not None \
+        else [np.random.default_rng(root.integers(0, 2**63)) for _ in range(n)]

@@ -1,0 +1,95 @@
+"""Persistence helpers for IQ traces and experiment results.
+
+Traces are stored as ``.npz`` (compact, lossless complex arrays) and
+experiment result dictionaries as JSON, so recorded captures can be fed
+back through the decoder offline — the same workflow one would use with
+real USRP recordings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from ..errors import SignalError
+from ..types import IQTrace
+
+PathLike = Union[str, Path]
+
+_TRACE_FORMAT_VERSION = 1
+
+
+def save_trace(trace: IQTrace, path: PathLike) -> Path:
+    """Write an :class:`IQTrace` to ``path`` as a compressed npz file."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        out,
+        version=np.int64(_TRACE_FORMAT_VERSION),
+        samples=trace.samples,
+        sample_rate_hz=np.float64(trace.sample_rate_hz),
+        start_time_s=np.float64(trace.start_time_s),
+    )
+    # np.savez appends .npz when missing; normalize the returned path.
+    if out.suffix != ".npz":
+        out = out.with_suffix(out.suffix + ".npz")
+    return out
+
+
+def load_trace(path: PathLike) -> IQTrace:
+    """Load an :class:`IQTrace` previously written by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        missing = {"samples", "sample_rate_hz"} - set(data.files)
+        if missing:
+            raise SignalError(
+                f"trace file {path} is missing fields: {sorted(missing)}")
+        version = int(data["version"]) if "version" in data.files else 1
+        if version > _TRACE_FORMAT_VERSION:
+            raise SignalError(
+                f"trace file {path} has format version {version}, newer "
+                f"than supported {_TRACE_FORMAT_VERSION}")
+        start = float(data["start_time_s"]) if "start_time_s" in data.files \
+            else 0.0
+        return IQTrace(
+            samples=np.asarray(data["samples"], dtype=np.complex128),
+            sample_rate_hz=float(data["sample_rate_hz"]),
+            start_time_s=start,
+        )
+
+
+class _ResultEncoder(json.JSONEncoder):
+    """JSON encoder that understands numpy scalars and arrays."""
+
+    def default(self, o: Any) -> Any:
+        if isinstance(o, (np.integer,)):
+            return int(o)
+        if isinstance(o, (np.floating,)):
+            return float(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        if isinstance(o, complex):
+            return {"__complex__": True, "real": o.real, "imag": o.imag}
+        return super().default(o)
+
+
+def _decode_complex(obj: Dict[str, Any]) -> Any:
+    if obj.get("__complex__"):
+        return complex(obj["real"], obj["imag"])
+    return obj
+
+
+def save_results(results: Dict[str, Any], path: PathLike) -> Path:
+    """Write an experiment-result dictionary as pretty-printed JSON."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(results, cls=_ResultEncoder, indent=2,
+                              sort_keys=True) + "\n")
+    return out
+
+
+def load_results(path: PathLike) -> Dict[str, Any]:
+    """Load a result dictionary written by :func:`save_results`."""
+    return json.loads(Path(path).read_text(), object_hook=_decode_complex)

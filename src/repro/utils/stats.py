@@ -1,0 +1,117 @@
+"""Statistics helpers: 2-D Gaussian fits, BER accounting, intervals.
+
+The Viterbi stage (Section 3.5) models IQ emission likelihoods as a
+bivariate normal fitted to empirically observed differentials; the
+evaluation modules need BER computation and binomial confidence
+intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Gaussian2D:
+    """Bivariate normal over the IQ plane: (V_i, V_q) ~ N(mu, sigma, r).
+
+    Mirrors the paper's emission model
+    ``(Vi, Vq) ~ N(mu_i, mu_q, sigma_i, sigma_q, r)`` (Section 3.5).
+    """
+
+    mu_i: float
+    mu_q: float
+    sigma_i: float
+    sigma_q: float
+    rho: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_i <= 0 or self.sigma_q <= 0:
+            raise ValueError("sigmas must be positive")
+        if not -1.0 < self.rho < 1.0:
+            raise ValueError(f"correlation must be in (-1, 1), got {self.rho}")
+
+    def log_pdf(self, points: np.ndarray) -> np.ndarray:
+        """Log density at complex ``points`` (I = real, Q = imag)."""
+        pts = np.asarray(points, dtype=np.complex128)
+        zi = (pts.real - self.mu_i) / self.sigma_i
+        zq = (pts.imag - self.mu_q) / self.sigma_q
+        one_m_r2 = 1.0 - self.rho ** 2
+        quad = (zi ** 2 - 2.0 * self.rho * zi * zq + zq ** 2) / one_m_r2
+        log_norm = -math.log(2.0 * math.pi * self.sigma_i * self.sigma_q
+                             * math.sqrt(one_m_r2))
+        return log_norm - 0.5 * quad
+
+    @property
+    def mean(self) -> complex:
+        return complex(self.mu_i, self.mu_q)
+
+
+def fit_gaussian_2d(points: np.ndarray,
+                    min_sigma: float = 1e-9) -> Gaussian2D:
+    """Fit a :class:`Gaussian2D` to complex IQ samples.
+
+    ``min_sigma`` floors the marginal deviations so degenerate clusters
+    (e.g. a single point) still yield a usable emission model.
+    """
+    pts = np.asarray(points, dtype=np.complex128).ravel()
+    if pts.size == 0:
+        raise ValueError("cannot fit a Gaussian to zero points")
+    i, q = pts.real, pts.imag
+    mu_i, mu_q = float(np.mean(i)), float(np.mean(q))
+    sigma_i = max(float(np.std(i)), min_sigma)
+    sigma_q = max(float(np.std(q)), min_sigma)
+    if pts.size > 1 and sigma_i > min_sigma and sigma_q > min_sigma:
+        rho = float(np.mean((i - mu_i) * (q - mu_q)) / (sigma_i * sigma_q))
+        rho = float(np.clip(rho, -0.999, 0.999))
+    else:
+        rho = 0.0
+    return Gaussian2D(mu_i, mu_q, sigma_i, sigma_q, rho)
+
+
+def ber_from_bits(sent: Sequence[int], received: Sequence[int]) -> float:
+    """Bit error rate between two sequences, compared over the overlap.
+
+    Missing bits at the end of ``received`` (e.g. a truncated decode)
+    count as errors, matching how the evaluation would score a real
+    capture.
+    """
+    tx = np.asarray(sent, dtype=np.int8)
+    rx = np.asarray(received, dtype=np.int8)
+    if tx.size == 0:
+        raise ValueError("sent bits must not be empty")
+    overlap = min(tx.size, rx.size)
+    errors = int(np.count_nonzero(tx[:overlap] != rx[:overlap]))
+    errors += max(tx.size - rx.size, 0)
+    return errors / tx.size
+
+
+def wilson_interval(successes: int, trials: int,
+                    z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    p = successes / trials
+    denom = 1.0 + z ** 2 / trials
+    center = (p + z ** 2 / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials
+                                   + z ** 2 / (4 * trials ** 2))
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a dB power ratio to linear."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)

@@ -1,0 +1,45 @@
+"""Small argument-validation helpers shared across modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+
+def require_positive(name: str, value: float) -> float:
+    """Return ``value`` or raise ConfigurationError if it is not > 0."""
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Return ``value`` or raise ConfigurationError if it is < 0."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def require_in_range(name: str, value: float, low: float, high: float,
+                     inclusive: bool = True) -> float:
+    """Return ``value`` or raise unless it lies within [low, high]."""
+    ok = low <= value <= high if inclusive else low < value < high
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ConfigurationError(
+            f"{name} must be in {bracket[0]}{low}, {high}{bracket[1]}, "
+            f"got {value}")
+    return value
+
+
+def require_int(name: str, value: float,
+                minimum: Optional[int] = None) -> int:
+    """Coerce ``value`` to int, raising if it is fractional or too small."""
+    as_int = int(round(value))
+    if abs(value - as_int) > 1e-9:
+        raise ConfigurationError(f"{name} must be an integer, got {value}")
+    if minimum is not None and as_int < minimum:
+        raise ConfigurationError(
+            f"{name} must be >= {minimum}, got {as_int}")
+    return as_int

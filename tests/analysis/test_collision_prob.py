@@ -1,0 +1,76 @@
+"""Tests for the Section 3.3 collision-probability model."""
+
+import pytest
+
+from repro.analysis.collision_prob import (
+    collision_probability, collision_probability_at_least,
+    collision_probability_mc)
+from repro.errors import ConfigurationError
+
+
+class TestAnalytic:
+    def test_paper_two_way_value(self):
+        """16 nodes at 100 kbps: P(2-way) ~ 0.189 (Section 3.3)."""
+        p = collision_probability(16, 2)
+        assert p == pytest.approx(0.189, abs=0.02)
+
+    def test_paper_three_way_value(self):
+        p = collision_probability(16, 3)
+        assert p == pytest.approx(0.0181, abs=0.008)
+
+    def test_probabilities_sum_to_one(self):
+        total = sum(collision_probability(16, k)
+                    for k in range(1, 17))
+        assert total == pytest.approx(1.0)
+
+    def test_lower_rate_reduces_collisions(self):
+        fast = collision_probability(16, 2, bitrate_bps=100e3)
+        slow = collision_probability(16, 2, bitrate_bps=10e3)
+        assert slow < fast / 5
+
+    def test_toggle_probability_scales(self):
+        full = collision_probability(16, 2, toggle_probability=1.0)
+        half = collision_probability(16, 2, toggle_probability=0.5)
+        assert half < full
+
+    def test_at_least(self):
+        exactly = sum(collision_probability(16, k) for k in (3, 4, 5))
+        at_least = collision_probability_at_least(16, 3)
+        assert at_least >= exactly
+        assert at_least == pytest.approx(
+            1.0 - collision_probability(16, 1)
+            - collision_probability(16, 2))
+
+    def test_200_node_slow_rate_claim(self):
+        """Section 3.3: 3-or-more-way collisions stay rare at 10 kbps
+        even with 200 nodes."""
+        p = collision_probability_at_least(
+            200, 3, bitrate_bps=10e3, toggle_probability=0.5,
+            window=3)
+        assert p < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            collision_probability(0, 1)
+        with pytest.raises(ConfigurationError):
+            collision_probability(4, 5)
+        with pytest.raises(ConfigurationError):
+            collision_probability(4, 2, window=0)
+        with pytest.raises(ConfigurationError):
+            collision_probability(4, 2, toggle_probability=0.0)
+
+
+class TestMonteCarlo:
+    def test_agrees_with_analytic(self):
+        analytic = collision_probability(16, 2)
+        mc = collision_probability_mc(16, 2, n_trials=20_000, rng=0)
+        assert mc == pytest.approx(analytic, abs=0.02)
+
+    def test_no_collision_case(self):
+        analytic = collision_probability(16, 1)
+        mc = collision_probability_mc(16, 1, n_trials=10_000, rng=1)
+        assert mc == pytest.approx(analytic, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            collision_probability_mc(4, 2, n_trials=0)

@@ -1,0 +1,84 @@
+"""Tests for CRC-5 and LF identification latency."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.latency import (LFIdentification, append_crc5,
+                                    check_crc5, crc5,
+                                    lf_identification_time_s)
+from repro.errors import ConfigurationError
+from repro.types import SimulationProfile
+
+
+class TestCrc5:
+    def test_length(self):
+        assert crc5(np.ones(96, dtype=np.int8)).size == 5
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            msg = rng.integers(0, 2, 96).astype(np.int8)
+            assert check_crc5(append_crc5(msg))
+
+    def test_detects_single_bit_errors(self):
+        rng = np.random.default_rng(1)
+        msg = rng.integers(0, 2, 96).astype(np.int8)
+        frame = append_crc5(msg)
+        for pos in range(0, frame.size, 7):
+            bad = frame.copy()
+            bad[pos] ^= 1
+            assert not check_crc5(bad)
+
+    def test_burst_detection_mostly_works(self):
+        """CRC-5 catches all burst errors up to its width."""
+        rng = np.random.default_rng(2)
+        msg = rng.integers(0, 2, 96).astype(np.int8)
+        frame = append_crc5(msg)
+        for start in range(0, 60, 11):
+            bad = frame.copy()
+            bad[start:start + 4] ^= 1
+            assert not check_crc5(bad)
+
+    def test_deterministic(self):
+        msg = np.ones(10, dtype=np.int8)
+        np.testing.assert_array_equal(crc5(msg), crc5(msg))
+
+    def test_short_frame_rejected(self):
+        assert not check_crc5(np.ones(4, dtype=np.int8))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            crc5(np.empty(0, dtype=np.int8))
+
+
+class TestLFIdentification:
+    def test_small_inventory_completes(self):
+        ident = LFIdentification(3, profile=SimulationProfile.fast(),
+                                 rng=0)
+        result = ident.run()
+        assert result.complete
+        assert result.epochs_used <= 4
+        assert result.elapsed_s > 0
+
+    def test_identifiers_unique_per_tag(self):
+        ident = LFIdentification(4, profile=SimulationProfile.fast(),
+                                 rng=1)
+        ids = [tuple(v) for v in ident.identifiers.values()]
+        assert len(set(ids)) == 4
+
+    def test_epoch_duration_fits_frame(self):
+        ident = LFIdentification(2, profile=SimulationProfile.fast(),
+                                 rng=2)
+        frame_bits = 8 + 1 + 96 + 5
+        assert ident.epoch_duration_s() > frame_bits / 10e3
+
+    def test_mean_time_helper(self):
+        t = lf_identification_time_s(
+            2, n_trials=2, profile=SimulationProfile.fast(), rng=3)
+        assert t > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LFIdentification(0)
+        with pytest.raises(ConfigurationError):
+            LFIdentification(2, max_epochs=0)

@@ -1,0 +1,113 @@
+"""Tests for stream-truth matching and throughput accounting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.throughput import (lf_throughput_sweep,
+                                       match_streams, run_lf_epochs,
+                                       score_epoch)
+from repro.reader.epoch import EpochCapture, TagTruth
+from repro.types import DecodedStream, EpochResult, IQTrace
+from repro.types import SimulationProfile
+
+
+def _truth(tag_id, bits, offset):
+    return TagTruth(tag_id=tag_id,
+                    bits=np.asarray(bits, dtype=np.int8),
+                    offset_samples=offset, period_samples=250.0,
+                    nominal_bitrate_bps=10e3, coefficient=0.1)
+
+
+def _stream(bits, offset, period=250.0):
+    return DecodedStream(bits=np.asarray(bits, dtype=np.int8),
+                         offset_samples=offset, period_samples=period,
+                         bitrate_bps=10e3)
+
+
+def _capture(truths):
+    trace = IQTrace(samples=np.ones(30_000, dtype=complex),
+                    sample_rate_hz=2.5e6)
+    return EpochCapture(trace=trace, truths=truths)
+
+
+class TestMatchStreams:
+    def test_exact_match(self):
+        bits = [1, 0, 1, 1]
+        capture = _capture([_truth(0, bits, 100.0)])
+        result = EpochResult(streams=[_stream(bits, 101.0)])
+        matches = match_streams(capture, result)
+        assert matches[0].matched
+        assert matches[0].bit_errors == 0
+
+    def test_unmatched_truth_counts_all_errors(self):
+        capture = _capture([_truth(0, [1, 0, 1], 100.0)])
+        result = EpochResult(streams=[])
+        matches = match_streams(capture, result)
+        assert not matches[0].matched
+        assert matches[0].bit_errors == 3
+
+    def test_offset_tolerance_enforced(self):
+        capture = _capture([_truth(0, [1, 0, 1], 100.0)])
+        result = EpochResult(streams=[_stream([1, 0, 1], 5000.0)])
+        matches = match_streams(capture, result)
+        assert not matches[0].matched
+
+    def test_rate_mismatch_rejected(self):
+        capture = _capture([_truth(0, [1, 0, 1], 100.0)])
+        result = EpochResult(streams=[_stream([1, 0, 1], 100.0,
+                                              period=500.0)])
+        matches = match_streams(capture, result)
+        assert not matches[0].matched
+
+    def test_optimal_assignment_over_greedy(self):
+        """Two truths at near-identical offsets must each get the
+        stream whose bits match theirs."""
+        bits_a = [1, 0, 1, 0, 1, 0, 1, 0]
+        bits_b = [1, 1, 0, 0, 1, 1, 0, 0]
+        capture = _capture([_truth(0, bits_a, 100.0),
+                            _truth(1, bits_b, 102.0)])
+        result = EpochResult(streams=[_stream(bits_b, 101.0),
+                                      _stream(bits_a, 101.0)])
+        matches = match_streams(capture, result)
+        total_errors = sum(m.bit_errors for m in matches)
+        assert total_errors == 0
+
+    def test_short_stream_missing_bits_count(self):
+        capture = _capture([_truth(0, [1, 0, 1, 1], 100.0)])
+        result = EpochResult(streams=[_stream([1, 0], 100.0)])
+        matches = match_streams(capture, result)
+        assert matches[0].bit_errors == 2
+
+    def test_empty_capture(self):
+        capture = _capture([])
+        assert match_streams(capture, EpochResult()) == []
+
+
+class TestScoreEpoch:
+    def test_report_fields(self):
+        bits = [1, 0, 1, 1]
+        capture = _capture([_truth(0, bits, 100.0)])
+        result = EpochResult(streams=[_stream(bits, 100.0)])
+        report = score_epoch(capture, result)
+        assert report.bits_sent == 4
+        assert report.bits_correct == 4
+        assert report.n_tags == 1
+        assert report.elapsed_s == pytest.approx(30_000 / 2.5e6)
+
+
+class TestRunLfEpochs:
+    def test_end_to_end_goodput(self):
+        profile = SimulationProfile.fast()
+        run = run_lf_epochs(2, 10e3, n_epochs=2,
+                            epoch_duration_s=0.008,
+                            profile=profile, rng=0)
+        assert run.goodput_fraction > 0.9
+        assert run.throughput_bps > 0.9 * 2 * 10e3 * \
+            run.goodput_fraction * 0.5
+
+    def test_sweep_keys(self):
+        profile = SimulationProfile.fast()
+        sweep = lf_throughput_sweep([1, 2], 10e3, n_epochs=1,
+                                    epoch_duration_s=0.008,
+                                    profile=profile, rng=1)
+        assert set(sweep) == {1, 2}

@@ -1,0 +1,194 @@
+"""Tests for the Buzz baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.buzz import BuzzConfig, BuzzDecoder, BuzzSimulator
+from repro.errors import ChannelEstimationError, ConfigurationError
+from repro.phy.channel import ChannelModel, random_coefficients
+from repro.phy.dynamics import people_movement
+from repro.tags.buzz_tag import randomization_matrix
+
+
+def make_channel(n, rng=0):
+    coeffs = random_coefficients(n, rng=rng)
+    return ChannelModel({k: c for k, c in enumerate(coeffs)},
+                        environment_offset=0.5 + 0.3j)
+
+
+class TestBuzzConfig:
+    def test_slots_per_bit_half_n(self):
+        cfg = BuzzConfig()
+        assert cfg.slots_per_bit(16) == 8
+        assert cfg.slots_per_bit(5) == 3
+        assert cfg.slots_per_bit(1) == 1
+
+    def test_explicit_retransmissions(self):
+        cfg = BuzzConfig(retransmissions_per_bit=5)
+        assert cfg.slots_per_bit(16) == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BuzzConfig(bitrate_bps=0)
+        with pytest.raises(ConfigurationError):
+            BuzzConfig(retransmissions_per_bit=0)
+        with pytest.raises(ConfigurationError):
+            BuzzConfig(estimation_repetitions=0)
+
+
+class TestBuzzDecoder:
+    def test_exact_inversion(self):
+        n, m = 6, 3
+        h = np.array(random_coefficients(n, rng=1))
+        decoder = None
+        for seed in range(20):  # skip singular draws, as the protocol does
+            d = randomization_matrix(m, n, seed=seed)
+            try:
+                decoder = BuzzDecoder(d, h)
+                break
+            except ChannelEstimationError:
+                continue
+        assert decoder is not None
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, n).astype(np.int8)
+        y = decoder.d @ (h * bits)
+        np.testing.assert_array_equal(decoder.decode_symbol(y), bits)
+
+    def test_environment_subtracted(self):
+        n, m = 4, 2
+        h = np.array(random_coefficients(n, rng=5))
+        decoder = None
+        for seed in range(20):
+            d = randomization_matrix(m, n, seed=seed)
+            try:
+                decoder = BuzzDecoder(d, h)
+                break
+            except ChannelEstimationError:
+                continue
+        assert decoder is not None
+        bits = np.array([1, 0, 1, 1], dtype=np.int8)
+        env = 0.5 + 0.3j
+        y = env + decoder.d @ (h * bits)
+        np.testing.assert_array_equal(
+            decoder.decode_symbol(y, environment=env), bits)
+
+    def test_rank_deficient_rejected(self):
+        d = np.ones((1, 4), dtype=np.int8)  # one equation, 4 unknowns
+        h = np.array(random_coefficients(4, rng=6))
+        with pytest.raises(ChannelEstimationError):
+            BuzzDecoder(d, h)
+
+    def test_shape_validation(self):
+        d = randomization_matrix(4, 4, seed=7)
+        h = np.array(random_coefficients(4, rng=8))
+        decoder = BuzzDecoder(d, h)
+        with pytest.raises(ConfigurationError):
+            decoder.decode_symbol(np.ones(3, dtype=complex))
+        with pytest.raises(ConfigurationError):
+            BuzzDecoder(d, h[:2])
+
+
+class TestBuzzSimulator:
+    def test_transmit_round_trip(self):
+        channel = make_channel(6, rng=0)
+        sim = BuzzSimulator(channel, noise_std=0.02, rng=1)
+        rng = np.random.default_rng(2)
+        msgs = {k: rng.integers(0, 2, 24).astype(np.int8)
+                for k in range(6)}
+        decoded, airtime = sim.transmit(msgs)
+        for k in range(6):
+            np.testing.assert_array_equal(decoded[k], msgs[k])
+        assert airtime > 0
+
+    def test_airtime_includes_estimation(self):
+        channel = make_channel(4, rng=3)
+        cfg = BuzzConfig(estimation_repetitions=10)
+        sim = BuzzSimulator(channel, cfg, rng=4)
+        msgs = {k: np.ones(8, dtype=np.int8) for k in range(4)}
+        _, with_est = sim.transmit(msgs)
+        estimates = sim.estimate_channels()
+        _, without_est = sim.transmit(msgs, estimated=estimates)
+        slot = cfg.slot_duration_s
+        assert with_est - without_est == pytest.approx(40 * slot)
+
+    def test_stale_estimates_cause_errors(self):
+        """Channel dynamics break Buzz: estimates from t=0 fail when
+        the coefficients move (Figure 1's motivation)."""
+        base = random_coefficients(6, rng=5)
+        trajectories = {k: people_movement(base[k], 20.0,
+                                           wander_scale=0.6,
+                                           rng=k)
+                        for k in range(6)}
+        channel = ChannelModel({k: base[k] for k in range(6)},
+                               trajectories=trajectories)
+        sim = BuzzSimulator(channel, noise_std=0.01, rng=6)
+        estimates = sim.estimate_channels(at_time_s=0.0)
+        rng = np.random.default_rng(7)
+        msgs = {k: rng.integers(0, 2, 32).astype(np.int8)
+                for k in range(6)}
+        decoded, _ = sim.transmit(msgs, at_time_s=18.0,
+                                  estimated=estimates)
+        errors = sum(int(np.count_nonzero(decoded[k] != msgs[k]))
+                     for k in range(6))
+        assert errors > 0
+
+    def test_estimation_accuracy(self):
+        channel = make_channel(4, rng=8)
+        sim = BuzzSimulator(channel, noise_std=0.01, rng=9)
+        estimates = sim.estimate_channels()
+        for tag_id, est in estimates.items():
+            true = channel.coefficients[tag_id]
+            assert abs(est - true) < 0.01
+
+    def test_aggregate_throughput_near_2x(self):
+        channel = make_channel(16, rng=10)
+        sim = BuzzSimulator(channel, rng=11)
+        tput = sim.aggregate_throughput_bps(message_bits=8192)
+        assert tput == pytest.approx(2 * 100e3, rel=0.1)
+
+    def test_identification_time_grows_with_n(self):
+        channel = make_channel(4, rng=12)
+        sim = BuzzSimulator(channel, rng=13)
+        assert sim.identification_time_s(16) > \
+            sim.identification_time_s(4)
+
+    def test_lockstep_requires_equal_lengths(self):
+        channel = make_channel(2, rng=14)
+        sim = BuzzSimulator(channel, rng=15)
+        with pytest.raises(ConfigurationError):
+            sim.transmit({0: np.ones(4, dtype=np.int8),
+                          1: np.ones(5, dtype=np.int8)})
+
+    def test_all_tags_must_have_messages(self):
+        channel = make_channel(2, rng=16)
+        sim = BuzzSimulator(channel, rng=17)
+        with pytest.raises(ConfigurationError):
+            sim.transmit({0: np.ones(4, dtype=np.int8)})
+
+
+class TestWaveformLevel:
+    def test_waveform_level_round_trip(self):
+        channel = make_channel(4, rng=20)
+        sim = BuzzSimulator(channel, noise_std=0.05, rng=21,
+                            samples_per_slot=100)
+        rng = np.random.default_rng(22)
+        msgs = {k: rng.integers(0, 2, 16).astype(np.int8)
+                for k in range(4)}
+        decoded, airtime = sim.transmit_waveform_level(msgs)
+        for k in range(4):
+            np.testing.assert_array_equal(decoded[k], msgs[k])
+        assert airtime > 0
+
+    def test_agrees_with_symbol_level(self):
+        """The integrated-noise shortcut and the rendered waveform path
+        produce the same decode on the same channel."""
+        channel = make_channel(4, rng=23)
+        msgs = {k: np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.int8)
+                for k in range(4)}
+        sym = BuzzSimulator(channel, noise_std=0.0, rng=24)
+        wav = BuzzSimulator(channel, noise_std=0.0, rng=24)
+        dec_sym, air_sym = sym.transmit(msgs)
+        dec_wav, air_wav = wav.transmit_waveform_level(msgs)
+        assert air_sym == air_wav
+        for k in range(4):
+            np.testing.assert_array_equal(dec_sym[k], dec_wav[k])

@@ -1,0 +1,96 @@
+"""Tests for the Section 2.3 cluster-separation strawman."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.qam_cluster import (ClusterSeparator,
+                                         blind_cluster_accuracy,
+                                         synthesize_synchronous_samples)
+from repro.errors import ConfigurationError, DecodeError
+from repro.phy.channel import random_coefficients
+
+
+class TestClusterSeparator:
+    def test_cluster_count_is_2_to_n(self):
+        coeffs = random_coefficients(3, rng=0)
+        assert ClusterSeparator(coeffs).n_clusters == 8
+
+    def test_decode_two_tags_clean(self):
+        coeffs = random_coefficients(2, min_separation=0.05, rng=1)
+        samples, truth = synthesize_synchronous_samples(
+            coeffs, 200, noise_std=0.005, rng=2)
+        separator = ClusterSeparator(coeffs)
+        assert separator.symbol_accuracy(samples, truth) > 0.99
+
+    def test_six_tags_degrade(self):
+        """The Figure 2(c) claim: 64 clusters crowd together and
+        accuracy collapses relative to the 2-tag case."""
+        rng = 3
+        coeffs6 = random_coefficients(6, rng=rng)
+        samples6, truth6 = synthesize_synchronous_samples(
+            coeffs6, 300, noise_std=0.02, rng=4)
+        acc6 = ClusterSeparator(coeffs6).symbol_accuracy(samples6,
+                                                         truth6)
+        coeffs2 = random_coefficients(2, min_separation=0.05, rng=rng)
+        samples2, truth2 = synthesize_synchronous_samples(
+            coeffs2, 300, noise_std=0.02, rng=5)
+        acc2 = ClusterSeparator(coeffs2).symbol_accuracy(samples2,
+                                                         truth2)
+        assert acc6 < acc2
+
+    def test_min_gap_shrinks_with_tags(self):
+        gaps = []
+        for n in (2, 4, 6):
+            coeffs = random_coefficients(n, rng=7)
+            gaps.append(ClusterSeparator(coeffs).min_cluster_gap())
+        assert gaps[2] < gaps[0]
+
+    def test_environment_offset_applied(self):
+        separator = ClusterSeparator([0.1 + 0j], environment=1 + 1j)
+        centres = separator.cluster_centres()
+        assert (1 + 1j) in centres
+        assert (1.1 + 1j) in centres
+
+    def test_decode_shape(self):
+        coeffs = random_coefficients(2, rng=8)
+        samples, _ = synthesize_synchronous_samples(coeffs, 50, rng=9)
+        decoded = ClusterSeparator(coeffs).decode_samples(samples)
+        assert decoded.shape == (samples.size, 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSeparator([])
+        with pytest.raises(ConfigurationError):
+            ClusterSeparator(random_coefficients(13, rng=0))
+        separator = ClusterSeparator([0.1])
+        with pytest.raises(DecodeError):
+            separator.decode_samples(np.empty(0, dtype=complex))
+        with pytest.raises(ConfigurationError):
+            separator.symbol_accuracy(np.ones(3, dtype=complex),
+                                      np.ones((2, 1), dtype=np.int8))
+
+
+class TestSynthesize:
+    def test_shapes(self):
+        coeffs = random_coefficients(3, rng=10)
+        samples, truth = synthesize_synchronous_samples(
+            coeffs, 40, samples_per_symbol=5, rng=11)
+        assert samples.size == 200
+        assert truth.shape == (200, 3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_synchronous_samples([0.1], 0)
+
+
+class TestBlindClustering:
+    def test_two_tags_mostly_recoverable(self):
+        coeffs = random_coefficients(2, min_separation=0.06, rng=12)
+        samples, _ = synthesize_synchronous_samples(
+            coeffs, 400, noise_std=0.004, rng=13)
+        acc = blind_cluster_accuracy(samples, 2, rng=14)
+        assert acc > 0.8
+
+    def test_too_few_samples(self):
+        with pytest.raises(ConfigurationError):
+            blind_cluster_accuracy(np.ones(10, dtype=complex), 6)

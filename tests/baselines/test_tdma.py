@@ -1,0 +1,85 @@
+"""Tests for the stripped Gen 2 TDMA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tdma import (TdmaConfig, TdmaSimulator,
+                                  identification_times)
+from repro.errors import ConfigurationError
+
+
+class TestThroughput:
+    def test_flat_in_tag_count(self):
+        """TDMA serializes: aggregate equals the single-tag bitrate no
+        matter how many tags share the channel (Figure 8)."""
+        sim = TdmaSimulator(rng=0)
+        assert sim.aggregate_throughput_bps(1) == \
+            sim.aggregate_throughput_bps(16) == 100e3
+
+    def test_control_overhead_reduces_efficiency(self):
+        sim = TdmaSimulator(TdmaConfig(control_bits_per_slot=32),
+                            rng=0)
+        assert sim.aggregate_throughput_bps(4) == pytest.approx(
+            100e3 * 96 / 128)
+
+    def test_run_transfer_round_robin(self):
+        sim = TdmaSimulator(rng=0)
+        report = sim.run_transfer(4, duration_s=0.01)
+        # 0.01 s / 0.96 ms per slot = 10 slots.
+        assert report.bits_correct == 10 * 96
+        assert max(report.per_tag_bits.values()) \
+            - min(report.per_tag_bits.values()) <= 96
+
+    def test_throughput_report_scheme(self):
+        report = TdmaSimulator(rng=0).run_transfer(2, 0.01)
+        assert report.scheme == "tdma"
+        assert report.goodput_fraction == 1.0
+
+
+class TestIdentification:
+    def test_analytic_scales_linearly(self):
+        sim = TdmaSimulator(rng=0)
+        s4 = sim.identification_slots(4, simulate=False)
+        s16 = sim.identification_slots(16, simulate=False)
+        assert s16 == pytest.approx(4 * s4, rel=0.1)
+
+    def test_simulation_at_least_n_slots(self):
+        sim = TdmaSimulator(rng=1)
+        for n in (1, 4, 16):
+            assert sim.identification_slots(n) >= n
+
+    def test_simulation_near_e_times_n(self):
+        sim = TdmaSimulator(rng=2)
+        trials = [sim.identification_slots(16) for _ in range(30)]
+        mean = np.mean(trials)
+        assert 1.8 * 16 < mean < 4.0 * 16
+
+    def test_identification_time_positive_and_increasing(self):
+        sim = TdmaSimulator(rng=3)
+        t4 = sim.identification_time_s(4, simulate=False)
+        t16 = sim.identification_time_s(16, simulate=False)
+        assert 0 < t4 < t16
+
+    def test_identification_times_sweep(self):
+        times = identification_times([2, 4], n_trials=5, rng=4)
+        assert set(times) == {2, 4}
+        assert times[4] > times[2]
+
+
+class TestValidation:
+    def test_config(self):
+        with pytest.raises(ConfigurationError):
+            TdmaConfig(slot_bits=0)
+        with pytest.raises(ConfigurationError):
+            TdmaConfig(bitrate_bps=-1)
+        with pytest.raises(ConfigurationError):
+            TdmaConfig(control_bits_per_slot=-1)
+
+    def test_runtime(self):
+        sim = TdmaSimulator(rng=0)
+        with pytest.raises(ConfigurationError):
+            sim.aggregate_throughput_bps(0)
+        with pytest.raises(ConfigurationError):
+            sim.run_transfer(2, 0.0)
+        with pytest.raises(ConfigurationError):
+            sim.identification_slots(0)

@@ -1,0 +1,101 @@
+"""Tests for anchor-bit disambiguation and frame assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core.anchor import (assemble_bits, expected_header,
+                               resolve_polarity)
+from repro.core.viterbi import bits_to_edge_states
+from repro.errors import ConfigurationError, DecodeError
+from repro.tags.base import build_frame
+
+
+def observations_for_frame(payload, lead_slots=0, sigma=0.0, seed=0,
+                           sign=1.0):
+    """Projected observations of a full frame, with optional silence
+    before the frame starts."""
+    frame = build_frame(payload)
+    states = bits_to_edge_states(frame)
+    means = np.array([1.0, -1.0, 0.0, 0.0])[states]
+    obs = np.concatenate([np.zeros(lead_slots), means]) * sign
+    if sigma:
+        rng = np.random.default_rng(seed)
+        obs = obs + rng.normal(0, sigma, obs.size)
+    return obs, frame
+
+
+class TestResolvePolarity:
+    def test_clean_frame(self):
+        obs, frame = observations_for_frame([1, 1, 0, 1, 0, 0])
+        assembled = resolve_polarity(obs)
+        np.testing.assert_array_equal(assembled.bits, frame)
+        assert not assembled.flipped
+        assert assembled.start_slot == 0
+        assert assembled.header_score == 1.0
+
+    def test_inverted_projection_flipped_back(self):
+        obs, frame = observations_for_frame([0, 1, 1, 0], sign=-1.0)
+        assembled = resolve_polarity(obs)
+        np.testing.assert_array_equal(assembled.bits, frame)
+        assert assembled.flipped
+
+    def test_leading_silence_skipped(self):
+        obs, frame = observations_for_frame([1, 0, 1], lead_slots=7)
+        assembled = resolve_polarity(obs)
+        assert assembled.start_slot == 7
+        np.testing.assert_array_equal(assembled.bits, frame)
+
+    def test_shifted_alias_rejected(self):
+        """The classic false lock — inverted and one slot late — must
+        lose to the true alignment even when the payload makes its
+        header match perfect."""
+        # Payload starting with 0 creates the ambiguous case.
+        obs, frame = observations_for_frame([0, 0, 1, 1],
+                                            lead_slots=4)
+        assembled = resolve_polarity(obs)
+        assert assembled.start_slot == 4
+        assert not assembled.flipped
+        np.testing.assert_array_equal(assembled.bits, frame)
+
+    def test_noisy_frame_still_locks(self):
+        obs, frame = observations_for_frame([1, 0, 0, 1, 1, 0] * 5,
+                                            lead_slots=3, sigma=0.25,
+                                            seed=1)
+        assembled = resolve_polarity(obs)
+        assert assembled.start_slot == 3
+        errors = np.count_nonzero(
+            assembled.bits[:frame.size] != frame)
+        assert errors <= 2
+
+    def test_no_edges_raises(self):
+        with pytest.raises(DecodeError):
+            resolve_polarity(np.zeros(50))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_polarity(np.empty(0))
+
+
+class TestAssembleBits:
+    def test_min_header_score_enforced(self):
+        rng = np.random.default_rng(2)
+        garbage = rng.normal(0, 1.0, 60)
+        with pytest.raises(DecodeError):
+            assemble_bits(garbage, min_header_score=0.99)
+
+    def test_hard_decode_variant(self):
+        obs, frame = observations_for_frame([1, 1, 0, 0])
+        assembled = assemble_bits(obs, use_viterbi=False)
+        np.testing.assert_array_equal(assembled.bits, frame)
+
+
+class TestExpectedHeader:
+    def test_structure(self):
+        header = expected_header()
+        assert header.size == 9
+        np.testing.assert_array_equal(header,
+                                      [1, 0, 1, 0, 1, 0, 1, 0, 1])
+
+    def test_custom_length(self):
+        header = expected_header(preamble_bits=4)
+        np.testing.assert_array_equal(header, [1, 0, 1, 0, 1])

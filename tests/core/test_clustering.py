@@ -1,0 +1,110 @@
+"""Tests for k-means clustering and model selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import (bic_score, kmeans,
+                                   select_cluster_count)
+from repro.errors import ConfigurationError
+
+
+def gaussian_blobs(centres, n_per, sigma, seed=0):
+    rng = np.random.default_rng(seed)
+    points = []
+    for c in centres:
+        points.append(c + rng.normal(0, sigma, n_per)
+                      + 1j * rng.normal(0, sigma, n_per))
+    return np.concatenate(points)
+
+
+class TestKMeans:
+    def test_recovers_three_blobs(self):
+        centres = [0j, 0.1 + 0.05j, -0.1 - 0.05j]
+        pts = gaussian_blobs(centres, 60, 0.005)
+        result = kmeans(pts, 3, rng=0)
+        found = sorted(result.centroids, key=lambda z: z.real)
+        expected = sorted(centres, key=lambda z: z.real)
+        for f, e in zip(found, expected):
+            assert abs(f - e) < 0.01
+
+    def test_labels_consistent_with_centroids(self):
+        pts = gaussian_blobs([0j, 1 + 0j], 40, 0.01)
+        result = kmeans(pts, 2, rng=1)
+        for point, label in zip(pts, result.labels):
+            distances = np.abs(result.centroids - point)
+            assert label == np.argmin(distances)
+
+    def test_inertia_decreases_with_k(self):
+        pts = gaussian_blobs([0j, 1 + 0j, 1j], 30, 0.05)
+        inertia_1 = kmeans(pts, 1, rng=2).inertia
+        inertia_3 = kmeans(pts, 3, rng=2).inertia
+        assert inertia_3 < inertia_1
+
+    def test_cluster_sizes(self):
+        pts = gaussian_blobs([0j, 1 + 0j], 25, 0.01)
+        result = kmeans(pts, 2, rng=3)
+        assert sorted(result.cluster_sizes()) == [25, 25]
+
+    def test_k_equals_n_points(self):
+        pts = np.array([0j, 1 + 0j, 2j])
+        result = kmeans(pts, 3, rng=4)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            kmeans(np.empty(0, dtype=complex), 2)
+        with pytest.raises(ConfigurationError):
+            kmeans(np.ones(3, dtype=complex), 0)
+        with pytest.raises(ConfigurationError):
+            kmeans(np.ones(3, dtype=complex), 5)
+        with pytest.raises(ConfigurationError):
+            kmeans(np.ones(3, dtype=complex), 2, n_init=0)
+
+
+class TestSelectClusterCount:
+    def test_three_blobs_prefer_three(self):
+        """A single tag's rise/fall/hold structure selects k=3."""
+        pts = gaussian_blobs([0j, 0.1 + 0.05j, -0.1 - 0.05j], 80,
+                             0.006, seed=5)
+        result = select_cluster_count(pts, candidates=(3, 9), rng=0)
+        assert result.k == 3
+
+    def test_nine_blobs_prefer_nine(self):
+        """A 2-way collision's 3x3 lattice selects k=9."""
+        e1, e2 = 0.1 + 0.02j, -0.03 + 0.09j
+        centres = [a * e1 + b * e2 for a in (-1, 0, 1)
+                   for b in (-1, 0, 1)]
+        pts = gaussian_blobs(centres, 40, 0.004, seed=6)
+        result = select_cluster_count(pts, candidates=(3, 9), rng=1)
+        assert result.k == 9
+
+    def test_infeasible_candidates_skipped(self):
+        pts = gaussian_blobs([0j, 1 + 0j], 2, 0.01)  # only 4 points
+        result = select_cluster_count(pts, candidates=(3, 9), rng=2)
+        assert result.k == 3
+
+    def test_no_feasible_candidate(self):
+        with pytest.raises(ConfigurationError):
+            select_cluster_count(np.ones(2, dtype=complex),
+                                 candidates=(9,), rng=0)
+
+    def test_empty_candidates(self):
+        with pytest.raises(ConfigurationError):
+            select_cluster_count(np.ones(5, dtype=complex),
+                                 candidates=())
+
+
+class TestBicScore:
+    def test_improves_with_fit_quality_at_same_k(self):
+        tight = gaussian_blobs([0j, 1 + 0j], 50, 0.01, seed=7)
+        loose = gaussian_blobs([0j, 1 + 0j], 50, 0.2, seed=7)
+        fit_tight = kmeans(tight, 2, rng=0)
+        fit_loose = kmeans(loose, 2, rng=0)
+        assert bic_score(fit_tight, tight.size) < \
+            bic_score(fit_loose, loose.size)
+
+    def test_validation(self):
+        pts = np.ones(5, dtype=complex)
+        fit = kmeans(pts, 1, rng=0)
+        with pytest.raises(ConfigurationError):
+            bic_score(fit, 0)

@@ -1,0 +1,105 @@
+"""Tests for IQ cluster-based collision detection (Section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.collision import (CollisionReport, detect_collision,
+                                  scatter_planarity)
+from repro.errors import ConfigurationError
+
+
+def single_tag_diffs(e, n, sigma, seed=0):
+    rng = np.random.default_rng(seed)
+    states = rng.integers(-1, 2, n)
+    return states * e + (rng.normal(0, sigma, n)
+                         + 1j * rng.normal(0, sigma, n))
+
+
+def collided_diffs(e1, e2, n, sigma, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-1, 2, n)
+    b = rng.integers(-1, 2, n)
+    return a * e1 + b * e2 + (rng.normal(0, sigma, n)
+                              + 1j * rng.normal(0, sigma, n))
+
+
+class TestScatterPlanarity:
+    def test_collinear_is_flat(self):
+        pts = np.array([1 + 1j, -1 - 1j, 2 + 2j, 0j])
+        assert scatter_planarity(pts) == pytest.approx(0.0, abs=1e-12)
+
+    def test_isotropic_is_round(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(0, 1, 5000) + 1j * rng.normal(0, 1, 5000)
+        assert scatter_planarity(pts) > 0.9
+
+    def test_about_origin_not_mean(self):
+        """Points at {0, +e, -e} are symmetric about the origin; a
+        mean-centred measure would be fooled by a skewed draw."""
+        pts = np.array([0.1 + 0.05j] * 10 + [0j] * 10)
+        assert scatter_planarity(pts) < 0.01
+
+    def test_tiny_input(self):
+        assert scatter_planarity(np.array([1 + 0j])) == 0.0
+
+
+class TestDetectCollision:
+    def test_single_tag_not_collision(self):
+        diffs = single_tag_diffs(0.1 + 0.04j, 120, 0.004)
+        report = detect_collision(diffs, rng=0)
+        assert not report.is_collision
+        assert report.estimated_colliders == 1
+
+    def test_two_way_collision_detected(self):
+        diffs = collided_diffs(0.1 + 0.02j, -0.03 + 0.09j, 150, 0.004)
+        report = detect_collision(diffs, rng=1)
+        assert report.is_collision
+        assert report.estimated_colliders == 2
+
+    def test_weak_second_collider_still_detected(self):
+        """The regime that motivated the noise-aware threshold: one
+        strong and one weak collider."""
+        diffs = collided_diffs(0.13 + 0.02j, 0.01 - 0.04j, 200, 0.003,
+                               seed=3)
+        report = detect_collision(diffs, noise_scale=0.003, rng=2)
+        assert report.is_collision
+
+    def test_noise_does_not_fake_collision(self):
+        """Heavy noise on a single tag must not read as a collision."""
+        hits = 0
+        for seed in range(5):
+            diffs = single_tag_diffs(0.1 + 0.04j, 150, 0.02, seed=seed)
+            report = detect_collision(diffs, noise_scale=0.02,
+                                      rng=seed)
+            hits += int(report.is_collision)
+        assert hits == 0
+
+    def test_parallel_vectors_undetectable(self):
+        """Anti-parallel edge vectors are geometrically degenerate —
+        the honest outcome is 'no collision' (the paper's Table 2
+        accuracy losses come from exactly this)."""
+        diffs = collided_diffs(0.1 + 0.0j, -0.05 - 0.0j, 150, 0.004,
+                               seed=4)
+        report = detect_collision(diffs, rng=3)
+        assert not report.is_collision
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            detect_collision(np.ones(2, dtype=complex))
+        with pytest.raises(ConfigurationError):
+            detect_collision(np.ones(20, dtype=complex),
+                             planarity_threshold=1.5)
+
+
+class TestCollisionReport:
+    def test_estimated_colliders_from_cluster_count(self):
+        from repro.core.clustering import KMeansResult
+        fake = KMeansResult(centroids=np.zeros(9, dtype=complex),
+                            labels=np.zeros(9, dtype=np.int64),
+                            inertia=0.0)
+        report = CollisionReport(is_collision=True, n_clusters=9,
+                                 planarity=0.5, kmeans=fake)
+        assert report.estimated_colliders == 2
+        report27 = CollisionReport(is_collision=True, n_clusters=27,
+                                   planarity=0.5, kmeans=fake)
+        assert report27.estimated_colliders == 3

@@ -1,0 +1,91 @@
+"""Additional folding tests: drift grids, windows, config edges."""
+
+import numpy as np
+import pytest
+
+from repro.core.folding import (FoldingConfig, analog_fold_search,
+                                find_stream_hypotheses)
+from repro.errors import ConfigurationError
+from repro.types import DetectedEdge
+
+
+def edges_at(positions):
+    return [DetectedEdge(position=int(p), differential=0.1 + 0j)
+            for p in positions]
+
+
+class TestDriftGrid:
+    def test_slow_stream_with_heavy_drift_found(self):
+        """At slow rates the ppm phase walk spans many samples per
+        bit; the drift-corrected fold must still seed the stream."""
+        period = 25_000.0 * (1 + 150e-6)
+        positions = 1000.0 + period * np.arange(14)
+        hyps = find_stream_hypotheses(edges_at(positions), [25_000.0])
+        assert len(hyps) == 1
+        assert len(hyps[0].edge_indices) >= 12
+
+    def test_fast_stream_period_not_perturbed(self):
+        """With no real drift, the seeded period stays nominal (the
+        drift grid is gated off for fast short traces)."""
+        positions = 40.0 + 250.0 * np.arange(30)
+        hyps = find_stream_hypotheses(edges_at(positions), [250.0])
+        assert hyps[0].period_samples == 250.0
+
+    def test_two_slow_streams_both_found_under_drift(self):
+        pa = 25_000.0 * (1 + 120e-6)
+        pb = 25_000.0 * (1 - 120e-6)
+        a = 1000.0 + pa * np.arange(14)
+        b = 9000.0 + pb * np.arange(14)
+        hyps = find_stream_hypotheses(
+            edges_at(np.concatenate([a, b])), [25_000.0])
+        assert len(hyps) == 2
+
+
+class TestFoldWindow:
+    def test_late_edges_still_claimed_by_tracker(self):
+        """The fold seeds from the early window, but matching covers
+        the whole trace."""
+        positions = 40.0 + 250.0 * np.arange(300)  # 75k samples long
+        hyps = find_stream_hypotheses(edges_at(positions), [250.0])
+        assert len(hyps) == 1
+        assert len(hyps[0].edge_indices) >= 295
+
+    def test_custom_window_config(self):
+        positions = 40.0 + 250.0 * np.arange(50)
+        cfg = FoldingConfig(fold_window_periods=10.0)
+        hyps = find_stream_hypotheses(edges_at(positions), [250.0],
+                                      cfg)
+        assert len(hyps) == 1
+
+
+class TestAnalogFoldDrift:
+    def test_buried_drifting_stream_found(self):
+        rng = np.random.default_rng(5)
+        n = 60_000
+        energy = rng.exponential(1.0, n)
+        period = 250.0 * (1 + 180e-6)
+        k = 0
+        while 137 + k * period < n - 2:
+            pos = int(137 + k * period)
+            energy[pos - 1: pos + 2] += 2.5
+            k += 1
+        hyps = analog_fold_search(energy, [250.0])
+        assert len(hyps) == 1
+        assert hyps[0].period_samples == pytest.approx(period,
+                                                       abs=0.08)
+
+
+class TestConfigEdges:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FoldingConfig(bin_width_samples=0)
+        with pytest.raises(ConfigurationError):
+            FoldingConfig(min_edges=1)
+        with pytest.raises(ConfigurationError):
+            FoldingConfig(match_tolerance_samples=0)
+
+    def test_duplicate_candidate_periods_deduped(self):
+        positions = 40.0 + 250.0 * np.arange(20)
+        hyps = find_stream_hypotheses(edges_at(positions),
+                                      [250.0, 250.0, 250.0])
+        assert len(hyps) == 1

@@ -1,0 +1,177 @@
+"""Tests for the parallelogram collision separator (Section 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import kmeans
+from repro.core.separation import (LATTICE_COORDS,
+                                   basis_from_collinear_midpoints,
+                                   basis_from_lattice_fit,
+                                   continuous_coords, separate_two_way)
+from repro.errors import (CollisionUnresolvableError,
+                          ConfigurationError)
+
+E1 = 0.11 + 0.03j
+E2 = -0.04 + 0.09j
+
+
+def exact_centroids(e1=E1, e2=E2):
+    return np.array([a * e1 + b * e2 for a, b in LATTICE_COORDS])
+
+
+def collision_points(e1=E1, e2=E2, n=300, sigma=0.003, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-1, 2, n)
+    b = rng.integers(-1, 2, n)
+    pts = a * e1 + b * e2 + (rng.normal(0, sigma, n)
+                             + 1j * rng.normal(0, sigma, n))
+    return pts, a, b
+
+
+def basis_matches(found, truth, tol=0.01):
+    """Check basis equality up to order swap and sign flips."""
+    f1, f2 = found
+    t1, t2 = truth
+    for a, b in ((f1, f2), (f2, f1)):
+        for s1 in (1, -1):
+            for s2 in (1, -1):
+                if abs(s1 * a - t1) < tol and abs(s2 * b - t2) < tol:
+                    return True
+    return False
+
+
+class TestBasisFromLatticeFit:
+    def test_exact_lattice(self):
+        e1, e2, err = basis_from_lattice_fit(exact_centroids())
+        assert basis_matches((e1, e2), (E1, E2))
+        assert err == pytest.approx(0.0, abs=1e-9)
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            basis_from_lattice_fit(np.zeros(5, dtype=complex))
+
+    def test_parallel_vectors_unresolvable(self):
+        cents = exact_centroids(0.1 + 0j, 0.05 + 0j)
+        with pytest.raises(CollisionUnresolvableError):
+            basis_from_lattice_fit(cents)
+
+
+class TestBasisFromCollinearMidpoints:
+    def test_exact_lattice(self):
+        e1, e2 = basis_from_collinear_midpoints(exact_centroids())
+        assert basis_matches((e1, e2), (E1, E2))
+
+    def test_agrees_with_lattice_fit_under_noise(self):
+        pts, _, _ = collision_points(sigma=0.002, seed=2)
+        fit = kmeans(pts, 9, rng=0, n_init=6)
+        a1, a2, _ = basis_from_lattice_fit(fit.centroids)
+        b1, b2 = basis_from_collinear_midpoints(fit.centroids)
+        assert basis_matches((a1, a2), (b1, b2), tol=0.02)
+
+
+class TestContinuousCoords:
+    def test_exact_inversion(self):
+        pts, a, b = collision_points(sigma=0.0, seed=1)
+        coords = continuous_coords(pts, E1, E2)
+        np.testing.assert_allclose(coords[:, 0], a, atol=1e-9)
+        np.testing.assert_allclose(coords[:, 1], b, atol=1e-9)
+
+    def test_parallel_basis_rejected(self):
+        with pytest.raises(CollisionUnresolvableError):
+            continuous_coords(np.ones(5, dtype=complex), 0.1, 0.05)
+
+
+class TestSeparateTwoWay:
+    def test_recovers_both_streams(self):
+        pts, a, b = collision_points(n=400, sigma=0.003, seed=3)
+        result = separate_two_way(pts, rng=0)
+        states = result.hard_states()
+        # Column assignment is ambiguous: check both pairings.
+        direct = (np.mean(states[:, 0] == a)
+                  + np.mean(states[:, 1] == b))
+        swapped = (np.mean(states[:, 0] == b)
+                   + np.mean(states[:, 1] == a))
+        # Sign may also flip per column; accept the best over signs.
+        best = 0.0
+        for c0 in (states[:, 0], -states[:, 0]):
+            for c1 in (states[:, 1], -states[:, 1]):
+                best = max(best,
+                           np.mean(c0 == a) + np.mean(c1 == b),
+                           np.mean(c0 == b) + np.mean(c1 == a))
+        assert best / 2 > 0.97
+        del direct, swapped
+
+    def test_lattice_error_reported(self):
+        pts, _, _ = collision_points(n=300, sigma=0.002, seed=4)
+        result = separate_two_way(pts, rng=1)
+        assert result.lattice_error < 0.01
+
+    def test_methods_agree(self):
+        pts, _, _ = collision_points(n=400, sigma=0.002, seed=5)
+        a = separate_two_way(pts, rng=2, method="lattice_fit")
+        b = separate_two_way(pts, rng=2,
+                             method="collinear_midpoints")
+        assert basis_matches((a.e1, a.e2), (b.e1, b.e2), tol=0.02)
+
+    def test_too_few_points(self):
+        with pytest.raises(CollisionUnresolvableError):
+            separate_two_way(np.ones(5, dtype=complex))
+
+    def test_unknown_method(self):
+        pts, _, _ = collision_points()
+        with pytest.raises(ConfigurationError):
+            separate_two_way(pts, method="nonsense")
+
+
+class TestSeparateCollinear:
+    def _points(self, s1, s2, n=400, sigma=0.004, seed=0,
+                angle=0.7):
+        from repro.core.separation import separate_collinear
+        rng = np.random.default_rng(seed)
+        u = np.exp(1j * angle)
+        a = rng.integers(-1, 2, n)
+        b = rng.integers(-1, 2, n)
+        d = (a * s1 + b * s2) * u + (
+            rng.normal(0, sigma, n) + 1j * rng.normal(0, sigma, n))
+        return d, a, b
+
+    def _accuracy(self, result, a, b):
+        states = result.hard_states()
+        best = 0.0
+        for c0 in (states[:, 0], -states[:, 0]):
+            for c1 in (states[:, 1], -states[:, 1]):
+                best = max(best,
+                           np.mean(c0 == a) + np.mean(c1 == b),
+                           np.mean(c0 == b) + np.mean(c1 == a))
+        return best / 2
+
+    def test_generic_magnitudes_separate(self):
+        from repro.core.separation import separate_collinear
+        d, a, b = self._points(0.12, -0.05)
+        result = separate_collinear(d, rng=1)
+        assert self._accuracy(result, a, b) > 0.95
+
+    def test_parallel_same_sign(self):
+        from repro.core.separation import separate_collinear
+        d, a, b = self._points(0.1, 0.045, seed=2)
+        result = separate_collinear(d, rng=1)
+        assert self._accuracy(result, a, b) > 0.9
+
+    def test_degenerate_ratio_rejected(self):
+        """s1 = -2*s2 makes lattice values coincide; the separator
+        must refuse rather than mislabel."""
+        from repro.core.separation import separate_collinear
+        d, _, _ = self._points(0.12, -0.06, seed=3)
+        with pytest.raises(CollisionUnresolvableError):
+            separate_collinear(d, rng=1)
+
+    def test_similar_magnitudes_rejected(self):
+        from repro.core.separation import separate_collinear
+        d, _, _ = self._points(0.1, -0.095, seed=4)
+        with pytest.raises(CollisionUnresolvableError):
+            separate_collinear(d, rng=1)
+
+    def test_too_few_points(self):
+        from repro.core.separation import separate_collinear
+        with pytest.raises(CollisionUnresolvableError):
+            separate_collinear(np.ones(5, dtype=complex))

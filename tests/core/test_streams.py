@@ -1,0 +1,141 @@
+"""Tests for stream tracking and grid differential extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.edges import EdgeDetector
+from repro.core.folding import find_stream_hypotheses
+from repro.core.streams import (StreamTrack, read_grid_differentials,
+                                track_from_analog, track_stream)
+from repro.errors import ConfigurationError, DecodeError
+from repro.phy.modulation import nrz_waveform
+from repro.types import DetectedEdge, IQTrace, StreamHypothesis
+
+
+def hypothesis_for(positions, period):
+    edges = [DetectedEdge(position=int(p), differential=0.1)
+             for p in positions]
+    hyp = StreamHypothesis(offset_samples=positions[0] % period,
+                           period_samples=period,
+                           edge_indices=list(range(len(positions))))
+    return hyp, edges
+
+
+class TestTrackStream:
+    def test_exact_grid(self):
+        positions = 40.0 + 250.0 * np.arange(20)
+        hyp, edges = hypothesis_for(positions, 250.0)
+        track = track_stream(hyp, edges, n_samples=6000)
+        assert track.offset_samples == pytest.approx(40.0, abs=0.5)
+        assert track.period_samples == pytest.approx(250.0, abs=0.05)
+
+    def test_recovers_drifted_period(self):
+        period = 250.0 * (1 + 150e-6)
+        positions = np.round(40.0 + period * np.arange(60))
+        hyp, edges = hypothesis_for(positions, 250.0)
+        track = track_stream(hyp, edges, n_samples=20_000)
+        assert track.period_samples == pytest.approx(period, abs=0.02)
+
+    def test_grid_extends_to_trace_end(self):
+        positions = 40.0 + 250.0 * np.arange(5)
+        hyp, edges = hypothesis_for(positions, 250.0)
+        track = track_stream(hyp, edges, n_samples=10_000)
+        grid = track.grid_positions()
+        assert grid[-1] <= 9999
+        assert grid[-1] > 9000
+
+    def test_grid_extends_back_to_start(self):
+        """First matched edge at a late slot still yields a grid from
+        near sample zero (earlier edges may have been missed)."""
+        positions = 2040.0 + 250.0 * np.arange(10)
+        hyp, edges = hypothesis_for(positions, 250.0)
+        track = track_stream(hyp, edges, n_samples=8000)
+        assert track.offset_samples < 250.0
+
+    def test_no_edges_rejected(self):
+        hyp = StreamHypothesis(offset_samples=0.0, period_samples=250.0)
+        with pytest.raises(DecodeError):
+            track_stream(hyp, [], n_samples=1000)
+
+
+class TestReadGridDifferentials:
+    def test_values_match_transitions(self):
+        coeff = 0.1 + 0.04j
+        n = 6000
+        bits = [1, 0, 0, 1, 1, 1, 0, 1, 0, 1, 0, 1]
+        wave = nrz_waveform(bits, 500.0, 250.0, n)
+        trace = IQTrace(samples=0.5 + 0.3j + coeff * wave,
+                        sample_rate_hz=2.5e6)
+        det = EdgeDetector()
+        edges = det.detect(trace)
+        hyps = find_stream_hypotheses(edges, [250.0])
+        track = track_stream(hyps[0], edges, n)
+        diffs = read_grid_differentials(trace, track, edges)
+        # Slot of the first boundary:
+        k0 = int(round((500.0 - track.offset_samples)
+                       / track.period_samples))
+        expected_states = [1, -1, 0, 1, 0, 0, -1, 1, -1, 1, -1, 1]
+        for state, diff in zip(expected_states,
+                               diffs[k0:k0 + len(bits)]):
+            assert abs(diff - state * coeff) < 0.02
+
+    def test_window_override(self):
+        n = 3000
+        wave = nrz_waveform([1, 0, 1, 0, 1, 0], 500.0, 250.0, n)
+        trace = IQTrace(samples=0.5 + 0.1 * wave, sample_rate_hz=2.5e6)
+        det = EdgeDetector()
+        edges = det.detect(trace)
+        hyps = find_stream_hypotheses(edges, [250.0],)
+        track = track_stream(hyps[0], edges, n)
+        small = read_grid_differentials(trace, track, edges,
+                                        window_override=5)
+        large = read_grid_differentials(trace, track, edges,
+                                        window_override=100)
+        assert small.shape == large.shape
+
+
+class TestTrackFromAnalog:
+    def test_snaps_to_energy_peaks(self):
+        n = 20_000
+        energy = np.full(n, 0.01)
+        true_offset, period = 143.0, 250.0
+        for k in range(int((n - true_offset) / period)):
+            pos = int(true_offset + k * period)
+            energy[pos] = 1.0
+        hyp = StreamHypothesis(offset_samples=140.0,
+                               period_samples=250.0)
+        track = track_from_analog(hyp, energy)
+        assert track.offset_samples % 250 == pytest.approx(143.0,
+                                                           abs=1.0)
+
+    def test_refits_drifted_period(self):
+        n = 50_000
+        energy = np.full(n, 0.01)
+        period = 250.0 * (1 + 200e-6)
+        for k in range(int(n / period) - 1):
+            energy[int(100 + k * period)] = 1.0
+        hyp = StreamHypothesis(offset_samples=100.0,
+                               period_samples=250.0)
+        track = track_from_analog(hyp, energy)
+        assert track.period_samples == pytest.approx(period, abs=0.05)
+
+    def test_empty_energy_rejected(self):
+        hyp = StreamHypothesis(offset_samples=0.0, period_samples=250.0)
+        with pytest.raises(ConfigurationError):
+            track_from_analog(hyp, np.empty(0))
+
+
+class TestStreamTrack:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamTrack(offset_samples=0.0, period_samples=0.0,
+                        n_slots=5)
+        with pytest.raises(ConfigurationError):
+            StreamTrack(offset_samples=0.0, period_samples=250.0,
+                        n_slots=0)
+
+    def test_grid_positions(self):
+        track = StreamTrack(offset_samples=10.0, period_samples=100.0,
+                            n_slots=3)
+        np.testing.assert_allclose(track.grid_positions(),
+                                   [10, 110, 210])

@@ -1,0 +1,143 @@
+"""Tests for the 4-state Viterbi edge-sequence decoder (Section 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.viterbi import (FALL, HOLD_HIGH, HOLD_LOW, RISE,
+                                ViterbiDecoder, bits_to_edge_states,
+                                edge_states_to_bits, estimate_sigma,
+                                hard_decode_bits,
+                                is_valid_state_sequence)
+from repro.errors import ConfigurationError
+
+
+def observations_for(bits, sigma=0.0, seed=0):
+    """Ideal projected observations for a bit sequence from level 0."""
+    states = bits_to_edge_states(bits)
+    means = np.array([1.0, -1.0, 0.0, 0.0])[states]
+    if sigma:
+        rng = np.random.default_rng(seed)
+        means = means + rng.normal(0, sigma, means.size)
+    return means
+
+
+class TestStateBitMappings:
+    def test_round_trip(self):
+        bits = np.array([1, 0, 0, 1, 1, 0, 1], dtype=np.int8)
+        states = bits_to_edge_states(bits)
+        np.testing.assert_array_equal(edge_states_to_bits(states), bits)
+
+    def test_states_valid_by_construction(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            bits = rng.integers(0, 2, 30)
+            assert is_valid_state_sequence(bits_to_edge_states(bits))
+
+    def test_invalid_sequence_detected(self):
+        assert not is_valid_state_sequence([RISE, RISE])
+        assert not is_valid_state_sequence([RISE, HOLD_LOW])
+        assert not is_valid_state_sequence([FALL])  # level starts 0
+        assert is_valid_state_sequence([RISE, HOLD_HIGH, FALL,
+                                        HOLD_LOW, RISE])
+
+    def test_mapping_validation(self):
+        with pytest.raises(ConfigurationError):
+            edge_states_to_bits([5])
+        with pytest.raises(ConfigurationError):
+            bits_to_edge_states([2])
+
+
+class TestViterbiDecoder:
+    def test_noiseless_decode_exact(self):
+        bits = np.array([1, 0, 0, 0, 0, 1, 1, 0, 1, 0], dtype=np.int8)
+        obs = observations_for(bits)
+        decoded = ViterbiDecoder().decode_bits(obs)
+        np.testing.assert_array_equal(decoded, bits)
+
+    def test_output_always_valid(self):
+        rng = np.random.default_rng(1)
+        decoder = ViterbiDecoder()
+        for seed in range(10):
+            obs = rng.normal(0, 1, 50)  # pure garbage input
+            states = decoder.decode_states(obs)
+            assert is_valid_state_sequence(states)
+
+    def test_corrects_isolated_glitch(self):
+        """A spurious opposite-polarity blip gets corrected because the
+        resulting edge sequence would be invalid."""
+        bits = np.array([1, 1, 1, 1, 1, 1, 1, 1], dtype=np.int8)
+        obs = observations_for(bits)
+        obs[4] = 0.9  # a fake second rise while already high
+        decoded = ViterbiDecoder().decode_bits(obs)
+        np.testing.assert_array_equal(decoded, bits)
+
+    def test_beats_hard_decisions_in_noise(self):
+        rng = np.random.default_rng(2)
+        decoder = ViterbiDecoder()
+        vit_errors = 0
+        hard_errors = 0
+        for seed in range(10):
+            bits = rng.integers(0, 2, 200).astype(np.int8)
+            obs = observations_for(bits, sigma=0.45, seed=seed)
+            vit = decoder.decode_bits(obs)
+            hard = hard_decode_bits(obs)
+            vit_errors += np.count_nonzero(vit != bits)
+            hard_errors += np.count_nonzero(hard != bits)
+        assert vit_errors < hard_errors
+
+    def test_initial_state_forced(self):
+        obs = np.array([1.0, -1.0, 1.0])
+        states = ViterbiDecoder().decode_states(obs,
+                                                initial_state=RISE)
+        assert states[0] == RISE
+
+    def test_fit_flip_probability(self):
+        decoder = ViterbiDecoder()
+        p = decoder.fit_flip_probability(
+            [np.array([1, 0, 1, 0]), np.array([0, 0, 0, 0])])
+        assert p == pytest.approx(3 / 6)
+
+    def test_flip_probability_validation(self):
+        with pytest.raises(ConfigurationError):
+            ViterbiDecoder().fit_flip_probability([np.array([1])])
+        with pytest.raises(ConfigurationError):
+            ViterbiDecoder(p_flip=0.0)
+        with pytest.raises(ConfigurationError):
+            ViterbiDecoder(sigma=-1.0)
+
+    def test_empty_observations(self):
+        with pytest.raises(ConfigurationError):
+            ViterbiDecoder().decode_bits(np.empty(0))
+
+    def test_bad_initial_state(self):
+        with pytest.raises(ConfigurationError):
+            ViterbiDecoder().decode_states(np.ones(3),
+                                           initial_state=7)
+
+
+class TestHardDecode:
+    def test_integrates_level(self):
+        obs = np.array([1.0, 0.0, -1.0, 0.0, 1.0])
+        np.testing.assert_array_equal(hard_decode_bits(obs),
+                                      [1, 1, 0, 0, 1])
+
+    def test_repeated_rise_keeps_level(self):
+        obs = np.array([1.0, 1.0, 0.0])
+        np.testing.assert_array_equal(hard_decode_bits(obs),
+                                      [1, 1, 1])
+
+
+class TestEstimateSigma:
+    def test_recovers_noise_scale(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, 3000)
+        obs = observations_for(bits, sigma=0.2, seed=4)
+        assert estimate_sigma(obs) == pytest.approx(0.2, rel=0.15)
+
+    def test_floor_applied(self):
+        obs = observations_for(np.array([1, 0, 1, 0]))
+        assert estimate_sigma(obs) == 0.05
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_sigma(np.empty(0))

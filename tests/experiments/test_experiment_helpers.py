@@ -1,0 +1,103 @@
+"""Unit tests for experiment-internal helper functions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation_analog import run as run_analog
+from repro.experiments.common import ExperimentResult, _fmt
+from repro.experiments.fig05_parallelogram import (_basis_error,
+                                                   synthesize_collision)
+from repro.experiments.fig01_dynamics import traces
+from repro.experiments.sec52_scaling import (
+    max_tags_for_collision_budget)
+from repro.experiments.sec6_modulation import toggles_per_bit
+
+
+class TestBasisError:
+    def test_exact_match_zero(self):
+        assert _basis_error((0.1 + 0j, 0.05j),
+                            (0.1 + 0j, 0.05j)) == 0.0
+
+    def test_swap_and_sign_invariant(self):
+        e1, e2 = 0.1 + 0.02j, -0.03 + 0.08j
+        assert _basis_error((-e2, e1), (e1, e2)) == pytest.approx(0.0)
+
+    def test_nonzero_for_wrong_basis(self):
+        assert _basis_error((0.2 + 0j, 0.1j),
+                            (0.1 + 0j, 0.05j)) > 0.1
+
+
+class TestSynthesizeCollision:
+    def test_points_on_lattice(self):
+        e1, e2 = 0.1 + 0.01j, -0.02 + 0.09j
+        diffs = synthesize_collision(e1, e2, 50, noise_std=0.0,
+                                     rng=0)
+        lattice = {a * e1 + b * e2 for a in (-1, 0, 1)
+                   for b in (-1, 0, 1)}
+        for d in diffs:
+            assert min(abs(d - p) for p in lattice) < 1e-9
+
+
+class TestFig01Traces:
+    def test_keys_and_lengths(self):
+        data = traces(duration_s=2.0, sample_rate_hz=50.0, rng=0)
+        assert set(data) == {"time_s", "people_movement",
+                             "tag_rotation", "coupled_tag_a",
+                             "coupled_tag_b"}
+        n = data["time_s"].size
+        for key in ("people_movement", "tag_rotation",
+                    "coupled_tag_a"):
+            assert data[key].size == n
+
+
+class TestScalingHelper:
+    def test_monotone_in_samples_per_bit(self):
+        small = max_tags_for_collision_budget(250.0)
+        big = max_tags_for_collision_budget(2500.0)
+        assert big > small
+
+    def test_budget_respected(self):
+        from repro.analysis.collision_prob import \
+            collision_probability_at_least
+        n = max_tags_for_collision_budget(250.0, budget=0.01)
+        p = collision_probability_at_least(
+            n, 3, n_positions=250.0, window=4.0,
+            toggle_probability=0.5)
+        assert p <= 0.01
+        p_next = collision_probability_at_least(
+            n + 1, 3, n_positions=250.0, window=4.0,
+            toggle_probability=0.5)
+        assert p_next > 0.01
+
+
+class TestTogglesPerBit:
+    def test_values(self):
+        assert toggles_per_bit("ask") == 0.5
+        assert toggles_per_bit("fsk") == 8.0
+        assert toggles_per_bit("qam16") == 0.25
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            toggles_per_bit("psk")
+
+
+class TestFormatting:
+    def test_fmt_variants(self):
+        assert _fmt(None) == "-"
+        assert _fmt(0.0) == "0"
+        assert _fmt(1234.5) == "1.23e+03"
+        assert _fmt(0.001) == "0.001"
+        assert _fmt(3.14159) == "3.142"
+        assert _fmt("text") == "text"
+
+    def test_empty_result_formats(self):
+        result = ExperimentResult(experiment_id="x",
+                                  description="empty")
+        assert "(no rows)" in result.format_table()
+
+    def test_union_of_row_keys(self):
+        result = ExperimentResult(
+            experiment_id="x", description="d",
+            rows=[{"a": 1}, {"a": 2, "b": 3}])
+        table = result.format_table()
+        assert "b" in table.splitlines()[1]

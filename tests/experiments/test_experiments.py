@@ -1,0 +1,200 @@
+"""Smoke and invariant tests for every experiment runner.
+
+Each experiment runs in quick mode and its key paper-shape invariants
+are asserted — who wins, by roughly what factor, in which direction.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import REGISTRY, run_experiment
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        paper_artefacts = {"fig1", "fig2", "fig4", "fig5", "fig8",
+                           "fig9", "fig10", "fig11", "fig12", "fig13",
+                           "fig14", "table1", "table2", "table3",
+                           "sec33", "sec54"}
+        extensions = {"sec36", "sec52", "sec6", "ablation_drift",
+                      "ablation_analog"}
+        assert set(REGISTRY) == paper_artefacts | extensions
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+
+class TestStaticExperiments:
+    def test_table3_matches_paper_exactly(self):
+        result = run_experiment("table3")
+        for row in result.rows:
+            assert row["transistors_without_fifo"] == \
+                row["paper_without_fifo"]
+            assert row["transistors_with_1k_fifo"] == \
+                row["paper_with_fifo"]
+
+    def test_sec54_ranges(self):
+        result = run_experiment("sec54")
+        by_ask = {row["ask_range_ft"]: row for row in result.rows[:2]}
+        assert by_ask[10.0]["lf_range_ft"] == pytest.approx(7.94,
+                                                            abs=0.1)
+        assert by_ask[30.0]["lf_range_ft"] == pytest.approx(23.8,
+                                                            abs=0.3)
+
+    def test_sec33_probabilities(self):
+        result = run_experiment("sec33", quick=True)
+        rows = {r["case"]: r for r in result.rows}
+        two_way = rows["16 nodes @100kbps, 2-way"]
+        assert two_way["analytic"] == pytest.approx(0.189, abs=0.02)
+        assert two_way["monte_carlo"] == pytest.approx(
+            two_way["analytic"], abs=0.03)
+        three_way = rows["16 nodes @100kbps, 3-way"]
+        assert three_way["analytic"] == pytest.approx(0.018,
+                                                      abs=0.01)
+
+    def test_fig4_jitter_properties(self):
+        result = run_experiment("fig4", quick=True)
+        rows = {r["quantity"]: r["value_bit_periods"]
+                for r in result.rows}
+        # Lower energy charges slower.
+        assert rows["crossing_time_energy_0.8"] > \
+            rows["crossing_time_energy_1.2"]
+        # Phases spread over a useful fraction of the bit period.
+        assert rows["phase_std"] > 0.15
+        assert rows["fire_time_spread"] > 1.0
+
+
+class TestSignalExperiments:
+    def test_fig1_dynamics_shape(self):
+        result = run_experiment("fig1", quick=True)
+        rows = {r["scenario"]: r for r in result.rows}
+        # Coupled tags are static while far apart, dynamic when close.
+        assert rows["coupled_tag_a"]["excursion_first_half"] == 0.0
+        assert rows["coupled_tag_a"]["excursion_second_half"] > 0.01
+        assert rows["people_movement"]["excursion_total"] > 0.05
+
+    def test_fig2_cluster_collapse(self):
+        result = run_experiment("fig2", quick=True)
+        rows = {r["scenario"]: r for r in result.rows}
+        assert rows["2_tags"]["n_clusters"] == 4
+        assert rows["6_tags"]["n_clusters"] == 64
+        assert rows["6_tags"]["symbol_accuracy"] < \
+            rows["2_tags"]["symbol_accuracy"]
+
+    def test_fig5_basis_recovery(self):
+        result = run_experiment("fig5", quick=True)
+        for row in result.rows:
+            assert row["mean_basis_error"] < 0.15
+
+    def test_table1_exact_recovery(self):
+        result = run_experiment("table1")
+        row = result.rows[0]
+        assert row["bit_errors"] == 0
+        assert row["anchor_resolved"]
+        assert row["sent_bits"] == row["decoded_bits"]
+
+
+class TestEvaluationExperiments:
+    def test_fig8_ordering(self):
+        result = run_experiment("fig8", quick=True)
+        for row in result.rows:
+            assert row["lf_x"] > row["buzz_x"] > row["tdma_x"] * 0.99
+            assert row["lf_x"] <= row["max_x"]
+        last = result.rows[-1]
+        assert last["lf_x"] / last["tdma_x"] > 0.7 * last["max_x"]
+
+    def test_fig9_stage_ordering(self):
+        result = run_experiment("fig9", quick=True)
+        for row in result.rows:
+            assert row["edge_iq_x"] >= row["edge_x"] * 0.95
+            assert row["edge_iq_error_x"] >= row["edge_iq_x"] * 0.95
+
+    def test_fig12_latency_ordering(self):
+        result = run_experiment("fig12", quick=True)
+        for row in result.rows:
+            assert row["lf_x_id_airtime"] < row["buzz_x_id_airtime"] \
+                < row["tdma_x_id_airtime"]
+        assert result.rows[-1]["tdma_over_lf"] > 3.0
+
+    def test_fig13_efficiency_ordering(self):
+        result = run_experiment("fig13", quick=True)
+        for row in result.rows:
+            assert row["lf_bits_per_uj"] > row["buzz_bits_per_uj"] \
+                > row["tdma_bits_per_uj"]
+        # LF efficiency stays roughly flat with tag count.
+        firsts = result.rows[0]["lf_bits_per_uj"]
+        lasts = result.rows[-1]["lf_bits_per_uj"]
+        assert lasts > 0.5 * firsts
+
+    def test_fig14_gap_direction(self):
+        result = run_experiment("fig14", quick=True)
+        worse = sum(1 for row in result.rows
+                    if row["lf_ber"] >= row["ask_ber"])
+        assert worse >= len(result.rows) - 1
+        assert result.rows[-1]["lf_ber"] < 0.05
+
+
+class TestResultFormatting:
+    def test_format_table_contains_columns(self):
+        result = run_experiment("table3")
+        text = result.format_table()
+        assert "design" in text
+        assert "22704" in text
+
+    def test_column_accessor(self):
+        result = run_experiment("table3")
+        col = result.column("design")
+        assert "Buzz" in col
+
+    def test_column_missing_key(self):
+        result = run_experiment("table3")
+        with pytest.raises(ConfigurationError):
+            result.column("nonexistent")
+
+
+class TestExtensions:
+    def test_sec36_reliability_converges(self):
+        result = run_experiment("sec36", quick=True)
+        for row in result.rows:
+            assert row["delivery_ratio"] == 1.0
+            assert row["mean_epochs_to_complete"] <= 8
+
+    def test_ablation_drift_claim(self):
+        result = run_experiment("ablation_drift", quick=True)
+        by_drift = {r["drift_ppm"]: r["goodput_fraction"]
+                    for r in result.rows}
+        # Within the 200 ppm budget the decoder barely notices; at the
+        # Moo DCO's drift class (40,000 ppm) it collapses.
+        assert by_drift[200.0] > 0.8
+        assert by_drift[40000.0] < 0.7 * by_drift[0.0]
+
+    def test_ablation_analog_helps_at_low_snr(self):
+        result = run_experiment("ablation_analog", quick=True)
+        low = result.rows[0]
+        assert low["acquired_with_fallback"] >= low["acquired_without"]
+
+
+    def test_sec52_scaling(self):
+        result = run_experiment("sec52", quick=True)
+        analytic = [r for r in result.rows
+                    if r["max_tags_p3_below_1pct"] > 0]
+        by_rate = {r["rate_x"]: r for r in analytic}
+        # Lower rates buy more edge-packing headroom and tag capacity:
+        # the paper's "few hundred tags" at a tenth of the rate.
+        assert by_rate[0.1]["max_tags_p3_below_1pct"] > \
+            3 * by_rate[1.0]["max_tags_p3_below_1pct"]
+        assert by_rate[0.1]["max_tags_p3_below_1pct"] >= 100
+        empirical = result.rows[-1]
+        assert empirical["empirical_goodput_fraction"] > 0.8
+
+    def test_sec6_modulation(self):
+        result = run_experiment("sec6")
+        by_mod = {r["modulation"]: r for r in result.rows}
+        ask = by_mod["ask (LF-Backscatter)"]
+        assert by_mod["fsk"]["energy_pj_per_bit"] > \
+            3 * ask["energy_pj_per_bit"]
+        assert by_mod["qam16"]["tag_transistors"] > \
+            5 * ask["tag_transistors"]

@@ -1,0 +1,71 @@
+"""Tests for composite hardware blocks."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.components import (Component, counter, crc_checker,
+                                       fifo, lfsr, logic_block,
+                                       register, total_transistors)
+from repro.hardware.gates import Gate
+
+
+def test_register_count():
+    assert register("r", 8).transistors == 8 * 24
+
+
+def test_counter_count():
+    assert counter("c", 4).transistors == 4 * (24 + 14)
+
+
+def test_lfsr_count():
+    assert lfsr("pn", 31, n_taps=2).transistors == 31 * 24 + 2 * 10
+
+
+def test_crc_checker_default():
+    # 16 DFF + 3 XOR + 9 NAND = 384 + 30 + 36
+    assert crc_checker().transistors == 450
+
+
+def test_fifo_is_6t_per_bit():
+    assert fifo("f", 2048).transistors == 12288
+
+
+def test_logic_block_kwargs():
+    block = logic_block("glue", nand2=8, inv=2)
+    assert block.transistors == 8 * 4 + 2 * 2
+
+
+def test_logic_block_unknown_gate():
+    with pytest.raises(HardwareModelError):
+        logic_block("bad", flux_capacitor=1)
+
+
+def test_nested_components():
+    parent = Component("top", gates={Gate.INV: 1},
+                       children=[register("r", 2)])
+    assert parent.transistors == 2 + 48
+
+
+def test_flattened_breakdown():
+    parent = Component("top", children=[register("a", 1),
+                                        register("b", 2)])
+    flat = parent.flattened()
+    assert flat == {"top/a": 24, "top/b": 48}
+
+
+def test_total_transistors():
+    parts = [register("a", 1), fifo("f", 10)]
+    assert total_transistors(parts) == 24 + 60
+
+
+def test_validation():
+    with pytest.raises(HardwareModelError):
+        register("r", 0)
+    with pytest.raises(HardwareModelError):
+        counter("c", 0)
+    with pytest.raises(HardwareModelError):
+        lfsr("l", 1)
+    with pytest.raises(HardwareModelError):
+        fifo("f", 0)
+    with pytest.raises(HardwareModelError):
+        Component("")

@@ -1,0 +1,60 @@
+"""Tests for the Table 3 tag designs — totals must match the paper."""
+
+from repro.hardware.designs import (FIFO_BITS, buzz_design,
+                                    gen2_design, lf_backscatter_design,
+                                    table3)
+
+
+class TestTable3Exact:
+    def test_gen2(self):
+        design = gen2_design()
+        assert design.transistors_without_fifo == 22704
+        assert design.transistors_with_fifo == 34992
+
+    def test_buzz(self):
+        design = buzz_design()
+        assert design.transistors_without_fifo == 1792
+        assert design.transistors_with_fifo == 14080
+
+    def test_lf(self):
+        design = lf_backscatter_design()
+        assert design.transistors_without_fifo == 176
+        assert design.transistors_with_fifo == 176
+
+    def test_table3_rows(self):
+        rows = table3()
+        assert rows["RFID chip"] == {"without_fifo": 22704,
+                                     "with_fifo": 34992}
+        assert rows["Buzz"] == {"without_fifo": 1792,
+                                "with_fifo": 14080}
+        assert rows["LF-Backscatter"] == {"without_fifo": 176,
+                                          "with_fifo": 176}
+
+
+class TestStructure:
+    def test_fifo_delta_consistent(self):
+        """Both buffered designs pay exactly the same FIFO cost, equal
+        to the published delta of 12288 transistors."""
+        assert FIFO_BITS * 6 == 12288
+        for design in (gen2_design(), buzz_design()):
+            delta = design.transistors_with_fifo \
+                - design.transistors_without_fifo
+            assert delta == 12288
+
+    def test_lf_needs_no_buffer(self):
+        assert not lf_backscatter_design().needs_packet_buffer
+
+    def test_order_of_magnitude_claims(self):
+        """Section 5.3: LF needs an order of magnitude fewer
+        transistors than Buzz and two orders fewer than Gen 2."""
+        lf = lf_backscatter_design().transistors_without_fifo
+        buzz = buzz_design().transistors_without_fifo
+        gen2 = gen2_design().transistors_without_fifo
+        assert buzz / lf > 10
+        assert gen2 / lf > 100
+
+    def test_breakdown_sums_to_total(self):
+        for design in (gen2_design(), buzz_design(),
+                       lf_backscatter_design()):
+            assert sum(design.breakdown().values()) == \
+                design.transistors_without_fifo

@@ -1,0 +1,51 @@
+"""Tests for the Figure 13 energy-efficiency metric."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.energy import (efficiency_table,
+                                   energy_efficiency_bits_per_uj)
+
+
+class TestEfficiency:
+    def test_lf_flat_in_n(self):
+        """LF tags all stream concurrently, so bits/uJ is independent
+        of network size."""
+        e1 = energy_efficiency_bits_per_uj("lf", 1, 100e3)
+        e16 = energy_efficiency_bits_per_uj("lf", 16, 16 * 100e3)
+        assert e16 == pytest.approx(e1, rel=1e-9)
+
+    def test_tdma_decays_as_1_over_n(self):
+        e1 = energy_efficiency_bits_per_uj("tdma", 1, 100e3)
+        e16 = energy_efficiency_bits_per_uj("tdma", 16, 100e3)
+        assert e1 / e16 == pytest.approx(16.0)
+
+    def test_paper_ratios_at_16(self):
+        """Figure 13: LF is ~20x Buzz and ~100x Gen 2 at 16 nodes."""
+        lf = energy_efficiency_bits_per_uj("lf", 16, 16 * 100e3 * 0.95)
+        buzz = energy_efficiency_bits_per_uj("buzz", 16, 200e3)
+        tdma = energy_efficiency_bits_per_uj("tdma", 16, 100e3)
+        assert 12 < lf / buzz < 30
+        assert 70 < lf / tdma < 200
+
+    def test_lf_absolute_scale(self):
+        """The paper's Figure 13 peaks around ~3000 bits/uJ."""
+        lf = energy_efficiency_bits_per_uj("lf", 16, 16 * 100e3)
+        assert 1500 < lf < 6000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            energy_efficiency_bits_per_uj("lf", 0, 100e3)
+        with pytest.raises(ConfigurationError):
+            energy_efficiency_bits_per_uj("lf", 4, -1.0)
+
+
+class TestEfficiencyTable:
+    def test_shape(self):
+        table = efficiency_table({
+            "lf": {4: 400e3, 8: 800e3},
+            "tdma": {4: 100e3, 8: 100e3},
+        })
+        assert set(table) == {"lf", "tdma"}
+        assert set(table["lf"]) == {4, 8}
+        assert table["lf"][8] > table["tdma"][8]

@@ -1,0 +1,39 @@
+"""Tests for gate-level transistor counts."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.gates import (Gate, TRANSISTORS_PER_GATE,
+                                  transistor_count)
+
+
+def test_all_gates_have_counts():
+    for gate in Gate:
+        assert gate in TRANSISTORS_PER_GATE
+        assert TRANSISTORS_PER_GATE[gate] > 0
+
+
+def test_canonical_values():
+    assert TRANSISTORS_PER_GATE[Gate.INV] == 2
+    assert TRANSISTORS_PER_GATE[Gate.NAND2] == 4
+    assert TRANSISTORS_PER_GATE[Gate.DFF] == 24
+    assert TRANSISTORS_PER_GATE[Gate.SRAM_CELL] == 6
+
+
+def test_transistor_count_sums():
+    total = transistor_count({Gate.DFF: 2, Gate.NAND2: 3})
+    assert total == 2 * 24 + 3 * 4
+
+
+def test_empty_inventory():
+    assert transistor_count({}) == 0
+
+
+def test_negative_count_rejected():
+    with pytest.raises(HardwareModelError):
+        transistor_count({Gate.INV: -1})
+
+
+def test_unknown_gate_rejected():
+    with pytest.raises(HardwareModelError):
+        transistor_count({"not_a_gate": 1})

@@ -1,0 +1,70 @@
+"""Tests for the tag power model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.designs import lf_backscatter_design
+from repro.hardware.power import (CARRIER_COMPARATOR, PowerModel,
+                                  RTC_CLOCK, default_tag_power_w)
+
+
+class TestPowerModel:
+    def test_digital_power_scales_with_transistors_and_clock(self):
+        model = PowerModel()
+        base = model.digital_power_w(1000, 100e3)
+        assert model.digital_power_w(2000, 100e3) > base
+        assert model.digital_power_w(1000, 200e3) > base
+
+    def test_leakage_floor(self):
+        model = PowerModel()
+        assert model.digital_power_w(1000, 0.0) == pytest.approx(
+            1000 * model.leakage_per_transistor_w)
+
+    def test_rf_switch_power(self):
+        model = PowerModel()
+        p = model.rf_switch_power_w(100e3, toggle_probability=0.5)
+        assert p == pytest.approx(100e3 * 0.5
+                                  * model.rf_switch_energy_j)
+
+    def test_tag_power_composition(self):
+        model = PowerModel()
+        design = lf_backscatter_design()
+        analog = [RTC_CLOCK, CARRIER_COMPARATOR]
+        total = model.tag_power_w(design, 100e3, analog)
+        parts = (model.digital_power_w(176, 100e3)
+                 + model.rf_switch_power_w(100e3)
+                 + RTC_CLOCK.power_w + CARRIER_COMPARATOR.power_w)
+        assert total == pytest.approx(parts)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(supply_v=0.0)
+        model = PowerModel()
+        with pytest.raises(ConfigurationError):
+            model.digital_power_w(-1, 100e3)
+        with pytest.raises(ConfigurationError):
+            model.rf_switch_power_w(0.0)
+        with pytest.raises(ConfigurationError):
+            model.rf_switch_power_w(1e3, toggle_probability=2.0)
+
+
+class TestCalibration:
+    """The per-scheme draws must land in the regimes the paper cites."""
+
+    def test_lf_tens_of_microwatts(self):
+        p = default_tag_power_w("lf")
+        assert 10e-6 < p < 60e-6
+
+    def test_buzz_between(self):
+        lf = default_tag_power_w("lf")
+        buzz = default_tag_power_w("buzz")
+        gen2 = default_tag_power_w("tdma")
+        assert lf < buzz < gen2
+
+    def test_gen2_hundreds_of_microwatts(self):
+        p = default_tag_power_w("tdma")
+        assert 100e-6 < p < 500e-6
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            default_tag_power_w("wifi")

@@ -1,0 +1,109 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.throughput import match_streams, score_epoch
+from repro.types import SimulationProfile
+from repro.utils.serialization import load_trace, save_trace
+
+from ..conftest import build_decoder, build_network
+
+
+class TestFullPipeline:
+    def test_multi_epoch_consistency(self, fast_profile):
+        """Decoding several epochs of the same network keeps working
+        as offsets re-randomize epoch to epoch."""
+        sim = build_network(3, fast_profile, seed=21)
+        decoder = build_decoder(fast_profile)
+        fractions = []
+        for k in range(3):
+            capture = sim.run_epoch(0.01, epoch_index=k)
+            result = decoder.decode_epoch(capture.trace)
+            report = score_epoch(capture, result)
+            fractions.append(report.goodput_fraction)
+        assert np.mean(fractions) > 0.85
+
+    def test_offline_decode_from_saved_trace(self, fast_profile,
+                                             tmp_path):
+        """The recorded-IQ workflow: capture, save, reload, decode."""
+        sim = build_network(2, fast_profile, seed=22)
+        capture = sim.run_epoch(0.01)
+        path = save_trace(capture.trace, tmp_path / "capture.npz")
+        reloaded = load_trace(path)
+        decoder = build_decoder(fast_profile)
+        result = decoder.decode_epoch(reloaded)
+        matches = match_streams(capture, result)
+        assert all(m.matched for m in matches)
+
+    def test_decoder_deterministic_for_same_trace(self, fast_profile):
+        sim = build_network(2, fast_profile, seed=23)
+        capture = sim.run_epoch(0.01)
+        res_a = build_decoder(fast_profile, seed=5).decode_epoch(
+            capture.trace)
+        res_b = build_decoder(fast_profile, seed=5).decode_epoch(
+            capture.trace)
+        assert res_a.n_streams == res_b.n_streams
+        for sa, sb in zip(res_a.streams, res_b.streams):
+            np.testing.assert_array_equal(sa.bits, sb.bits)
+
+    def test_higher_noise_degrades_gracefully(self, fast_profile):
+        scores = []
+        for noise in (0.005, 0.08):
+            sim = build_network(2, fast_profile, noise_std=noise,
+                                seed=24)
+            capture = sim.run_epoch(0.01)
+            result = build_decoder(fast_profile).decode_epoch(
+                capture.trace)
+            report = score_epoch(capture, result)
+            scores.append(report.goodput_fraction)
+        assert scores[0] >= scores[1]
+
+    def test_paper_profile_also_works(self):
+        """The 25 Msps paper profile exercises identical code paths."""
+        profile = SimulationProfile.paper()
+        sim = build_network(2, profile, bitrate_bps=100e3, seed=25)
+        capture = sim.run_epoch(0.0015)  # 150 bits at 100 kbps
+        decoder = build_decoder(profile, bitrates=(100e3,))
+        result = decoder.decode_epoch(capture.trace)
+        matches = match_streams(capture, result)
+        assert all(m.matched for m in matches)
+        assert sum(m.bit_errors for m in matches) \
+            <= 0.05 * sum(m.bits_sent for m in matches)
+
+
+class TestFaultInjection:
+    def test_spurious_edges_rejected(self, fast_profile):
+        """Random impulse glitches must not create phantom streams."""
+        sim = build_network(1, fast_profile, seed=26)
+        capture = sim.run_epoch(0.01)
+        samples = capture.trace.samples.copy()
+        rng = np.random.default_rng(0)
+        glitch_positions = rng.integers(100, samples.size - 100, 15)
+        samples[glitch_positions] += 0.3 + 0.2j
+        from repro.types import IQTrace
+        glitched = IQTrace(samples=samples,
+                           sample_rate_hz=capture.trace.sample_rate_hz)
+        result = build_decoder(fast_profile).decode_epoch(glitched)
+        truth = capture.truths[0]
+        matches = match_streams(capture, result)
+        assert matches[0].matched
+        assert matches[0].bit_errors <= 0.05 * truth.n_bits
+
+    def test_carrier_dropout_recovers_remaining_bits(self,
+                                                     fast_profile):
+        """Zeroing a mid-epoch span garbles those bits but the stream
+        itself survives."""
+        sim = build_network(1, fast_profile, seed=27)
+        capture = sim.run_epoch(0.012)
+        samples = capture.trace.samples.copy()
+        samples[12_000:13_000] = 0.0
+        from repro.types import IQTrace
+        damaged = IQTrace(samples=samples,
+                          sample_rate_hz=capture.trace.sample_rate_hz)
+        result = build_decoder(fast_profile).decode_epoch(damaged)
+        matches = match_streams(capture, result)
+        truth = capture.truths[0]
+        assert matches[0].matched
+        # At most the dropout region (plus margins) is lost.
+        assert matches[0].bit_errors < 0.35 * truth.n_bits

@@ -1,0 +1,69 @@
+"""CRC known-answer and structural tests."""
+
+import numpy as np
+
+from repro.analysis.latency import CRC5_POLY, crc5
+from repro.link.reliability import CRC16_POLY, crc16
+
+
+def bits_of(value: int, width: int) -> np.ndarray:
+    return np.array([(value >> (width - 1 - i)) & 1
+                     for i in range(width)], dtype=np.int8)
+
+
+class TestCrc16Structure:
+    def test_polynomial_is_ccitt(self):
+        assert CRC16_POLY == 0x1021
+
+    def test_linearity_over_common_prefix(self):
+        """CRC(prefix+a) xor CRC(prefix+b) == CRC(prefix+(a^b)) xor
+        CRC(prefix+0): the CRC register is affine in the message."""
+        rng = np.random.default_rng(0)
+        prefix = rng.integers(0, 2, 24).astype(np.int8)
+        a = rng.integers(0, 2, 16).astype(np.int8)
+        b = rng.integers(0, 2, 16).astype(np.int8)
+        zero = np.zeros(16, dtype=np.int8)
+
+        def r(tail):
+            return crc16(np.concatenate([prefix, tail]))
+
+        lhs = r(a) ^ r(b)
+        rhs = r(a ^ b) ^ r(zero)
+        np.testing.assert_array_equal(lhs, rhs)
+
+    def test_distinct_messages_usually_distinct_crc(self):
+        rng = np.random.default_rng(1)
+        seen = set()
+        for _ in range(200):
+            msg = rng.integers(0, 2, 48).astype(np.int8)
+            seen.add(tuple(crc16(msg)))
+        # 200 random messages over a 16-bit CRC: collisions are rare.
+        assert len(seen) >= 195
+
+
+class TestCrc5Structure:
+    def test_polynomial_is_usb(self):
+        assert CRC5_POLY == 0b00101
+
+    def test_affine_property(self):
+        rng = np.random.default_rng(2)
+        prefix = rng.integers(0, 2, 10).astype(np.int8)
+        a = rng.integers(0, 2, 8).astype(np.int8)
+        b = rng.integers(0, 2, 8).astype(np.int8)
+        zero = np.zeros(8, dtype=np.int8)
+
+        def r(tail):
+            return crc5(np.concatenate([prefix, tail]))
+
+        np.testing.assert_array_equal(r(a) ^ r(b),
+                                      r(a ^ b) ^ r(zero))
+
+    def test_leading_zero_sensitivity(self):
+        """Appending the message after zeros changes the remainder
+        (the register is non-zero initialized... CRC5 here starts at
+        zero, so leading zeros are absorbed — verify the actual
+        behaviour so it is pinned)."""
+        msg = np.array([1, 0, 1, 1], dtype=np.int8)
+        padded = np.concatenate([np.zeros(3, dtype=np.int8), msg])
+        same = np.array_equal(crc5(msg), crc5(padded))
+        assert same  # zero-initialized register absorbs leading zeros

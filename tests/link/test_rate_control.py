@@ -1,0 +1,115 @@
+"""Tests for reader-commanded rate control (Section 3.6)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.link.rate_control import RateController
+from repro.types import EpochResult, SimulationProfile
+
+
+def epoch(n_streams, detected=0, resolved=0):
+    return EpochResult(
+        streams=[None] * 0,  # stream objects unused by the controller
+        n_collisions_detected=detected,
+        n_collisions_resolved=resolved,
+    ) if n_streams == 0 else _epoch_with(n_streams, detected, resolved)
+
+
+def _epoch_with(n_streams, detected, resolved):
+    from repro.types import DecodedStream
+    import numpy as np
+    streams = [DecodedStream(bits=np.array([1, 0], dtype=np.int8),
+                             offset_samples=0.0, period_samples=250.0,
+                             bitrate_bps=10e3)
+               for _ in range(n_streams)]
+    return EpochResult(streams=streams,
+                       n_collisions_detected=detected,
+                       n_collisions_resolved=resolved)
+
+
+def make_controller(**kwargs):
+    return RateController(10e3, profile=SimulationProfile.fast(),
+                          **kwargs)
+
+
+class TestReduction:
+    def test_healthy_epochs_keep_rate(self):
+        ctl = make_controller()
+        decision = ctl.observe(epoch(8), expected_streams=8)
+        assert not decision.changed
+        assert ctl.current_bitrate_bps == 10e3
+
+    def test_many_misses_halve_rate(self):
+        ctl = make_controller()
+        decision = ctl.observe(epoch(4), expected_streams=8)
+        assert decision.changed
+        assert ctl.current_bitrate_bps == 5e3
+
+    def test_unresolved_collisions_count(self):
+        ctl = make_controller()
+        decision = ctl.observe(epoch(8, detected=4, resolved=0),
+                               expected_streams=8)
+        assert decision.changed
+
+    def test_resolved_collisions_do_not_count(self):
+        ctl = make_controller()
+        decision = ctl.observe(epoch(8, detected=4, resolved=4),
+                               expected_streams=8)
+        assert not decision.changed
+
+    def test_floor_respected(self):
+        ctl = make_controller(min_bitrate_bps=2.5e3)
+        for _ in range(6):
+            ctl.observe(epoch(0), expected_streams=8)
+        assert ctl.current_bitrate_bps >= 2.5e3
+
+    def test_rate_stays_multiple_of_base(self):
+        ctl = make_controller()
+        for _ in range(4):
+            ctl.observe(epoch(1), expected_streams=8)
+            multiple = ctl.current_bitrate_bps / 10.0  # fast base rate
+            assert multiple == int(multiple)
+
+
+class TestRecovery:
+    def test_recovers_after_clean_streak(self):
+        ctl = make_controller(recover_after=2)
+        ctl.observe(epoch(2), expected_streams=8)   # halve to 5k
+        assert ctl.current_bitrate_bps == 5e3
+        ctl.observe(epoch(8), expected_streams=8)
+        decision = ctl.observe(epoch(8), expected_streams=8)
+        assert decision.changed
+        assert ctl.current_bitrate_bps == 10e3
+
+    def test_never_exceeds_initial(self):
+        ctl = make_controller(recover_after=1)
+        for _ in range(5):
+            ctl.observe(epoch(8), expected_streams=8)
+        assert ctl.current_bitrate_bps == 10e3
+
+    def test_trouble_resets_streak(self):
+        ctl = make_controller(recover_after=2)
+        ctl.observe(epoch(2), expected_streams=8)   # halve
+        ctl.observe(epoch(8), expected_streams=8)   # clean 1
+        ctl.observe(epoch(2), expected_streams=8)   # trouble again
+        assert ctl.current_bitrate_bps == 2.5e3
+
+
+class TestValidation:
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            make_controller(reduce_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            make_controller(recover_after=0)
+        with pytest.raises(ConfigurationError):
+            make_controller(min_bitrate_bps=20e3)
+        ctl = make_controller()
+        with pytest.raises(ConfigurationError):
+            ctl.observe(epoch(1), expected_streams=0)
+
+    def test_history_recorded(self):
+        ctl = make_controller()
+        ctl.observe(epoch(8), expected_streams=8)
+        ctl.observe(epoch(1), expected_streams=8)
+        assert len(ctl.history) == 2
+        assert ctl.history[1].changed

@@ -1,0 +1,79 @@
+"""Tests for the radar-equation link budget (Section 5.4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.antenna import (FEET_PER_METER, LinkBudget,
+                               equivalent_range, feet_to_meters,
+                               meters_to_feet)
+
+
+class TestLinkBudget:
+    def test_d4_law(self):
+        """Doubling the distance drops received power by 16x."""
+        budget = LinkBudget()
+        p1 = budget.received_power_w(2.0)
+        p2 = budget.received_power_w(4.0)
+        assert p1 / p2 == pytest.approx(16.0)
+
+    def test_range_for_power_inverts(self):
+        budget = LinkBudget()
+        power = budget.received_power_w(3.7)
+        assert budget.range_for_power(power) == pytest.approx(3.7)
+
+    def test_more_tx_power_more_range(self):
+        low = LinkBudget(tx_power_w=0.5)
+        high = LinkBudget(tx_power_w=2.0)
+        threshold = 1e-12
+        assert high.range_for_power(threshold) > \
+            low.range_for_power(threshold)
+
+    def test_dbm_conversion(self):
+        budget = LinkBudget()
+        w = budget.received_power_w(5.0)
+        dbm = budget.received_power_dbm(5.0)
+        assert dbm == pytest.approx(10 * __import__("math").log10(
+            w * 1e3))
+
+    def test_modulation_loss_reduces_power(self):
+        lossless = LinkBudget(modulation_loss_db=0.0)
+        lossy = LinkBudget(modulation_loss_db=6.0)
+        ratio = lossless.received_power_w(2.0) \
+            / lossy.received_power_w(2.0)
+        assert ratio == pytest.approx(10 ** 0.6, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkBudget(tx_power_w=0.0)
+        with pytest.raises(ConfigurationError):
+            LinkBudget().received_power_w(0.0)
+        with pytest.raises(ConfigurationError):
+            LinkBudget().range_for_power(-1.0)
+
+
+class TestEquivalentRange:
+    def test_paper_values(self):
+        """10 ft ASK -> ~8 ft LF; 30 ft -> ~23.8 ft at a 4 dB gap."""
+        assert equivalent_range(10.0, 4.0) == pytest.approx(7.94,
+                                                            abs=0.05)
+        assert equivalent_range(30.0, 4.0) == pytest.approx(23.8,
+                                                            abs=0.2)
+
+    def test_zero_gap_identity(self):
+        assert equivalent_range(12.0, 0.0) == 12.0
+
+    def test_ratio_independent_of_range(self):
+        r1 = equivalent_range(10.0, 4.0) / 10.0
+        r2 = equivalent_range(55.0, 4.0) / 55.0
+        assert r1 == pytest.approx(r2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            equivalent_range(0.0, 4.0)
+        with pytest.raises(ConfigurationError):
+            equivalent_range(10.0, -1.0)
+
+
+def test_feet_meter_round_trip():
+    assert meters_to_feet(feet_to_meters(10.0)) == pytest.approx(10.0)
+    assert FEET_PER_METER == pytest.approx(3.2808, abs=1e-3)

@@ -1,0 +1,94 @@
+"""Tests for the capacitor-charging / comparator-jitter model (Fig 4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.capacitor import CapacitorModel, ComparatorJitterModel
+
+
+class TestCapacitorModel:
+    def test_charge_curve_monotone_and_bounded(self):
+        cap = CapacitorModel()
+        t = np.linspace(0, 10 * cap.tau_s, 200)
+        v = cap.voltage(t)
+        assert np.all(np.diff(v) >= 0)
+        assert v[-1] < cap.v_max
+        assert v[-1] > 0.99 * cap.v_max
+
+    def test_voltage_at_tau_is_63_percent(self):
+        cap = CapacitorModel()
+        v = cap.voltage(np.array([cap.tau_s]))[0]
+        assert v == pytest.approx(cap.v_max * (1 - np.exp(-1)))
+
+    def test_negative_time_clamped(self):
+        cap = CapacitorModel()
+        assert cap.voltage(np.array([-1.0]))[0] == 0.0
+
+    def test_crossing_time_consistency(self):
+        """The charge curve evaluated at the crossing time equals the
+        threshold."""
+        cap = CapacitorModel()
+        t = cap.crossing_time(1.0)
+        assert cap.voltage(np.array([t]))[0] == pytest.approx(1.0)
+
+    def test_crossing_faster_with_more_energy(self):
+        cap = CapacitorModel()
+        assert cap.crossing_time(1.0, energy_scale=1.2) < \
+            cap.crossing_time(1.0, energy_scale=1.0) < \
+            cap.crossing_time(1.0, energy_scale=0.8)
+
+    def test_crossing_scales_with_tau(self):
+        cap = CapacitorModel()
+        assert cap.crossing_time(1.0, tau_scale=2.0) == pytest.approx(
+            2.0 * cap.crossing_time(1.0))
+
+    def test_unreachable_threshold_rejected(self):
+        cap = CapacitorModel(v_max=1.0)
+        with pytest.raises(ConfigurationError):
+            cap.crossing_time(1.5)
+        with pytest.raises(ConfigurationError):
+            cap.crossing_time(0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            CapacitorModel(c_farad=0.0)
+
+
+class TestComparatorJitterModel:
+    def test_fire_times_positive(self):
+        model = ComparatorJitterModel(rng=0)
+        times = model.fire_times_s(100)
+        assert np.all(times > 0)
+
+    def test_fire_times_jitter_across_epochs(self):
+        model = ComparatorJitterModel(rng=1)
+        times = model.fire_times_s(50)
+        assert np.std(times) > 0
+
+    def test_deterministic_without_noise(self):
+        model = ComparatorJitterModel(noise_v=0.0, rng=2)
+        assert model.fire_time_s() == model.fire_time_s()
+
+    def test_placement_factors_fixed_per_tag(self):
+        model = ComparatorJitterModel(rng=3)
+        assert model.energy_scale == model.energy_scale
+        assert 0.75 <= model.energy_scale <= 1.25
+        assert 0.8 <= model.tau_scale <= 1.2
+
+    def test_population_spread_across_tags(self):
+        """Different tags (different rngs) fire at different times —
+        the natural offset randomization of Section 3.2."""
+        times = [ComparatorJitterModel(rng=s).fire_time_s()
+                 for s in range(30)]
+        assert np.ptp(times) > 0.1 * np.mean(times)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ComparatorJitterModel(tolerance=1.5)
+        with pytest.raises(ConfigurationError):
+            ComparatorJitterModel(energy_spread=-0.1)
+        with pytest.raises(ConfigurationError):
+            ComparatorJitterModel(noise_v=-0.01)
+        with pytest.raises(ConfigurationError):
+            ComparatorJitterModel(rng=0).fire_times_s(-1)

@@ -1,0 +1,54 @@
+"""Tests for carrier gating and epoch scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.carrier import EpochSchedule
+
+
+def test_bounds_and_durations():
+    sched = EpochSchedule(epoch_duration_s=0.01, gap_s=0.001,
+                          n_epochs=3)
+    bounds = list(sched.epoch_bounds())
+    assert len(bounds) == 3
+    assert bounds[0] == (0.0, 0.01)
+    assert bounds[1][0] == pytest.approx(0.011)
+    assert sched.total_duration_s == pytest.approx(0.033)
+
+
+def test_carrier_envelope_duty():
+    sched = EpochSchedule(epoch_duration_s=0.01, gap_s=0.01,
+                          n_epochs=2)
+    envelope = sched.carrier_envelope(10_000.0)
+    assert envelope.size == 400
+    assert np.sum(envelope) == pytest.approx(200, abs=2)
+
+
+def test_envelope_off_during_gap():
+    sched = EpochSchedule(epoch_duration_s=0.01, gap_s=0.01,
+                          n_epochs=1)
+    envelope = sched.carrier_envelope(1000.0)
+    assert np.all(envelope[:10] == 1.0)
+    assert np.all(envelope[10:] == 0.0)
+
+
+def test_fits_bits():
+    sched = EpochSchedule(epoch_duration_s=0.01)
+    # 10 ms at 10 kbps fits 100 bits.
+    assert sched.fits_bits(10e3, 90)
+    assert not sched.fits_bits(10e3, 101)
+    assert not sched.fits_bits(10e3, 95, max_offset_s=0.001)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        EpochSchedule(epoch_duration_s=0.0)
+    with pytest.raises(ConfigurationError):
+        EpochSchedule(epoch_duration_s=0.01, gap_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        EpochSchedule(epoch_duration_s=0.01, n_epochs=0)
+    with pytest.raises(ConfigurationError):
+        EpochSchedule(epoch_duration_s=0.01).carrier_envelope(0.0)
+    with pytest.raises(ConfigurationError):
+        EpochSchedule(epoch_duration_s=0.01).fits_bits(0.0, 10)

@@ -1,0 +1,101 @@
+"""Tests for the backscatter channel model (Equation 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.channel import ChannelModel, random_coefficients
+
+
+class TestRandomCoefficients:
+    def test_count_and_magnitudes(self):
+        coeffs = random_coefficients(10, magnitude_range=(0.05, 0.2),
+                                     rng=0)
+        assert len(coeffs) == 10
+        for c in coeffs:
+            assert 0.05 <= abs(c) <= 0.2
+
+    def test_min_separation_respected(self):
+        coeffs = random_coefficients(8, min_separation=0.03, rng=1)
+        for i in range(8):
+            for j in range(i + 1, 8):
+                assert abs(coeffs[i] - coeffs[j]) >= 0.03
+
+    def test_deterministic(self):
+        assert random_coefficients(4, rng=5) == \
+            random_coefficients(4, rng=5)
+
+    def test_impossible_packing_raises(self):
+        with pytest.raises(ConfigurationError):
+            random_coefficients(100, magnitude_range=(0.01, 0.011),
+                                min_separation=0.05, rng=0,
+                                max_attempts=500)
+
+    def test_zero_tags(self):
+        assert random_coefficients(0) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_coefficients(-1)
+        with pytest.raises(ConfigurationError):
+            random_coefficients(2, magnitude_range=(0.2, 0.1))
+
+
+class TestChannelModel:
+    def test_static_coefficients(self):
+        channel = ChannelModel({0: 0.1 + 0j, 1: 0.05j})
+        times = np.array([0.0, 1.0, 2.0])
+        np.testing.assert_allclose(channel.coefficient_at(0, times),
+                                   np.full(3, 0.1 + 0j))
+
+    def test_environment_offset(self):
+        channel = ChannelModel({0: 0.1}, environment_offset=0.5 + 0.3j)
+        np.testing.assert_allclose(
+            channel.environment_at(np.array([0.0, 5.0])),
+            np.full(2, 0.5 + 0.3j))
+
+    def test_combine_implements_equation_1(self):
+        """Received = environment + sum_i h_i * state_i."""
+        channel = ChannelModel({0: 0.1 + 0j, 1: 0.2j},
+                               environment_offset=1 + 1j)
+        times = np.zeros(3)
+        states = {0: np.array([0.0, 1.0, 1.0]),
+                  1: np.array([0.0, 0.0, 1.0])}
+        received = channel.combine(times, states)
+        np.testing.assert_allclose(
+            received, [1 + 1j, 1.1 + 1j, 1.1 + 1.2j])
+
+    def test_combine_shape_mismatch(self):
+        channel = ChannelModel({0: 0.1})
+        with pytest.raises(ConfigurationError):
+            channel.combine(np.zeros(3), {0: np.zeros(4)})
+
+    def test_trajectory_overrides_static(self):
+        channel = ChannelModel(
+            {0: 0.1 + 0j},
+            trajectories={0: lambda t: 0.1 + 0.01 * t})
+        values = channel.coefficient_at(0, np.array([0.0, 10.0]))
+        assert values[0] == pytest.approx(0.1)
+        assert values[1] == pytest.approx(0.2)
+
+    def test_is_static(self):
+        assert ChannelModel({0: 0.1}).is_static()
+        assert not ChannelModel(
+            {0: 0.1}, trajectories={0: lambda t: t}).is_static()
+
+    def test_unknown_tag_rejected(self):
+        channel = ChannelModel({0: 0.1})
+        with pytest.raises(ConfigurationError):
+            channel.coefficient_at(5, np.zeros(1))
+
+    def test_trajectory_for_unknown_tag_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelModel({0: 0.1}, trajectories={9: lambda t: t})
+
+    def test_zero_coefficient_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelModel({0: 0j})
+
+    def test_with_random_coefficients(self):
+        channel = ChannelModel.with_random_coefficients([3, 7], rng=2)
+        assert channel.tag_ids == [3, 7]

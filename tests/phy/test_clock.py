@@ -1,0 +1,68 @@
+"""Tests for the drifting tag clock."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.clock import DriftingClock
+
+
+def test_zero_drift_is_exact():
+    clock = DriftingClock(1e-4, drift_ppm=0.0)
+    assert clock.actual_period_s == 1e-4
+    assert clock.realized_drift_ppm == 0.0
+
+
+def test_drift_within_budget():
+    for seed in range(20):
+        clock = DriftingClock(1e-4, drift_ppm=150.0, rng=seed)
+        assert abs(clock.realized_drift_ppm) <= 150.0
+        ratio = clock.actual_period_s / 1e-4
+        assert abs(ratio - 1.0) <= 150e-6
+
+
+def test_drift_realizations_vary():
+    drifts = {DriftingClock(1e-4, 150.0, rng=s).realized_drift_ppm
+              for s in range(10)}
+    assert len(drifts) > 1
+
+
+def test_tick_times_regular_without_jitter():
+    clock = DriftingClock(1e-3, drift_ppm=0.0)
+    ticks = clock.tick_times(5, start_s=1.0)
+    np.testing.assert_allclose(np.diff(ticks), 1e-3)
+    assert ticks[0] == 1.0
+
+
+def test_tick_times_count():
+    clock = DriftingClock(1e-3, drift_ppm=100.0, rng=0)
+    assert clock.tick_times(0).size == 0
+    assert clock.tick_times(7).size == 7
+
+
+def test_jitter_is_white_not_accumulating():
+    """With white jitter the k-th tick stays near k*period."""
+    clock = DriftingClock(1e-3, drift_ppm=0.0, jitter_s=1e-6, rng=3)
+    ticks = clock.tick_times(1000)
+    residuals = ticks - np.arange(1000) * 1e-3
+    assert np.std(residuals) < 5e-6  # does not grow with k
+    assert abs(residuals[-1]) < 1e-5
+
+
+def test_reseed_changes_drift():
+    clock = DriftingClock(1e-4, drift_ppm=150.0, rng=1)
+    before = clock.realized_drift_ppm
+    after = clock.reseed_drift(rng=99)
+    assert clock.realized_drift_ppm == after
+    assert before != after
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        DriftingClock(0.0)
+    with pytest.raises(ConfigurationError):
+        DriftingClock(1e-3, drift_ppm=-1.0)
+    with pytest.raises(ConfigurationError):
+        DriftingClock(1e-3, jitter_s=-1e-9)
+    with pytest.raises(ConfigurationError):
+        DriftingClock(1e-3).tick_times(-1)

@@ -1,0 +1,98 @@
+"""Tests for the Figure 1 channel-dynamics generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.dynamics import (coupled_tags, people_movement,
+                                tag_rotation)
+
+BASE_A = 0.15 + 0.05j
+BASE_B = -0.08 + 0.12j
+
+
+class TestPeopleMovement:
+    def test_wanders_around_base(self):
+        traj = people_movement(BASE_A, duration_s=12.0, rng=0)
+        t = np.linspace(0, 12, 500)
+        values = traj(t)
+        # Centered near the base but not constant.
+        assert abs(values.mean() - BASE_A) < 0.2
+        assert np.ptp(values.real) > 0.01
+
+    def test_smooth(self):
+        traj = people_movement(BASE_A, duration_s=12.0, rng=1)
+        t = np.linspace(0, 12, 2000)
+        steps = np.abs(np.diff(traj(t)))
+        assert steps.max() < 0.05  # no jumps at this resolution
+
+    def test_zero_wander_is_constant(self):
+        traj = people_movement(BASE_A, wander_scale=0.0, rng=2)
+        values = traj(np.linspace(0, 12, 50))
+        np.testing.assert_allclose(values, BASE_A)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            people_movement(BASE_A, duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            people_movement(BASE_A, wander_scale=-0.1)
+
+
+class TestTagRotation:
+    def test_phase_advances_with_rotation(self):
+        traj = tag_rotation(BASE_A, duration_s=10.0,
+                            total_rotation_rad=np.pi, rng=0)
+        start = traj(np.array([0.0]))[0]
+        end = traj(np.array([10.0]))[0]
+        rotation = np.angle(end / start)
+        assert rotation == pytest.approx(np.pi, abs=0.3) or \
+            rotation == pytest.approx(-np.pi, abs=0.3)
+
+    def test_magnitude_modulated_within_depth(self):
+        traj = tag_rotation(BASE_A, duration_s=10.0,
+                            pattern_depth=0.4, rng=1)
+        mags = np.abs(traj(np.linspace(0, 10, 400)))
+        assert mags.max() <= abs(BASE_A) * 1.001
+        assert mags.min() >= abs(BASE_A) * 0.59
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            tag_rotation(BASE_A, duration_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            tag_rotation(BASE_A, pattern_depth=1.0)
+
+
+class TestCoupledTags:
+    def test_stable_when_far(self):
+        """Both coefficients unchanged while the tags are ~1 m apart
+        (the first half of Figure 1c)."""
+        traj_a, traj_b = coupled_tags(BASE_A, BASE_B, duration_s=12.0,
+                                      approach_start_s=6.0, rng=0)
+        t_far = np.linspace(0, 5.9, 100)
+        np.testing.assert_allclose(traj_a(t_far), BASE_A, atol=1e-9)
+        np.testing.assert_allclose(traj_b(t_far), BASE_B, atol=1e-9)
+
+    def test_shifts_when_near(self):
+        traj_a, traj_b = coupled_tags(BASE_A, BASE_B, duration_s=12.0,
+                                      approach_start_s=6.0, rng=1)
+        end_a = traj_a(np.array([12.0]))[0]
+        end_b = traj_b(np.array([12.0]))[0]
+        assert abs(end_a - BASE_A) > 0.01
+        assert abs(end_b - BASE_B) > 0.01
+
+    def test_coupling_symmetric_in_onset(self):
+        """Both tags start shifting at the same time."""
+        traj_a, traj_b = coupled_tags(BASE_A, BASE_B, duration_s=12.0,
+                                      approach_start_s=6.0, rng=2)
+        t = np.linspace(0, 12, 600)
+        moved_a = np.abs(traj_a(t) - BASE_A) > 1e-6
+        moved_b = np.abs(traj_b(t) - BASE_B) > 1e-6
+        np.testing.assert_array_equal(moved_a, moved_b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            coupled_tags(BASE_A, BASE_B, near_distance_m=0.5,
+                         coupling_distance_m=0.2)
+        with pytest.raises(ConfigurationError):
+            coupled_tags(BASE_A, BASE_B, approach_start_s=20.0,
+                         duration_s=12.0)

@@ -1,0 +1,102 @@
+"""Tests for waveform synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.modulation import (nrz_waveform, qam_constellation,
+                                  toggle_positions)
+
+
+class TestTogglePositions:
+    def test_alternating(self):
+        toggles = toggle_positions([1, 0, 1], offset_samples=100.0,
+                                   period_samples=250.0)
+        np.testing.assert_allclose(toggles, [100, 350, 600])
+
+    def test_constant_ones(self):
+        toggles = toggle_positions([1, 1, 1], 0.0, 10.0)
+        np.testing.assert_allclose(toggles, [0.0])
+
+    def test_initial_state_high(self):
+        toggles = toggle_positions([1, 1, 0], 0.0, 10.0,
+                                   initial_state=1)
+        np.testing.assert_allclose(toggles, [20.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            toggle_positions([0, 2], 0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            toggle_positions([1], 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            toggle_positions([1], 0.0, 10.0, initial_state=2)
+
+
+class TestNrzWaveform:
+    def test_levels_between_edges(self):
+        wave = nrz_waveform([1, 0, 1], offset_samples=10.0,
+                            period_samples=20.0, n_samples=80,
+                            edge_width_samples=1)
+        assert np.all(wave[:10] == 0.0)
+        assert np.all(wave[11:29] == 1.0)
+        assert np.all(wave[31:49] == 0.0)
+        assert np.all(wave[51:69] == 1.0)
+
+    def test_edge_ramp_width(self):
+        wave = nrz_waveform([1], offset_samples=50.0,
+                            period_samples=100.0, n_samples=200,
+                            edge_width_samples=5)
+        ramp = np.flatnonzero((wave > 0.01) & (wave < 0.99))
+        assert 2 <= ramp.size <= 6
+        assert np.all(np.diff(wave[45:56]) >= 0)
+
+    def test_holds_final_state(self):
+        wave = nrz_waveform([1], 0.0, 10.0, 50, edge_width_samples=1)
+        assert wave[-1] == 1.0
+
+    def test_final_state_override(self):
+        wave = nrz_waveform([1], 0.0, 10.0, 50, edge_width_samples=1,
+                            final_state=0)
+        assert wave[-1] == 0.0
+
+    def test_fractional_offset(self):
+        wave = nrz_waveform([1], offset_samples=10.5,
+                            period_samples=20.0, n_samples=40,
+                            edge_width_samples=3)
+        assert wave[8] == pytest.approx(0.0)
+        assert wave[13] == pytest.approx(1.0)
+        assert 0.0 < wave[10] < 1.0
+
+    def test_range_bounded(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 40)
+        wave = nrz_waveform(bits, 12.3, 25.0, 1100)
+        assert wave.min() >= 0.0
+        assert wave.max() <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            nrz_waveform([1], 0.0, 10.0, 0)
+        with pytest.raises(ConfigurationError):
+            nrz_waveform([1], 0.0, 10.0, 10, edge_width_samples=0)
+
+
+class TestQamConstellation:
+    def test_unit_average_power(self):
+        points = qam_constellation(order=16, noise_std=0.0, rng=0)
+        assert np.mean(np.abs(points) ** 2) == pytest.approx(1.0)
+
+    def test_cluster_count(self):
+        points = qam_constellation(order=16, n_points_per_symbol=10,
+                                   noise_std=0.0, rng=0)
+        unique = np.unique(np.round(points, 9))
+        assert unique.size == 16
+
+    def test_order_must_be_square(self):
+        with pytest.raises(ConfigurationError):
+            qam_constellation(order=12)
+
+    def test_noise_added(self):
+        clean = qam_constellation(16, 50, noise_std=0.0, rng=1)
+        noisy = qam_constellation(16, 50, noise_std=0.1, rng=1)
+        assert np.std(noisy - clean) > 0

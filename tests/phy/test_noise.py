@@ -1,0 +1,74 @@
+"""Tests for receiver noise and SNR accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.noise import (awgn, measure_snr_db, noise_std_for_snr,
+                             ook_signal_power)
+
+
+class TestAwgn:
+    def test_power_matches_std(self):
+        noise = awgn(200_000, 0.1, rng=0)
+        power = np.mean(np.abs(noise) ** 2)
+        assert power == pytest.approx(0.01, rel=0.02)
+
+    def test_circular(self):
+        """I and Q components carry equal power."""
+        noise = awgn(200_000, 1.0, rng=1)
+        assert np.var(noise.real) == pytest.approx(0.5, rel=0.05)
+        assert np.var(noise.imag) == pytest.approx(0.5, rel=0.05)
+
+    def test_zero_std(self):
+        noise = awgn(10, 0.0)
+        np.testing.assert_array_equal(noise, np.zeros(10))
+
+    def test_zero_mean(self):
+        noise = awgn(100_000, 1.0, rng=2)
+        assert abs(noise.mean()) < 0.02
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            awgn(-1, 0.1)
+        with pytest.raises(ConfigurationError):
+            awgn(10, -0.1)
+
+
+class TestSnrConversions:
+    def test_round_trip(self):
+        signal_power = 0.04
+        std = noise_std_for_snr(signal_power, 10.0)
+        # SNR = P_sig / std^2 should be 10 dB
+        measured = 10 * np.log10(signal_power / std ** 2)
+        assert measured == pytest.approx(10.0)
+
+    def test_measured_snr(self):
+        rng = np.random.default_rng(7)
+        signal = np.full(100_000, 0.2 + 0j)
+        std = noise_std_for_snr(0.04, 6.0)
+        noise = awgn(signal.size, std, rng=rng)
+        assert measure_snr_db(signal, noise) == pytest.approx(6.0,
+                                                              abs=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            noise_std_for_snr(0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            measure_snr_db(np.zeros(3), np.ones(3))
+        with pytest.raises(ConfigurationError):
+            measure_snr_db(np.ones(3), np.zeros(3))
+
+
+class TestOokPower:
+    def test_full_duty(self):
+        assert ook_signal_power(0.2 + 0j, duty=1.0) == \
+            pytest.approx(0.04)
+
+    def test_half_duty(self):
+        assert ook_signal_power(0.2 + 0j, duty=0.5) == \
+            pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ook_signal_power(0.1, duty=0.0)

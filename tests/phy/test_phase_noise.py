@@ -1,0 +1,74 @@
+"""Tests for the LO phase-noise model and decoder robustness to it."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.throughput import match_streams
+from repro.errors import ConfigurationError
+from repro.phy.noise import apply_phase_noise, phase_noise_walk
+from repro.types import IQTrace
+
+from ..conftest import build_decoder, build_network
+
+
+class TestPhaseNoiseWalk:
+    def test_zero_rate_is_zero(self):
+        np.testing.assert_array_equal(phase_noise_walk(100, 0.0),
+                                      np.zeros(100))
+
+    def test_variance_grows_linearly(self):
+        """A Wiener process: Var[phi_n] ~ n * rate^2."""
+        rate = 1e-3
+        finals = [phase_noise_walk(10_000, rate, rng=s)[-1]
+                  for s in range(200)]
+        assert np.var(finals) == pytest.approx(10_000 * rate ** 2,
+                                               rel=0.3)
+
+    def test_apply_preserves_magnitude(self):
+        signal = np.full(1000, 0.5 + 0.3j)
+        rotated = apply_phase_noise(signal, 1e-3, rng=0)
+        np.testing.assert_allclose(np.abs(rotated), np.abs(signal))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            phase_noise_walk(-1, 0.1)
+        with pytest.raises(ConfigurationError):
+            phase_noise_walk(10, -0.1)
+
+
+class TestDecoderUnderPhaseNoise:
+    def test_slow_lo_drift_tolerated(self, fast_profile):
+        """The IQ differential cancels rotation common to both windows,
+        so slow LO drift costs (almost) nothing."""
+        sim = build_network(2, fast_profile, seed=55)
+        capture = sim.run_epoch(0.01)
+        rotated = IQTrace(
+            samples=apply_phase_noise(capture.trace.samples,
+                                      rate_rad=2e-5, rng=1),
+            sample_rate_hz=capture.trace.sample_rate_hz)
+        decoder = build_decoder(fast_profile)
+        result = decoder.decode_epoch(rotated)
+        matches = match_streams(capture, result)
+        assert all(m.matched for m in matches)
+        errors = sum(m.bit_errors for m in matches)
+        sent = sum(m.bits_sent for m in matches)
+        assert errors / sent < 0.05
+
+    def test_fast_lo_drift_degrades(self, fast_profile):
+        """Violent phase noise eventually breaks the cluster geometry —
+        the model responds in the right direction."""
+        sim = build_network(2, fast_profile, seed=56)
+        capture = sim.run_epoch(0.01)
+        decoder = build_decoder(fast_profile)
+
+        def score(rate):
+            trace = IQTrace(
+                samples=apply_phase_noise(capture.trace.samples,
+                                          rate_rad=rate, rng=2),
+                sample_rate_hz=capture.trace.sample_rate_hz)
+            matches = match_streams(capture,
+                                    decoder.decode_epoch(trace))
+            sent = sum(m.bits_sent for m in matches)
+            return sum(m.bits_correct for m in matches) / sent
+
+        assert score(2e-5) >= score(5e-3)

@@ -1,0 +1,122 @@
+"""Additional hypothesis property tests across the stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.collision_prob import collision_probability
+from repro.core.folding import fold_histogram
+from repro.hardware.gates import Gate, transistor_count
+from repro.link.reliability import append_crc16, check_crc16
+from repro.phy.capacitor import CapacitorModel
+from repro.phy.modulation import nrz_waveform
+from repro.utils.dsp import windowed_means
+
+
+@given(n_tags=st.integers(2, 64),
+       positions=st.floats(50, 5000),
+       window=st.floats(1.0, 10.0))
+@settings(max_examples=50)
+def test_collision_probabilities_sum_to_one(n_tags, positions, window):
+    if window >= positions:
+        return
+    total = sum(collision_probability(n_tags, k,
+                                      n_positions=positions,
+                                      window=window)
+                for k in range(1, n_tags + 1))
+    assert abs(total - 1.0) < 1e-9
+
+
+@given(n_tags=st.integers(3, 40))
+@settings(max_examples=30)
+def test_collision_probability_monotone_in_window(n_tags):
+    narrow = collision_probability(n_tags, 1, n_positions=250,
+                                   window=2.0)
+    wide = collision_probability(n_tags, 1, n_positions=250,
+                                 window=8.0)
+    # Wider collision windows make "no collision" less likely.
+    assert wide <= narrow + 1e-12
+
+
+@given(positions=st.lists(st.floats(0, 100_000, allow_nan=False),
+                          min_size=1, max_size=300),
+       period=st.floats(10.0, 5000.0),
+       bin_width=st.floats(1.0, 10.0))
+@settings(max_examples=50)
+def test_fold_histogram_conserves_count(positions, period, bin_width):
+    counts, _ = fold_histogram(np.asarray(positions), period,
+                               bin_width)
+    assert counts.sum() == len(positions)
+    assert counts.min() >= 0
+
+
+@given(msg=st.lists(st.integers(0, 1), min_size=1, max_size=200),
+       start=st.integers(0, 180),
+       burst=st.integers(1, 16))
+@settings(max_examples=60)
+def test_crc16_detects_bursts_within_width(msg, start, burst):
+    frame = append_crc16(np.asarray(msg, dtype=np.int8))
+    assert check_crc16(frame)
+    lo = start % frame.size
+    hi = min(lo + burst, frame.size)
+    bad = frame.copy()
+    bad[lo:hi] ^= 1
+    assert not check_crc16(bad)
+
+
+@given(threshold=st.floats(0.05, 1.7),
+       energy=st.floats(0.8, 1.3),
+       tau=st.floats(0.5, 2.0))
+@settings(max_examples=60)
+def test_capacitor_crossing_is_consistent(threshold, energy, tau):
+    cap = CapacitorModel()
+    if threshold >= energy * cap.v_max:
+        return  # unreachable threshold
+    t = cap.crossing_time(threshold, energy_scale=energy,
+                          tau_scale=tau)
+    assert t > 0
+    v = cap.voltage(np.array([t]), energy_scale=energy,
+                    tau_scale=tau)[0]
+    assert abs(v - threshold) < 1e-9
+
+
+@given(counts=st.dictionaries(st.sampled_from(list(Gate)),
+                              st.integers(0, 50), max_size=6))
+@settings(max_examples=50)
+def test_transistor_count_additive(counts):
+    total = transistor_count(counts)
+    split_a = {g: c // 2 for g, c in counts.items()}
+    split_b = {g: c - c // 2 for g, c in counts.items()}
+    assert transistor_count(split_a) + transistor_count(split_b) \
+        == total
+
+
+@given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=30),
+       offset=st.floats(5.0, 60.0))
+@settings(max_examples=40)
+def test_waveform_area_matches_bit_sum(bits, offset):
+    """The integral of the waveform equals ones x period (ramps are
+    symmetric, the tail holds the final level)."""
+    period = 20.0
+    arr = np.asarray(bits, dtype=np.int8)
+    n = int(offset + period * (len(bits))) + 1
+    wave = nrz_waveform(arr, offset, period, n,
+                        edge_width_samples=3, final_state=0)
+    expected = float(arr.sum()) * period
+    assert abs(wave.sum() - expected) < 3.0  # ramp quantization slack
+
+
+@given(data=st.data())
+@settings(max_examples=40)
+def test_windowed_means_linear(data):
+    """Windowed means are linear in the signal."""
+    n = data.draw(st.integers(30, 200), label="n")
+    rng = np.random.default_rng(data.draw(st.integers(0, 10 ** 6)))
+    a = rng.normal(size=n)
+    b = rng.normal(size=n)
+    centers = np.array([n // 2])
+    ba, aa = windowed_means(a, centers, 5, 5, 1)
+    bb, ab = windowed_means(b, centers, 5, 5, 1)
+    bsum, asum = windowed_means(a + b, centers, 5, 5, 1)
+    assert abs(bsum[0] - (ba[0] + bb[0])) < 1e-9
+    assert abs(asum[0] - (aa[0] + ab[0])) < 1e-9

@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.latency import append_crc5, check_crc5
+from repro.core.separation import continuous_coords
+from repro.core.viterbi import (ViterbiDecoder, bits_to_edge_states,
+                                edge_states_to_bits,
+                                is_valid_state_sequence)
+from repro.phy.modulation import nrz_waveform, toggle_positions
+from repro.tags.base import build_frame, frame_payload
+from repro.utils.dsp import moving_average
+from repro.utils.stats import ber_from_bits
+
+bit_lists = st.lists(st.integers(0, 1), min_size=1, max_size=120)
+
+
+@given(bits=bit_lists)
+def test_frame_round_trip(bits):
+    payload = np.asarray(bits, dtype=np.int8)
+    recovered = frame_payload(build_frame(payload))
+    np.testing.assert_array_equal(recovered, payload)
+
+
+@given(bits=bit_lists)
+def test_edge_state_round_trip(bits):
+    arr = np.asarray(bits, dtype=np.int8)
+    states = bits_to_edge_states(arr)
+    assert is_valid_state_sequence(states)
+    np.testing.assert_array_equal(edge_states_to_bits(states), arr)
+
+
+@given(bits=bit_lists)
+def test_toggle_count_matches_bit_flips(bits):
+    """Number of NRZ toggles equals the number of level changes
+    including the initial 0 -> bits[0] transition."""
+    arr = np.asarray(bits, dtype=np.int8)
+    toggles = toggle_positions(arr, offset_samples=0.0,
+                               period_samples=10.0)
+    levels = np.concatenate([[0], arr])
+    expected = int(np.count_nonzero(np.diff(levels)))
+    assert toggles.size == expected
+
+
+@given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=40))
+@settings(max_examples=30)
+def test_waveform_levels_bounded_and_consistent(bits):
+    arr = np.asarray(bits, dtype=np.int8)
+    wave = nrz_waveform(arr, offset_samples=20.0, period_samples=25.0,
+                        n_samples=int(20 + 25 * (len(bits) + 2)),
+                        edge_width_samples=3)
+    assert wave.min() >= 0.0
+    assert wave.max() <= 1.0
+    # Mid-bit samples equal the bit value exactly.
+    for k, bit in enumerate(arr):
+        mid = int(20 + 25 * k + 12)
+        assert wave[mid] == float(bit)
+
+
+@given(bits=bit_lists)
+@settings(max_examples=40)
+def test_viterbi_noiseless_identity(bits):
+    """With ideal observations the Viterbi decode is exact."""
+    arr = np.asarray(bits, dtype=np.int8)
+    states = bits_to_edge_states(arr)
+    obs = np.array([1.0, -1.0, 0.0, 0.0])[states]
+    decoded = ViterbiDecoder().decode_bits(obs)
+    np.testing.assert_array_equal(decoded, arr)
+
+
+@given(obs=st.lists(st.floats(-3, 3, allow_nan=False), min_size=1,
+                    max_size=80))
+@settings(max_examples=40)
+def test_viterbi_output_always_valid(obs):
+    """Whatever garbage comes in, the state path obeys the trellis."""
+    states = ViterbiDecoder().decode_states(np.asarray(obs))
+    assert is_valid_state_sequence(states)
+
+
+@given(st.data())
+@settings(max_examples=40)
+def test_lattice_coords_inversion(data):
+    """continuous_coords inverts a*e1 + b*e2 exactly for any
+    non-degenerate basis."""
+    def vec(label):
+        mag = data.draw(st.floats(0.02, 0.5), label=label + "_mag")
+        ang = data.draw(st.floats(0, 2 * np.pi), label=label + "_ang")
+        return mag * complex(np.cos(ang), np.sin(ang))
+
+    e1, e2 = vec("e1"), vec("e2")
+    cross = abs(e1.real * e2.imag - e1.imag * e2.real)
+    if cross < 0.2 * abs(e1) * abs(e2):
+        return  # skip near-degenerate geometry
+    a = np.array(data.draw(st.lists(st.integers(-1, 1), min_size=3,
+                                    max_size=20), label="a"))
+    b = np.array(data.draw(st.lists(st.integers(-1, 1),
+                                    min_size=len(a), max_size=len(a)),
+                           label="b"))
+    d = a * e1 + b * e2
+    coords = continuous_coords(d, e1, e2)
+    np.testing.assert_allclose(coords[:, 0], a, atol=1e-8)
+    np.testing.assert_allclose(coords[:, 1], b, atol=1e-8)
+
+
+@given(msg=st.lists(st.integers(0, 1), min_size=1, max_size=120),
+       pos=st.integers(0, 200))
+@settings(max_examples=60)
+def test_crc5_detects_any_single_bit_flip(msg, pos):
+    frame = append_crc5(np.asarray(msg, dtype=np.int8))
+    assert check_crc5(frame)
+    bad = frame.copy()
+    bad[pos % frame.size] ^= 1
+    assert not check_crc5(bad)
+
+
+@given(x=st.lists(st.floats(-100, 100, allow_nan=False), min_size=1,
+                  max_size=200),
+       window=st.integers(1, 20))
+@settings(max_examples=50)
+def test_moving_average_bounded_by_extremes(x, window):
+    arr = np.asarray(x)
+    smoothed = moving_average(arr, window)
+    assert smoothed.shape == arr.shape
+    assert smoothed.min() >= arr.min() - 1e-9
+    assert smoothed.max() <= arr.max() + 1e-9
+
+
+@given(sent=bit_lists)
+def test_ber_identity_and_bounds(sent):
+    arr = np.asarray(sent, dtype=np.int8)
+    assert ber_from_bits(arr, arr) == 0.0
+    flipped = 1 - arr
+    assert ber_from_bits(arr, flipped) == 1.0
+    assert 0.0 <= ber_from_bits(arr, np.zeros_like(arr)) <= 1.0

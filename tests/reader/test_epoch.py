@@ -1,0 +1,50 @@
+"""Tests for epoch capture records."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reader.epoch import EpochCapture, TagTruth
+from repro.types import IQTrace
+
+
+def _truth(tag_id=0, n_bits=10):
+    return TagTruth(tag_id=tag_id,
+                    bits=np.ones(n_bits, dtype=np.int8),
+                    offset_samples=100.0, period_samples=250.0,
+                    nominal_bitrate_bps=10e3,
+                    coefficient=0.1 + 0.05j)
+
+
+def _capture(truths):
+    trace = IQTrace(samples=np.ones(1000, dtype=complex),
+                    sample_rate_hz=2.5e6)
+    return EpochCapture(trace=trace, truths=truths)
+
+
+def test_truth_lookup():
+    cap = _capture([_truth(0), _truth(3)])
+    assert cap.truth_for(3).tag_id == 3
+    assert cap.truth_for(9) is None
+
+
+def test_totals():
+    cap = _capture([_truth(0, 10), _truth(1, 20)])
+    assert cap.n_tags == 2
+    assert cap.total_bits_sent() == 30
+
+
+def test_duration_from_trace():
+    cap = _capture([_truth()])
+    assert cap.duration_s == pytest.approx(1000 / 2.5e6)
+
+
+def test_truth_validation():
+    with pytest.raises(ConfigurationError):
+        TagTruth(tag_id=0, bits=np.ones(3, dtype=np.int8),
+                 offset_samples=-1.0, period_samples=250.0,
+                 nominal_bitrate_bps=10e3, coefficient=0.1)
+    with pytest.raises(ConfigurationError):
+        TagTruth(tag_id=0, bits=np.ones(3, dtype=np.int8),
+                 offset_samples=0.0, period_samples=0.0,
+                 nominal_bitrate_bps=10e3, coefficient=0.1)

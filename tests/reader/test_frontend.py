@@ -1,0 +1,67 @@
+"""Tests for the reader front end."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reader.frontend import ReaderFrontend
+
+
+def test_noiseless_passthrough():
+    fe = ReaderFrontend(sample_rate_hz=1e6)
+    clean = np.full(100, 0.5 + 0.2j)
+    trace = fe.capture(clean)
+    np.testing.assert_array_equal(trace.samples, clean)
+    assert trace.sample_rate_hz == 1e6
+
+
+def test_noise_power_matches_config():
+    fe = ReaderFrontend(sample_rate_hz=1e6, noise_std=0.1, rng=0)
+    clean = np.zeros(200_000, dtype=complex)
+    trace = fe.capture(clean)
+    assert np.mean(np.abs(trace.samples) ** 2) == pytest.approx(
+        0.01, rel=0.05)
+
+
+def test_start_time_propagated():
+    fe = ReaderFrontend(sample_rate_hz=1e3)
+    trace = fe.capture(np.ones(10, dtype=complex), start_time_s=2.5)
+    assert trace.start_time_s == 2.5
+
+
+def test_quantization_grid():
+    fe = ReaderFrontend(sample_rate_hz=1e6, adc_bits=4,
+                        adc_full_scale=2.0)
+    clean = np.linspace(-1, 1, 50) + 0j
+    trace = fe.capture(clean)
+    step = 2.0 / 16
+    # Every output value sits on a mid-rise grid point.
+    residues = np.mod(trace.samples.real - step / 2, step)
+    ok = np.minimum(residues, step - residues)
+    assert np.all(ok < 1e-12)
+
+
+def test_quantization_error_bounded():
+    fe = ReaderFrontend(sample_rate_hz=1e6, adc_bits=8,
+                        adc_full_scale=2.0)
+    rng = np.random.default_rng(0)
+    clean = rng.uniform(-0.9, 0.9, 500) + 1j * rng.uniform(-0.9, 0.9,
+                                                           500)
+    trace = fe.capture(clean)
+    step = 2.0 / 256
+    assert np.max(np.abs(trace.samples.real - clean.real)) <= step
+    assert np.max(np.abs(trace.samples.imag - clean.imag)) <= step
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ReaderFrontend(sample_rate_hz=0.0)
+    with pytest.raises(ConfigurationError):
+        ReaderFrontend(sample_rate_hz=1.0, noise_std=-1.0)
+    with pytest.raises(ConfigurationError):
+        ReaderFrontend(sample_rate_hz=1.0, adc_bits=1)
+    fe = ReaderFrontend(sample_rate_hz=1.0)
+    with pytest.raises(ConfigurationError):
+        fe.capture(np.empty(0, dtype=complex))
+    with pytest.raises(ConfigurationError):
+        fe.capture(np.ones((2, 2)))

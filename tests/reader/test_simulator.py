@@ -1,0 +1,143 @@
+"""Tests for the network simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.channel import ChannelModel
+from repro.phy.dynamics import people_movement
+from repro.tags.base import FixedOffsetModel, FixedPayload
+from repro.tags.lf_tag import LFTag
+from repro.reader.simulator import NetworkSimulator
+from repro.types import SimulationProfile, TagConfig
+
+PROFILE = SimulationProfile.fast()
+
+
+def make_sim(coeffs, noise_std=0.0, snr_db=None, rng=0, **tag_kwargs):
+    channel = ChannelModel({k: c for k, c in enumerate(coeffs)},
+                           environment_offset=0.5 + 0.3j)
+    tags = [LFTag(TagConfig(tag_id=k, bitrate_bps=10e3,
+                            channel_coefficient=c),
+                  profile=PROFILE, rng=k, **tag_kwargs)
+            for k, c in enumerate(coeffs)]
+    if snr_db is not None and noise_std == 0.0:
+        noise_std = None  # the two modes are mutually exclusive
+    return NetworkSimulator(tags, channel, profile=PROFILE,
+                            noise_std=noise_std, snr_db=snr_db,
+                            rng=rng)
+
+
+class TestRunEpoch:
+    def test_trace_shape(self):
+        sim = make_sim([0.1 + 0.05j])
+        cap = sim.run_epoch(0.01)
+        assert len(cap.trace) == 25_000
+        assert cap.trace.sample_rate_hz == 2.5e6
+
+    def test_truth_records_complete(self):
+        sim = make_sim([0.1 + 0.05j, 0.08 - 0.1j])
+        cap = sim.run_epoch(0.01)
+        assert cap.n_tags == 2
+        for truth in cap.truths:
+            assert truth.n_bits > 9
+            assert truth.offset_samples >= 0
+            assert truth.period_samples == pytest.approx(250, rel=1e-3)
+
+    def test_signal_levels_match_channel(self):
+        """Noiseless trace values are sums of environment + active
+        coefficients (Equation 1)."""
+        coeff = 0.1 + 0.05j
+        sim = make_sim([coeff],
+                       offset_model=FixedOffsetModel(1e-3),
+                       payload_source=FixedPayload([1, 1, 1, 1]))
+        cap = sim.run_epoch(0.01)
+        env = 0.5 + 0.3j
+        values = set(np.round(cap.trace.samples, 6))
+        assert np.round(env, 6) in values          # antenna off
+        assert np.round(env + coeff, 6) in values  # antenna reflecting
+
+    def test_epoch_index_sets_start_time(self):
+        sim = make_sim([0.1])
+        cap = sim.run_epoch(0.01, epoch_index=3)
+        assert cap.trace.start_time_s == pytest.approx(0.03)
+
+    def test_run_epochs(self):
+        sim = make_sim([0.1])
+        captures = sim.run_epochs(3, 0.01)
+        assert [c.epoch_index for c in captures] == [0, 1, 2]
+
+    def test_snr_mode_sets_noise(self):
+        sim = make_sim([0.1 + 0j], snr_db=20.0)
+        # SNR 20 dB over |h|^2 = 0.01 -> noise power 1e-4.
+        assert sim.noise_std == pytest.approx(0.01, rel=1e-6)
+
+
+class TestDynamicChannel:
+    def test_time_varying_coefficient_used(self):
+        base = 0.1 + 0.05j
+        channel = ChannelModel(
+            {0: base},
+            trajectories={0: people_movement(base, 1.0, rng=0)})
+        tag = LFTag(TagConfig(tag_id=0, bitrate_bps=10e3,
+                              channel_coefficient=base),
+                    profile=PROFILE, rng=0)
+        sim = NetworkSimulator([tag], channel, profile=PROFILE, rng=1)
+        cap = sim.run_epoch(0.01)
+        assert len(cap.trace) == 25_000
+
+
+class TestValidation:
+    def test_duplicate_tag_ids(self):
+        channel = ChannelModel({0: 0.1})
+        tags = [LFTag(TagConfig(tag_id=0, bitrate_bps=10e3,
+                                channel_coefficient=0.1),
+                      profile=PROFILE, rng=s) for s in range(2)]
+        with pytest.raises(ConfigurationError):
+            NetworkSimulator(tags, channel, profile=PROFILE)
+
+    def test_missing_coefficient(self):
+        channel = ChannelModel({0: 0.1})
+        tags = [LFTag(TagConfig(tag_id=5, bitrate_bps=10e3,
+                                channel_coefficient=0.1),
+                      profile=PROFILE, rng=0)]
+        with pytest.raises(ConfigurationError):
+            NetworkSimulator(tags, channel, profile=PROFILE)
+
+    def test_noise_and_snr_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            make_sim([0.1], noise_std=0.1, snr_db=10.0)
+
+    def test_empty_tags(self):
+        with pytest.raises(ConfigurationError):
+            NetworkSimulator([], ChannelModel({0: 0.1}),
+                             profile=PROFILE)
+
+    def test_bad_duration(self):
+        sim = make_sim([0.1])
+        with pytest.raises(ConfigurationError):
+            sim.run_epoch(0.0)
+        with pytest.raises(ConfigurationError):
+            sim.run_epochs(0, 0.01)
+
+
+class TestRunSchedule:
+    def test_epoch_count_and_timing(self):
+        from repro.phy.carrier import EpochSchedule
+        sim = make_sim([0.1 + 0.05j])
+        schedule = EpochSchedule(epoch_duration_s=0.008, gap_s=0.002,
+                                 n_epochs=3)
+        captures = sim.run_schedule(schedule)
+        assert len(captures) == 3
+        starts = [c.trace.start_time_s for c in captures]
+        assert starts == pytest.approx([0.0, 0.010, 0.020])
+
+    def test_offsets_rerandomize_across_schedule(self):
+        from repro.phy.carrier import EpochSchedule
+        sim = make_sim([0.1 + 0.05j])
+        schedule = EpochSchedule(epoch_duration_s=0.008, gap_s=0.001,
+                                 n_epochs=4)
+        captures = sim.run_schedule(schedule)
+        offsets = {round(c.truths[0].offset_samples, 6)
+                   for c in captures}
+        assert len(offsets) > 1

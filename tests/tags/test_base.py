@@ -1,0 +1,130 @@
+"""Tests for framing, payload sources and offset models."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.tags.base import (CounterPayload, FixedOffsetModel,
+                             FixedPayload, RandomPayload, TagEpochPlan,
+                             UniformOffsetModel, build_frame,
+                             frame_payload)
+
+
+class TestFraming:
+    def test_frame_structure(self):
+        frame = build_frame([1, 1, 0])
+        expected_preamble = [1, 0, 1, 0, 1, 0, 1, 0]
+        np.testing.assert_array_equal(frame[:8], expected_preamble)
+        assert frame[8] == constants.ANCHOR_BIT
+        np.testing.assert_array_equal(frame[9:], [1, 1, 0])
+
+    def test_preamble_starts_with_one(self):
+        """First transmitted edge must be a rising edge (the anchor
+        reference of Table 1)."""
+        assert build_frame([0])[0] == 1
+
+    def test_round_trip(self):
+        payload = np.array([0, 1, 1, 0, 1], dtype=np.int8)
+        np.testing.assert_array_equal(
+            frame_payload(build_frame(payload)), payload)
+
+    def test_custom_preamble_length(self):
+        frame = build_frame([1], preamble_bits=4)
+        assert frame.size == 4 + 1 + 1
+        np.testing.assert_array_equal(frame[:4], [1, 0, 1, 0])
+
+    def test_empty_payload_allowed(self):
+        frame = build_frame(np.empty(0, dtype=np.int8))
+        assert frame.size == constants.PREAMBLE_BITS + 1
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(ConfigurationError):
+            frame_payload([1, 0, 1])
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_frame([0, 2])
+        with pytest.raises(ConfigurationError):
+            build_frame([1], anchor_bit=3)
+
+
+class TestPayloadSources:
+    def test_random_payload_deterministic(self):
+        a = RandomPayload(rng=3).bits(0, 32)
+        b = RandomPayload(rng=3).bits(0, 32)
+        np.testing.assert_array_equal(a, b)
+
+    def test_random_payload_length(self):
+        assert RandomPayload(rng=0).bits(5, 17).size == 17
+
+    def test_fixed_payload_tiles(self):
+        source = FixedPayload([1, 0, 1])
+        np.testing.assert_array_equal(source.bits(0, 7),
+                                      [1, 0, 1, 1, 0, 1, 1])
+
+    def test_fixed_payload_truncates(self):
+        source = FixedPayload([1, 0, 1, 1])
+        np.testing.assert_array_equal(source.bits(0, 2), [1, 0])
+
+    def test_fixed_payload_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedPayload([])
+        with pytest.raises(ConfigurationError):
+            FixedPayload([0, 2])
+
+    def test_counter_payload_increments(self):
+        source = CounterPayload(word_bits=4, start=5)
+        bits = source.bits(0, 8)
+        np.testing.assert_array_equal(bits, [0, 1, 0, 1, 0, 1, 1, 0])
+
+    def test_counter_payload_wraps(self):
+        source = CounterPayload(word_bits=2, start=3)
+        bits = source.bits(0, 4)
+        np.testing.assert_array_equal(bits, [1, 1, 0, 0])
+
+    def test_counter_state_persists_across_calls(self):
+        source = CounterPayload(word_bits=4, start=0)
+        first = source.bits(0, 4)
+        second = source.bits(1, 4)
+        np.testing.assert_array_equal(first, [0, 0, 0, 0])
+        np.testing.assert_array_equal(second, [0, 0, 0, 1])
+
+
+class TestOffsetModels:
+    def test_uniform_in_range(self):
+        model = UniformOffsetModel(spread_s=1e-3, min_s=1e-4, rng=0)
+        for _ in range(50):
+            t = model.fire_time_s()
+            assert 1e-4 <= t < 1.1e-3
+
+    def test_uniform_zero_spread(self):
+        model = UniformOffsetModel(spread_s=0.0, min_s=5e-4)
+        assert model.fire_time_s() == 5e-4
+
+    def test_fixed(self):
+        model = FixedOffsetModel(2e-4)
+        assert model.fire_time_s() == 2e-4
+        assert model.fire_time_s() == 2e-4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformOffsetModel(spread_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            FixedOffsetModel(-1e-3)
+
+
+class TestTagEpochPlan:
+    def test_properties(self):
+        plan = TagEpochPlan(tag_id=1, bits=build_frame([1, 0]),
+                            start_offset_s=1e-4, bit_period_s=1e-4,
+                            nominal_bitrate_bps=10e3)
+        assert plan.n_bits == 11
+        assert plan.end_time_s == pytest.approx(1e-4 + 11e-4)
+        np.testing.assert_array_equal(plan.payload(), [1, 0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TagEpochPlan(tag_id=0, bits=np.ones(3, dtype=np.int8),
+                         start_offset_s=-1.0, bit_period_s=1e-4,
+                         nominal_bitrate_bps=10e3)

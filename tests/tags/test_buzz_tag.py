@@ -1,0 +1,73 @@
+"""Tests for the Buzz lock-step tag model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tags.buzz_tag import (BuzzTag, estimation_preamble,
+                                 randomization_matrix)
+from repro.types import TagConfig
+
+
+class TestRandomizationMatrix:
+    def test_shape_and_binary(self):
+        d = randomization_matrix(8, 4, seed=1)
+        assert d.shape == (8, 4)
+        assert set(np.unique(d)) <= {0, 1}
+
+    def test_deterministic_in_seed(self):
+        np.testing.assert_array_equal(randomization_matrix(6, 3, seed=7),
+                                      randomization_matrix(6, 3, seed=7))
+
+    def test_every_tag_and_slot_active(self):
+        d = randomization_matrix(10, 5, seed=2)
+        assert np.all(d.sum(axis=0) > 0)  # every tag transmits sometime
+        assert np.all(d.sum(axis=1) > 0)  # every slot hears someone
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            randomization_matrix(0, 3)
+
+
+class TestBuzzTag:
+    def _tag(self, column):
+        return BuzzTag(TagConfig(tag_id=0, channel_coefficient=0.1),
+                       np.asarray(column, dtype=np.int8))
+
+    def test_states_for_zero_bit_all_off(self):
+        tag = self._tag([1, 0, 1])
+        np.testing.assert_array_equal(tag.states_for_bit(0), [0, 0, 0])
+
+    def test_states_for_one_bit_follow_column(self):
+        tag = self._tag([1, 0, 1])
+        np.testing.assert_array_equal(tag.states_for_bit(1), [1, 0, 1])
+
+    def test_states_for_message_shape(self):
+        tag = self._tag([1, 0, 1, 1])
+        states = tag.states_for_message(np.array([1, 0, 1]))
+        assert states.shape == (3, 4)
+        np.testing.assert_array_equal(states[1], [0, 0, 0, 0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self._tag([0, 2])
+        with pytest.raises(ConfigurationError):
+            self._tag([1, 0]).states_for_bit(2)
+        with pytest.raises(ConfigurationError):
+            self._tag([1, 0]).states_for_message(np.array([0, 3]))
+
+
+class TestEstimationPreamble:
+    def test_exclusive_sounding(self):
+        sched = estimation_preamble(3, repetitions=2)
+        assert sched.shape == (6, 3)
+        # Exactly one tag active per sounding slot.
+        np.testing.assert_array_equal(sched.sum(axis=1), np.ones(6))
+        # Each tag sounded exactly `repetitions` times.
+        np.testing.assert_array_equal(sched.sum(axis=0), [2, 2, 2])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            estimation_preamble(0)
+        with pytest.raises(ConfigurationError):
+            estimation_preamble(2, repetitions=0)

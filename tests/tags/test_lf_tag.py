@@ -1,0 +1,96 @@
+"""Tests for the laissez-faire tag."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tags.base import FixedOffsetModel, FixedPayload
+from repro.tags.lf_tag import LFTag, default_offset_model
+from repro.types import SimulationProfile, TagConfig
+
+PROFILE = SimulationProfile.fast()
+
+
+def make_tag(bitrate=10e3, **kwargs):
+    cfg = TagConfig(tag_id=0, bitrate_bps=bitrate,
+                    channel_coefficient=0.1 + 0.05j)
+    return LFTag(cfg, profile=PROFILE, **kwargs)
+
+
+class TestPlanEpoch:
+    def test_frame_fills_epoch(self):
+        tag = make_tag(rng=0)
+        plan = tag.plan_epoch(0, 0.02)
+        assert plan.end_time_s <= 0.02
+        # The next bit would not have fit.
+        assert plan.end_time_s + plan.bit_period_s > 0.02 - 1e-9
+
+    def test_header_present(self):
+        tag = make_tag(rng=1)
+        plan = tag.plan_epoch(0, 0.02)
+        np.testing.assert_array_equal(plan.bits[:9],
+                                      [1, 0, 1, 0, 1, 0, 1, 0, 1])
+
+    def test_offsets_vary_across_epochs(self):
+        tag = make_tag(rng=2)
+        offsets = {round(tag.plan_epoch(k, 0.02).start_offset_s, 9)
+                   for k in range(10)}
+        assert len(offsets) > 1
+
+    def test_bit_period_reflects_drift(self):
+        tag = make_tag(rng=3)
+        plan = tag.plan_epoch(0, 0.02)
+        nominal = 1.0 / 10e3
+        assert plan.bit_period_s != nominal
+        assert abs(plan.bit_period_s / nominal - 1.0) < 200e-6
+
+    def test_fixed_payload_respected(self):
+        tag = make_tag(payload_source=FixedPayload([1, 1, 0, 0]),
+                       offset_model=FixedOffsetModel(1e-4), rng=4)
+        plan = tag.plan_epoch(0, 0.02)
+        np.testing.assert_array_equal(plan.payload()[:4], [1, 1, 0, 0])
+
+    def test_epoch_too_short_raises(self):
+        tag = make_tag(offset_model=FixedOffsetModel(0.0), rng=5)
+        with pytest.raises(ConfigurationError):
+            tag.plan_epoch(0, 5e-4)  # only 5 bit periods
+
+    def test_invalid_duration(self):
+        with pytest.raises(ConfigurationError):
+            make_tag(rng=6).plan_epoch(0, 0.0)
+
+    def test_bitrate_validated_against_base_rate(self):
+        cfg = TagConfig(tag_id=0, bitrate_bps=10e3 + 1,
+                        channel_coefficient=0.1)
+        with pytest.raises(ConfigurationError):
+            LFTag(cfg, profile=PROFILE)
+
+    def test_mean_offset_added(self):
+        cfg = TagConfig(tag_id=0, bitrate_bps=10e3,
+                        channel_coefficient=0.1, mean_offset_s=5e-3)
+        tag = LFTag(cfg, offset_model=FixedOffsetModel(1e-4),
+                    profile=PROFILE)
+        plan = tag.plan_epoch(0, 0.03)
+        assert plan.start_offset_s == pytest.approx(5.1e-3)
+
+
+class TestDefaultOffsetModel:
+    def test_phase_spread_is_wide(self):
+        """Fire times modulo one bit period should be spread out —
+        the decoder's concurrency depends on it (Section 3.2)."""
+        period = 1e-4
+        phases = []
+        for seed in range(120):
+            model = default_offset_model(
+                period, rng=np.random.default_rng(seed))
+            phases.append((model.fire_time_s() % period) / period)
+        # Standard deviation of a uniform phase is ~0.289.
+        assert np.std(phases) > 0.2
+
+    def test_mean_offset_moderate(self):
+        """Offsets must not eat the epoch: mean well under 20 bits."""
+        period = 1e-4
+        fires = [default_offset_model(
+            period, rng=np.random.default_rng(s)).fire_time_s()
+            for s in range(60)]
+        assert np.mean(fires) / period < 20

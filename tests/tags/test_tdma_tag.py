@@ -1,0 +1,67 @@
+"""Tests for the TDMA (stripped Gen 2) tag model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tags.tdma_tag import TdmaTag
+from repro.types import TagConfig
+
+
+def make_tag(**kwargs):
+    return TdmaTag(TagConfig(tag_id=0, channel_coefficient=0.1),
+                   **kwargs)
+
+
+def test_sense_and_respond():
+    tag = make_tag(slot_bits=8)
+    tag.sense(np.arange(16) % 2)
+    out = tag.respond_in_slot()
+    np.testing.assert_array_equal(out, [0, 1, 0, 1, 0, 1, 0, 1])
+    assert tag.buffered_bits == 8
+
+
+def test_slot_wasted_when_buffer_low():
+    tag = make_tag(slot_bits=96)
+    tag.sense(np.ones(10, dtype=np.int8))
+    assert tag.respond_in_slot() is None
+    assert tag.buffered_bits == 10  # nothing consumed
+
+
+def test_fifo_order_preserved():
+    tag = make_tag(slot_bits=4)
+    tag.sense(np.array([1, 1, 0, 0], dtype=np.int8))
+    tag.sense(np.array([0, 1, 1, 1], dtype=np.int8))
+    np.testing.assert_array_equal(tag.respond_in_slot(), [1, 1, 0, 0])
+    np.testing.assert_array_equal(tag.respond_in_slot(), [0, 1, 1, 1])
+
+
+def test_overflow_drops_and_counts():
+    """A bounded sensor buffer drops oldest bits — the cost TDMA tags
+    pay for waiting between slots (Section 2.1)."""
+    tag = make_tag(slot_bits=8, buffer_capacity_bits=8)
+    tag.sense(np.zeros(8, dtype=np.int8))
+    tag.sense(np.ones(4, dtype=np.int8))
+    assert tag.dropped_bits == 4
+    assert tag.buffered_bits == 8
+    out = tag.respond_in_slot()
+    # The oldest 4 zeros were dropped.
+    np.testing.assert_array_equal(out, [0, 0, 0, 0, 1, 1, 1, 1])
+
+
+def test_make_identifier():
+    tag = make_tag(rng=1)
+    ident = tag.make_identifier(96)
+    assert ident.size == 96
+    assert set(np.unique(ident)) <= {0, 1}
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        make_tag(slot_bits=0)
+    with pytest.raises(ConfigurationError):
+        make_tag(slot_bits=96, buffer_capacity_bits=10)
+    with pytest.raises(ConfigurationError):
+        make_tag().sense(np.array([0, 5]))
+    with pytest.raises(ConfigurationError):
+        make_tag().make_identifier(0)

@@ -1,0 +1,80 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.types import IQTrace
+from repro.utils.serialization import save_trace
+
+from .conftest import build_network
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("fig8", "table3", "sec54", "ablation_drift"):
+            assert key in out
+
+
+class TestRun:
+    def test_run_static_experiment(self, capsys):
+        assert main(["run", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "22704" in out
+
+    def test_run_with_save(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(["run", "sec54", "--save", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["experiment_id"] == "sec54"
+        assert len(data["rows"]) >= 2
+
+    def test_unknown_experiment_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonsense"])
+
+
+class TestDecode:
+    def test_decode_saved_capture(self, tmp_path, capsys,
+                                  fast_profile):
+        sim = build_network(2, fast_profile, seed=31)
+        capture = sim.run_epoch(0.01)
+        path = save_trace(capture.trace, tmp_path / "epoch.npz")
+        assert main(["decode", str(path),
+                     "--bitrates", "10000"]) == 0
+        out = capsys.readouterr().out
+        assert "stream(s) decoded" in out
+        # Both genuine tags appear as full-confidence streams (an
+        # occasional low-confidence fragment may tag along; real
+        # deployments CRC-filter those).
+        assert out.count("confidence 1.00") >= 2
+        assert "payload" in out
+
+    def test_decode_missing_file_errors(self):
+        with pytest.raises(FileNotFoundError):
+            main(["decode", "/nonexistent.npz",
+                  "--bitrates", "10000"])
+
+    def test_decode_garbage_trace_is_handled(self, tmp_path, capsys):
+        trace = IQTrace(samples=np.full(30_000, 0.5 + 0.3j),
+                        sample_rate_hz=2.5e6)
+        path = save_trace(trace, tmp_path / "quiet.npz")
+        assert main(["decode", str(path),
+                     "--bitrates", "10000"]) == 0
+        out = capsys.readouterr().out
+        assert "0 stream(s) decoded" in out
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

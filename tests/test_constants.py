@@ -1,0 +1,41 @@
+"""Tests for shared constants and derived helpers."""
+
+import pytest
+
+from repro import constants
+
+
+def test_paper_reference_point():
+    """25 Msps at 100 kbps is 250 samples per bit (Section 2.4)."""
+    assert constants.samples_per_bit(
+        constants.DEFAULT_BITRATE_BPS,
+        constants.READER_SAMPLE_RATE_HZ) == 250
+
+
+def test_edge_packing_headroom():
+    """250/3 ~ 83 edges can stack per bit period (Section 2.4)."""
+    per_bit = constants.samples_per_bit(100e3, 25e6)
+    assert int(per_bit // constants.EDGE_WIDTH_SAMPLES) == 83
+
+
+def test_base_rate_divides_default():
+    assert constants.DEFAULT_BITRATE_BPS % constants.BASE_RATE_BPS == 0
+
+
+def test_samples_per_bit_validation():
+    with pytest.raises(ValueError):
+        constants.samples_per_bit(0.0)
+    with pytest.raises(ValueError):
+        constants.samples_per_bit(100.0, -1.0)
+
+
+def test_drift_budget_ordering():
+    """Typical crystal drift must sit inside the tolerated budget."""
+    assert constants.DEFAULT_CLOCK_DRIFT_PPM < \
+        constants.MAX_TOLERATED_DRIFT_PPM
+
+
+def test_epc_frame_sizes():
+    assert constants.EPC_ID_BITS == 96
+    assert constants.EPC_CRC_BITS == 5
+    assert constants.TDMA_SLOT_BITS == 96

@@ -1,0 +1,36 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (ChannelEstimationError,
+                          CollisionUnresolvableError, ConfigurationError,
+                          DecodeError, HardwareModelError, ReproError,
+                          SignalError)
+
+
+def test_all_derive_from_repro_error():
+    for exc in (ConfigurationError, SignalError, DecodeError,
+                CollisionUnresolvableError, ChannelEstimationError,
+                HardwareModelError):
+        assert issubclass(exc, ReproError)
+
+
+def test_configuration_error_is_value_error():
+    """Callers using stdlib conventions still catch bad arguments."""
+    assert issubclass(ConfigurationError, ValueError)
+
+
+def test_collision_unresolvable_carries_count():
+    err = CollisionUnresolvableError(3)
+    assert err.n_colliders == 3
+    assert "3-way" in str(err)
+
+
+def test_collision_unresolvable_custom_message():
+    err = CollisionUnresolvableError(2, "parallel vectors")
+    assert str(err) == "parallel vectors"
+
+
+def test_collision_unresolvable_is_decode_error():
+    with pytest.raises(DecodeError):
+        raise CollisionUnresolvableError(4)

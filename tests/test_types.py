@@ -1,0 +1,235 @@
+"""Tests for the core datatypes."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.errors import ConfigurationError, SignalError
+from repro.types import (DecodedStream, DetectedEdge, EpochResult,
+                         IQTrace, SimulationProfile, StreamHypothesis,
+                         TagConfig, ThroughputReport, bits_from_string,
+                         bits_to_string)
+
+
+class TestSimulationProfile:
+    def test_paper_matches_constants(self):
+        profile = SimulationProfile.paper()
+        assert profile.sample_rate_hz == constants.READER_SAMPLE_RATE_HZ
+        assert profile.default_bitrate_bps == \
+            constants.DEFAULT_BITRATE_BPS
+
+    def test_fast_preserves_oversampling_ratio(self):
+        fast = SimulationProfile.fast()
+        paper = SimulationProfile.paper()
+        assert fast.samples_per_bit() == paper.samples_per_bit() == 250
+
+    def test_samples_per_bit_explicit_rate(self):
+        assert SimulationProfile.paper().samples_per_bit(250e3) == 100
+
+    def test_validate_bitrate_accepts_multiples(self):
+        profile = SimulationProfile.fast()
+        profile.validate_bitrate(10e3)
+        profile.validate_bitrate(50.0)  # 5 x base rate of 10
+
+    def test_validate_bitrate_rejects_non_multiples(self):
+        profile = SimulationProfile.fast()
+        with pytest.raises(ConfigurationError):
+            profile.validate_bitrate(10e3 + 3.0)
+
+    def test_validate_bitrate_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            SimulationProfile.fast().validate_bitrate(0.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            SimulationProfile(sample_rate_hz=-1)
+        with pytest.raises(ConfigurationError):
+            SimulationProfile(base_rate_bps=0)
+        with pytest.raises(ConfigurationError):
+            SimulationProfile(edge_width_samples=0)
+
+
+class TestIQTrace:
+    def test_construction_and_properties(self):
+        samples = np.array([1 + 1j, 2 + 0j, 0 + 3j])
+        trace = IQTrace(samples=samples, sample_rate_hz=100.0)
+        assert len(trace) == 3
+        assert trace.duration_s == pytest.approx(0.03)
+        np.testing.assert_allclose(trace.i, [1, 2, 0])
+        np.testing.assert_allclose(trace.q, [1, 0, 3])
+
+    def test_real_input_promoted_to_complex(self):
+        trace = IQTrace(samples=np.array([1.0, 2.0]),
+                        sample_rate_hz=10.0)
+        assert np.iscomplexobj(trace.samples)
+
+    def test_time_axis_respects_start(self):
+        trace = IQTrace(samples=np.ones(4, dtype=complex),
+                        sample_rate_hz=2.0, start_time_s=1.0)
+        np.testing.assert_allclose(trace.time_axis(),
+                                   [1.0, 1.5, 2.0, 2.5])
+
+    def test_slice(self):
+        trace = IQTrace(samples=np.arange(10, dtype=complex),
+                        sample_rate_hz=10.0)
+        sub = trace.slice(2, 5)
+        assert len(sub) == 3
+        assert sub.start_time_s == pytest.approx(0.2)
+        np.testing.assert_allclose(sub.samples.real, [2, 3, 4])
+
+    def test_slice_bounds_checked(self):
+        trace = IQTrace(samples=np.ones(4, dtype=complex),
+                        sample_rate_hz=1.0)
+        with pytest.raises(SignalError):
+            trace.slice(2, 10)
+        with pytest.raises(SignalError):
+            trace.slice(3, 3)
+
+    def test_rejects_empty_and_2d(self):
+        with pytest.raises(SignalError):
+            IQTrace(samples=np.empty(0), sample_rate_hz=1.0)
+        with pytest.raises(SignalError):
+            IQTrace(samples=np.ones((2, 2)), sample_rate_hz=1.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(SignalError):
+            IQTrace(samples=np.ones(3), sample_rate_hz=0.0)
+
+
+class TestTagConfig:
+    def test_defaults(self):
+        cfg = TagConfig(tag_id=3)
+        assert cfg.bitrate_bps == constants.DEFAULT_BITRATE_BPS
+        assert cfg.clock_drift_ppm == \
+            constants.DEFAULT_CLOCK_DRIFT_PPM
+
+    def test_with_coefficient(self):
+        cfg = TagConfig(tag_id=0)
+        new = cfg.with_coefficient(0.3 + 0.1j)
+        assert new.channel_coefficient == 0.3 + 0.1j
+        assert new.tag_id == cfg.tag_id
+        assert cfg.channel_coefficient != new.channel_coefficient
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TagConfig(tag_id=-1)
+        with pytest.raises(ConfigurationError):
+            TagConfig(tag_id=0, bitrate_bps=0)
+        with pytest.raises(ConfigurationError):
+            TagConfig(tag_id=0, channel_coefficient=0j)
+        with pytest.raises(ConfigurationError):
+            TagConfig(tag_id=0, clock_drift_ppm=-5)
+
+
+class TestDetectedEdge:
+    def test_strength_defaults_to_magnitude(self):
+        edge = DetectedEdge(position=5, differential=3 + 4j)
+        assert edge.strength == pytest.approx(5.0)
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(SignalError):
+            DetectedEdge(position=-1, differential=1j)
+
+
+class TestStreamHypothesis:
+    def test_grid_positions(self):
+        hyp = StreamHypothesis(offset_samples=10.0, period_samples=25.0)
+        grid = hyp.grid_positions(100)
+        np.testing.assert_allclose(grid, [10, 35, 60, 85])
+
+    def test_grid_positions_empty_when_offset_past_end(self):
+        hyp = StreamHypothesis(offset_samples=99.0,
+                               period_samples=1000.0)
+        assert hyp.grid_positions(50).size == 0
+
+    def test_validation(self):
+        with pytest.raises(SignalError):
+            StreamHypothesis(offset_samples=-1.0, period_samples=10.0)
+        with pytest.raises(SignalError):
+            StreamHypothesis(offset_samples=0.0, period_samples=0.0)
+
+
+class TestDecodedStream:
+    def _stream(self, bits) -> DecodedStream:
+        return DecodedStream(bits=np.asarray(bits, dtype=np.int8),
+                             offset_samples=0.0, period_samples=250.0,
+                             bitrate_bps=10e3)
+
+    def test_payload_strips_header(self):
+        bits = [1, 0, 1, 0, 1, 0, 1, 0, 1, 1, 1, 0]
+        stream = self._stream(bits)
+        np.testing.assert_array_equal(stream.payload_bits(), [1, 1, 0])
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(SignalError):
+            self._stream([0, 1, 2])
+
+    def test_n_bits(self):
+        assert self._stream([1, 0, 1]).n_bits == 3
+
+
+class TestEpochResult:
+    def test_stream_lookup_and_totals(self):
+        streams = [
+            DecodedStream(bits=np.ones(12, dtype=np.int8),
+                          offset_samples=0, period_samples=250,
+                          bitrate_bps=10e3, tag_id=7),
+            DecodedStream(bits=np.zeros(15, dtype=np.int8),
+                          offset_samples=10, period_samples=250,
+                          bitrate_bps=10e3, tag_id=2),
+        ]
+        result = EpochResult(streams=streams)
+        assert result.n_streams == 2
+        assert result.stream_by_tag(7) is streams[0]
+        assert result.stream_by_tag(99) is None
+        # payload = bits minus 9-bit header for each stream
+        assert result.total_payload_bits() == (12 - 9) + (15 - 9)
+
+
+class TestThroughputReport:
+    def test_throughput_and_goodput(self):
+        report = ThroughputReport(scheme="lf", n_tags=2,
+                                  bits_correct=500, bits_sent=1000,
+                                  elapsed_s=0.5)
+        assert report.throughput_bps == pytest.approx(1000.0)
+        assert report.goodput_fraction == pytest.approx(0.5)
+
+    def test_degenerate_cases(self):
+        report = ThroughputReport(scheme="lf", n_tags=1,
+                                  bits_correct=0, bits_sent=0,
+                                  elapsed_s=0.0)
+        assert report.throughput_bps == 0.0
+        assert report.goodput_fraction == 0.0
+
+
+class TestBitStrings:
+    def test_round_trip(self):
+        bits = bits_from_string("10110")
+        np.testing.assert_array_equal(bits, [1, 0, 1, 1, 0])
+        assert bits_to_string(bits) == "10110"
+
+    def test_invalid_characters(self):
+        with pytest.raises(ConfigurationError):
+            bits_from_string("10x1")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bits_from_string("")
+
+    def test_to_string_validates(self):
+        with pytest.raises(ConfigurationError):
+            bits_to_string([0, 2])
+
+
+class TestIQTraceFiniteness:
+    def test_nan_rejected(self):
+        samples = np.ones(10, dtype=complex)
+        samples[3] = np.nan
+        with pytest.raises(SignalError):
+            IQTrace(samples=samples, sample_rate_hz=1.0)
+
+    def test_inf_rejected(self):
+        samples = np.ones(10, dtype=complex)
+        samples[3] = 1j * np.inf
+        with pytest.raises(SignalError):
+            IQTrace(samples=samples, sample_rate_hz=1.0)

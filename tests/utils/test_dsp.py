@@ -1,0 +1,178 @@
+"""Tests for the DSP building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.utils.dsp import (bits_from_levels, edge_positions_from_bits,
+                             find_peaks_above, fold_positions,
+                             moving_average, nrz_levels_from_bits,
+                             windowed_means)
+
+
+class TestMovingAverage:
+    def test_identity_window(self):
+        x = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(moving_average(x, 1), x)
+
+    def test_constant_signal_unchanged(self):
+        x = np.full(20, 3.5)
+        np.testing.assert_allclose(moving_average(x, 5), x)
+
+    def test_length_preserved(self):
+        x = np.random.default_rng(0).normal(size=37)
+        assert moving_average(x, 6).shape == x.shape
+
+    def test_complex_input(self):
+        x = np.array([1 + 1j, 1 + 1j, 1 + 1j, 1 + 1j])
+        np.testing.assert_allclose(moving_average(x, 2), x)
+
+    def test_smooths_step(self):
+        x = np.concatenate([np.zeros(10), np.ones(10)])
+        smoothed = moving_average(x, 4)
+        assert 0 < smoothed[10] < 1
+
+    def test_window_larger_than_signal_clipped(self):
+        x = np.array([1.0, 3.0])
+        out = moving_average(x, 10)
+        assert out.shape == x.shape
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(5), 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones((3, 3)), 2)
+
+
+class TestWindowedMeans:
+    def test_step_signal(self):
+        signal = np.concatenate([np.zeros(50), np.ones(50)])
+        before, after = windowed_means(signal, np.array([50]),
+                                       pre_window=10, post_window=10,
+                                       guard=2)
+        assert before[0] == pytest.approx(0.0)
+        assert after[0] == pytest.approx(1.0)
+
+    def test_guard_excludes_transition(self):
+        signal = np.concatenate([np.zeros(50), [0.5], np.ones(49)])
+        before, after = windowed_means(signal, np.array([50]),
+                                       pre_window=5, post_window=5,
+                                       guard=1)
+        assert after[0] == pytest.approx(1.0)
+
+    def test_edge_of_trace_falls_back(self):
+        signal = np.ones(20)
+        before, after = windowed_means(signal, np.array([0, 19]),
+                                       pre_window=5, post_window=5,
+                                       guard=1)
+        assert np.all(np.isfinite(before))
+        assert np.all(np.isfinite(after))
+
+    def test_complex_signal(self):
+        signal = np.concatenate([np.zeros(30),
+                                 np.full(30, 1 + 2j)])
+        before, after = windowed_means(signal, np.array([30]),
+                                       pre_window=8, post_window=8,
+                                       guard=1)
+        assert after[0] - before[0] == pytest.approx(1 + 2j)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            windowed_means(np.ones(10), np.array([5]), 0, 5, 1)
+        with pytest.raises(ValueError):
+            windowed_means(np.ones(10), np.array([5]), 5, 5, -1)
+
+
+class TestFindPeaksAbove:
+    def test_single_peak(self):
+        x = np.zeros(50)
+        x[20] = 10.0
+        peaks = find_peaks_above(x, 5.0, 3)
+        np.testing.assert_array_equal(peaks, [20])
+
+    def test_suppression_keeps_strongest(self):
+        x = np.zeros(50)
+        x[20] = 10.0
+        x[22] = 8.0  # within suppression radius of the stronger peak
+        peaks = find_peaks_above(x, 5.0, 3)
+        np.testing.assert_array_equal(peaks, [20])
+
+    def test_separated_peaks_both_found(self):
+        x = np.zeros(50)
+        x[10] = 10.0
+        x[30] = 9.0
+        peaks = find_peaks_above(x, 5.0, 3)
+        np.testing.assert_array_equal(peaks, [10, 30])
+
+    def test_nothing_above_threshold(self):
+        assert find_peaks_above(np.zeros(10), 1.0, 2).size == 0
+
+    def test_results_sorted(self):
+        x = np.zeros(100)
+        x[[80, 10, 40]] = [5, 6, 7]
+        peaks = find_peaks_above(x, 1.0, 3)
+        assert list(peaks) == sorted(peaks)
+
+    def test_invalid_separation(self):
+        with pytest.raises(ValueError):
+            find_peaks_above(np.ones(5), 0.5, 0)
+
+
+class TestFoldPositions:
+    def test_periodic_positions_fold_into_one_bin(self):
+        positions = 7.0 + 50.0 * np.arange(20)
+        counts = fold_positions(positions, 50.0, 50)
+        assert counts.max() == 20
+        assert np.count_nonzero(counts) == 1
+
+    def test_uniform_positions_spread(self):
+        rng = np.random.default_rng(3)
+        positions = rng.uniform(0, 5000, 1000)
+        counts = fold_positions(positions, 50.0, 10)
+        assert counts.min() > 0  # roughly uniform occupancy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fold_positions(np.array([1.0]), 0.0, 5)
+        with pytest.raises(ValueError):
+            fold_positions(np.array([1.0]), 10.0, 0)
+
+
+class TestNrzHelpers:
+    def test_levels_round_trip(self):
+        bits = np.array([1, 0, 1, 1, 0], dtype=np.int8)
+        levels = nrz_levels_from_bits(bits)
+        np.testing.assert_array_equal(bits_from_levels(levels), bits)
+
+    def test_levels_reject_non_binary(self):
+        with pytest.raises(ValueError):
+            nrz_levels_from_bits(np.array([0, 3]))
+
+    def test_threshold(self):
+        levels = np.array([0.2, 0.7, 0.4, 0.9])
+        np.testing.assert_array_equal(bits_from_levels(levels),
+                                      [0, 1, 0, 1])
+
+
+class TestEdgePositionsFromBits:
+    def test_alternating_bits_toggle_every_boundary(self):
+        positions = edge_positions_from_bits([1, 0, 1, 0], offset=10.0,
+                                             period=5.0)
+        np.testing.assert_allclose(positions, [10, 15, 20, 25])
+
+    def test_constant_bits_single_initial_edge(self):
+        positions = edge_positions_from_bits([1, 1, 1], offset=0.0,
+                                             period=4.0)
+        np.testing.assert_allclose(positions, [0.0])
+
+    def test_all_zero_no_edges(self):
+        positions = edge_positions_from_bits([0, 0, 0], offset=0.0,
+                                             period=4.0)
+        assert positions.size == 0
+
+    def test_initial_state_high(self):
+        positions = edge_positions_from_bits([1, 0], offset=0.0,
+                                             period=3.0,
+                                             initial_state=1)
+        np.testing.assert_allclose(positions, [3.0])

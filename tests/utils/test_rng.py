@@ -1,0 +1,44 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+def test_make_rng_from_int_is_deterministic():
+    a = make_rng(42).integers(0, 1000, 10)
+    b = make_rng(42).integers(0, 1000, 10)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_make_rng_passthrough():
+    gen = np.random.default_rng(1)
+    assert make_rng(gen) is gen
+
+
+def test_make_rng_none_gives_generator():
+    assert isinstance(make_rng(None), np.random.Generator)
+
+
+def test_spawn_rngs_independent_and_deterministic():
+    children_a = spawn_rngs(7, 3)
+    children_b = spawn_rngs(7, 3)
+    for a, b in zip(children_a, children_b):
+        np.testing.assert_array_equal(a.integers(0, 100, 5),
+                                      b.integers(0, 100, 5))
+
+
+def test_spawn_rngs_children_differ():
+    a, b = spawn_rngs(0, 2)
+    assert not np.array_equal(a.integers(0, 10 ** 9, 8),
+                              b.integers(0, 10 ** 9, 8))
+
+
+def test_spawn_rngs_zero():
+    assert spawn_rngs(0, 0) == []
+
+
+def test_spawn_rngs_negative_rejected():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)

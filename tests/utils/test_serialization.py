@@ -1,0 +1,71 @@
+"""Tests for trace and result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.types import IQTrace
+from repro.utils.serialization import (load_results, load_trace,
+                                       save_results, save_trace)
+
+
+class TestTraceRoundTrip:
+    def test_round_trip(self, tmp_path):
+        samples = (np.random.default_rng(0).normal(size=100)
+                   + 1j * np.random.default_rng(1).normal(size=100))
+        trace = IQTrace(samples=samples, sample_rate_hz=2.5e6,
+                        start_time_s=0.25)
+        path = save_trace(trace, tmp_path / "capture.npz")
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(loaded.samples, trace.samples)
+        assert loaded.sample_rate_hz == trace.sample_rate_hz
+        assert loaded.start_time_s == trace.start_time_s
+
+    def test_extension_appended(self, tmp_path):
+        trace = IQTrace(samples=np.ones(4, dtype=complex),
+                        sample_rate_hz=1.0)
+        path = save_trace(trace, tmp_path / "raw")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_missing_fields_detected(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, samples=np.ones(3, dtype=complex))
+        with pytest.raises(SignalError):
+            load_trace(bad)
+
+    def test_newer_version_rejected(self, tmp_path):
+        bad = tmp_path / "future.npz"
+        np.savez(bad, version=np.int64(99),
+                 samples=np.ones(3, dtype=complex),
+                 sample_rate_hz=np.float64(1.0))
+        with pytest.raises(SignalError):
+            load_trace(bad)
+
+    def test_creates_parent_directories(self, tmp_path):
+        trace = IQTrace(samples=np.ones(2, dtype=complex),
+                        sample_rate_hz=1.0)
+        path = save_trace(trace, tmp_path / "a" / "b" / "t.npz")
+        assert path.exists()
+
+
+class TestResultsRoundTrip:
+    def test_plain_dict(self, tmp_path):
+        data = {"throughput": 123.4, "n_tags": 16, "ok": True}
+        path = save_results(data, tmp_path / "results.json")
+        assert load_results(path) == data
+
+    def test_numpy_values_converted(self, tmp_path):
+        data = {"arr": np.array([1, 2, 3]),
+                "scalar": np.float64(2.5),
+                "count": np.int64(7)}
+        path = save_results(data, tmp_path / "np.json")
+        loaded = load_results(path)
+        assert loaded["arr"] == [1, 2, 3]
+        assert loaded["scalar"] == 2.5
+        assert loaded["count"] == 7
+
+    def test_complex_round_trip(self, tmp_path):
+        data = {"coefficient": 0.1 + 0.2j}
+        path = save_results(data, tmp_path / "cx.json")
+        assert load_results(path)["coefficient"] == 0.1 + 0.2j

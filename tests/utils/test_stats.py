@@ -1,0 +1,121 @@
+"""Tests for statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (Gaussian2D, ber_from_bits, db_to_linear,
+                               fit_gaussian_2d, linear_to_db,
+                               wilson_interval)
+
+
+class TestGaussian2D:
+    def test_log_pdf_peaks_at_mean(self):
+        g = Gaussian2D(mu_i=1.0, mu_q=-1.0, sigma_i=0.5, sigma_q=0.5)
+        at_mean = g.log_pdf(np.array([1 - 1j]))[0]
+        away = g.log_pdf(np.array([2 + 0j]))[0]
+        assert at_mean > away
+
+    def test_log_pdf_normalization_sane(self):
+        """Numerically integrate the density over a grid ~ 1."""
+        g = Gaussian2D(0.0, 0.0, 1.0, 1.0, rho=0.3)
+        xs = np.linspace(-6, 6, 201)
+        grid = xs[:, None] + 1j * xs[None, :]
+        density = np.exp(g.log_pdf(grid.ravel()))
+        integral = density.sum() * (xs[1] - xs[0]) ** 2
+        assert integral == pytest.approx(1.0, abs=0.01)
+
+    def test_mean_property(self):
+        assert Gaussian2D(2.0, 3.0, 1.0, 1.0).mean == 2 + 3j
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Gaussian2D(0, 0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Gaussian2D(0, 0, 1.0, 1.0, rho=1.0)
+
+
+class TestFitGaussian2D:
+    def test_recovers_parameters(self):
+        rng = np.random.default_rng(0)
+        pts = (rng.normal(2.0, 0.5, 4000)
+               + 1j * rng.normal(-1.0, 0.2, 4000))
+        g = fit_gaussian_2d(pts)
+        assert g.mu_i == pytest.approx(2.0, abs=0.05)
+        assert g.mu_q == pytest.approx(-1.0, abs=0.05)
+        assert g.sigma_i == pytest.approx(0.5, rel=0.1)
+        assert g.sigma_q == pytest.approx(0.2, rel=0.1)
+
+    def test_recovers_correlation(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 5000)
+        y = 0.8 * x + 0.6 * rng.normal(0, 1, 5000)
+        g = fit_gaussian_2d(x + 1j * y)
+        assert g.rho == pytest.approx(0.8, abs=0.05)
+
+    def test_single_point_floored(self):
+        g = fit_gaussian_2d(np.array([1 + 1j]))
+        assert g.sigma_i > 0
+        assert g.rho == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_gaussian_2d(np.empty(0, dtype=complex))
+
+
+class TestBerFromBits:
+    def test_identical(self):
+        assert ber_from_bits([1, 0, 1], [1, 0, 1]) == 0.0
+
+    def test_all_wrong(self):
+        assert ber_from_bits([1, 1], [0, 0]) == 1.0
+
+    def test_partial(self):
+        assert ber_from_bits([1, 0, 1, 0], [1, 1, 1, 0]) == 0.25
+
+    def test_short_received_counts_missing_as_errors(self):
+        assert ber_from_bits([1, 0, 1, 0], [1, 0]) == 0.5
+
+    def test_long_received_extra_ignored(self):
+        assert ber_from_bits([1, 0], [1, 0, 1, 1]) == 0.0
+
+    def test_empty_sent_rejected(self):
+        with pytest.raises(ValueError):
+            ber_from_bits([], [1])
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(80, 100)
+        assert low < 0.8 < high
+
+    def test_bounds_clipped(self):
+        low, _ = wilson_interval(0, 10)
+        _, high = wilson_interval(10, 10)
+        assert low == 0.0
+        assert high == 1.0
+
+    def test_narrows_with_samples(self):
+        low_small, high_small = wilson_interval(8, 10)
+        low_big, high_big = wilson_interval(800, 1000)
+        assert (high_big - low_big) < (high_small - low_small)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+
+class TestDbConversions:
+    def test_round_trip(self):
+        assert linear_to_db(db_to_linear(7.3)) == pytest.approx(7.3)
+
+    def test_known_values(self):
+        assert db_to_linear(3.0) == pytest.approx(2.0, rel=0.01)
+        assert linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)

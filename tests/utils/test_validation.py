@@ -1,0 +1,49 @@
+"""Tests for argument-validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (require_in_range, require_int,
+                                    require_non_negative,
+                                    require_positive)
+
+
+def test_require_positive():
+    assert require_positive("x", 3.5) == 3.5
+    with pytest.raises(ConfigurationError):
+        require_positive("x", 0.0)
+    with pytest.raises(ConfigurationError):
+        require_positive("x", -1.0)
+
+
+def test_require_non_negative():
+    assert require_non_negative("x", 0.0) == 0.0
+    with pytest.raises(ConfigurationError):
+        require_non_negative("x", -0.1)
+
+
+def test_require_in_range_inclusive():
+    assert require_in_range("x", 1.0, 1.0, 2.0) == 1.0
+    with pytest.raises(ConfigurationError):
+        require_in_range("x", 2.1, 1.0, 2.0)
+
+
+def test_require_in_range_exclusive():
+    with pytest.raises(ConfigurationError):
+        require_in_range("x", 1.0, 1.0, 2.0, inclusive=False)
+    assert require_in_range("x", 1.5, 1.0, 2.0,
+                            inclusive=False) == 1.5
+
+
+def test_require_int():
+    assert require_int("n", 5.0) == 5
+    with pytest.raises(ConfigurationError):
+        require_int("n", 5.5)
+    with pytest.raises(ConfigurationError):
+        require_int("n", 2, minimum=3)
+    assert require_int("n", 3, minimum=3) == 3
+
+
+def test_error_message_names_argument():
+    with pytest.raises(ConfigurationError, match="epoch"):
+        require_positive("epoch", -1)
