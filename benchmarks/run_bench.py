@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Decoder-throughput benchmark harness.
+
+Runs the pytest-benchmark speed test (``test_decoder_speed.py``) in a
+subprocess, pulls out the timing statistics and the decoder's
+per-stage wall-clock split, and writes them to
+``benchmarks/BENCH_decoder.json`` so successive runs can be diffed::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+
+The JSON payload records samples/second (the headline number), the
+mean/min/stddev decode time for the 16-tag epoch, and the
+edge/fold/extract/separate/viterbi stage breakdown.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+OUTPUT = BENCH_DIR / "BENCH_decoder.json"
+SPEED_TEST = BENCH_DIR / "test_decoder_speed.py"
+
+
+def run_speed_benchmark(json_path: Path) -> None:
+    """Run the speed test with pytest-benchmark's JSON export."""
+    cmd = [sys.executable, "-m", "pytest", str(SPEED_TEST), "-q",
+           f"--benchmark-json={json_path}"]
+    completed = subprocess.run(cmd, cwd=REPO_ROOT)
+    if completed.returncode != 0:
+        raise SystemExit(
+            f"benchmark run failed with exit code "
+            f"{completed.returncode}")
+
+
+def summarize(raw: dict) -> dict:
+    """Reduce pytest-benchmark's export to the numbers we track."""
+    benchmarks = []
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        extra = bench.get("extra_info", {})
+        entry = {
+            "name": bench["name"],
+            "mean_s": stats["mean"],
+            "min_s": stats["min"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+            "samples_per_second": extra.get("samples_per_second"),
+            "stage_timings_s": extra.get("stage_timings", {}),
+        }
+        timings = entry["stage_timings_s"]
+        total = timings.get("total", 0.0)
+        if total > 0:
+            entry["stage_fractions"] = {
+                name: seconds / total
+                for name, seconds in timings.items()
+                if name != "total"}
+        benchmarks.append(entry)
+    return {
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "machine": raw.get("machine_info", {}).get("node"),
+        "python": raw.get("machine_info", {}).get("python_version"),
+        "benchmarks": benchmarks,
+    }
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "pytest_benchmark.json"
+        run_speed_benchmark(json_path)
+        raw = json.loads(json_path.read_text())
+    summary = summarize(raw)
+    OUTPUT.write_text(json.dumps(summary, indent=2) + "\n")
+    for bench in summary["benchmarks"]:
+        sps = bench["samples_per_second"]
+        print(f"{bench['name']}: mean {bench['mean_s'] * 1e3:.1f} ms, "
+              f"{sps:,.0f} samples/s" if sps else bench["name"])
+        for name, fraction in bench.get("stage_fractions",
+                                        {}).items():
+            print(f"  {name:>9s}: {fraction * 100:5.1f}%")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,6 +41,11 @@ def test_decode_speed_16_tags(benchmark, sixteen_tag_capture):
     assert result.n_streams >= 12
     samples_per_second = len(capture.trace) / benchmark.stats["mean"]
     benchmark.extra_info["samples_per_second"] = samples_per_second
+    # Last-round per-stage wall-clock split, for attribution of any
+    # regression (keys: edge/fold/extract/separate/viterbi/total).
+    benchmark.extra_info["stage_timings"] = {
+        name: float(seconds)
+        for name, seconds in result.stage_timings.items()}
     # Sanity floor only — absolute speed depends on the host; the
     # recorded samples_per_second in extra_info is the number to watch
     # across runs.

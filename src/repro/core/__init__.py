@@ -22,6 +22,7 @@ from .separation import SeparationResult, separate_two_way
 from .viterbi import ViterbiDecoder, edge_states_to_bits, bits_to_edge_states
 from .anchor import resolve_polarity, assemble_bits
 from .pipeline import LFDecoder, LFDecoderConfig
+from .engine import BatchDecoder
 
 __all__ = [
     "EdgeDetector",
@@ -45,4 +46,5 @@ __all__ = [
     "assemble_bits",
     "LFDecoder",
     "LFDecoderConfig",
+    "BatchDecoder",
 ]

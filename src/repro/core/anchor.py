@@ -111,6 +111,10 @@ def resolve_polarity(observations: np.ndarray,
                                       flipped=flipped, header_score=score)
             if best is None or score > best.header_score:
                 best = candidate
+            # A perfect header match cannot be beaten (score <= 1.0 and
+            # later candidates only win strictly), so stop searching.
+            if best.header_score >= 1.0:
+                return best
     if best is None:
         raise DecodeError(
             "no rising edge found in the stream; cannot locate the frame")

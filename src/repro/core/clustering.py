@@ -36,22 +36,43 @@ class KMeansResult:
         return np.bincount(self.labels, minlength=self.k)
 
 
-def _kmeans_pp_init(points: np.ndarray, k: int,
+def _kmeans_pp_init(points: np.ndarray, k: int, n_init: int,
                     rng: np.random.Generator) -> np.ndarray:
-    """k-means++ seeding over complex points."""
+    """k-means++ seeding for ``n_init`` restarts at once.
+
+    The RNG values are drawn restart-by-restart up front (the same
+    stream a serial seeding loop would consume: one integer for the
+    first centroid, then one uniform per greedy step), after which the
+    k-1 greedy steps run batched across all restarts.  Each step is
+    inverse-CDF sampling, mirroring ``Generator.choice(p=probs)`` (one
+    uniform draw + a cumulative-sum threshold) without its O(n) input
+    validation.
+    """
     n = points.size
-    centroids = np.empty(k, dtype=np.complex128)
-    centroids[0] = points[rng.integers(0, n)]
-    dist2 = np.abs(points - centroids[0]) ** 2
+    pr, pi = points.real, points.imag
+    first = np.empty(n_init, dtype=np.int64)
+    us = np.empty((n_init, max(k - 1, 0)))
+    for r in range(n_init):
+        first[r] = rng.integers(0, n)
+        for j in range(k - 1):
+            us[r, j] = rng.random()
+    cents = np.empty((n_init, k), dtype=np.complex128)
+    cents[:, 0] = points[first]
+    dist2 = ((pr[None, :] - pr[first][:, None]) ** 2
+             + (pi[None, :] - pi[first][:, None]) ** 2)
     for j in range(1, k):
-        total = dist2.sum()
-        if total <= 0:
-            centroids[j:] = points[rng.integers(0, n, k - j)]
-            break
-        probs = dist2 / total
-        centroids[j] = points[rng.choice(n, p=probs)]
-        dist2 = np.minimum(dist2, np.abs(points - centroids[j]) ** 2)
-    return centroids
+        cdf = np.cumsum(dist2, axis=1)
+        # Degenerate rows (every point already on a centroid) have an
+        # all-zero cdf and pick the last point, which just duplicates
+        # an existing centroid — same outcome as any other pick.
+        targets = us[:, j - 1] * cdf[:, -1]
+        picks = np.minimum((cdf <= targets[:, None]).sum(axis=1), n - 1)
+        cents[:, j] = points[picks]
+        np.minimum(dist2,
+                   (pr[None, :] - pr[picks][:, None]) ** 2
+                   + (pi[None, :] - pi[picks][:, None]) ** 2,
+                   out=dist2)
+    return cents
 
 
 def kmeans(points: np.ndarray, k: int, rng: SeedLike = None,
@@ -70,34 +91,59 @@ def kmeans(points: np.ndarray, k: int, rng: SeedLike = None,
         raise ConfigurationError("n_init must be >= 1")
     gen = make_rng(rng)
 
-    best: Optional[KMeansResult] = None
-    for _ in range(n_init):
-        centroids = _kmeans_pp_init(pts, k, gen)
-        labels = np.zeros(pts.size, dtype=np.int64)
-        for _ in range(max_iter):
-            dist2 = np.abs(pts[:, None] - centroids[None, :]) ** 2
-            labels = np.argmin(dist2, axis=1)
-            new_centroids = centroids.copy()
-            for j in range(k):
-                members = pts[labels == j]
-                if members.size:
-                    new_centroids[j] = members.mean()
-                else:
-                    # Re-seed an empty cluster at the worst-fit point.
-                    worst = int(np.argmax(np.min(dist2, axis=1)))
-                    new_centroids[j] = pts[worst]
-            moved = float(np.max(np.abs(new_centroids - centroids)))
-            centroids = new_centroids
-            if moved <= tol:
-                break
-        dist2 = np.abs(pts[:, None] - centroids[None, :]) ** 2
-        labels = np.argmin(dist2, axis=1)
-        inertia = float(np.sum(np.min(dist2, axis=1)))
-        if best is None or inertia < best.inertia:
-            best = KMeansResult(centroids=centroids, labels=labels,
-                                inertia=inertia)
-    assert best is not None
-    return best
+    # All restarts run as one batched Lloyd iteration: centroids are an
+    # (R, k) stack, distances an (R, n, k) tensor, and the centroid
+    # update a single offset-bincount over every restart's labels.
+    # Seeding still draws from the generator restart-by-restart (the
+    # same RNG stream as a serial loop), each restart follows exactly
+    # the trajectory it would follow alone (converged restarts are
+    # frozen, not re-averaged), and the wall clock is set by the
+    # slowest restart instead of the sum of all of them.
+    n = pts.size
+    pr, pi = pts.real, pts.imag
+    cents = _kmeans_pp_init(pts, k, n_init, gen)
+    offsets = (np.arange(n_init) * k)[:, None]
+    pr_tiled = np.broadcast_to(pr, (n_init, n)).ravel()
+    pi_tiled = np.broadcast_to(pi, (n_init, n)).ravel()
+
+    def _dist2(c: np.ndarray) -> np.ndarray:
+        return ((pr[None, :, None] - c.real[:, None, :]) ** 2
+                + (pi[None, :, None] - c.imag[:, None, :]) ** 2)
+
+    # Restarts drop out of the iteration as they converge, so late
+    # iterations only pay for the rows still moving.
+    act = np.arange(n_init)
+    for _ in range(max_iter):
+        c = cents[act]
+        a = act.size
+        dist2 = _dist2(c)
+        flat = (np.argmin(dist2, axis=2) + offsets[:a]).ravel()
+        total = a * k
+        counts = np.bincount(flat, minlength=total).reshape(a, k)
+        sums = (np.bincount(flat, weights=pr_tiled[:a * n],
+                            minlength=total)
+                + 1j * np.bincount(flat, weights=pi_tiled[:a * n],
+                                   minlength=total)).reshape(a, k)
+        new_c = np.where(counts > 0, sums / np.maximum(counts, 1), c)
+        empty_rows = np.flatnonzero((counts == 0).any(axis=1))
+        if empty_rows.size:
+            # Re-seed empty clusters at the restart's worst-fit point.
+            worst = np.argmax(np.min(dist2, axis=2), axis=1)
+            for r in empty_rows:
+                new_c[r, counts[r] == 0] = pts[worst[r]]
+        moved = np.max(np.abs(new_c - c), axis=1)
+        cents[act] = new_c
+        act = act[moved > tol]
+        if act.size == 0:
+            break
+
+    dist2 = _dist2(cents)
+    per_restart = np.min(dist2, axis=2)
+    inertias = per_restart.sum(axis=1)
+    best_r = int(np.argmin(inertias))
+    labels = np.argmin(dist2[best_r], axis=1)
+    return KMeansResult(centroids=cents[best_r], labels=labels,
+                        inertia=float(inertias[best_r]))
 
 
 def bic_score(result: KMeansResult, n_points: int) -> float:

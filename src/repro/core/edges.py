@@ -81,7 +81,13 @@ class EdgeDetector:
             raise SignalError(
                 f"trace of {n} samples is too short for edge detection "
                 f"with window {w} and guard {g}")
-        csum = np.concatenate([[0], np.cumsum(s)])
+        return trace.cached(("diff_magnitude", w, g),
+                            lambda: self._magnitude_sweep(trace, w, g))
+
+    def _magnitude_sweep(self, trace: IQTrace, w: int,
+                         g: int) -> np.ndarray:
+        n = trace.samples.size
+        csum = trace.prefix_sum()
         t = np.arange(n)
         lo_b = np.clip(t - g - w, 0, n)
         hi_b = np.clip(t - g, 0, n)
@@ -102,7 +108,8 @@ class EdgeDetector:
         current edge as candidates for t+ ... and take the average".
         """
         cfg = self.config
-        magnitude = self.differential_magnitude(trace)
+        # The sweep is memoised on the trace; copy before masking.
+        magnitude = self.differential_magnitude(trace).copy()
         # The first/last few samples only have clipped averaging
         # windows; their differentials are artefacts, not edges.
         margin = cfg.diff_window + max(cfg.guard, 1)
@@ -143,7 +150,7 @@ class EdgeDetector:
             raise SignalError("edge positions out of trace bounds")
         limits = np.sort(np.asarray(
             positions if bounds is None else bounds, dtype=np.int64))
-        csum = np.concatenate([[0], np.cumsum(s)])
+        csum = trace.prefix_sum()
         guard = cfg.guard
         max_w = cfg.max_refine_window
 
@@ -165,20 +172,23 @@ class EdgeDetector:
         hi_a = np.clip(np.minimum(next_edge - guard,
                                   pos + guard + 1 + max_w), 0, n)
 
-        out = np.empty(pos.size, dtype=np.complex128)
-        for i in range(pos.size):
-            lb, hb = lo_b[i], hi_b[i]
-            la, ha = lo_a[i], hi_a[i]
-            if hb <= lb:  # no clean room before: fall back to one sample
-                lb = max(pos[i] - guard - 1, 0)
-                hb = max(pos[i] - guard, lb + 1)
-            if ha <= la:
-                ha = min(pos[i] + guard + 2, n)
-                la = min(pos[i] + guard + 1, ha - 1)
-            before = (csum[hb] - csum[lb]) / (hb - lb)
-            after = (csum[ha] - csum[la]) / (ha - la)
-            out[i] = after - before
-        return out
+        # Degenerate windows (no clean room before/after) fall back to a
+        # single sample next to the guard band; the fallback bounds are
+        # substituted in place so the whole extraction stays one
+        # prefix-sum gather over all positions.
+        bad_b = hi_b <= lo_b
+        if np.any(bad_b):
+            lo_b = np.where(bad_b, np.maximum(pos - guard - 1, 0), lo_b)
+            hi_b = np.where(bad_b, np.maximum(pos - guard, lo_b + 1),
+                            hi_b)
+        bad_a = hi_a <= lo_a
+        if np.any(bad_a):
+            hi_a = np.where(bad_a, np.minimum(pos + guard + 2, n), hi_a)
+            lo_a = np.where(bad_a, np.minimum(pos + guard + 1, hi_a - 1),
+                            lo_a)
+        before = (csum[hi_b] - csum[lo_b]) / (hi_b - lo_b)
+        after = (csum[hi_a] - csum[lo_a]) / (hi_a - lo_a)
+        return np.asarray(after - before, dtype=np.complex128)
 
 
 def _merge_similar(positions: np.ndarray, differentials: np.ndarray,
@@ -200,36 +210,42 @@ def _merge_similar(positions: np.ndarray, differentials: np.ndarray,
     order = np.argsort(positions)
     pos = np.asarray(positions, dtype=np.int64)[order]
     diffs = np.asarray(differentials, dtype=np.complex128)[order]
+    n = pos.size
+    # The group-growing scan touches one element at a time; plain
+    # Python scalars beat numpy item access here.
+    pos_l = pos.tolist()
+    diffs_l = diffs.tolist()
+    mag_l = np.abs(diffs).tolist()
+    weights_all = magnitude[pos].astype(np.float64)
     out_pos = []
     out_diff = []
     i = 0
-    while i < pos.size:
-        group = [i]
-        while (group[-1] + 1 < pos.size
-               and pos[group[-1] + 1] - pos[group[-1]] <= merge_radius):
-            a = diffs[group[-1]]
-            b = diffs[group[-1] + 1]
-            denom = abs(a) * abs(b)
+    while i < n:
+        j = i
+        while j + 1 < n and pos_l[j + 1] - pos_l[j] <= merge_radius:
+            a = diffs_l[j]
+            b = diffs_l[j + 1]
+            denom = mag_l[j] * mag_l[j + 1]
             coherence = abs((a.conjugate() * b).real) / denom \
                 if denom > 0 else 0.0
-            ratio = max(abs(a), abs(b)) / max(min(abs(a), abs(b)),
-                                              1e-30)
+            ratio = max(mag_l[j], mag_l[j + 1]) \
+                / max(min(mag_l[j], mag_l[j + 1]), 1e-30)
             if coherence < similarity or ratio > magnitude_ratio:
                 break
-            group.append(group[-1] + 1)
-        idx = pos[group]
-        weights = magnitude[idx].astype(np.float64)
+            j += 1
+        weights = weights_all[i:j + 1]
         total = float(weights.sum())
         if total <= 0:
-            centroid = int(idx[len(idx) // 2])
+            centroid = pos_l[i + (j + 1 - i) // 2]
         else:
-            centroid = int(round(float(np.sum(idx * weights)) / total))
+            centroid = int(round(
+                float(np.sum(pos[i:j + 1] * weights)) / total))
         out_pos.append(centroid)
         # Keep the strongest member's differential for the merged edge;
         # the caller re-reads grid differentials later anyway.
-        best = group[int(np.argmax(weights))]
-        out_diff.append(diffs[best])
-        i = group[-1] + 1
+        best = i + int(np.argmax(weights))
+        out_diff.append(diffs_l[best])
+        i = j + 1
     return (np.asarray(out_pos, dtype=np.int64),
             np.asarray(out_diff, dtype=np.complex128))
 

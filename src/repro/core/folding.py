@@ -137,10 +137,11 @@ def find_stream_hypotheses(
     available = np.ones(positions.size, dtype=bool)
     hypotheses: List[StreamHypothesis] = []
 
+    # A non-positive period sorts first, so validating inside the single
+    # pass still raises before any edge claiming happens.
     for period in sorted(set(candidate_periods)):
         if period <= 0:
             raise ConfigurationError("candidate periods must be positive")
-    for period in sorted(set(candidate_periods)):
         # Extras (collision partners sharing a grid slot) are claimed
         # only while this rate is being searched; a slower tag whose
         # edges happen to coincide with a fast stream's grid must stay
@@ -233,18 +234,20 @@ def _match_edges(positions: np.ndarray, available: np.ndarray,
     accumulate past the tolerance (Section 4.1's 200 ppm budget).
     """
     order = np.argsort(positions)
-    est_offset = offset
-    period_est = period
+    pos_list = positions.tolist()  # scalar loop below: skip np overhead
+    avail_list = available.tolist()
+    est_offset = float(offset)
+    period_est = float(period)
     matched: List[int] = []
     ks: List[float] = []
     ps: List[float] = []
     extra: List[int] = []
     residuals: dict = {}  # grid slot -> (index into ks/ps, |residual|)
-    for i in order:
-        if not available[i]:
+    for i in order.tolist():
+        if not avail_list[i]:
             continue
-        pos = positions[i]
-        k = np.round((pos - est_offset) / period_est)
+        pos = pos_list[i]
+        k = round((pos - est_offset) / period_est)
         predicted = est_offset + k * period_est
         residual = abs(pos - predicted)
         if residual > tolerance:
@@ -256,27 +259,41 @@ def _match_edges(positions: np.ndarray, available: np.ndarray,
             # colliding tag's edge must not be left to seed a junk
             # stream), but only the best-aligned edge per slot drives
             # the timing fit.
-            extra.append(int(i))
             prev_idx, prev_res = residuals[slot]
             if residual < prev_res:
-                extra.append(int(matched[prev_idx]))
-                extra.remove(int(i))
-                matched[prev_idx] = int(i)
-                ps[prev_idx] = float(pos)
+                # Index-based swap: the demoted previous slot holder
+                # becomes the extra, in O(1) — no list removal.
+                extra.append(matched[prev_idx])
+                matched[prev_idx] = i
+                ps[prev_idx] = pos
                 residuals[slot] = (prev_idx, residual)
                 track_updated = True
+            else:
+                extra.append(i)
         else:
             residuals[slot] = (len(matched), residual)
-            matched.append(int(i))
+            matched.append(i)
             ks.append(float(k))
-            ps.append(float(pos))
+            ps.append(pos)
             track_updated = True
         if not track_updated:
             continue
         if len(matched) >= 3 and len(matched) % 4 == 0:
-            # Periodic least-squares refresh of (offset, period).
-            coeffs = np.polyfit(ks, ps, 1)
-            new_period, new_offset = float(coeffs[0]), float(coeffs[1])
+            # Periodic least-squares refresh of (offset, period),
+            # closed-form: slot indices are distinct so the normal
+            # equations never degenerate, and this avoids a full
+            # lstsq per refresh.
+            n_fit = len(ks)
+            mean_k = sum(ks) / n_fit
+            mean_p = sum(ps) / n_fit
+            skk = 0.0
+            skp = 0.0
+            for kk, pp in zip(ks, ps):
+                dk = kk - mean_k
+                skk += dk * dk
+                skp += dk * (pp - mean_p)
+            new_period = skp / skk
+            new_offset = mean_p - new_period * mean_k
             # Only accept a sane refit (guards against collinear noise).
             if abs(new_period - period) < 0.05 * period:
                 period_est, est_offset = new_period, new_offset
@@ -329,37 +346,76 @@ def analog_fold_search(diff_energy: np.ndarray,
     t = np.arange(energy.size, dtype=np.float64)
     drifts = np.linspace(-max_drift_ppm, max_drift_ppm, n_drift_steps) \
         * 1e-6
+    # Smooth over an edge width so the peak is stable.  The kernel is
+    # the same for every (period, drift); build it exactly once.
+    kernel = np.ones(constants.EDGE_WIDTH_SAMPLES) \
+        / constants.EDGE_WIDTH_SAMPLES
     for period in sorted(set(candidate_periods)):
         if period <= 0:
             raise ConfigurationError("candidate periods must be positive")
         if energy.size < 4 * period:
             continue  # need a few folds for any averaging gain
-        best = None
-        for drift in drifts:
-            p = period * (1.0 + drift)
-            n_bins = int(round(p))
-            bins = np.mod(t, p).astype(np.int64)
-            np.minimum(bins, n_bins - 1, out=bins)
-            folded = np.bincount(bins, weights=energy,
-                                 minlength=n_bins)
-            counts = np.maximum(np.bincount(bins, minlength=n_bins), 1)
-            folded = folded / counts
-            # Smooth over an edge width so the peak is stable.
-            kernel = np.ones(constants.EDGE_WIDTH_SAMPLES) \
-                / constants.EDGE_WIDTH_SAMPLES
-            smooth = np.convolve(
-                np.concatenate([folded[-2:], folded, folded[:2]]),
-                kernel, mode="same")[2:-2]
-            peak_bin = int(np.argmax(smooth))
-            ratio = smooth[peak_bin] / max(float(np.median(smooth)),
-                                           1e-30)
-            if best is None or ratio > best[0]:
-                best = (float(ratio), float(peak_bin), p)
-        if best is None or best[0] < min_peak_ratio:
+        p_all = period * (1.0 + drifts)
+        n_bins_all = np.round(p_all).astype(np.int64)
+        # Scores for every drift, computed as one batched refold per
+        # unique bin count (the ±ppm corrections nearly always share a
+        # single bin count, so this is one refold per period in
+        # practice instead of one per drift).
+        ratios = np.empty(p_all.size, dtype=np.float64)
+        peaks = np.empty(p_all.size, dtype=np.int64)
+        for n_bins in np.unique(n_bins_all):
+            rows = np.flatnonzero(n_bins_all == n_bins)
+            smooth = _batched_fold_rows(energy, t, p_all[rows],
+                                        int(n_bins), kernel)
+            peaks[rows] = np.argmax(smooth, axis=1)
+            peak_vals = smooth[np.arange(rows.size), peaks[rows]]
+            medians = np.maximum(np.median(smooth, axis=1), 1e-30)
+            ratios[rows] = peak_vals / medians
+        best_row = int(np.argmax(ratios))
+        if ratios[best_row] < min_peak_ratio:
             continue
         hypotheses.append(StreamHypothesis(
-            offset_samples=best[1],
-            period_samples=best[2],
-            score=best[0],
+            offset_samples=float(peaks[best_row]),
+            period_samples=float(p_all[best_row]),
+            score=float(ratios[best_row]),
             edge_indices=[]))
     return hypotheses
+
+
+def _batched_fold_rows(energy: np.ndarray, t: np.ndarray,
+                       periods: np.ndarray, n_bins: int,
+                       kernel: np.ndarray) -> np.ndarray:
+    """Fold ``energy`` modulo each period at once; smoothed (D, n_bins).
+
+    Each row is the per-bin mean of the analog differential energy
+    folded at one drift-corrected period, smoothed circularly over an
+    edge width — the inner loop body of :func:`analog_fold_search`,
+    batched across the whole drift grid with a single ``bincount``.
+    """
+    n_rows = periods.size
+    bins = np.mod(t[None, :], periods[:, None]).astype(np.int64)
+    np.minimum(bins, n_bins - 1, out=bins)
+    bins += (np.arange(n_rows) * n_bins)[:, None]
+    flat = bins.ravel()
+    weights = np.broadcast_to(energy, (n_rows, energy.size)).ravel()
+    total = n_rows * n_bins
+    folded = np.bincount(flat, weights=weights, minlength=total)
+    counts = np.maximum(np.bincount(flat, minlength=total), 1)
+    folded = (folded / counts).reshape(n_rows, n_bins)
+    # Two-sample circular pad + "same" convolution, trimmed back —
+    # identical alignment to the serial np.convolve formulation.
+    padded = np.concatenate([folded[:, -2:], folded, folded[:, :2]],
+                            axis=1)
+    return _convolve_same_rows(padded, kernel)[:, 2:-2]
+
+
+def _convolve_same_rows(x: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Row-wise ``np.convolve(row, kernel, mode="same")`` for 2-D ``x``."""
+    k = kernel.size
+    if k == 1:
+        return x * kernel[0]
+    padded = np.pad(x, ((0, 0), (k - 1, k - 1)))
+    windows = np.lib.stride_tricks.sliding_window_view(padded, k, axis=1)
+    full = windows @ kernel[::-1]
+    start = (k - 1) // 2
+    return full[:, start:start + x.shape[1]]

@@ -13,6 +13,7 @@ independently to reproduce the ablation of Figure 9.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -23,6 +24,7 @@ from ..errors import ConfigurationError, DecodeError
 from ..types import (DecodedStream, DetectedEdge, EpochResult, IQTrace,
                      SimulationProfile)
 from ..utils.rng import SeedLike, make_rng
+from ..utils.timing import StageTimer
 from .anchor import assemble_bits
 from .collision import detect_collision
 from .edges import EdgeDetector, EdgeDetectorConfig
@@ -84,6 +86,7 @@ class LFDecoder:
         self._rng = make_rng(rng)
         self.edge_detector = EdgeDetector(self.config.edge_config)
         self.viterbi = ViterbiDecoder(p_flip=self.config.p_flip)
+        self._timer = StageTimer()
 
     def candidate_periods(self) -> List[float]:
         """Candidate bit periods in samples, shortest (fastest) first."""
@@ -92,16 +95,28 @@ class LFDecoder:
                       for rate in set(self.config.candidate_bitrates_bps))
 
     def decode_epoch(self, trace: IQTrace) -> EpochResult:
-        """Run the full pipeline over one epoch's capture."""
+        """Run the full pipeline over one epoch's capture.
+
+        The returned :class:`EpochResult` carries a wall-clock breakdown
+        in ``stage_timings`` (keys ``edge``, ``fold``, ``extract``,
+        ``separate``, ``viterbi``, ``total``); each stage accumulates
+        across every stream hypothesis of the epoch.
+        """
+        self._timer = timer = StageTimer()
+        t0 = time.perf_counter()
         result = EpochResult(duration_s=trace.duration_s)
-        edges = self.edge_detector.detect(trace)
+        with timer.stage("edge"):
+            edges = self.edge_detector.detect(trace)
         result.n_edges_detected = len(edges)
         if not edges:
+            timer.add("total", time.perf_counter() - t0)
+            result.stage_timings = timer.timings
             return result
 
-        hypotheses = find_stream_hypotheses(
-            edges, self.candidate_periods(),
-            config=self.config.folding_config)
+        with timer.stage("fold"):
+            hypotheses = find_stream_hypotheses(
+                edges, self.candidate_periods(),
+                config=self.config.folding_config)
         claimed = set()
         for hyp in hypotheses:
             claimed.update(hyp.edge_indices)
@@ -116,6 +131,8 @@ class LFDecoder:
         if not result.streams and self.config.enable_analog_fallback:
             result.streams.extend(self._decode_analog(trace, edges))
         result.streams = _dedup_streams(result.streams)
+        timer.add("total", time.perf_counter() - t0)
+        result.stage_timings = timer.timings
         return result
 
     def _decode_analog(self, trace: IQTrace,
@@ -131,14 +148,18 @@ class LFDecoder:
         collision separation has no margin anyway.
         """
         energy = self.edge_detector.differential_magnitude(trace) ** 2
-        hypotheses = analog_fold_search(energy, self.candidate_periods())
+        with self._timer.stage("fold"):
+            hypotheses = analog_fold_search(energy,
+                                            self.candidate_periods())
         streams: List[DecodedStream] = []
         for hyp in hypotheses:
             try:
                 track = track_from_analog(hyp, energy)
-                diffs = read_grid_differentials(
-                    trace, track, edges, detector=self.edge_detector,
-                    window_override=self._refine_window(track))
+                with self._timer.stage("extract"):
+                    diffs = read_grid_differentials(
+                        trace, track, edges,
+                        detector=self.edge_detector,
+                        window_override=self._refine_window(track))
                 observations = _project_single(diffs)
                 stream = self._assemble(observations, track,
                                         collided=False)
@@ -161,14 +182,17 @@ class LFDecoder:
                        ) -> List[DecodedStream]:
         cfg = self.config
         track = track_stream(hypothesis, edges, len(trace))
-        diffs = read_grid_differentials(
-            trace, track, edges, detector=self.edge_detector,
-            window_override=self._refine_window(track))
+        with self._timer.stage("extract"):
+            diffs = read_grid_differentials(
+                trace, track, edges, detector=self.edge_detector,
+                window_override=self._refine_window(track))
         collided = False
         if cfg.enable_iq_separation and diffs.size >= 9:
             noise_scale = _hold_cluster_noise(diffs)
-            report = detect_collision(diffs, noise_scale=noise_scale,
-                                      rng=self._rng)
+            with self._timer.stage("separate"):
+                report = detect_collision(diffs,
+                                          noise_scale=noise_scale,
+                                          rng=self._rng)
             if report.is_collision:
                 result.n_collisions_detected += 1
                 if report.estimated_colliders <= 2:
@@ -189,8 +213,10 @@ class LFDecoder:
                 # strongest collider as a single stream rather than
                 # dropping both.
         observations = _project_single(diffs)
-        if (cfg.enable_iq_separation and diffs.size >= 20
-                and _looks_multilevel(observations, self._rng)):
+        with self._timer.stage("separate"):
+            multilevel = (cfg.enable_iq_separation and diffs.size >= 20
+                          and _looks_multilevel(observations, self._rng))
+        if multilevel:
             # A collision whose edge vectors are (anti)parallel never
             # registers as two-dimensional, but its projection carries
             # more than three levels; the scalar-lattice separator
@@ -207,7 +233,8 @@ class LFDecoder:
         """Attempt the 1-D scalar-lattice split of a collinear
         collision; both recovered frames must pass the header gate."""
         try:
-            separation = separate_collinear(diffs, rng=self._rng)
+            with self._timer.stage("separate"):
+                separation = separate_collinear(diffs, rng=self._rng)
         except (DecodeError, ConfigurationError):
             return []
         streams: List[DecodedStream] = []
@@ -233,11 +260,13 @@ class LFDecoder:
         # once drift separates them, so exclude a larger transition zone.
         guard = (self.edge_detector.config.guard
                  + cfg.collision_guard_extra)
-        diffs = read_grid_differentials(
-            trace, track, edges, detector=self.edge_detector,
-            guard_override=guard,
-            window_override=self._refine_window(track))
-        separation = separate_two_way(diffs, rng=self._rng)
+        with self._timer.stage("extract"):
+            diffs = read_grid_differentials(
+                trace, track, edges, detector=self.edge_detector,
+                guard_override=guard,
+                window_override=self._refine_window(track))
+        with self._timer.stage("separate"):
+            separation = separate_two_way(diffs, rng=self._rng)
         scale = max(abs(separation.e1), abs(separation.e2))
         if scale <= 0 or separation.lattice_error > 0.35 * scale:
             raise DecodeError(
@@ -259,13 +288,14 @@ class LFDecoder:
                   edge_vector: complex = 0j) -> Optional[DecodedStream]:
         cfg = self.config
         try:
-            assembled = assemble_bits(
-                observations,
-                use_viterbi=cfg.enable_error_correction,
-                decoder=self.viterbi,
-                preamble_bits=cfg.preamble_bits,
-                anchor_bit=cfg.anchor_bit,
-                min_header_score=cfg.min_header_score)
+            with self._timer.stage("viterbi"):
+                assembled = assemble_bits(
+                    observations,
+                    use_viterbi=cfg.enable_error_correction,
+                    decoder=self.viterbi,
+                    preamble_bits=cfg.preamble_bits,
+                    anchor_bit=cfg.anchor_bit,
+                    min_header_score=cfg.min_header_score)
         except DecodeError:
             return None
         offset = (track.offset_samples

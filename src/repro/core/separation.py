@@ -33,6 +33,10 @@ from .clustering import kmeans
 LATTICE_COORDS: Tuple[Tuple[int, int], ...] = tuple(
     (a, b) for a in (-1, 0, 1) for b in (-1, 0, 1))
 
+#: Same coordinates as float columns, for vectorized lattice builds.
+_LATTICE_A = np.array([a for a, _ in LATTICE_COORDS], dtype=np.float64)
+_LATTICE_B = np.array([b for _, b in LATTICE_COORDS], dtype=np.float64)
+
 
 @dataclass
 class SeparationResult:
@@ -55,19 +59,24 @@ class SeparationResult:
 
 def _lattice_points(e1: complex, e2: complex) -> np.ndarray:
     """The nine lattice points a*e1 + b*e2 in LATTICE_COORDS order."""
-    return np.array([a * e1 + b * e2 for a, b in LATTICE_COORDS],
-                    dtype=np.complex128)
+    return _LATTICE_A * e1 + _LATTICE_B * e2
 
 
 def _match_error(centroids: np.ndarray, lattice: np.ndarray) -> float:
-    """Mean distance of a one-to-one greedy matching centroids<->lattice."""
-    remaining = list(range(centroids.size))
+    """Mean distance of a one-to-one greedy matching centroids<->lattice.
+
+    The pairwise distance matrix is built once; the greedy pass then
+    just masks assigned centroids, preserving the reference tie-break
+    (first remaining centroid in index order wins).
+    """
+    cents = np.asarray(centroids, dtype=np.complex128).ravel()
+    dist = np.abs(cents[:, None] - np.asarray(lattice)[None, :])
     total = 0.0
-    for lp in lattice:
-        dists = [abs(centroids[i] - lp) for i in remaining]
-        j = int(np.argmin(dists))
-        total += dists[j]
-        remaining.pop(j)
+    for j in range(lattice.size):
+        col = dist[:, j]
+        i = int(col.argmin())
+        total += float(col[i])
+        dist[i, :] = np.inf
     return total / lattice.size
 
 
@@ -267,8 +276,7 @@ def separate_collinear(differentials: np.ndarray,
         # near-cancellation value).
         if abs((abs(s1) + abs(s2)) - scale) > 0.2 * scale:
             continue
-        lattice = np.array([a * s1 + b * s2
-                            for a, b in LATTICE_COORDS])
+        lattice = _LATTICE_A * s1 + _LATTICE_B * s2
         # Reject coincidental value collisions (e.g. s1 = -2*s2 makes
         # two lattice points coincide and the labels ambiguous).
         gaps = np.abs(np.subtract.outer(lattice, lattice))
@@ -289,7 +297,7 @@ def separate_collinear(differentials: np.ndarray,
                f"{scale:.3g})")
 
     # Hard-assign each projection to the nearest lattice point.
-    lattice = np.array([a * s1 + b * s2 for a, b in LATTICE_COORDS])
+    lattice = _LATTICE_A * s1 + _LATTICE_B * s2
     coords_idx = np.argmin(np.abs(proj[:, None] - lattice[None, :]),
                            axis=1)
     ab = np.asarray(LATTICE_COORDS, dtype=np.float64)[coords_idx]

@@ -134,30 +134,67 @@ class ViterbiDecoder:
             raise ConfigurationError("need at least one observation")
         sigma = self.sigma if self.sigma is not None \
             else estimate_sigma(obs)
-        emit = self._emission_loglik(obs, sigma)
 
-        score = np.full(4, _NEG_INF)
+        # The trellis is tiny (4 states, each with exactly two valid
+        # predecessors), so a scalar Python recursion beats building a
+        # (4, 4) candidate matrix per step by an order of magnitude.
+        # Emissions are still computed vectorized; HOLD_HIGH/HOLD_LOW
+        # share the zero-mean emission.
+        const = -math.log(sigma) - 0.5 * math.log(2.0 * math.pi)
+        inv = 1.0 / sigma
+        e_plus = (-0.5 * ((obs - 1.0) * inv) ** 2 + const).tolist()
+        e_minus = (-0.5 * ((obs + 1.0) * inv) ** 2 + const).tolist()
+        e_zero = (-0.5 * (obs * inv) ** 2 + const).tolist()
+
         if initial_state is None:
-            score[RISE] = math.log(0.5)
-            score[HOLD_LOW] = math.log(0.5)
+            log_half = math.log(0.5)
+            init = [log_half, _NEG_INF, _NEG_INF, log_half]
         else:
             if initial_state not in (RISE, FALL, HOLD_HIGH, HOLD_LOW):
                 raise ConfigurationError(
                     f"invalid initial state {initial_state}")
-            score[initial_state] = 0.0
-        score = score + emit[0]
+            init = [_NEG_INF] * 4
+            init[initial_state] = 0.0
+        s0 = init[RISE] + e_plus[0]
+        s1 = init[FALL] + e_minus[0]
+        s2 = init[HOLD_HIGH] + e_zero[0]
+        s3 = init[HOLD_LOW] + e_zero[0]
 
-        backptr = np.zeros((obs.size, 4), dtype=np.int8)
-        trans = self._log_trans
+        lf = float(self._log_trans[RISE, FALL])       # log p_flip
+        lh = float(self._log_trans[RISE, HOLD_HIGH])  # log (1 - p_flip)
+        backptr = [(0, 0, 0, 0)]
         for t in range(1, obs.size):
-            cand = score[:, None] + trans  # (from, to)
-            backptr[t] = np.argmax(cand, axis=0)
-            score = cand[backptr[t], np.arange(4)] + emit[t]
+            # Ties prefer the lower-numbered predecessor, matching the
+            # dense argmax of the reference formulation.
+            if s1 >= s3:          # -> RISE: from FALL or HOLD_LOW
+                n0, b0 = s1 + lf, FALL
+            else:
+                n0, b0 = s3 + lf, HOLD_LOW
+            if s0 >= s2:          # -> FALL: from RISE or HOLD_HIGH
+                n1, b1 = s0 + lf, RISE
+            else:
+                n1, b1 = s2 + lf, HOLD_HIGH
+            if s0 >= s2:          # -> HOLD_HIGH: from RISE or HOLD_HIGH
+                n2, b2 = s0 + lh, RISE
+            else:
+                n2, b2 = s2 + lh, HOLD_HIGH
+            if s1 >= s3:          # -> HOLD_LOW: from FALL or HOLD_LOW
+                n3, b3 = s1 + lh, FALL
+            else:
+                n3, b3 = s3 + lh, HOLD_LOW
+            backptr.append((b0, b1, b2, b3))
+            s0 = n0 + e_plus[t]
+            s1 = n1 + e_minus[t]
+            s2 = n2 + e_zero[t]
+            s3 = n3 + e_zero[t]
 
+        finals = (s0, s1, s2, s3)
+        state = finals.index(max(finals))
         states = np.empty(obs.size, dtype=np.int8)
-        states[-1] = int(np.argmax(score))
+        states[-1] = state
         for t in range(obs.size - 1, 0, -1):
-            states[t - 1] = backptr[t, states[t]]
+            state = backptr[t][state]
+            states[t - 1] = state
         return states
 
     def decode_bits(self, observations: np.ndarray,
@@ -176,15 +213,14 @@ def hard_decode_bits(observations: np.ndarray) -> np.ndarray:
     """
     obs = np.asarray(observations, dtype=np.float64).ravel()
     states = np.clip(np.round(obs), -1, 1).astype(np.int8)
-    bits = np.empty(obs.size, dtype=np.int8)
-    level = 0
-    for t, s in enumerate(states):
-        if s == 1:
-            level = 1
-        elif s == -1:
-            level = 0
-        bits[t] = level
-    return bits
+    # Forward-fill the level from the most recent non-hold state: the
+    # level at t is 1 iff the last edge seen was a rise (level starts 0).
+    edge_idx = np.where(states != 0, np.arange(states.size), -1)
+    last_edge = np.maximum.accumulate(edge_idx)
+    bits = np.where(last_edge >= 0,
+                    states[np.maximum(last_edge, 0)] == 1,
+                    False)
+    return bits.astype(np.int8)
 
 
 def edge_states_to_bits(states: Sequence[int]) -> np.ndarray:
@@ -203,15 +239,11 @@ def bits_to_edge_states(bits: Sequence[int],
         raise ConfigurationError("bits must be 0/1")
     if initial_level not in (0, 1):
         raise ConfigurationError("initial level must be 0 or 1")
-    states = np.empty(arr.size, dtype=np.int8)
-    level = initial_level
-    for t, bit in enumerate(arr):
-        if bit == 1:
-            states[t] = RISE if level == 0 else HOLD_HIGH
-        else:
-            states[t] = FALL if level == 1 else HOLD_LOW
-        level = int(bit)
-    return states
+    # The level entering slot t is simply the previous bit.
+    prev = np.concatenate([[initial_level], arr[:-1]]).astype(np.int8)
+    return np.where(arr == 1,
+                    np.where(prev == 0, RISE, HOLD_HIGH),
+                    np.where(prev == 1, FALL, HOLD_LOW)).astype(np.int8)
 
 
 def is_valid_state_sequence(states: Sequence[int],

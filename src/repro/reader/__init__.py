@@ -3,10 +3,14 @@
 from .frontend import ReaderFrontend
 from .epoch import EpochCapture, TagTruth
 from .simulator import NetworkSimulator
+from .batch import chunk_trace, decode_captures, decode_chunked
 
 __all__ = [
     "ReaderFrontend",
     "EpochCapture",
     "TagTruth",
     "NetworkSimulator",
+    "chunk_trace",
+    "decode_captures",
+    "decode_chunked",
 ]

@@ -103,9 +103,47 @@ class IQTrace:
         if self.sample_rate_hz <= 0:
             raise SignalError(
                 f"sample rate must be positive, got {self.sample_rate_hz}")
+        self._cache: Dict[object, object] = {}
 
     def __len__(self) -> int:
         return int(self.samples.size)
+
+    # -- derived-array memoisation ----------------------------------------
+    #
+    # Every decoder stage sweeps the same capture: the edge detector, the
+    # analog fallback, and every read_grid_differentials call all need the
+    # trace's prefix sum (and the coarse |dS| sweep).  Recomputing a
+    # full-capture cumsum per call dominated profiles, so derived arrays
+    # are memoised on the trace itself.  The cache assumes ``samples`` is
+    # not mutated in place after construction (decoder code never does).
+
+    def cached(self, key, builder):
+        """Memoise ``builder()`` on this trace under ``key``."""
+        try:
+            return self._cache[key]
+        except KeyError:
+            value = builder()
+            self._cache[key] = value
+            return value
+
+    def prefix_sum(self) -> np.ndarray:
+        """Length n+1 prefix sum of ``samples`` (leading zero).
+
+        ``prefix_sum()[b] - prefix_sum()[a]`` is the sum over ``[a, b)``
+        — the O(1) windowed-mean primitive behind the Section 3.1
+        differential sweeps.  Computed once per trace and shared by the
+        edge detector and the grid readers.
+        """
+        return self.cached(
+            "prefix_sum",
+            lambda: np.concatenate([[0], np.cumsum(self.samples)]))
+
+    def __getstate__(self):
+        # Derived arrays are cheap to rebuild and can dwarf the capture
+        # itself; never ship them across process boundaries.
+        state = self.__dict__.copy()
+        state["_cache"] = {}
+        return state
 
     @property
     def duration_s(self) -> float:
@@ -275,6 +313,14 @@ class EpochResult:
     n_collisions_resolved: int = 0
     n_spurious_edges: int = 0
     duration_s: float = 0.0
+    #: Wall-clock seconds spent in each pipeline stage ("edge", "fold",
+    #: "extract", "separate", "viterbi", plus "total"), filled by
+    #: :meth:`LFDecoder.decode_epoch` so throughput regressions are
+    #: attributable to a stage rather than to the pipeline as a whole.
+    stage_timings: Dict[str, float] = field(default_factory=dict)
+    #: Position of this epoch within a batch decode (see
+    #: :class:`repro.core.engine.BatchDecoder`); 0 for single decodes.
+    epoch_index: int = 0
 
     @property
     def n_streams(self) -> int:

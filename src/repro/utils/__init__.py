@@ -8,7 +8,8 @@ from .dsp import (
     nrz_levels_from_bits,
     bits_from_levels,
 )
-from .rng import make_rng, spawn_rngs
+from .rng import make_rng, spawn_rngs, spawn_seed_sequences
+from .timing import StageTimer, merge_timings
 from .stats import (
     Gaussian2D,
     fit_gaussian_2d,
@@ -25,6 +26,9 @@ __all__ = [
     "bits_from_levels",
     "make_rng",
     "spawn_rngs",
+    "spawn_seed_sequences",
+    "StageTimer",
+    "merge_timings",
     "Gaussian2D",
     "fit_gaussian_2d",
     "wilson_interval",

@@ -21,6 +21,24 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def spawn_seed_sequences(seed: SeedLike,
+                         n: int) -> List[np.random.SeedSequence]:
+    """Derive ``n`` independent, picklable seed sequences from a seed.
+
+    The batch-decode engine ships one sequence per decode task to its
+    worker processes, so results depend only on the root seed and the
+    task index — never on how many workers ran or which worker picked
+    up which task.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} seed sequences")
+    if isinstance(seed, np.random.Generator):
+        # Derive a root entropy value from the generator's stream.
+        return np.random.SeedSequence(
+            int(seed.integers(0, 2 ** 63))).spawn(n)
+    return np.random.SeedSequence(seed).spawn(n)
+
+
 def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
     """Derive ``n`` independent child generators from one seed.
 

@@ -1,0 +1,48 @@
+"""Lightweight per-stage wall-clock accounting for the decoder.
+
+The pipeline wraps each stage's hot call sites in
+``with timer.stage("edge"): ...`` blocks; repeated entries into the
+same stage accumulate, so a stage that runs once per stream hypothesis
+still reports a single total.  The timer is deliberately dumb — no
+nesting bookkeeping — because the pipeline only wraps leaf calls.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class StageTimer:
+    """Accumulates wall-clock seconds per named stage."""
+
+    def __init__(self) -> None:
+        self._elapsed: Dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a block and add it to ``name``'s running total."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._elapsed[name] = (self._elapsed.get(name, 0.0)
+                                   + time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Fold an externally measured duration into a stage."""
+        self._elapsed[name] = self._elapsed.get(name, 0.0) + seconds
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Snapshot of accumulated seconds per stage."""
+        return dict(self._elapsed)
+
+
+def merge_timings(into: Dict[str, float],
+                  update: Dict[str, float]) -> Dict[str, float]:
+    """Accumulate one timing dict into another (returns ``into``)."""
+    for name, seconds in update.items():
+        into[name] = into.get(name, 0.0) + seconds
+    return into

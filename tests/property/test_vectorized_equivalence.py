@@ -1,0 +1,182 @@
+"""Numerical-equivalence properties of the vectorized hot paths.
+
+The PR that vectorized the decoder's inner loops must not change any
+numbers: each test here keeps a straight transcription of the original
+loop-based implementation and checks the shipped vectorized version
+against it on randomized inputs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import constants
+from repro.core.edges import EdgeDetector, EdgeDetectorConfig
+from repro.core.folding import analog_fold_search
+from repro.types import IQTrace, StreamHypothesis
+
+
+# -- reference implementations (pre-vectorization transcriptions) --------
+
+
+def _reference_refine(detector, trace, positions, bounds=None):
+    """The original per-position loop of ``refine_differentials``."""
+    cfg = detector.config
+    s = trace.samples
+    n = s.size
+    pos = np.asarray(positions, dtype=np.int64)
+    limits = np.sort(np.asarray(
+        positions if bounds is None else bounds, dtype=np.int64))
+    csum = np.concatenate([[0], np.cumsum(s)])
+    guard = cfg.guard
+    max_w = cfg.max_refine_window
+
+    idx = np.searchsorted(limits, pos, side="left")
+    prev_edge = np.where(idx > 0, limits[np.maximum(idx - 1, 0)], -1)
+    same = limits[np.minimum(idx, limits.size - 1)] == pos
+    nxt = idx + same.astype(np.int64)
+    next_edge = np.where(nxt < limits.size,
+                         limits[np.minimum(nxt, limits.size - 1)], n)
+    prev_edge = np.where(prev_edge >= pos, -1, prev_edge)
+    next_edge = np.where(next_edge <= pos, n, next_edge)
+
+    lo_b = np.clip(np.maximum(prev_edge + guard + 1,
+                              pos - guard - max_w), 0, n)
+    hi_b = np.clip(pos - guard, 0, n)
+    lo_a = np.clip(pos + guard + 1, 0, n)
+    hi_a = np.clip(np.minimum(next_edge - guard,
+                              pos + guard + 1 + max_w), 0, n)
+
+    out = np.empty(pos.size, dtype=np.complex128)
+    for i in range(pos.size):
+        lb, hb = lo_b[i], hi_b[i]
+        la, ha = lo_a[i], hi_a[i]
+        if hb <= lb:
+            lb = max(pos[i] - guard - 1, 0)
+            hb = max(pos[i] - guard, lb + 1)
+        if ha <= la:
+            ha = min(pos[i] + guard + 2, n)
+            la = min(pos[i] + guard + 1, ha - 1)
+        before = (csum[hb] - csum[lb]) / (hb - lb)
+        after = (csum[ha] - csum[la]) / (ha - la)
+        out[i] = after - before
+    return out
+
+
+def _reference_analog_fold(diff_energy, candidate_periods,
+                           max_drift_ppm=250.0, n_drift_steps=9,
+                           min_peak_ratio=2.0):
+    """The original per-drift refold loop of ``analog_fold_search``."""
+    energy = np.asarray(diff_energy, dtype=np.float64)
+    hypotheses = []
+    t = np.arange(energy.size, dtype=np.float64)
+    drifts = np.linspace(-max_drift_ppm, max_drift_ppm,
+                         n_drift_steps) * 1e-6
+    for period in sorted(set(candidate_periods)):
+        if energy.size < 4 * period:
+            continue
+        best = None
+        for drift in drifts:
+            p = period * (1.0 + drift)
+            n_bins = int(round(p))
+            bins = np.mod(t, p).astype(np.int64)
+            np.minimum(bins, n_bins - 1, out=bins)
+            folded = np.bincount(bins, weights=energy,
+                                 minlength=n_bins)
+            counts = np.maximum(np.bincount(bins, minlength=n_bins), 1)
+            folded = folded / counts
+            kernel = np.ones(constants.EDGE_WIDTH_SAMPLES) \
+                / constants.EDGE_WIDTH_SAMPLES
+            smooth = np.convolve(
+                np.concatenate([folded[-2:], folded, folded[:2]]),
+                kernel, mode="same")[2:-2]
+            peak_bin = int(np.argmax(smooth))
+            ratio = smooth[peak_bin] / max(float(np.median(smooth)),
+                                           1e-30)
+            if best is None or ratio > best[0]:
+                best = (float(ratio), float(peak_bin), p)
+        if best is None or best[0] < min_peak_ratio:
+            continue
+        hypotheses.append(StreamHypothesis(
+            offset_samples=best[1], period_samples=best[2],
+            score=best[0], edge_indices=[]))
+    return hypotheses
+
+
+# -- strategies ----------------------------------------------------------
+
+trace_seeds = st.integers(0, 2 ** 31 - 1)
+
+
+def _random_trace(seed, n):
+    rng = np.random.default_rng(seed)
+    # A few step transitions on top of noise, like a real capture.
+    samples = (0.02 * (rng.standard_normal(n)
+                       + 1j * rng.standard_normal(n))
+               + (0.5 + 0.3j))
+    for _ in range(rng.integers(1, 6)):
+        at = int(rng.integers(0, n))
+        samples[at:] += (rng.uniform(-0.2, 0.2)
+                         + 1j * rng.uniform(-0.2, 0.2))
+    return IQTrace(samples=samples, sample_rate_hz=1e6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=trace_seeds,
+       n=st.integers(80, 400),
+       n_pos=st.integers(1, 25),
+       guard=st.integers(0, 6),
+       max_w=st.integers(1, 60),
+       use_bounds=st.booleans())
+def test_refine_differentials_matches_reference(seed, n, n_pos, guard,
+                                                max_w, use_bounds):
+    trace = _random_trace(seed, n)
+    rng = np.random.default_rng(seed + 1)
+    positions = np.unique(rng.integers(0, n, n_pos))
+    bounds = np.unique(rng.integers(0, n, 2 * n_pos)) \
+        if use_bounds else None
+    detector = EdgeDetector(EdgeDetectorConfig(
+        guard=guard, max_refine_window=max_w))
+    got = detector.refine_differentials(trace, positions, bounds=bounds)
+    want = _reference_refine(detector, trace, positions, bounds=bounds)
+    np.testing.assert_allclose(got, want, rtol=0.0, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=trace_seeds,
+       n=st.integers(200, 1500),
+       period=st.floats(10.0, 80.0),
+       n_drift_steps=st.integers(1, 9))
+def test_analog_fold_search_matches_reference(seed, n, period,
+                                              n_drift_steps):
+    rng = np.random.default_rng(seed)
+    energy = rng.random(n) ** 2
+    # Inject a periodic spike train so some runs cross the peak-ratio
+    # acceptance threshold and exercise the hypothesis-emitting path.
+    spikes = np.arange(int(rng.uniform(0, period)), n,
+                       int(round(period)))
+    energy[spikes] += rng.uniform(0.0, 30.0)
+    periods = [period, period * 2.0]
+    got = analog_fold_search(energy, periods,
+                             n_drift_steps=n_drift_steps)
+    want = _reference_analog_fold(energy, periods,
+                                  n_drift_steps=n_drift_steps)
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g.offset_samples == w.offset_samples
+        np.testing.assert_allclose(g.period_samples, w.period_samples,
+                                   rtol=0.0, atol=1e-12)
+        np.testing.assert_allclose(g.score, w.score,
+                                   rtol=0.0, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=trace_seeds, n=st.integers(100, 300))
+def test_detect_unaffected_by_trace_cache(seed, n):
+    """A cold decode and a cache-warm decode see identical edges."""
+    trace = _random_trace(seed, n)
+    detector = EdgeDetector()
+    first = detector.detect(trace)
+    second = detector.detect(trace)  # served from the trace cache
+    assert [(e.position, e.differential) for e in first] \
+        == [(e.position, e.differential) for e in second]
