@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Throughput-regression gate against the committed baseline.
+
+Re-runs the decoder speed benchmark and compares its headline
+``samples_per_second`` to the value recorded in
+``benchmarks/BENCH_decoder.json``.  A drop of more than 20% fails the
+process with a non-zero exit code, so CI catches changes that slow the
+decoder down without anyone staring at benchmark tables::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --tolerance 0.3
+    PYTHONPATH=src python benchmarks/check_regression.py --candidate out.json
+
+The 20% default is deliberately loose: shared CI runners jitter by
+±10% run to run, and the gate exists to catch real regressions (2x
+slowdowns from an accidental O(n^2) path), not 5% noise.  Ratcheting
+the baseline downward is a deliberate act — regenerate the JSON with
+``run_bench.py`` and commit it alongside the change that explains it.
+
+Faster-than-baseline runs never fail; they just suggest refreshing the
+baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+BASELINE = BENCH_DIR / "BENCH_decoder.json"
+#: The benchmark whose samples_per_second is the headline number.
+HEADLINE = "test_decode_speed_16_tags"
+DEFAULT_TOLERANCE = 0.20
+
+
+def _headline_rate(benchmarks: list) -> float:
+    for bench in benchmarks:
+        if bench.get("name") == HEADLINE and \
+                bench.get("samples_per_second"):
+            return float(bench["samples_per_second"])
+    raise SystemExit(
+        f"no samples_per_second recorded for {HEADLINE!r}")
+
+
+def load_baseline(path: Path) -> float:
+    if not path.exists():
+        raise SystemExit(f"baseline {path} not found — run "
+                         f"benchmarks/run_bench.py first")
+    return _headline_rate(json.loads(path.read_text())["benchmarks"])
+
+
+def measure_candidate(candidate: Path | None) -> float:
+    """Headline rate of the candidate: a saved export or a fresh run."""
+    if candidate is not None:
+        payload = json.loads(candidate.read_text())
+        # Accept either our summary format or pytest-benchmark's raw
+        # export (whose entries keep extra_info nested).
+        benches = payload.get("benchmarks", [])
+        for bench in benches:
+            extra = bench.get("extra_info")
+            if extra and "samples_per_second" in extra:
+                bench.setdefault("samples_per_second",
+                                 extra["samples_per_second"])
+        return _headline_rate(benches)
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "candidate.json"
+        cmd = [sys.executable, "-m", "pytest",
+               str(BENCH_DIR / "test_decoder_speed.py"), "-q",
+               f"--benchmark-json={json_path}"]
+        completed = subprocess.run(cmd, cwd=REPO_ROOT)
+        if completed.returncode != 0:
+            raise SystemExit("candidate benchmark run failed with "
+                             f"exit code {completed.returncode}")
+        payload = json.loads(json_path.read_text())
+    return measure_candidate_from_raw(payload)
+
+
+def measure_candidate_from_raw(payload: dict) -> float:
+    for bench in payload.get("benchmarks", []):
+        extra = bench.get("extra_info", {})
+        if bench.get("name") == HEADLINE and \
+                "samples_per_second" in extra:
+            return float(extra["samples_per_second"])
+    raise SystemExit(
+        f"benchmark export carries no samples_per_second for "
+        f"{HEADLINE!r}")
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when decoder throughput regresses past the "
+                    "tolerance.")
+    parser.add_argument("--baseline", type=Path, default=BASELINE,
+                        help="committed BENCH_decoder.json to compare "
+                             "against")
+    parser.add_argument("--candidate", type=Path, default=None,
+                        help="pre-recorded benchmark JSON; omitted = "
+                             "run the benchmark now")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed fractional drop (default 0.20)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    baseline = load_baseline(args.baseline)
+    candidate = measure_candidate(args.candidate)
+    floor = baseline * (1.0 - args.tolerance)
+    change = candidate / baseline - 1.0
+
+    print(f"baseline : {baseline:,.0f} samples/s")
+    print(f"candidate: {candidate:,.0f} samples/s ({change:+.1%})")
+    print(f"floor    : {floor:,.0f} samples/s "
+          f"(-{args.tolerance:.0%} tolerance)")
+    if candidate < floor:
+        print("FAIL: throughput regressed past the tolerance")
+        return 1
+    if candidate > baseline:
+        print("OK (faster than baseline — consider refreshing it with "
+              "benchmarks/run_bench.py)")
+    else:
+        print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,21 +1,30 @@
 #!/usr/bin/env python
 """Decoder-throughput benchmark harness.
 
-Runs the pytest-benchmark speed test (``test_decoder_speed.py``) in a
-subprocess, pulls out the timing statistics and the decoder's
-per-stage wall-clock split, and writes them to
-``benchmarks/BENCH_decoder.json`` so successive runs can be diffed::
+Runs the pytest-benchmark speed tests (``test_decoder_speed.py`` and
+``test_session_speed.py``) in a subprocess, pulls out the timing
+statistics and the decoder's per-stage wall-clock split, and writes
+them to ``benchmarks/BENCH_decoder.json`` so successive runs can be
+diffed::
 
     PYTHONPATH=src python benchmarks/run_bench.py
 
 The JSON payload records samples/second (the headline number), the
-mean/min/stddev decode time for the 16-tag epoch, and the
-edge/fold/extract/separate/viterbi stage breakdown.
+mean/min/stddev decode time for the 16-tag epoch, the
+edge/fold/extract/detect/separate/viterbi stage breakdown, and the
+session benchmark's steady-state warm/cold speedup.
+
+Stage fractions are normalized by the *sum of the stages*, not by the
+pipeline's wall clock: the wall clock includes untimed glue (python
+dispatch, result assembly) and dividing by it silently understated
+every stage.  The glue shows up explicitly as ``overhead_s`` instead,
+and the fractions are asserted to sum to 1.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import subprocess
 import sys
 import tempfile
@@ -25,12 +34,19 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 OUTPUT = BENCH_DIR / "BENCH_decoder.json"
-SPEED_TEST = BENCH_DIR / "test_decoder_speed.py"
+SPEED_TESTS = [BENCH_DIR / "test_decoder_speed.py",
+               BENCH_DIR / "test_session_speed.py"]
+
+#: extra_info keys copied through to the summary when present.
+EXTRA_KEYS = ("samples_per_second", "steady_state_speedup",
+              "warm_separate_fraction", "steady_cold_epoch_s",
+              "steady_warm_epoch_s", "cache_stats", "n_trackers")
 
 
 def run_speed_benchmark(json_path: Path) -> None:
-    """Run the speed test with pytest-benchmark's JSON export."""
-    cmd = [sys.executable, "-m", "pytest", str(SPEED_TEST), "-q",
+    """Run the speed tests with pytest-benchmark's JSON export."""
+    cmd = [sys.executable, "-m", "pytest",
+           *[str(path) for path in SPEED_TESTS], "-q",
            f"--benchmark-json={json_path}"]
     completed = subprocess.run(cmd, cwd=REPO_ROOT)
     if completed.returncode != 0:
@@ -51,16 +67,27 @@ def summarize(raw: dict) -> dict:
             "min_s": stats["min"],
             "stddev_s": stats["stddev"],
             "rounds": stats["rounds"],
-            "samples_per_second": extra.get("samples_per_second"),
             "stage_timings_s": extra.get("stage_timings", {}),
         }
+        for key in EXTRA_KEYS:
+            if key in extra:
+                entry[key] = extra[key]
         timings = entry["stage_timings_s"]
-        total = timings.get("total", 0.0)
-        if total > 0:
-            entry["stage_fractions"] = {
-                name: seconds / total
-                for name, seconds in timings.items()
-                if name != "total"}
+        stage_sum = sum(seconds for name, seconds in timings.items()
+                        if name != "total")
+        if stage_sum > 0:
+            fractions = {name: seconds / stage_sum
+                         for name, seconds in timings.items()
+                         if name != "total"}
+            assert math.isclose(sum(fractions.values()), 1.0,
+                                rel_tol=1e-9), \
+                "stage fractions must sum to 1"
+            entry["stage_fractions"] = fractions
+            # Wall clock the stage timers never saw (dispatch, result
+            # assembly); kept explicit instead of being smeared across
+            # the stage fractions.
+            total = timings.get("total", 0.0)
+            entry["overhead_s"] = max(total - stage_sum, 0.0)
         benchmarks.append(entry)
     return {
         "generated_at": datetime.now(timezone.utc).isoformat(),
@@ -78,12 +105,18 @@ def main() -> None:
     summary = summarize(raw)
     OUTPUT.write_text(json.dumps(summary, indent=2) + "\n")
     for bench in summary["benchmarks"]:
-        sps = bench["samples_per_second"]
-        print(f"{bench['name']}: mean {bench['mean_s'] * 1e3:.1f} ms, "
-              f"{sps:,.0f} samples/s" if sps else bench["name"])
-        for name, fraction in bench.get("stage_fractions",
-                                        {}).items():
+        line = f"{bench['name']}: mean {bench['mean_s'] * 1e3:.1f} ms"
+        if bench.get("samples_per_second"):
+            line += f", {bench['samples_per_second']:,.0f} samples/s"
+        if bench.get("steady_state_speedup"):
+            line += (f", steady-state speedup "
+                     f"{bench['steady_state_speedup']:.2f}x")
+        print(line)
+        for name, fraction in bench.get("stage_fractions", {}).items():
             print(f"  {name:>9s}: {fraction * 100:5.1f}%")
+        if "overhead_s" in bench:
+            print(f"  overhead: {bench['overhead_s'] * 1e3:.1f} ms "
+                  f"(outside stage timers)")
     print(f"wrote {OUTPUT}")
 
 

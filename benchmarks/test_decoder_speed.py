@@ -42,7 +42,8 @@ def test_decode_speed_16_tags(benchmark, sixteen_tag_capture):
     samples_per_second = len(capture.trace) / benchmark.stats["mean"]
     benchmark.extra_info["samples_per_second"] = samples_per_second
     # Last-round per-stage wall-clock split, for attribution of any
-    # regression (keys: edge/fold/extract/separate/viterbi/total).
+    # regression (keys: edge/fold/extract/detect/separate/viterbi/
+    # total).
     benchmark.extra_info["stage_timings"] = {
         name: float(seconds)
         for name, seconds in result.stage_timings.items()}

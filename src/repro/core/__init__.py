@@ -22,6 +22,8 @@ from .separation import SeparationResult, separate_two_way
 from .viterbi import ViterbiDecoder, edge_states_to_bits, bits_to_edge_states
 from .anchor import resolve_polarity, assemble_bits
 from .pipeline import LFDecoder, LFDecoderConfig
+from .session import (SessionConfig, SessionDecoder, SessionState,
+                      StreamTracker)
 from .engine import BatchDecoder
 
 __all__ = [
@@ -46,5 +48,9 @@ __all__ = [
     "assemble_bits",
     "LFDecoder",
     "LFDecoderConfig",
+    "SessionConfig",
+    "SessionDecoder",
+    "SessionState",
+    "StreamTracker",
     "BatchDecoder",
 ]

@@ -79,14 +79,20 @@ def resolve_polarity(observations: np.ndarray,
                      preamble_bits: int = constants.PREAMBLE_BITS,
                      anchor_bit: int = constants.ANCHOR_BIT,
                      decoder: Optional[ViterbiDecoder] = None,
-                     use_viterbi: bool = True) -> AssembledBits:
+                     use_viterbi: bool = True,
+                     flipped_hint: Optional[bool] = None) -> AssembledBits:
     """Decode a stream's projected observations into frame bits.
 
     Tries both polarities and up to three candidate frame-start slots
     per polarity; each candidate is decoded (Viterbi by default, hard
     threshold for the no-error-correction ablation) and scored against
     the known header.  The best-scoring assembly wins; ties prefer the
-    earlier start and unflipped polarity.
+    earlier start and the first-tried polarity.
+
+    ``flipped_hint`` reorders the polarity search (hinted sign first) —
+    a correct hint hits the perfect-header early exit without ever
+    decoding the mirror image, a wrong one merely restores the cold
+    two-polarity cost.  The hint never changes which assembly wins.
     """
     obs = np.asarray(observations, dtype=np.float64).ravel()
     if obs.size == 0:
@@ -94,8 +100,10 @@ def resolve_polarity(observations: np.ndarray,
     header = expected_header(preamble_bits, anchor_bit)
     dec = decoder or ViterbiDecoder()
 
+    order = (False, True) if flipped_hint is None \
+        else (bool(flipped_hint), not flipped_hint)
     best: Optional[AssembledBits] = None
-    for flipped in (False, True):
+    for flipped in order:
         signed = -obs if flipped else obs
         for start in _candidate_starts(signed):
             segment = signed[start:]
@@ -109,7 +117,13 @@ def resolve_polarity(observations: np.ndarray,
                 - _pre_start_penalty(signed, int(start))
             candidate = AssembledBits(bits=bits, start_slot=int(start),
                                       flipped=flipped, header_score=score)
-            if best is None or score > best.header_score:
+            # The tie-break is ordering-independent (unflipped, then
+            # earlier start) so a polarity hint cannot change which
+            # assembly wins, only how fast it is found.
+            if best is None or score > best.header_score or (
+                    score == best.header_score
+                    and (candidate.flipped, candidate.start_slot)
+                    < (best.flipped, best.start_slot)):
                 best = candidate
             # A perfect header match cannot be beaten (score <= 1.0 and
             # later candidates only win strictly), so stop searching.
@@ -126,7 +140,8 @@ def assemble_bits(observations: np.ndarray,
                   decoder: Optional[ViterbiDecoder] = None,
                   preamble_bits: int = constants.PREAMBLE_BITS,
                   anchor_bit: int = constants.ANCHOR_BIT,
-                  min_header_score: float = 0.0) -> AssembledBits:
+                  min_header_score: float = 0.0,
+                  flipped_hint: Optional[bool] = None) -> AssembledBits:
     """Polarity-resolve and decode, optionally rejecting weak frames.
 
     ``min_header_score`` lets the pipeline discard assemblies whose
@@ -137,7 +152,8 @@ def assemble_bits(observations: np.ndarray,
                                  preamble_bits=preamble_bits,
                                  anchor_bit=anchor_bit,
                                  decoder=decoder,
-                                 use_viterbi=use_viterbi)
+                                 use_viterbi=use_viterbi,
+                                 flipped_hint=flipped_hint)
     if assembled.header_score < min_header_score:
         raise DecodeError(
             f"header score {assembled.header_score:.2f} below the "

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -77,8 +77,16 @@ def _kmeans_pp_init(points: np.ndarray, k: int, n_init: int,
 
 def kmeans(points: np.ndarray, k: int, rng: SeedLike = None,
            n_init: int = 4, max_iter: int = 100,
-           tol: float = 1e-10) -> KMeansResult:
-    """Lloyd's algorithm on complex points with k-means++ restarts."""
+           tol: float = 1e-10,
+           init_centroids: Optional[np.ndarray] = None) -> KMeansResult:
+    """Lloyd's algorithm on complex points with k-means++ restarts.
+
+    ``init_centroids``, when given, is a length-``k`` complex array of
+    prior centroids (e.g. a tracked stream's fit from the previous
+    epoch).  It replaces the k-means++ restart fan-out with a *single*
+    warm restart from those centroids — the cross-epoch fast path of
+    :mod:`repro.core.session` — and leaves the RNG untouched.
+    """
     pts = np.asarray(points, dtype=np.complex128).ravel()
     if pts.size == 0:
         raise ConfigurationError("cannot cluster zero points")
@@ -89,6 +97,12 @@ def kmeans(points: np.ndarray, k: int, rng: SeedLike = None,
             f"k={k} exceeds the number of points ({pts.size})")
     if n_init < 1:
         raise ConfigurationError("n_init must be >= 1")
+    if init_centroids is not None:
+        warm = np.asarray(init_centroids, dtype=np.complex128).ravel()
+        if warm.size != k:
+            raise ConfigurationError(
+                f"init_centroids has {warm.size} centroids, need {k}")
+        n_init = 1
     gen = make_rng(rng)
 
     # All restarts run as one batched Lloyd iteration: centroids are an
@@ -101,7 +115,10 @@ def kmeans(points: np.ndarray, k: int, rng: SeedLike = None,
     # slowest restart instead of the sum of all of them.
     n = pts.size
     pr, pi = pts.real, pts.imag
-    cents = _kmeans_pp_init(pts, k, n_init, gen)
+    if init_centroids is not None:
+        cents = warm[None, :].copy()
+    else:
+        cents = _kmeans_pp_init(pts, k, n_init, gen)
     offsets = (np.arange(n_init) * k)[:, None]
     pr_tiled = np.broadcast_to(pr, (n_init, n)).ravel()
     pi_tiled = np.broadcast_to(pi, (n_init, n)).ravel()
@@ -168,7 +185,11 @@ def select_cluster_count(points: np.ndarray,
                          candidates: Sequence[int] = (3, 9),
                          rng: SeedLike = None,
                          n_init: int = 4,
-                         improvement_factor: float = 4.0
+                         improvement_factor: float = 4.0,
+                         centroid_hints: Optional[
+                             Dict[int, np.ndarray]] = None,
+                         fits_out: Optional[
+                             Dict[int, KMeansResult]] = None
                          ) -> KMeansResult:
     """Pick the cluster count by inertia-improvement ratio.
 
@@ -178,6 +199,12 @@ def select_cluster_count(points: np.ndarray,
     unstructured (noise-limited) fit only buys a factor ~k_ratio, so a
     threshold of 4 between k=3 and k=9 separates genuine collision
     lattices (typically >8x improvement) from over-fitting noise.
+
+    ``centroid_hints`` maps a candidate ``k`` to prior centroids for it
+    (a tracked stream's previous-epoch fit); any hinted candidate runs
+    as a single warm Lloyd restart instead of the k-means++ fan-out.
+    ``fits_out``, when given, is filled with every candidate's fit so a
+    session cache can persist the centroids for the next epoch.
     """
     pts = np.asarray(points, dtype=np.complex128).ravel()
     if not candidates:
@@ -191,9 +218,18 @@ def select_cluster_count(points: np.ndarray,
         raise ConfigurationError(
             f"no feasible candidate in {list(candidates)} for "
             f"{pts.size} points")
-    best = kmeans(pts, feasible[0], rng=gen, n_init=n_init)
+    hints = centroid_hints or {}
+
+    def _fit(k: int) -> KMeansResult:
+        result = kmeans(pts, k, rng=gen, n_init=n_init,
+                        init_centroids=hints.get(k))
+        if fits_out is not None:
+            fits_out[k] = result
+        return result
+
+    best = _fit(feasible[0])
     for k in feasible[1:]:
-        candidate = kmeans(pts, k, rng=gen, n_init=n_init)
+        candidate = _fit(k)
         floor = max(candidate.inertia, 1e-300)
         if best.inertia / floor >= improvement_factor:
             best = candidate

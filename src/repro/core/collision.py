@@ -16,7 +16,7 @@ Detection therefore combines two signals:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -65,17 +65,49 @@ def scatter_planarity(points: np.ndarray) -> float:
     return minor / major
 
 
+def effective_planarity_threshold(
+        points: np.ndarray,
+        planarity_threshold: float = 0.02,
+        noise_scale: Optional[float] = None) -> float:
+    """Planarity above which a scatter counts as two-dimensional.
+
+    The base threshold, raised to the noise-implied floor when the
+    noise scale is known: for a single tag the minor scatter axis is
+    pure noise, so its eigenvalue is the per-axis noise variance (half
+    the complex noise power ``noise_scale**2``); a 3x margin keeps
+    noise from masquerading as a weak second collider.
+    """
+    threshold = planarity_threshold
+    pts = np.asarray(points, dtype=np.complex128).ravel()
+    if noise_scale is not None and noise_scale > 0 and pts.size:
+        x = np.stack([pts.real, pts.imag])
+        major_eig = float(np.linalg.eigvalsh(x @ x.T / pts.size)[-1])
+        if major_eig > 0:
+            implied = 3.0 * (noise_scale ** 2 / 2.0) / major_eig
+            threshold = max(threshold, implied)
+    return threshold
+
+
 def detect_collision(differentials: np.ndarray,
                      candidates: Sequence[int] = (3, 9),
                      planarity_threshold: float = 0.02,
                      noise_scale: Optional[float] = None,
-                     rng: SeedLike = None) -> CollisionReport:
+                     rng: SeedLike = None,
+                     centroid_hints: Optional[
+                         Dict[int, np.ndarray]] = None,
+                     fits_out: Optional[Dict[int, object]] = None
+                     ) -> CollisionReport:
     """Decide whether a stream's grid differentials contain a collision.
 
     ``noise_scale``, when given, is the expected differential noise
     standard deviation; planarity below the threshold *or* below the
     noise-implied floor keeps the verdict at "single tag" even when the
     9-cluster fit wins BIC by over-fitting noise.
+
+    ``centroid_hints`` / ``fits_out`` are the session warm-start hooks
+    (see :func:`repro.core.clustering.select_cluster_count`): hinted
+    cluster counts fit as a single warm Lloyd restart, and every
+    candidate fit is exported for the next epoch's cache.
     """
     pts = np.asarray(differentials, dtype=np.complex128).ravel()
     if pts.size < 3:
@@ -85,20 +117,13 @@ def detect_collision(differentials: np.ndarray,
         raise ConfigurationError(
             "planarity threshold must be in [0, 1)")
     fit = select_cluster_count(pts, candidates=candidates, rng=rng,
-                               improvement_factor=1.5)
+                               improvement_factor=1.5,
+                               centroid_hints=centroid_hints,
+                               fits_out=fits_out)
     planarity = scatter_planarity(pts)
-
-    threshold = planarity_threshold
-    if noise_scale is not None and noise_scale > 0:
-        x = np.stack([pts.real, pts.imag])
-        major_eig = float(np.linalg.eigvalsh(x @ x.T / pts.size)[-1])
-        if major_eig > 0:
-            # For a single tag the minor axis is pure noise: its
-            # eigenvalue is the per-axis noise variance, half the total
-            # complex noise power ``noise_scale**2``.  3x margin keeps
-            # noise from masquerading as a weak second collider.
-            implied = 3.0 * (noise_scale ** 2 / 2.0) / major_eig
-            threshold = max(threshold, implied)
+    threshold = effective_planarity_threshold(
+        pts, planarity_threshold=planarity_threshold,
+        noise_scale=noise_scale)
 
     # Planarity is the primary signal: a second collider makes the
     # differential scatter genuinely two-dimensional, whereas the

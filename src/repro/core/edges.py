@@ -211,41 +211,35 @@ def _merge_similar(positions: np.ndarray, differentials: np.ndarray,
     pos = np.asarray(positions, dtype=np.int64)[order]
     diffs = np.asarray(differentials, dtype=np.complex128)[order]
     n = pos.size
-    # The group-growing scan touches one element at a time; plain
-    # Python scalars beat numpy item access here.
-    pos_l = pos.tolist()
-    diffs_l = diffs.tolist()
-    mag_l = np.abs(diffs).tolist()
+    # The scan only ever compares *adjacent* sorted detections, so the
+    # whole grouping reduces to a chain mask over consecutive pairs: a
+    # pair chains when it is close, coherent, and comparable in
+    # magnitude; group boundaries are the broken links.
+    mag = np.abs(diffs)
+    denom = mag[:-1] * mag[1:]
+    coherence = np.divide(
+        np.abs((np.conj(diffs[:-1]) * diffs[1:]).real),
+        denom, out=np.zeros(n - 1), where=denom > 0)
+    ratio = np.maximum(mag[:-1], mag[1:]) \
+        / np.maximum(np.minimum(mag[:-1], mag[1:]), 1e-30)
+    chain = ((pos[1:] - pos[:-1] <= merge_radius)
+             & (coherence >= similarity)
+             & (ratio <= magnitude_ratio))
+    starts = np.concatenate([[0], np.flatnonzero(~chain) + 1])
+    ends = np.concatenate([starts[1:], [n]])
     weights_all = magnitude[pos].astype(np.float64)
-    out_pos = []
-    out_diff = []
-    i = 0
-    while i < n:
-        j = i
-        while j + 1 < n and pos_l[j + 1] - pos_l[j] <= merge_radius:
-            a = diffs_l[j]
-            b = diffs_l[j + 1]
-            denom = mag_l[j] * mag_l[j + 1]
-            coherence = abs((a.conjugate() * b).real) / denom \
-                if denom > 0 else 0.0
-            ratio = max(mag_l[j], mag_l[j + 1]) \
-                / max(min(mag_l[j], mag_l[j + 1]), 1e-30)
-            if coherence < similarity or ratio > magnitude_ratio:
-                break
-            j += 1
-        weights = weights_all[i:j + 1]
-        total = float(weights.sum())
-        if total <= 0:
-            centroid = pos_l[i + (j + 1 - i) // 2]
-        else:
-            centroid = int(round(
-                float(np.sum(pos[i:j + 1] * weights)) / total))
-        out_pos.append(centroid)
-        # Keep the strongest member's differential for the merged edge;
-        # the caller re-reads grid differentials later anyway.
-        best = i + int(np.argmax(weights))
-        out_diff.append(diffs_l[best])
-        i = j + 1
-    return (np.asarray(out_pos, dtype=np.int64),
-            np.asarray(out_diff, dtype=np.complex128))
+    totals = np.add.reduceat(weights_all, starts)
+    weighted = np.add.reduceat(pos * weights_all, starts)
+    mids = pos[starts + (ends - starts) // 2]
+    out_pos = np.where(
+        totals > 0,
+        np.round(weighted / np.maximum(totals, 1e-300)).astype(np.int64),
+        mids)
+    # Keep the strongest member's differential for the merged edge; the
+    # caller re-reads grid differentials later anyway.  A stable sort on
+    # (group, -weight) puts each group's first-strongest member at the
+    # group's start, matching argmax's first-max tie-break.
+    group_ids = np.concatenate([[0], np.cumsum(~chain)])
+    strongest = np.lexsort((-weights_all, group_ids))[starts]
+    return (out_pos, diffs[strongest])
 

@@ -7,36 +7,51 @@ hundreds of independent epochs with the same :class:`LFDecoderConfig`.
 
 * **Determinism** — every task draws its randomness from a
   :class:`numpy.random.SeedSequence` spawned from the root seed by task
-  index (:func:`repro.utils.rng.spawn_seed_sequences`), so results are
-  identical for any worker count, including the serial fallback.
+  index (:func:`repro.utils.rng.iter_spawn_seed_sequences`), so results
+  are identical for any worker count, including the serial fallback,
+  and for either trace transport.
 * **Ordered streaming** — :meth:`BatchDecoder.iter_decode` yields epoch
   results in submission order as soon as each becomes available, so a
   consumer can post-process epoch *i* while epoch *i+1* is still
-  decoding.
+  decoding.  Submission itself runs a bounded look-ahead window (about
+  two tasks per worker), so an unbounded input stream never piles up
+  as pending futures or live shared-memory blocks.
 * **Timing transparency** — each :class:`EpochResult` carries the
   pipeline's per-stage wall-clock breakdown (``stage_timings``), and
   :meth:`BatchDecoder.aggregate_timings` folds them into one profile
   for the whole batch.
 
 Workers receive the decoder config once (pool initializer), not once
-per task; traces are pickled without their derived-array caches
-(:meth:`IQTrace.__getstate__`), so the per-task payload is just the raw
-samples.
+per task.  Trace samples travel through ``multiprocessing.shared_memory``
+when available: the parent writes each epoch's samples into a block
+once and the worker decodes a zero-copy view, skipping the pickle
+serialize/deserialize round-trip entirely.  Hosts without POSIX shared
+memory (or with an exhausted ``/dev/shm``) fall back per task to the
+pickle transport, for which :meth:`IQTrace.__getstate__` drops the
+derived-array caches so the payload is just the raw samples.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from itertools import chain
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from ..types import EpochResult, IQTrace
-from ..utils.rng import spawn_seed_sequences
+from ..utils.rng import iter_spawn_seed_sequences
 from ..utils.timing import merge_timings
 from .pipeline import LFDecoder, LFDecoderConfig
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - always present on CPython 3.8+
+    _shared_memory = None
 
 #: Per-process decoder config, installed by the pool initializer.
 _WORKER_CONFIG: Optional[LFDecoderConfig] = None
@@ -63,6 +78,61 @@ def _decode_task(index: int, trace: IQTrace,
     return result
 
 
+def _decode_task_shm(index: int, shm_name: str, n_samples: int,
+                     sample_rate_hz: float, start_time_s: float,
+                     seed_seq: np.random.SeedSequence) -> EpochResult:
+    """Decode one epoch whose samples live in a shared-memory block.
+
+    The worker attaches the parent's block and decodes a zero-copy view
+    of it; the parent owns the block's lifetime (it unlinks after the
+    result arrives).  POSIX attachment re-registers the block with a
+    resource tracker, so under non-fork start methods (per-process
+    trackers) the attachment must be unregistered or the worker's
+    tracker tears the block down when the worker exits.  Under fork the
+    tracker process is *shared* with the parent and registration is a
+    set — unregistering here would strip the parent's own entry and
+    break its unlink.
+
+    The view must not outlive the block: every array an
+    :class:`EpochResult` carries is derived (bits, centroids, timing
+    fits), never a slice of the raw trace, so closing before return is
+    safe — the executor pickles the result after this frame exits.
+    """
+    shm = _shared_memory.SharedMemory(name=shm_name)
+    try:
+        import multiprocessing
+        if multiprocessing.get_start_method() != "fork":
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker layout varies
+        pass
+    try:
+        samples = np.ndarray((n_samples,), dtype=np.complex128,
+                             buffer=shm.buf)
+        trace = IQTrace(samples=samples, sample_rate_hz=sample_rate_hz,
+                        start_time_s=start_time_s)
+        return _decode_task(index, trace, seed_seq)
+    finally:
+        shm.close()
+
+
+@dataclass
+class _Pending:
+    """A submitted task plus the shared-memory block backing it."""
+
+    future: Future
+    shm: Optional["_shared_memory.SharedMemory"] = None
+
+    def release(self) -> None:
+        if self.shm is not None:
+            self.shm.close()
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            self.shm = None
+
+
 class BatchDecoder:
     """Decode a batch of epoch traces with a shared configuration.
 
@@ -79,11 +149,19 @@ class BatchDecoder:
         Process count.  ``None`` uses the machine's CPU count; values
         ``<= 1`` decode serially in-process (no pickling, no pool),
         which is also the automatic fallback on single-CPU hosts.
+    use_shared_memory:
+        Transport for trace samples.  ``True`` (the default when the
+        platform provides ``multiprocessing.shared_memory``) writes
+        each epoch's samples into a shared block that the worker maps
+        zero-copy; ``False`` forces the pickle transport.  Decode
+        results are bit-identical either way — the knob only moves
+        bytes differently.
     """
 
     def __init__(self, config: Optional[LFDecoderConfig] = None,
                  seed: int = 0,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 use_shared_memory: Optional[bool] = None):
         self.config = config or LFDecoderConfig()
         self.seed = seed
         if max_workers is None:
@@ -92,6 +170,13 @@ class BatchDecoder:
             raise ConfigurationError(
                 f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
+        if use_shared_memory is None:
+            use_shared_memory = _shared_memory is not None
+        if use_shared_memory and _shared_memory is None:
+            raise ConfigurationError(
+                "shared-memory transport requested but "
+                "multiprocessing.shared_memory is unavailable")
+        self.use_shared_memory = use_shared_memory
 
     def decode_epochs(self, traces: Sequence[IQTrace]
                       ) -> List[EpochResult]:
@@ -104,24 +189,98 @@ class BatchDecoder:
 
         Results stream out as soon as they are ready *and* every
         earlier epoch has been yielded, so downstream consumers see a
-        deterministic sequence regardless of completion order.
+        deterministic sequence regardless of completion order.  The
+        input may be an arbitrary (even unbounded) iterable: tasks are
+        submitted through a sliding window of about two per worker, so
+        memory stays proportional to the worker count, not the batch.
         """
-        trace_list = list(traces)
-        seed_seqs = spawn_seed_sequences(self.seed, len(trace_list))
-        if self.max_workers <= 1 or len(trace_list) <= 1:
-            for i, trace in enumerate(trace_list):
-                yield _decode_task(i, trace, seed_seqs[i],
+        trace_iter = iter(traces)
+        seed_iter = iter_spawn_seed_sequences(self.seed)
+        if self.max_workers <= 1:
+            for index, trace in enumerate(trace_iter):
+                yield _decode_task(index, trace, next(seed_iter),
                                    config=self.config)
             return
-        workers = min(self.max_workers, len(trace_list))
+        # A lone epoch is not worth a process pool.
+        first = list(_take(trace_iter, 2))
+        if len(first) <= 1:
+            for index, trace in enumerate(first):
+                yield _decode_task(index, trace, next(seed_iter),
+                                   config=self.config)
+            return
+        trace_iter = chain(first, trace_iter)
+
+        window = 2 * self.max_workers
         with ProcessPoolExecutor(
-                max_workers=workers,
+                max_workers=self.max_workers,
                 initializer=_init_worker,
                 initargs=(self.config,)) as pool:
-            futures = [pool.submit(_decode_task, i, trace, seed_seqs[i])
-                       for i, trace in enumerate(trace_list)]
-            for future in futures:
-                yield future.result()
+            pending: deque = deque()
+            index = 0
+
+            def _submit_next() -> bool:
+                nonlocal index
+                trace = next(trace_iter, None)
+                if trace is None:
+                    return False
+                pending.append(
+                    self._submit(pool, index, trace, next(seed_iter)))
+                index += 1
+                return True
+
+            try:
+                while len(pending) < window and _submit_next():
+                    pass
+                while pending:
+                    task = pending.popleft()
+                    try:
+                        result = task.future.result()
+                    finally:
+                        task.release()
+                    _submit_next()
+                    yield result
+            finally:
+                # Consumer abandoned the iterator or a task raised:
+                # the pool's shutdown joins the workers, after which
+                # the leftover blocks can be unlinked safely.
+                for task in pending:
+                    task.future.cancel()
+                pool.shutdown(wait=True)
+                for task in pending:
+                    task.release()
+
+    def _submit(self, pool: ProcessPoolExecutor, index: int,
+                trace: IQTrace,
+                seed_seq: np.random.SeedSequence) -> _Pending:
+        """Submit one decode, preferring the shared-memory transport.
+
+        Falls back to the pickle transport per task when the block
+        cannot be created (exhausted ``/dev/shm``, zero-size trace) —
+        the decode itself is transport-agnostic.
+        """
+        if self.use_shared_memory:
+            samples = np.ascontiguousarray(trace.samples,
+                                           dtype=np.complex128)
+            shm = None
+            try:
+                shm = _shared_memory.SharedMemory(create=True,
+                                                  size=samples.nbytes)
+                view = np.ndarray(samples.shape, dtype=np.complex128,
+                                  buffer=shm.buf)
+                view[:] = samples
+                future = pool.submit(
+                    _decode_task_shm, index, shm.name, samples.size,
+                    trace.sample_rate_hz, trace.start_time_s, seed_seq)
+                return _Pending(future=future, shm=shm)
+            except (OSError, ValueError):
+                if shm is not None:
+                    shm.close()
+                    try:
+                        shm.unlink()
+                    except FileNotFoundError:  # pragma: no cover
+                        pass
+        return _Pending(future=pool.submit(_decode_task, index, trace,
+                                           seed_seq))
 
     def aggregate_timings(self, results: Iterable[EpochResult]
                           ) -> Dict[str, float]:
@@ -130,3 +289,12 @@ class BatchDecoder:
         for result in results:
             merge_timings(total, result.stage_timings)
         return total
+
+
+def _take(iterator: Iterator, n: int) -> Iterator:
+    """First ``n`` items of ``iterator`` (fewer if it runs dry)."""
+    for _ in range(n):
+        try:
+            yield next(iterator)
+        except StopIteration:
+            return

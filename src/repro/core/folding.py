@@ -18,7 +18,7 @@ edges at the true rate) rejects the slow-tag-as-fast-stream alias.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -135,6 +135,18 @@ def find_stream_hypotheses(
         raise ConfigurationError("need at least one candidate period")
     positions = np.array([e.position for e in edges], dtype=np.float64)
     available = np.ones(positions.size, dtype=bool)
+    return _search_streams(positions, available, candidate_periods, cfg)
+
+
+def _search_streams(positions: np.ndarray, available: np.ndarray,
+                    candidate_periods: Sequence[float],
+                    cfg: FoldingConfig) -> List[StreamHypothesis]:
+    """The cold fold sweep over ``candidate_periods``.
+
+    Mutates ``available`` in place (claimed edges go False), so a
+    caller that pre-claimed edges via the warm path hands the remainder
+    straight to this search.
+    """
     hypotheses: List[StreamHypothesis] = []
 
     # A non-positive period sorts first, so validating inside the single
@@ -147,75 +159,215 @@ def find_stream_hypotheses(
         # edges happen to coincide with a fast stream's grid must stay
         # visible to the slower folds.
         rate_extras: List[int] = []
-        # Re-fold after every accepted stream: two tags whose offsets
-        # differ by only a few samples merge into a single fold peak,
-        # and the second tag only becomes visible once the first has
-        # claimed its edges.
-        window_end = cfg.fold_window_periods * period
-        # The drift search only pays off when a tag's ppm clock error
-        # walks its phase across more than one fold bin within the
-        # seed window (slow rates / long windows); for short fast-rate
-        # windows it would just add noise to the period estimate.
-        visible_bits = min(cfg.fold_window_periods,
-                           (positions.max() / period + 1.0)
-                           if positions.size else 1.0)
-        walk = period * cfg.max_drift_ppm * 1e-6 * visible_bits
-        if walk > 3.0 * cfg.bin_width_samples:
-            drifts = np.linspace(-cfg.max_drift_ppm,
-                                 cfg.max_drift_ppm,
-                                 cfg.n_drift_steps) * 1e-6
-            drifts = drifts[np.argsort(np.abs(drifts),
-                                       kind="stable")]
-        else:
-            drifts = np.array([0.0])
-        while True:
-            live = np.flatnonzero(available
-                                  & (positions < window_end))
+        _sweep_rate(positions, available, period, cfg, rate_extras,
+                    hypotheses)
+        if rate_extras:
+            available[np.asarray(rate_extras, dtype=np.int64)] = True
+    return hypotheses
+
+
+def _sweep_rate(positions: np.ndarray, available: np.ndarray,
+                period: float, cfg: FoldingConfig,
+                rate_extras: List[int],
+                hypotheses: List[StreamHypothesis]) -> None:
+    """Cold fold loop at one candidate rate: claim streams until dry.
+
+    Appends accepted hypotheses and the indices of their extra
+    (slot-sharing) edges; the caller releases ``rate_extras`` once the
+    whole rate — warm and cold passes alike — is done with them.
+    """
+    # Re-fold after every accepted stream: two tags whose offsets
+    # differ by only a few samples merge into a single fold peak,
+    # and the second tag only becomes visible once the first has
+    # claimed its edges.
+    window_end = cfg.fold_window_periods * period
+    # The drift search only pays off when a tag's ppm clock error
+    # walks its phase across more than one fold bin within the
+    # seed window (slow rates / long windows); for short fast-rate
+    # windows it would just add noise to the period estimate.
+    visible_bits = min(cfg.fold_window_periods,
+                       (positions.max() / period + 1.0)
+                       if positions.size else 1.0)
+    walk = period * cfg.max_drift_ppm * 1e-6 * visible_bits
+    if walk > 3.0 * cfg.bin_width_samples:
+        drifts = np.linspace(-cfg.max_drift_ppm,
+                             cfg.max_drift_ppm,
+                             cfg.n_drift_steps) * 1e-6
+        drifts = drifts[np.argsort(np.abs(drifts),
+                                   kind="stable")]
+    else:
+        drifts = np.array([0.0])
+    while True:
+        live = np.flatnonzero(available
+                              & (positions < window_end))
+        if live.size < cfg.min_edges:
+            break
+        # Search a drift grid: the corrected period whose fold
+        # peaks sharpest seeds both the phase and the initial
+        # period estimate handed to the tracker.
+        best_fold = None
+        for drift in drifts:
+            p_corr = period * (1.0 + drift)
+            counts, bin_width = fold_histogram(
+                positions[live], p_corr, cfg.bin_width_samples)
+            peak = int(counts.max())
+            if best_fold is None or peak > best_fold[0]:
+                best_fold = (peak, counts, bin_width, p_corr)
+        _, counts, bin_width, p_corr = best_fold
+        accepted_any = False
+        for offset in _circular_peak_offsets(counts, bin_width,
+                                             cfg.min_edges,
+                                             cfg.peak_span_bins):
+            core, extras = _match_edges(
+                positions, available, offset, p_corr,
+                cfg.match_tolerance_samples)
+            if core.size < cfg.min_edges:
+                continue
+            if cfg.require_consecutive and not _has_consecutive(
+                    positions[core], offset, p_corr):
+                continue
+            available[core] = False
+            available[extras] = False
+            rate_extras.extend(int(i) for i in extras)
+            matched = np.concatenate([core, extras])
+            # Anchor the grid phase at the earliest matched edge so
+            # the tracker starts where drift has accumulated least.
+            first_pos = float(np.min(positions[core]))
+            hypotheses.append(StreamHypothesis(
+                offset_samples=first_pos % p_corr,
+                period_samples=float(p_corr),
+                score=float(core.size),
+                edge_indices=[int(i) for i in matched]))
+            accepted_any = True
+            break  # re-fold the remaining edges before continuing
+        if not accepted_any:
+            break
+
+
+def find_stream_hypotheses_warm(
+        edges: Sequence[DetectedEdge],
+        candidate_periods: Sequence[float],
+        warm_hints: Sequence[Tuple[float, float]],
+        config: Optional[FoldingConfig] = None
+        ) -> Tuple[List[StreamHypothesis], List[Optional[int]], int, int]:
+    """Stream search with cached (rate, offset) hypotheses tried first.
+
+    ``warm_hints`` holds one ``(period_samples, offset_phase)`` pair per
+    tracked stream from the previous epoch.  The warm phase replays the
+    cold per-rate loop — fold the live edges, try the peak offsets in
+    strength order, accept the first that passes the gates, re-fold —
+    but each iteration folds exactly once at a cached *fitted* period
+    (already drift-corrected by last epoch's least-squares track)
+    instead of sweeping the drift grid, and the iteration budget is the
+    hint count.  Because the structure matches the cold loop, the edge
+    partition converges to the cold one on stable streams; the hint
+    phase itself is *not* trusted (the comparator re-randomizes it
+    every carrier-on).  After the hints at a rate run dry, the cold
+    sweep continues *at that same rate* before the rate's collision
+    extras are released — exactly the cold ordering — so tags that
+    appeared mid-session are still acquired without re-searching edges
+    the warm pass already attributed to collisions.
+
+    Returns ``(hypotheses, sources, n_hits, n_misses)`` where
+    ``sources[i]`` is the index of the hint whose period seeded
+    hypothesis ``i`` (``None`` for cold finds) — an association *hint*
+    for the tracker matcher, not a verified identity.
+    """
+    cfg = config or FoldingConfig()
+    if not candidate_periods:
+        raise ConfigurationError("need at least one candidate period")
+    positions = np.array([e.position for e in edges], dtype=np.float64)
+    available = np.ones(positions.size, dtype=bool)
+    hypotheses: List[StreamHypothesis] = []
+    sources: List[Optional[int]] = []
+    n_hits = 0
+    n_misses = 0
+
+    # Group hints by the nearest candidate rate so edge claiming runs
+    # fastest-rate-first and extras release per rate, like the cold
+    # sweep.
+    rates = sorted(set(p for p in candidate_periods if p > 0))
+    if len(rates) != len(set(candidate_periods)):
+        raise ConfigurationError("candidate periods must be positive")
+    # A cached period can only deviate from its candidate rate by the
+    # clock-drift budget plus track-fit noise (collision mixture fits
+    # skew the most); anything farther is a stale tracker of a junk
+    # stream, and folding at its period would mis-claim real streams'
+    # edges into fresh junk.
+    period_slack = max(3e-6 * cfg.max_drift_ppm, 5e-4)
+    by_rate: Dict[float, List[int]] = {rate: [] for rate in rates}
+    for hint_idx, (period, _phase) in enumerate(warm_hints):
+        if period <= 0:
+            n_misses += 1
+            continue
+        nearest = min(rates, key=lambda r: abs(r - period))
+        if abs(nearest - period) / nearest > period_slack:
+            n_misses += 1  # tracker period no longer near any rate
+            continue
+        by_rate[nearest].append(hint_idx)
+
+    for rate in rates:
+        rate_extras: List[int] = []
+        for hint_idx in by_rate[rate]:
+            period = warm_hints[hint_idx][0]
+            window_end = cfg.fold_window_periods * period
+            live = np.flatnonzero(available & (positions < window_end))
             if live.size < cfg.min_edges:
+                # Claiming only shrinks the live set; no later hint at
+                # this rate can see more edges.
+                n_misses += 1
                 break
-            # Search a drift grid: the corrected period whose fold
-            # peaks sharpest seeds both the phase and the initial
-            # period estimate handed to the tracker.
-            best_fold = None
-            for drift in drifts:
-                p_corr = period * (1.0 + drift)
-                counts, bin_width = fold_histogram(
-                    positions[live], p_corr, cfg.bin_width_samples)
-                peak = int(counts.max())
-                if best_fold is None or peak > best_fold[0]:
-                    best_fold = (peak, counts, bin_width, p_corr)
-            _, counts, bin_width, p_corr = best_fold
-            accepted_any = False
+            counts, bin_width = fold_histogram(positions[live], period,
+                                               cfg.bin_width_samples)
+            hit = False
             for offset in _circular_peak_offsets(counts, bin_width,
                                                  cfg.min_edges,
                                                  cfg.peak_span_bins):
                 core, extras = _match_edges(
-                    positions, available, offset, p_corr,
+                    positions, available, offset, period,
                     cfg.match_tolerance_samples)
                 if core.size < cfg.min_edges:
                     continue
                 if cfg.require_consecutive and not _has_consecutive(
-                        positions[core], offset, p_corr):
+                        positions[core], offset, period):
                     continue
                 available[core] = False
                 available[extras] = False
                 rate_extras.extend(int(i) for i in extras)
                 matched = np.concatenate([core, extras])
-                # Anchor the grid phase at the earliest matched edge so
-                # the tracker starts where drift has accumulated least.
                 first_pos = float(np.min(positions[core]))
                 hypotheses.append(StreamHypothesis(
-                    offset_samples=first_pos % p_corr,
-                    period_samples=float(p_corr),
+                    offset_samples=first_pos % period,
+                    period_samples=float(period),
                     score=float(core.size),
                     edge_indices=[int(i) for i in matched]))
-                accepted_any = True
-                break  # re-fold the remaining edges before continuing
-            if not accepted_any:
+                sources.append(hint_idx)
+                hit = True
                 break
+            if hit:
+                n_hits += 1
+            else:
+                # The peak list only depends on the remaining edges, so
+                # once no peak passes the gates, later hint folds at
+                # (near-identical) periods cannot succeed either; hand
+                # the remainder to the cold sweep.
+                n_misses += 1
+                break
+        # Cold sweep at this same rate while the warm pass's collision
+        # extras are still claimed: releasing them first would let the
+        # sweep re-fold edges already attributed to a collision and
+        # hallucinate duplicate streams the cold path never produces.
+        n_before = len(hypotheses)
+        _sweep_rate(positions, available, rate, cfg, rate_extras,
+                    hypotheses)
+        sources.extend([None] * (len(hypotheses) - n_before))
+        # Mirror the cold per-rate extras release: collision partners
+        # at this rate stay visible to the slower folds that follow.
         if rate_extras:
-            available[np.asarray(rate_extras, dtype=np.int64)] = True
-    return hypotheses
+            available[np.asarray(sorted(set(rate_extras)),
+                                 dtype=np.int64)] = True
+
+    return hypotheses, sources, n_hits, n_misses
 
 
 def _match_edges(positions: np.ndarray, available: np.ndarray,
@@ -234,8 +386,10 @@ def _match_edges(positions: np.ndarray, available: np.ndarray,
     accumulate past the tolerance (Section 4.1's 200 ppm budget).
     """
     order = np.argsort(positions)
-    pos_list = positions.tolist()  # scalar loop below: skip np overhead
-    avail_list = available.tolist()
+    # Availability is read-only here, so restricting the scan to the
+    # available edges up front is exact (the loop would skip the rest
+    # anyway) and trims the scalar loop to the live population.
+    live = order[available[order]]
     est_offset = float(offset)
     period_est = float(period)
     matched: List[int] = []
@@ -243,10 +397,11 @@ def _match_edges(positions: np.ndarray, available: np.ndarray,
     ps: List[float] = []
     extra: List[int] = []
     residuals: dict = {}  # grid slot -> (index into ks/ps, |residual|)
-    for i in order.tolist():
-        if not avail_list[i]:
-            continue
-        pos = pos_list[i]
+    # Running moments for the periodic least-squares refresh, updated
+    # incrementally on every append/swap instead of re-scanning the
+    # matched set (which made the refresh quadratic in stream length).
+    s_k = s_p = s_kk = s_kp = 0.0
+    for i, pos in zip(live.tolist(), positions[live].tolist()):
         k = round((pos - est_offset) / period_est)
         predicted = est_offset + k * period_est
         residual = abs(pos - predicted)
@@ -265,6 +420,9 @@ def _match_edges(positions: np.ndarray, available: np.ndarray,
                 # becomes the extra, in O(1) — no list removal.
                 extra.append(matched[prev_idx])
                 matched[prev_idx] = i
+                delta = pos - ps[prev_idx]
+                s_p += delta
+                s_kp += ks[prev_idx] * delta
                 ps[prev_idx] = pos
                 residuals[slot] = (prev_idx, residual)
                 track_updated = True
@@ -273,8 +431,13 @@ def _match_edges(positions: np.ndarray, available: np.ndarray,
         else:
             residuals[slot] = (len(matched), residual)
             matched.append(i)
-            ks.append(float(k))
+            kf = float(k)
+            ks.append(kf)
             ps.append(pos)
+            s_k += kf
+            s_p += pos
+            s_kk += kf * kf
+            s_kp += kf * pos
             track_updated = True
         if not track_updated:
             continue
@@ -284,14 +447,10 @@ def _match_edges(positions: np.ndarray, available: np.ndarray,
             # equations never degenerate, and this avoids a full
             # lstsq per refresh.
             n_fit = len(ks)
-            mean_k = sum(ks) / n_fit
-            mean_p = sum(ps) / n_fit
-            skk = 0.0
-            skp = 0.0
-            for kk, pp in zip(ks, ps):
-                dk = kk - mean_k
-                skk += dk * dk
-                skp += dk * (pp - mean_p)
+            mean_k = s_k / n_fit
+            mean_p = s_p / n_fit
+            skk = s_kk - n_fit * mean_k * mean_k
+            skp = s_kp - n_fit * mean_k * mean_p
             new_period = skp / skk
             new_offset = mean_p - new_period * mean_k
             # Only accept a sane refit (guards against collinear noise).

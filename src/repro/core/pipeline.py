@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,11 +26,16 @@ from ..types import (DecodedStream, DetectedEdge, EpochResult, IQTrace,
 from ..utils.rng import SeedLike, make_rng
 from ..utils.timing import StageTimer
 from .anchor import assemble_bits
-from .collision import detect_collision
+from .clustering import KMeansResult, kmeans
+from .collision import CollisionReport, detect_collision, \
+    effective_planarity_threshold, scatter_planarity
 from .edges import EdgeDetector, EdgeDetectorConfig
 from .folding import (FoldingConfig, analog_fold_search,
-                      find_stream_hypotheses)
-from .separation import separate_collinear, separate_two_way
+                      find_stream_hypotheses,
+                      find_stream_hypotheses_warm)
+from .separation import (_lattice_points, separate_collinear,
+                         separate_two_way)
+from .session import CACHE_STAT_KEYS, SessionState, StreamTracker
 from .streams import (StreamTrack, read_grid_differentials,
                       track_from_analog, track_stream)
 from .viterbi import ViterbiDecoder
@@ -87,6 +92,7 @@ class LFDecoder:
         self.edge_detector = EdgeDetector(self.config.edge_config)
         self.viterbi = ViterbiDecoder(p_flip=self.config.p_flip)
         self._timer = StageTimer()
+        self._cache: Optional[Dict[str, int]] = None
 
     def candidate_periods(self) -> List[float]:
         """Candidate bit periods in samples, shortest (fastest) first."""
@@ -94,15 +100,50 @@ class LFDecoder:
         return sorted(fs / rate
                       for rate in set(self.config.candidate_bitrates_bps))
 
-    def decode_epoch(self, trace: IQTrace) -> EpochResult:
+    def _period_cacheable(self, period_samples: float) -> bool:
+        """Whether a fitted period is plausible enough to track.
+
+        A real stream's fitted period sits within the clock-drift
+        budget of a candidate rate (plus margin for collision mixture
+        fits, which skew the most).  Junk hypotheses assembled from
+        claim residue fit exotic periods — caching those would seed
+        next epoch's warm fold with self-perpetuating garbage.
+        """
+        folding = self.config.folding_config or FoldingConfig()
+        slack = max(3e-6 * folding.max_drift_ppm, 5e-4)
+        return any(abs(period_samples - cand) / cand <= slack
+                   for cand in self.candidate_periods())
+
+    def decode_epoch(self, trace: IQTrace,
+                     session: Optional[SessionState] = None,
+                     sample_offset: float = 0.0) -> EpochResult:
         """Run the full pipeline over one epoch's capture.
 
         The returned :class:`EpochResult` carries a wall-clock breakdown
         in ``stage_timings`` (keys ``edge``, ``fold``, ``extract``,
         ``separate``, ``viterbi``, ``total``); each stage accumulates
         across every stream hypothesis of the epoch.
+
+        ``session``, when given, is cross-epoch warm-start state (see
+        :mod:`repro.core.session`): the fold search verifies cached
+        (rate, offset) pairs before sweeping, k-means stages restart
+        from cached centroids, and two-way separation tries the cached
+        lattice basis first.  Cache hit/miss counters land in the
+        result's ``cache_stats``.  Most callers should go through
+        :class:`repro.core.session.SessionDecoder` instead of passing
+        the state by hand.
+
+        ``sample_offset`` is this trace's global sample position inside
+        a longer capture being decoded chunk-by-chunk: tags keep
+        toggling straight through chunk boundaries, so tracker phases
+        are kept in global coordinates and stay matchable from one
+        chunk to the next.  Leave it zero for independent epochs.
         """
         self._timer = timer = StageTimer()
+        self._cache = ({key: 0 for key in CACHE_STAT_KEYS}
+                       if session is not None else None)
+        if session is not None:
+            session.begin_epoch(sample_offset)
         t0 = time.perf_counter()
         result = EpochResult(duration_s=trace.duration_s)
         with timer.stage("edge"):
@@ -111,20 +152,34 @@ class LFDecoder:
         if not edges:
             timer.add("total", time.perf_counter() - t0)
             result.stage_timings = timer.timings
-            return result
+            return self._finish(result, session)
 
         with timer.stage("fold"):
-            hypotheses = find_stream_hypotheses(
-                edges, self.candidate_periods(),
-                config=self.config.folding_config)
+            if session is not None:
+                hypotheses, sources, hits, misses = \
+                    find_stream_hypotheses_warm(
+                        edges, self.candidate_periods(),
+                        session.warm_hints(),
+                        config=self.config.folding_config)
+                self._cache["fold_hits"] += hits
+                self._cache["fold_misses"] += misses
+            else:
+                hypotheses = find_stream_hypotheses(
+                    edges, self.candidate_periods(),
+                    config=self.config.folding_config)
+                sources = [None] * len(hypotheses)
         claimed = set()
         for hyp in hypotheses:
             claimed.update(hyp.edge_indices)
         result.n_spurious_edges = len(edges) - len(claimed)
 
-        for hyp in hypotheses:
+        for hyp, source in zip(hypotheses, sources):
+            preferred = (session.hint_tracker(source)
+                         if session is not None else None)
             try:
-                streams = self._decode_stream(trace, hyp, edges, result)
+                streams = self._decode_stream(trace, hyp, edges, result,
+                                              session=session,
+                                              preferred=preferred)
             except (DecodeError, ConfigurationError):
                 continue
             result.streams.extend(streams)
@@ -133,7 +188,19 @@ class LFDecoder:
         result.streams = _dedup_streams(result.streams)
         timer.add("total", time.perf_counter() - t0)
         result.stage_timings = timer.timings
+        return self._finish(result, session)
+
+    def _finish(self, result: EpochResult,
+                session: Optional[SessionState]) -> EpochResult:
+        """Publish cache counters and close the session epoch."""
+        if session is not None and self._cache is not None:
+            result.cache_stats = dict(self._cache)
+            session.end_epoch(self._cache)
         return result
+
+    def _bump(self, key: str) -> None:
+        if self._cache is not None:
+            self._cache[key] = self._cache.get(key, 0) + 1
 
     def _decode_analog(self, trace: IQTrace,
                        edges: Sequence[DetectedEdge]
@@ -178,7 +245,9 @@ class LFDecoder:
         scaled = int(track.period_samples * cfg.refine_window_fraction)
         return max(base, min(scaled, cfg.refine_window_cap))
 
-    def _decode_stream(self, trace: IQTrace, hypothesis, edges, result
+    def _decode_stream(self, trace: IQTrace, hypothesis, edges, result,
+                       session: Optional[SessionState] = None,
+                       preferred: Optional[StreamTracker] = None
                        ) -> List[DecodedStream]:
         cfg = self.config
         track = track_stream(hypothesis, edges, len(trace))
@@ -186,19 +255,111 @@ class LFDecoder:
             diffs = read_grid_differentials(
                 trace, track, edges, detector=self.edge_detector,
                 window_override=self._refine_window(track))
+        tracker: Optional[StreamTracker] = None
+        if session is not None:
+            tracker = session.match(track.period_samples,
+                                    track.offset_samples, diffs,
+                                    preferred=preferred)
+        # Trust is per-stream and revocable: the first warm fit that
+        # stops explaining the data drops every later stage of this
+        # stream back onto the cold path.
+        trusted = tracker is not None
         collided = False
+        fast_single = False
+        fits: Dict[int, KMeansResult] = {}
         if cfg.enable_iq_separation and diffs.size >= 9:
             noise_scale = _hold_cluster_noise(diffs)
-            with self._timer.stage("separate"):
-                report = detect_collision(diffs,
-                                          noise_scale=noise_scale,
-                                          rng=self._rng)
+            report: Optional[CollisionReport] = None
+            if trusted and tracker.arity == 1 \
+                    and 3 in tracker.centroids \
+                    and 3 in tracker.inertia_pp:
+                # Fast path: the tracker saw a single tag here last
+                # epoch.  Planarity (the same statistic the full
+                # detector gates on) must still look one-dimensional —
+                # a weak new collider can fatten the scatter without
+                # blowing the k-means inertia — and then one warm Lloyd
+                # restart of the 3-cluster model verifies the cluster
+                # structure, skipping the 9-cluster fan-out entirely.
+                with self._timer.stage("detect"):
+                    planarity = scatter_planarity(diffs)
+                    if planarity > effective_planarity_threshold(
+                            diffs, noise_scale=noise_scale):
+                        # The tracked tag is likely inside a fresh
+                        # collision now: release the tracker so pair
+                        # synthesis may claim it as a constituent.
+                        tracker.matched = False
+                        tracker = None
+                        trusted = False
+                        self._bump("kmeans_misses")
+                    else:
+                        three = kmeans(diffs.ravel(), 3, rng=self._rng,
+                                       init_centroids=tracker.centroids[3])
+                        if session.warm_fit_blown(tracker.inertia_pp,
+                                                  {3: three}, keys=(3,)):
+                            trusted = False
+                            self._bump("kmeans_misses")
+                        else:
+                            self._bump("kmeans_hits")
+                            fits[3] = three
+                            fast_single = True
+                            report = CollisionReport(
+                                is_collision=False, n_clusters=3,
+                                planarity=planarity,
+                                kmeans=three)
+            if report is None and session is not None \
+                    and (tracker is None or not trusted):
+                # The stream matches no cached state directly — but a
+                # *new* collision between two known tags is still warm:
+                # its lattice basis is the constituents' cached edge
+                # vectors (collision pairings re-randomize each epoch,
+                # the channel geometry does not).
+                with self._timer.stage("detect"):
+                    synth = session.synthesize_pair(diffs)
+                if synth is not None:
+                    pair_a, pair_b = synth
+                    try:
+                        streams = self._decode_collided(
+                            trace, track, edges, session=session,
+                            basis_override=(pair_a.edge_vector,
+                                            pair_b.edge_vector))
+                    except (DecodeError, ConfigurationError):
+                        streams = []
+                    if streams:
+                        session.consume_pair(pair_a, pair_b)
+                        result.n_collisions_detected += 1
+                        result.n_collisions_resolved += 1
+                        return streams
+            if report is None:
+                hints = (tracker.centroid_hints()
+                         if trusted and tracker.arity >= 2 else None)
+                with self._timer.stage("detect"):
+                    report = detect_collision(diffs,
+                                              noise_scale=noise_scale,
+                                              rng=self._rng,
+                                              centroid_hints=hints,
+                                              fits_out=fits)
+                    if hints is not None:
+                        if session.warm_fit_blown(tracker.inertia_pp,
+                                                  fits, keys=(9,)):
+                            # The cached centroids no longer explain
+                            # this stream (moved tag or wrong tracker):
+                            # rerun the cold fan-out.
+                            trusted = False
+                            self._bump("kmeans_misses")
+                            fits = {}
+                            report = detect_collision(
+                                diffs, noise_scale=noise_scale,
+                                rng=self._rng, fits_out=fits)
+                        else:
+                            self._bump("kmeans_hits")
             if report.is_collision:
                 result.n_collisions_detected += 1
                 if report.estimated_colliders <= 2:
                     try:
-                        streams = self._decode_collided(trace, track,
-                                                        edges)
+                        streams = self._decode_collided(
+                            trace, track, edges, session=session,
+                            tracker=tracker if trusted else None,
+                            fits=fits)
                     except (DecodeError, ConfigurationError):
                         streams = []
                     if streams:
@@ -213,9 +374,56 @@ class LFDecoder:
                 # strongest collider as a single stream rather than
                 # dropping both.
         observations = _project_single(diffs)
-        with self._timer.stage("separate"):
-            multilevel = (cfg.enable_iq_separation and diffs.size >= 20
-                          and _looks_multilevel(observations, self._rng))
+        proj_fits: Dict[int, KMeansResult] = {}
+        multilevel: Optional[bool] = None
+        can_check = cfg.enable_iq_separation and diffs.size >= 20
+        if can_check and fast_single:
+            # The IQ-plane verify just re-confirmed last epoch's
+            # single-tag geometry (planarity *and* 3-cluster inertia).
+            # A collinear collision onset would have blown that inertia
+            # check — its 9 scalar levels move points far from the
+            # cached {0, +e, -e} — so the projection re-verify is
+            # redundant; the tracker's cached projection state persists
+            # untouched for the epoch this skip stops holding.
+            multilevel = False
+        elif can_check and trusted and tracker.arity == 1 \
+                and 3 in tracker.proj_centroids \
+                and 3 in tracker.proj_inertia_pp:
+            # Fast path mirroring the collision check: the projection
+            # was three-level last epoch; re-verify with one warm Lloyd
+            # and skip the 9-cluster comparison (and with it the
+            # expensive collinear-split attempts its false positives
+            # trigger).
+            with self._timer.stage("detect"):
+                three = kmeans(observations.astype(np.complex128), 3,
+                               rng=self._rng,
+                               init_centroids=tracker.proj_centroids[3])
+                if session.warm_fit_blown(tracker.proj_inertia_pp,
+                                          {3: three}, keys=(3,)):
+                    trusted = False
+                    self._bump("kmeans_misses")
+                else:
+                    self._bump("kmeans_hits")
+                    proj_fits[3] = three
+                    multilevel = False
+        if multilevel is None:
+            proj_hints = (tracker.proj_hints() if trusted else None)
+            with self._timer.stage("detect"):
+                multilevel = (can_check and _looks_multilevel(
+                    observations, self._rng,
+                    centroid_hints=proj_hints,
+                    fits_out=proj_fits))
+                if proj_hints is not None and proj_fits:
+                    if session.warm_fit_blown(tracker.proj_inertia_pp,
+                                              proj_fits, keys=(3,)):
+                        trusted = False
+                        self._bump("kmeans_misses")
+                        proj_fits = {}
+                        multilevel = _looks_multilevel(
+                            observations, self._rng,
+                            fits_out=proj_fits)
+                    else:
+                        self._bump("kmeans_hits")
         if multilevel:
             # A collision whose edge vectors are (anti)parallel never
             # registers as two-dimensional, but its projection carries
@@ -224,8 +432,24 @@ class LFDecoder:
             # paper's parallelogram method).
             streams = self._decode_collinear(diffs, track, result)
             if streams:
+                if session is not None \
+                        and self._period_cacheable(track.period_samples):
+                    session.observe(tracker if trusted else None,
+                                    track.period_samples,
+                                    track.offset_samples, diffs,
+                                    fits=fits, proj_fits=proj_fits,
+                                    arity=2)
                 return streams
-        stream = self._assemble(observations, track, collided=collided)
+        hint = tracker.flipped if trusted and tracker.arity == 1 else None
+        stream = self._assemble(observations, track, collided=collided,
+                                flipped_hint=hint)
+        if stream is not None and session is not None \
+                and self._period_cacheable(track.period_samples):
+            session.observe(tracker if trusted else None,
+                            track.period_samples,
+                            track.offset_samples, diffs,
+                            fits=fits, proj_fits=proj_fits,
+                            flipped=self._last_flipped)
         return [stream] if stream is not None else []
 
     def _decode_collinear(self, diffs: np.ndarray, track: StreamTrack,
@@ -252,7 +476,12 @@ class LFDecoder:
         return []
 
     def _decode_collided(self, trace: IQTrace, track: StreamTrack,
-                         edges: Sequence[DetectedEdge]
+                         edges: Sequence[DetectedEdge],
+                         session: Optional[SessionState] = None,
+                         tracker: Optional[StreamTracker] = None,
+                         fits: Optional[Dict[int, KMeansResult]] = None,
+                         basis_override: Optional[
+                             Tuple[complex, complex]] = None
                          ) -> List[DecodedStream]:
         """Split a two-way collision and decode both tags."""
         cfg = self.config
@@ -265,9 +494,44 @@ class LFDecoder:
                 trace, track, edges, detector=self.edge_detector,
                 guard_override=guard,
                 window_override=self._refine_window(track))
+        centroid_hint = basis_hint = None
+        seeded = False
+        if basis_override is not None:
+            # Synthesized from two known tags' cached edge vectors:
+            # both the k-means seed and the basis come for free.
+            basis_hint = basis_override
+            centroid_hint = _lattice_points(*basis_override)
+        elif tracker is not None and tracker.arity >= 2:
+            centroid_hint = tracker.collision_centroids
+            basis_hint = tracker.basis
+        elif session is not None and fits and 9 in fits:
+            # Separation fast path: the collision-detection stage
+            # already fitted nine clusters on the narrow-guard
+            # differentials.  The wide-guard re-extraction shifts the
+            # points only slightly, so that fit seeds a single Lloyd
+            # restart instead of the full n_init fan-out.
+            centroid_hint = fits[9].centroids
+            seeded = True
         with self._timer.stage("separate"):
-            separation = separate_two_way(diffs, rng=self._rng)
+            separation = separate_two_way(
+                diffs, rng=self._rng,
+                centroid_hint=centroid_hint,
+                basis_hint=basis_hint,
+                basis_tolerance=(session.config.basis_tolerance
+                                 if session is not None else 0.25))
+            if centroid_hint is not None and not seeded:
+                self._bump("kmeans_hits")
+            if basis_hint is not None:
+                self._bump("basis_hits" if separation.basis_cached
+                           else "basis_misses")
         scale = max(abs(separation.e1), abs(separation.e2))
+        if scale <= 0 or separation.lattice_error > 0.35 * scale:
+            if seeded:
+                # The within-epoch seed may have trapped Lloyd in a bad
+                # optimum; retry cold before declaring a false positive.
+                with self._timer.stage("separate"):
+                    separation = separate_two_way(diffs, rng=self._rng)
+                scale = max(abs(separation.e1), abs(separation.e2))
         if scale <= 0 or separation.lattice_error > 0.35 * scale:
             raise DecodeError(
                 f"collision lattice fit too poor "
@@ -281,12 +545,22 @@ class LFDecoder:
                                     edge_vector=edge_vector)
             if stream is not None:
                 streams.append(stream)
+        if streams and session is not None \
+                and self._period_cacheable(track.period_samples):
+            session.observe(tracker, track.period_samples,
+                            track.offset_samples, diffs,
+                            fits=fits, arity=2,
+                            basis=(separation.e1, separation.e2),
+                            collision_centroids=separation.centroids)
         return streams
 
     def _assemble(self, observations: np.ndarray, track: StreamTrack,
                   collided: bool,
-                  edge_vector: complex = 0j) -> Optional[DecodedStream]:
+                  edge_vector: complex = 0j,
+                  flipped_hint: Optional[bool] = None
+                  ) -> Optional[DecodedStream]:
         cfg = self.config
+        self._last_flipped: Optional[bool] = None
         try:
             with self._timer.stage("viterbi"):
                 assembled = assemble_bits(
@@ -295,9 +569,13 @@ class LFDecoder:
                     decoder=self.viterbi,
                     preamble_bits=cfg.preamble_bits,
                     anchor_bit=cfg.anchor_bit,
-                    min_header_score=cfg.min_header_score)
+                    min_header_score=cfg.min_header_score,
+                    flipped_hint=flipped_hint)
         except DecodeError:
             return None
+        # Exposed for the session cache: the resolved polarity of the
+        # projection axis is channel geometry, stable across epochs.
+        self._last_flipped = assembled.flipped
         offset = (track.offset_samples
                   + assembled.start_slot * track.period_samples)
         fs = cfg.profile.sample_rate_hz
@@ -330,6 +608,12 @@ def _project_single(differentials: np.ndarray) -> np.ndarray:
     moment = x @ x.T / d.size
     eigvals, eigvecs = np.linalg.eigh(moment)
     u = eigvecs[:, -1]  # principal direction (unit)
+    # LAPACK's eigenvector sign is arbitrary; pin it to a fixed
+    # half-plane so the projection polarity of a stable channel is
+    # reproducible across epochs (the session caches the resolved
+    # frame polarity and tries it first).
+    if u[0] < 0 or (u[0] == 0 and u[1] < 0):
+        u = -u
     proj = d.real * u[0] + d.imag * u[1]
     peak = float(np.max(np.abs(proj)))
     if peak <= 0:
@@ -392,19 +676,33 @@ def _dedup_streams(streams: List[DecodedStream],
 
 
 def _looks_multilevel(observations: np.ndarray,
-                      rng, improvement: float = 5.0) -> bool:
+                      rng, improvement: float = 5.0,
+                      centroid_hints: Optional[
+                          Dict[int, np.ndarray]] = None,
+                      fits_out: Optional[
+                          Dict[int, KMeansResult]] = None) -> bool:
     """True when a stream's 1-D projection has more than three levels.
 
     A lone tag's projection clusters at {-1, 0, +1}; a collinear
     collision adds intermediate levels.  Nine clusters must beat three
     by a large inertia factor (noise-splitting alone buys ~3x).
+
+    ``centroid_hints`` / ``fits_out`` are the session warm-start hooks:
+    hinted cluster counts run as a single warm Lloyd restart and the
+    fresh fits are exported for the next epoch's cache.
     """
     obs = np.asarray(observations, dtype=np.float64).ravel()
     if obs.size < 20:
         return False
     from .clustering import kmeans as _kmeans
+    hints = centroid_hints or {}
     pts = obs.astype(np.complex128)
-    three = _kmeans(pts, 3, rng=rng, n_init=3)
-    nine = _kmeans(pts, 9, rng=rng, n_init=3)
+    three = _kmeans(pts, 3, rng=rng, n_init=3,
+                    init_centroids=hints.get(3))
+    nine = _kmeans(pts, 9, rng=rng, n_init=3,
+                   init_centroids=hints.get(9))
+    if fits_out is not None:
+        fits_out[3] = three
+        fits_out[9] = nine
     floor = max(nine.inertia, 1e-300)
     return three.inertia / floor >= improvement

@@ -51,6 +51,13 @@ class SeparationResult:
     e2: complex
     coords: np.ndarray          # float (n, 2)
     lattice_error: float        # mean centroid-to-lattice distance
+    #: Nine cluster centroids the basis was fitted against (None for
+    #: the collinear path); cached by session decoding as next epoch's
+    #: warm k-means start.
+    centroids: Optional[np.ndarray] = None
+    #: True when a cached basis hint explained the fresh centroids and
+    #: the exhaustive pair search was skipped (warm fast path).
+    basis_cached: bool = False
 
     def hard_states(self) -> np.ndarray:
         """Round coordinates to the nearest edge state in {-1, 0, +1}."""
@@ -70,14 +77,31 @@ def _match_error(centroids: np.ndarray, lattice: np.ndarray) -> float:
     (first remaining centroid in index order wins).
     """
     cents = np.asarray(centroids, dtype=np.complex128).ravel()
-    dist = np.abs(cents[:, None] - np.asarray(lattice)[None, :])
-    total = 0.0
-    for j in range(lattice.size):
-        col = dist[:, j]
-        i = int(col.argmin())
-        total += float(col[i])
-        dist[i, :] = np.inf
-    return total / lattice.size
+    lat = np.asarray(lattice, dtype=np.complex128).ravel()
+    return float(_match_errors_batch(cents, lat[None, :])[0])
+
+
+def _match_errors_batch(cents: np.ndarray,
+                        lattices: np.ndarray) -> np.ndarray:
+    """Greedy matching error of ``cents`` against many lattices at once.
+
+    ``lattices`` is (P, m); the return is (P,) mean matching distances.
+    The greedy pass runs its m assignment steps *across every lattice
+    simultaneously* — the per-step argmin over centroids is a single
+    (P, n) reduction — and keeps the serial tie-break (first remaining
+    centroid in index order wins, because ``argmin`` returns the first
+    minimum).
+    """
+    n = cents.size
+    n_lat, m = lattices.shape
+    dist = np.abs(cents[None, :, None] - lattices[:, None, :])
+    rows = np.arange(n_lat)
+    total = np.zeros(n_lat, dtype=np.float64)
+    for j in range(m):
+        picks = np.argmin(dist[:, :, j], axis=1)
+        total += dist[rows, picks, j]
+        dist[rows, picks, :] = np.inf
+    return total / m
 
 
 def basis_from_lattice_fit(centroids: np.ndarray,
@@ -101,20 +125,26 @@ def basis_from_lattice_fit(centroids: np.ndarray,
     if scale <= 0:
         raise DecodeError("all centroids at the origin")
 
-    best: Optional[Tuple[complex, complex, float]] = None
-    for i, j in itertools.combinations(range(outer.size), 2):
-        u, v = complex(outer[i]), complex(outer[j])
-        cross = abs(u.real * v.imag - u.imag * v.real)
-        if cross < min_parallelism * abs(u) * abs(v):
-            continue
-        err = _match_error(cents, _lattice_points(u, v))
-        if best is None or err < best[2]:
-            best = (u, v, err)
-    if best is None:
+    # All C(8, 2) = 28 candidate pairs scored in one shot: build every
+    # pair's nine-point lattice as a (P, 9) tensor and run the greedy
+    # centroid<->lattice matching batched across pairs (the former
+    # itertools loop re-built a 9x9 distance matrix per pair).  Pair
+    # enumeration via triu_indices matches itertools.combinations
+    # order, so the first-minimal-error tie-break is unchanged.
+    ii, jj = np.triu_indices(outer.size, k=1)
+    u, v = outer[ii], outer[jj]
+    cross = np.abs(u.real * v.imag - u.imag * v.real)
+    valid = cross >= min_parallelism * np.abs(u) * np.abs(v)
+    if not np.any(valid):
         raise CollisionUnresolvableError(
             2, "no independent basis pair among collision centroids "
                "(tag IQ vectors are parallel)")
-    return best
+    lattices = (u[valid, None] * _LATTICE_A[None, :]
+                + v[valid, None] * _LATTICE_B[None, :])
+    errors = _match_errors_batch(cents, lattices)
+    best = int(np.argmin(errors))
+    return (complex(u[valid][best]), complex(v[valid][best]),
+            float(errors[best]))
 
 
 def basis_from_collinear_midpoints(centroids: np.ndarray,
@@ -202,31 +232,63 @@ def continuous_coords(differentials: np.ndarray, e1: complex,
 
 def separate_two_way(differentials: np.ndarray,
                      rng: SeedLike = None,
-                     method: str = "lattice_fit") -> SeparationResult:
+                     method: str = "lattice_fit",
+                     centroid_hint: Optional[np.ndarray] = None,
+                     basis_hint: Optional[Tuple[complex, complex]] = None,
+                     basis_tolerance: float = 0.25) -> SeparationResult:
     """Split a two-way collided stream into per-tag edge observations.
 
     Clusters the differentials into nine groups, recovers the basis
     (e1, e2) with the requested method, and returns the continuous
     lattice coordinates of every grid slot.
+
+    Session decoding passes two warm-start hints from the previous
+    epoch: ``centroid_hint`` (nine prior centroids) turns the k-means
+    restart fan-out into a single warm Lloyd run, and ``basis_hint`` a
+    prior (e1, e2) that is accepted outright — skipping the exhaustive
+    pair search — whenever its lattice still explains the fresh
+    centroids to within ``basis_tolerance`` of their scale.  A hint
+    that no longer fits falls back to the cold recovery path, so a
+    stale cache degrades to the exact cold behaviour.
     """
     pts = np.asarray(differentials, dtype=np.complex128).ravel()
     if pts.size < 9:
         raise CollisionUnresolvableError(
             2, f"only {pts.size} differentials; need >= 9 to fit the "
                "collision lattice")
-    fit = kmeans(pts, 9, rng=rng, n_init=6)
-    if method == "lattice_fit":
-        e1, e2, err = basis_from_lattice_fit(fit.centroids)
-    elif method == "collinear_midpoints":
-        e1, e2 = basis_from_collinear_midpoints(fit.centroids)
-        err = _match_error(fit.centroids, _lattice_points(e1, e2))
-    else:
-        raise ConfigurationError(
-            f"unknown separation method {method!r}; expected "
-            "'lattice_fit' or 'collinear_midpoints'")
+    fit = kmeans(pts, 9, rng=rng, n_init=6, init_centroids=centroid_hint)
+    basis_cached = False
+    e1 = e2 = None
+    err = 0.0
+    if basis_hint is not None:
+        h1, h2 = complex(basis_hint[0]), complex(basis_hint[1])
+        hint_err = _match_error(fit.centroids, _lattice_points(h1, h2))
+        scale = float(np.max(np.abs(fit.centroids)))
+        if scale > 0 and hint_err <= basis_tolerance * scale:
+            e1, e2, err = h1, h2, hint_err
+            basis_cached = True
+    if e1 is None:
+        if basis_hint is not None and centroid_hint is not None:
+            # The warm single-restart fit was seeded from the same
+            # cache the basis came from; with the basis rejected the
+            # seed is suspect too, so the cold recovery must run on a
+            # cold fan-out fit — a stale cache degrades to the exact
+            # cold behaviour, never to a poisoned one.
+            fit = kmeans(pts, 9, rng=rng, n_init=6)
+        if method == "lattice_fit":
+            e1, e2, err = basis_from_lattice_fit(fit.centroids)
+        elif method == "collinear_midpoints":
+            e1, e2 = basis_from_collinear_midpoints(fit.centroids)
+            err = _match_error(fit.centroids, _lattice_points(e1, e2))
+        else:
+            raise ConfigurationError(
+                f"unknown separation method {method!r}; expected "
+                "'lattice_fit' or 'collinear_midpoints'")
     coords = continuous_coords(pts, e1, e2)
     return SeparationResult(e1=e1, e2=e2, coords=coords,
-                            lattice_error=float(err))
+                            lattice_error=float(err),
+                            centroids=fit.centroids,
+                            basis_cached=basis_cached)
 
 
 def separate_collinear(differentials: np.ndarray,

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 
 from ..core.engine import BatchDecoder
 from ..core.pipeline import LFDecoderConfig, _dedup_streams
+from ..core.session import SessionDecoder
 from ..errors import ConfigurationError
 from ..types import EpochResult, IQTrace
 from .epoch import EpochCapture
@@ -70,21 +71,43 @@ def chunk_trace(trace: IQTrace, chunk_samples: int,
 def decode_chunked(trace: IQTrace, chunk_samples: int,
                    config: Optional[LFDecoderConfig] = None,
                    seed: int = 0,
-                   max_workers: Optional[int] = None) -> EpochResult:
+                   max_workers: Optional[int] = None,
+                   session: Optional[SessionDecoder] = None
+                   ) -> EpochResult:
     """Decode one long capture chunk-by-chunk and merge the results.
 
-    Every chunk decodes independently (and concurrently, when workers
-    are available); stream offsets are shifted from chunk-local to
-    global sample coordinates, the per-chunk edge/collision counters
-    are summed, and duplicate streams straddling a chunk boundary are
+    Without a ``session``, every chunk decodes independently (and
+    concurrently, when workers are available).  With one, chunks decode
+    serially through the session's warm-start state — the right mode
+    for one continuous capture, where every tag's offset phase persists
+    across chunk boundaries (the comparator only re-randomizes it at
+    carrier power-up), so tracker phase matching, cached k-means
+    centroids, and cached collision bases all stay valid from chunk to
+    chunk.  Pass a fresh :class:`~repro.core.session.SessionDecoder`
+    (or one still warm from an earlier capture of the same tag
+    population); its trackers and cache counters remain inspectable
+    after the call.
+
+    Either way stream offsets are shifted from chunk-local to global
+    sample coordinates, the per-chunk edge/collision counters are
+    summed, and duplicate streams straddling a chunk boundary are
     collapsed by the pipeline's ghost-stream filter.
     """
     chunks = chunk_trace(trace, chunk_samples)
-    engine = BatchDecoder(config=config, seed=seed,
-                          max_workers=max_workers)
-    merged = EpochResult(duration_s=trace.duration_s)
     fs = trace.sample_rate_hz
-    for chunk, result in zip(chunks, engine.iter_decode(chunks)):
+    if session is not None:
+        results = []
+        for chunk in chunks:
+            shift = (chunk.start_time_s - trace.start_time_s) * fs
+            results.append(session.decode_epoch(chunk,
+                                                sample_offset=shift))
+        pairs = zip(chunks, results)
+    else:
+        engine = BatchDecoder(config=config, seed=seed,
+                              max_workers=max_workers)
+        pairs = zip(chunks, engine.iter_decode(chunks))
+    merged = EpochResult(duration_s=trace.duration_s)
+    for chunk, result in pairs:
         shift = (chunk.start_time_s - trace.start_time_s) * fs
         for stream in result.streams:
             stream.offset_samples += shift
@@ -96,5 +119,8 @@ def decode_chunked(trace: IQTrace, chunk_samples: int,
         for name, seconds in result.stage_timings.items():
             merged.stage_timings[name] = (
                 merged.stage_timings.get(name, 0.0) + seconds)
+        for key, count in result.cache_stats.items():
+            merged.cache_stats[key] = (
+                merged.cache_stats.get(key, 0) + count)
     merged.streams = _dedup_streams(merged.streams)
     return merged

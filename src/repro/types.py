@@ -314,10 +314,16 @@ class EpochResult:
     n_spurious_edges: int = 0
     duration_s: float = 0.0
     #: Wall-clock seconds spent in each pipeline stage ("edge", "fold",
-    #: "extract", "separate", "viterbi", plus "total"), filled by
+    #: "extract", "detect", "separate", "viterbi", plus "total"), filled by
     #: :meth:`LFDecoder.decode_epoch` so throughput regressions are
     #: attributable to a stage rather than to the pipeline as a whole.
     stage_timings: Dict[str, float] = field(default_factory=dict)
+    #: Warm-cache hit/miss counters per stage (``fold_hits``,
+    #: ``fold_misses``, ``kmeans_hits``, ``kmeans_misses``,
+    #: ``basis_hits``, ``basis_misses``), filled when the epoch was
+    #: decoded through a :class:`repro.core.session.SessionDecoder`;
+    #: empty for cold (stateless) decodes.
+    cache_stats: Dict[str, int] = field(default_factory=dict)
     #: Position of this epoch within a batch decode (see
     #: :class:`repro.core.engine.BatchDecoder`); 0 for single decodes.
     epoch_index: int = 0

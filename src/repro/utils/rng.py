@@ -7,7 +7,7 @@ experiments reproducible from a single integer seed.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -37,6 +37,24 @@ def spawn_seed_sequences(seed: SeedLike,
         return np.random.SeedSequence(
             int(seed.integers(0, 2 ** 63))).spawn(n)
     return np.random.SeedSequence(seed).spawn(n)
+
+
+def iter_spawn_seed_sequences(seed: SeedLike
+                              ) -> Iterator[np.random.SeedSequence]:
+    """Lazily yield the same children ``spawn_seed_sequences`` returns.
+
+    ``SeedSequence.spawn`` derives each child from the spawn *index*
+    alone, so drawing children one at a time produces exactly the
+    sequence a single up-front ``spawn(n)`` would — letting a streaming
+    consumer (the batch engine's sliding submission window) seed an
+    unbounded task stream without knowing its length in advance.
+    """
+    if isinstance(seed, np.random.Generator):
+        root = np.random.SeedSequence(int(seed.integers(0, 2 ** 63)))
+    else:
+        root = np.random.SeedSequence(seed)
+    while True:
+        yield root.spawn(1)[0]
 
 
 def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:

@@ -105,6 +105,53 @@ def test_stage_timings_populated(traces, config):
         sum(r.stage_timings["total"] for r in results))
 
 
+def test_transport_invariance(traces, config):
+    """Shared-memory and pickle transports decode identical bits —
+    the knob only changes how sample bytes reach the workers."""
+    serial = BatchDecoder(config=config, seed=3,
+                          max_workers=1).decode_epochs(traces)
+    shm = BatchDecoder(config=config, seed=3, max_workers=2,
+                       use_shared_memory=True).decode_epochs(traces)
+    pickled = BatchDecoder(config=config, seed=3, max_workers=2,
+                           use_shared_memory=False).decode_epochs(traces)
+    fingerprints = [_stream_fingerprint(r) for r in serial]
+    assert [_stream_fingerprint(r) for r in shm] == fingerprints
+    assert [_stream_fingerprint(r) for r in pickled] == fingerprints
+
+
+def test_forced_shared_memory_unavailable_raises(config, monkeypatch):
+    import repro.core.engine as engine_module
+    monkeypatch.setattr(engine_module, "_shared_memory", None)
+    with pytest.raises(ConfigurationError):
+        BatchDecoder(config=config, use_shared_memory=True)
+    # Auto-detection degrades to the pickle transport instead.
+    engine = BatchDecoder(config=config, max_workers=1)
+    assert engine.use_shared_memory is False
+
+
+def test_iter_decode_streams_lazily_from_generator(traces, config):
+    """The sliding submission window keeps an unbounded input stream
+    from piling up: with 2 workers at most ~2x2 tasks are in flight,
+    so the first result arrives before the input is exhausted."""
+    stream = traces * 2  # 6 epochs
+    pulled = []
+
+    def producer():
+        for i, trace in enumerate(stream):
+            pulled.append(i)
+            yield trace
+
+    engine = BatchDecoder(config=config, seed=3, max_workers=2)
+    iterator = engine.iter_decode(producer())
+    first = next(iterator)
+    assert first.epoch_index == 0
+    assert len(pulled) < len(stream), \
+        "engine exhausted the input before yielding anything"
+    rest = list(iterator)
+    assert [r.epoch_index for r in rest] == [1, 2, 3, 4, 5]
+    assert len(pulled) == len(stream)
+
+
 def test_empty_batch(config):
     engine = BatchDecoder(config=config, seed=3, max_workers=1)
     assert engine.decode_epochs([]) == []
