@@ -51,3 +51,20 @@ def test_decode_speed_16_tags(benchmark, sixteen_tag_capture):
     # recorded samples_per_second in extra_info is the number to watch
     # across runs.
     assert samples_per_second > 10_000
+
+
+def test_guard_passthrough_speed(benchmark, sixteen_tag_capture):
+    """The trace guard's clean fast path runs in front of every decode
+    (PR: hardened decode path); it must stay a negligible slice of the
+    pipeline and return the capture untouched."""
+    from repro.robustness.guard import sanitize_trace
+
+    _, capture = sixteen_tag_capture
+    out, health = benchmark(sanitize_trace, capture.trace)
+    assert out is capture.trace
+    assert health.verdict == "clean"
+    samples_per_second = len(capture.trace) / benchmark.stats["mean"]
+    benchmark.extra_info["samples_per_second"] = samples_per_second
+    # The guard sweeps the capture a handful of times (finiteness,
+    # rails, spread) — orders of magnitude cheaper than decoding it.
+    assert samples_per_second > 1_000_000

@@ -34,6 +34,10 @@ from .errors import (
     ReproError,
     ConfigurationError,
     SignalError,
+    SignalQualityError,
+    NonFiniteSignalError,
+    SaturatedSignalError,
+    FlatlineSignalError,
     DecodeError,
     CollisionUnresolvableError,
     ChannelEstimationError,
@@ -44,6 +48,7 @@ from .types import (
     IQTrace,
     TagConfig,
     DecodedStream,
+    StreamFault,
     EpochResult,
     ThroughputReport,
     bits_from_string,
@@ -81,6 +86,16 @@ from .core import (
     EdgeDetector,
     EdgeDetectorConfig,
     ViterbiDecoder,
+    BatchDecoder,
+    EpochOutcome,
+)
+from .robustness import (
+    GuardConfig,
+    TraceHealth,
+    sanitize_trace,
+    apply_impairments,
+    impair_capture,
+    random_cocktail,
 )
 
 __version__ = "1.0.0"
@@ -91,6 +106,10 @@ __all__ = [
     "ReproError",
     "ConfigurationError",
     "SignalError",
+    "SignalQualityError",
+    "NonFiniteSignalError",
+    "SaturatedSignalError",
+    "FlatlineSignalError",
     "DecodeError",
     "CollisionUnresolvableError",
     "ChannelEstimationError",
@@ -100,6 +119,7 @@ __all__ = [
     "IQTrace",
     "TagConfig",
     "DecodedStream",
+    "StreamFault",
     "EpochResult",
     "ThroughputReport",
     "bits_from_string",
@@ -133,5 +153,14 @@ __all__ = [
     "EdgeDetector",
     "EdgeDetectorConfig",
     "ViterbiDecoder",
+    "BatchDecoder",
+    "EpochOutcome",
+    # robustness
+    "GuardConfig",
+    "TraceHealth",
+    "sanitize_trace",
+    "apply_impairments",
+    "impair_capture",
+    "random_cocktail",
     "__version__",
 ]

@@ -68,6 +68,17 @@ def _cmd_decode(args: argparse.Namespace) -> int:
           f"({result.n_edges_detected} edges, "
           f"{result.n_collisions_detected} collisions, "
           f"{result.n_collisions_resolved} resolved)")
+    health = result.trace_health
+    if health is not None and health.verdict != "clean":
+        notes = "; ".join(health.notes) if health.notes else (
+            f"{health.n_interpolated} interpolated, "
+            f"{health.n_excised} excised, "
+            f"{health.n_clipped} clipped samples")
+        print(f"  trace health: {health.verdict} — {notes}")
+    for fault in result.degraded_streams:
+        if not fault.expected:
+            print(f"  fault [{fault.stage}] {fault.error_type}: "
+                  f"{fault.message}")
     for i, stream in enumerate(result.streams):
         payload = stream.payload_bits()
         shown = bits_to_string(payload[:64])

@@ -24,7 +24,7 @@ from .anchor import resolve_polarity, assemble_bits
 from .pipeline import LFDecoder, LFDecoderConfig
 from .session import (SessionConfig, SessionDecoder, SessionState,
                       StreamTracker)
-from .engine import BatchDecoder
+from .engine import BatchDecoder, EpochOutcome
 
 __all__ = [
     "EdgeDetector",
@@ -53,4 +53,5 @@ __all__ = [
     "SessionState",
     "StreamTracker",
     "BatchDecoder",
+    "EpochOutcome",
 ]

@@ -1,21 +1,33 @@
-"""Parallel batch-decode engine: many epochs, one decoder config.
+"""Supervised parallel batch-decode engine: many epochs, one config.
 
 Long experiments (waterfall sweeps, multi-epoch captures) decode
 hundreds of independent epochs with the same :class:`LFDecoderConfig`.
 :class:`BatchDecoder` fans those epochs out over a
-``concurrent.futures`` process pool while keeping three guarantees:
+``concurrent.futures`` process pool while keeping four guarantees:
 
 * **Determinism** — every task draws its randomness from a
   :class:`numpy.random.SeedSequence` spawned from the root seed by task
   index (:func:`repro.utils.rng.iter_spawn_seed_sequences`), so results
   are identical for any worker count, including the serial fallback,
-  and for either trace transport.
+  for either trace transport, and across supervised resubmissions (a
+  retried task reuses its original seed sequence).
 * **Ordered streaming** — :meth:`BatchDecoder.iter_decode` yields epoch
   results in submission order as soon as each becomes available, so a
   consumer can post-process epoch *i* while epoch *i+1* is still
   decoding.  Submission itself runs a bounded look-ahead window (about
   two tasks per worker), so an unbounded input stream never piles up
   as pending futures or live shared-memory blocks.
+* **One outcome per input** — the supervisor guarantees forward
+  progress no matter what a task does to its worker.  A task that
+  raises is retried with exponential backoff up to ``max_attempts``; a
+  task that hangs past ``task_timeout_s`` has its pool killed and
+  respawned (the head of the pending queue owns the deadline, so blame
+  is precise); a task that *crashes* its worker (``os._exit``,
+  segfault) breaks the whole pool — the supervisor respawns it and
+  re-runs the in-flight suspects one at a time so the killer is
+  identified by elimination.  Two strikes (crashes or hangs) quarantine
+  the task as a ``failed`` :class:`EpochOutcome`; every other epoch
+  still decodes and every input yields exactly one outcome.
 * **Timing transparency** — each :class:`EpochResult` carries the
   pipeline's per-stage wall-clock breakdown (``stage_timings``), and
   :meth:`BatchDecoder.aggregate_timings` folds them into one profile
@@ -28,22 +40,28 @@ once and the worker decodes a zero-copy view, skipping the pickle
 serialize/deserialize round-trip entirely.  Hosts without POSIX shared
 memory (or with an exhausted ``/dev/shm``) fall back per task to the
 pickle transport, for which :meth:`IQTrace.__getstate__` drops the
-derived-array caches so the payload is just the raw samples.
+derived-array caches so the payload is just the raw samples.  Every
+failure path — worker crash, hang, retry, abandoned iteration — unlinks
+its shared-memory blocks before the supervisor moves on.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from itertools import chain
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import (Deque, Dict, Iterable, Iterator, List, Optional,
+                    Sequence)
 
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..types import EpochResult, IQTrace
+from ..types import EpochResult, IQTrace, StreamFault
 from ..utils.rng import iter_spawn_seed_sequences
 from ..utils.timing import merge_timings
 from .pipeline import LFDecoder, LFDecoderConfig
@@ -55,6 +73,9 @@ except ImportError:  # pragma: no cover - always present on CPython 3.8+
 
 #: Per-process decoder config, installed by the pool initializer.
 _WORKER_CONFIG: Optional[LFDecoderConfig] = None
+
+#: Worker kills (crash or hang) after which a task is quarantined.
+_CRASH_STRIKES = 2
 
 
 def _init_worker(config: LFDecoderConfig) -> None:
@@ -117,13 +138,58 @@ def _decode_task_shm(index: int, shm_name: str, n_samples: int,
 
 
 @dataclass
-class _Pending:
-    """A submitted task plus the shared-memory block backing it."""
+class EpochOutcome:
+    """Supervision verdict for one batch input.
 
-    future: Future
+    ``status`` is ``"ok"`` (decoded cleanly), ``"degraded"`` (decoded,
+    but the epoch reports degradation — rejected capture, unresolvable
+    collision, isolated stream fault) or ``"failed"`` (the task itself
+    could not be completed: exhausted retries, repeated worker crashes
+    or hangs; ``result`` is ``None`` and ``error`` says why).
+    ``attempts`` counts submissions, including resubmissions forced by
+    *other* tasks crashing the shared pool.
+    """
+
+    epoch_index: int
+    status: str
+    result: Optional[EpochResult] = None
+    attempts: int = 1
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class _Task:
+    """One submitted epoch plus everything needed to re-run it.
+
+    The trace is retained until the task settles so a pool respawn can
+    resubmit it; ``suspect`` marks tasks that were in flight when the
+    pool broke and must be re-run solo for crash blame.
+    """
+
+    index: int
+    trace: IQTrace
+    seed_seq: np.random.SeedSequence
+    attempts: int = 0
+    #: Attempts that ended in an in-worker exception (retry budget).
+    errors: int = 0
+    #: Worker kills blamed on this task (crashes and hangs).
+    crashes: int = 0
+    future: Optional[Future] = None
     shm: Optional["_shared_memory.SharedMemory"] = None
+    result: Optional[EpochResult] = None
+    error: Optional[str] = None
+    failed: bool = False
+    suspect: bool = False
 
-    def release(self) -> None:
+    @property
+    def settled(self) -> bool:
+        return self.failed or self.result is not None
+
+    def release_shm(self) -> None:
         if self.shm is not None:
             self.shm.close()
             try:
@@ -156,12 +222,26 @@ class BatchDecoder:
         zero-copy; ``False`` forces the pickle transport.  Decode
         results are bit-identical either way — the knob only moves
         bytes differently.
+    task_timeout_s:
+        Wall-clock budget one task may hold the head of the result
+        queue before the supervisor declares it hung, kills the pool
+        and resubmits the in-flight work.  ``None`` (default) disables
+        the watchdog.
+    max_attempts:
+        Decode attempts per epoch that may end in an in-worker
+        exception before the epoch is reported ``failed``.  Retries
+        back off exponentially from ``retry_backoff_s``.
+    retry_backoff_s:
+        Base delay before the first retry; doubles per retry.
     """
 
     def __init__(self, config: Optional[LFDecoderConfig] = None,
                  seed: int = 0,
                  max_workers: Optional[int] = None,
-                 use_shared_memory: Optional[bool] = None):
+                 use_shared_memory: Optional[bool] = None,
+                 task_timeout_s: Optional[float] = None,
+                 max_attempts: int = 2,
+                 retry_backoff_s: float = 0.05):
         self.config = config or LFDecoderConfig()
         self.seed = seed
         if max_workers is None:
@@ -177,11 +257,30 @@ class BatchDecoder:
                 "shared-memory transport requested but "
                 "multiprocessing.shared_memory is unavailable")
         self.use_shared_memory = use_shared_memory
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ConfigurationError(
+                f"task_timeout_s must be positive, got {task_timeout_s}")
+        self.task_timeout_s = task_timeout_s
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        self.max_attempts = max_attempts
+        if retry_backoff_s < 0:
+            raise ConfigurationError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
+        self.retry_backoff_s = retry_backoff_s
+
+    # -- public API --------------------------------------------------------
 
     def decode_epochs(self, traces: Sequence[IQTrace]
                       ) -> List[EpochResult]:
         """Decode every trace; results in input order."""
         return list(self.iter_decode(traces))
+
+    def decode_outcomes(self, traces: Sequence[IQTrace]
+                        ) -> List[EpochOutcome]:
+        """Decode every trace; one :class:`EpochOutcome` per input."""
+        return list(self.iter_outcomes(traces))
 
     def iter_decode(self, traces: Iterable[IQTrace]
                     ) -> Iterator[EpochResult]:
@@ -193,71 +292,259 @@ class BatchDecoder:
         input may be an arbitrary (even unbounded) iterable: tasks are
         submitted through a sliding window of about two per worker, so
         memory stays proportional to the worker count, not the batch.
+
+        An epoch whose task ultimately *failed* (exhausted retries,
+        quarantined after repeated worker kills) still yields: an empty
+        result whose ``degraded_streams`` carries a single
+        ``stage="engine"`` fault naming the failure.  Use
+        :meth:`iter_outcomes` for the explicit per-task verdict.
+        """
+        for outcome in self.iter_outcomes(traces):
+            if outcome.result is not None:
+                yield outcome.result
+                continue
+            result = EpochResult()
+            result.epoch_index = outcome.epoch_index
+            message = outcome.error or "task failed"
+            result.degraded_streams.append(StreamFault(
+                offset_samples=0.0, period_samples=0.0, stage="engine",
+                error_type=message.split(":", 1)[0],
+                message=message, expected=False))
+            yield result
+
+    def iter_outcomes(self, traces: Iterable[IQTrace]
+                      ) -> Iterator[EpochOutcome]:
+        """Yield one :class:`EpochOutcome` per trace, in input order.
+
+        This is :meth:`iter_decode` plus the supervision verdict: the
+        engine guarantees exactly one outcome per input even when tasks
+        raise, hang, or kill their worker process.
         """
         trace_iter = iter(traces)
         seed_iter = iter_spawn_seed_sequences(self.seed)
         if self.max_workers <= 1:
-            for index, trace in enumerate(trace_iter):
-                yield _decode_task(index, trace, next(seed_iter),
-                                   config=self.config)
+            yield from self._iter_serial(trace_iter, seed_iter)
             return
         # A lone epoch is not worth a process pool.
         first = list(_take(trace_iter, 2))
         if len(first) <= 1:
-            for index, trace in enumerate(first):
-                yield _decode_task(index, trace, next(seed_iter),
-                                   config=self.config)
+            yield from self._iter_serial(iter(first), seed_iter)
             return
-        trace_iter = chain(first, trace_iter)
+        yield from self._iter_supervised(chain(first, trace_iter),
+                                         seed_iter)
 
+    # -- serial path -------------------------------------------------------
+
+    def _iter_serial(self, trace_iter: Iterator[IQTrace],
+                     seed_iter) -> Iterator[EpochOutcome]:
+        """In-process decode with the same retry policy (no watchdog:
+        a hang in the caller's own process cannot be preempted)."""
+        for index, trace in enumerate(trace_iter):
+            seed_seq = next(seed_iter)
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    result = _decode_task(index, trace, seed_seq,
+                                          config=self.config)
+                except Exception as exc:  # noqa: BLE001 — supervision
+                    if attempts >= self.max_attempts:
+                        yield EpochOutcome(
+                            epoch_index=index, status="failed",
+                            attempts=attempts,
+                            error=f"{type(exc).__name__}: {exc}")
+                        break
+                    time.sleep(self.retry_backoff_s
+                               * (2 ** (attempts - 1)))
+                else:
+                    yield _settled(index, result, attempts)
+                    break
+
+    # -- supervised pool path ----------------------------------------------
+
+    def _iter_supervised(self, trace_iter: Iterator[IQTrace],
+                         seed_iter) -> Iterator[EpochOutcome]:
         window = 2 * self.max_workers
-        with ProcessPoolExecutor(
-                max_workers=self.max_workers,
-                initializer=_init_worker,
-                initargs=(self.config,)) as pool:
-            pending: deque = deque()
-            index = 0
+        pending: Deque[_Task] = deque()
+        pool = self._new_pool()
+        index = 0
+        exhausted = False
 
-            def _submit_next() -> bool:
-                nonlocal index
-                trace = next(trace_iter, None)
-                if trace is None:
-                    return False
-                pending.append(
-                    self._submit(pool, index, trace, next(seed_iter)))
-                index += 1
+        def _fail(task: _Task, message: str) -> None:
+            task.failed = True
+            task.error = message
+            task.suspect = False
+            task.release_shm()
+
+        def _worker_error(task: _Task, exc: BaseException) -> None:
+            """An attempt raised inside the worker: retry or fail."""
+            task.errors += 1
+            task.suspect = False  # it ran to completion; worker lives
+            task.future = None
+            task.release_shm()
+            if task.errors >= self.max_attempts:
+                _fail(task, f"{type(exc).__name__}: {exc}")
+            else:
+                time.sleep(self.retry_backoff_s
+                           * (2 ** (task.errors - 1)))
+
+        def _harvest(task: _Task) -> bool:
+            """Collect a done future's verdict; True if it resolved
+            (result or in-worker error), False if the pool break ate
+            it and the task must be resubmitted."""
+            exc = task.future.exception()
+            if exc is None:
+                task.result = task.future.result()
+                task.suspect = False
+                task.future = None
+                task.release_shm()
                 return True
+            if isinstance(exc, BrokenProcessPool):
+                return False
+            _worker_error(task, exc)
+            return True
 
-            try:
-                while len(pending) < window and _submit_next():
-                    pass
-                while pending:
+        def _restart_pool() -> List[_Task]:
+            """Kill the pool, respawn it, and reset in-flight tasks.
+
+            Returns the unsettled tasks that were genuinely in flight
+            (their futures died with the pool) — the crash suspects.
+            Futures that completed before the break keep their results.
+            """
+            nonlocal pool
+            in_flight: List[_Task] = []
+            for task in pending:
+                if task.settled or task.future is None:
+                    continue
+                if task.future.done() and _harvest(task):
+                    continue
+                in_flight.append(task)
+            _kill_pool(pool)
+            for task in in_flight:
+                task.future = None
+                task.release_shm()
+            pool = self._new_pool()
+            return in_flight
+
+        def _pool_broke() -> None:
+            """Blame a worker crash: solo culprit gets a strike, a
+            crowd becomes suspects probed one at a time."""
+            in_flight = _restart_pool()
+            if len(in_flight) == 1:
+                task = in_flight[0]
+                task.crashes += 1
+                if task.crashes >= _CRASH_STRIKES:
+                    _fail(task, "WorkerCrashError: task killed its "
+                          f"worker process {task.crashes} times; "
+                          "quarantined")
+                else:
+                    task.suspect = True
+            else:
+                for task in in_flight:
+                    task.suspect = True
+
+        try:
+            while True:
+                while pending and pending[0].settled:
                     task = pending.popleft()
-                    try:
-                        result = task.future.result()
-                    finally:
-                        task.release()
-                    _submit_next()
-                    yield result
-            finally:
-                # Consumer abandoned the iterator or a task raised:
-                # the pool's shutdown joins the workers, after which
-                # the leftover blocks can be unlinked safely.
-                for task in pending:
+                    yield self._outcome_of(task)
+                # Top up: resubmissions first (head-most), then fresh
+                # input.  While any crash suspect is unsettled the
+                # window narrows to one so the next pool break blames
+                # exactly one task.
+                probing = any(t.suspect and not t.settled
+                              for t in pending)
+                cap = 1 if probing else window
+                in_flight = sum(1 for t in pending
+                                if t.future is not None
+                                and not t.settled)
+                try:
+                    for task in pending:
+                        if in_flight >= cap:
+                            break
+                        if task.future is None and not task.settled:
+                            self._submit(pool, task)
+                            in_flight += 1
+                    while in_flight < cap and not exhausted:
+                        trace = next(trace_iter, None)
+                        if trace is None:
+                            exhausted = True
+                            break
+                        task = _Task(index=index, trace=trace,
+                                     seed_seq=next(seed_iter))
+                        index += 1
+                        # Enqueue before submitting: a submit that dies
+                        # with the pool must not lose the epoch.
+                        pending.append(task)
+                        self._submit(pool, task)
+                        in_flight += 1
+                except BrokenProcessPool:
+                    _pool_broke()
+                    continue
+                if not pending:
+                    break
+                head = pending[0]
+                if head.settled:
+                    continue
+                try:
+                    result = head.future.result(
+                        timeout=self.task_timeout_s)
+                except _FuturesTimeout:
+                    if head.future.done():
+                        # An in-worker TimeoutError, not tenure expiry.
+                        _worker_error(head, head.future.exception())
+                        continue
+                    head.crashes += 1
+                    _restart_pool()
+                    if head.crashes >= _CRASH_STRIKES:
+                        _fail(head, "TaskHangError: task exceeded the "
+                              f"{self.task_timeout_s:g}s watchdog "
+                              f"{head.crashes} times; quarantined")
+                except BrokenProcessPool:
+                    _pool_broke()
+                except Exception as exc:  # noqa: BLE001 — supervision
+                    _worker_error(head, exc)
+                else:
+                    head.result = result
+                    head.suspect = False
+                    head.future = None
+                    head.release_shm()
+        finally:
+            # Consumer abandoned the iterator, or we are done: cancel
+            # what never started, join the workers, then unlink every
+            # leftover block (safe once no worker can be attached).
+            for task in pending:
+                if task.future is not None:
                     task.future.cancel()
+            try:
+                pool.shutdown(wait=True, cancel_futures=True)
+            except TypeError:  # pragma: no cover - Python < 3.9
                 pool.shutdown(wait=True)
-                for task in pending:
-                    task.release()
+            for task in pending:
+                task.release_shm()
 
-    def _submit(self, pool: ProcessPoolExecutor, index: int,
-                trace: IQTrace,
-                seed_seq: np.random.SeedSequence) -> _Pending:
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.max_workers,
+                                   initializer=_init_worker,
+                                   initargs=(self.config,))
+
+    def _outcome_of(self, task: _Task) -> EpochOutcome:
+        if task.result is not None:
+            return _settled(task.index, task.result,
+                            max(task.attempts, 1))
+        return EpochOutcome(epoch_index=task.index, status="failed",
+                            attempts=max(task.attempts, 1),
+                            error=task.error or "task failed")
+
+    def _submit(self, pool: ProcessPoolExecutor, task: _Task) -> None:
         """Submit one decode, preferring the shared-memory transport.
 
         Falls back to the pickle transport per task when the block
         cannot be created (exhausted ``/dev/shm``, zero-size trace) —
         the decode itself is transport-agnostic.
         """
+        task.attempts += 1
+        trace = task.trace
         if self.use_shared_memory:
             samples = np.ascontiguousarray(trace.samples,
                                            dtype=np.complex128)
@@ -268,19 +555,31 @@ class BatchDecoder:
                 view = np.ndarray(samples.shape, dtype=np.complex128,
                                   buffer=shm.buf)
                 view[:] = samples
-                future = pool.submit(
-                    _decode_task_shm, index, shm.name, samples.size,
-                    trace.sample_rate_hz, trace.start_time_s, seed_seq)
-                return _Pending(future=future, shm=shm)
-            except (OSError, ValueError):
+                task.shm = shm
+                task.future = pool.submit(
+                    _decode_task_shm, task.index, shm.name,
+                    samples.size, trace.sample_rate_hz,
+                    trace.start_time_s, task.seed_seq)
+                return
+            except BrokenProcessPool:
+                task.shm = None
                 if shm is not None:
                     shm.close()
                     try:
                         shm.unlink()
                     except FileNotFoundError:  # pragma: no cover
                         pass
-        return _Pending(future=pool.submit(_decode_task, index, trace,
-                                           seed_seq))
+                raise
+            except (OSError, ValueError):
+                task.shm = None
+                if shm is not None:
+                    shm.close()
+                    try:
+                        shm.unlink()
+                    except FileNotFoundError:  # pragma: no cover
+                        pass
+        task.future = pool.submit(_decode_task, task.index, trace,
+                                  task.seed_seq)
 
     def aggregate_timings(self, results: Iterable[EpochResult]
                           ) -> Dict[str, float]:
@@ -289,6 +588,30 @@ class BatchDecoder:
         for result in results:
             merge_timings(total, result.stage_timings)
         return total
+
+
+def _settled(index: int, result: EpochResult,
+             attempts: int) -> EpochOutcome:
+    status = "degraded" if result.degraded else "ok"
+    return EpochOutcome(epoch_index=index, status=status, result=result,
+                        attempts=attempts)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a (possibly hung or broken) pool down without waiting on
+    its tasks: terminate the workers first, then reap them."""
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    for proc in processes:
+        proc.terminate()
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover - Python < 3.9
+        pool.shutdown(wait=False)
+    for proc in processes:
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - terminate sufficed
+            proc.kill()
+            proc.join(timeout=5.0)
 
 
 def _take(iterator: Iterator, n: int) -> Iterator:

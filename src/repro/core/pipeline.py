@@ -20,9 +20,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import constants
-from ..errors import ConfigurationError, DecodeError
+from ..errors import (CollisionUnresolvableError, ConfigurationError,
+                      DecodeError, SignalQualityError)
+from ..robustness.guard import GuardConfig, sanitize_trace
 from ..types import (DecodedStream, DetectedEdge, EpochResult, IQTrace,
-                     SimulationProfile)
+                     SimulationProfile, StreamFault)
 from ..utils.rng import SeedLike, make_rng
 from ..utils.timing import StageTimer
 from .anchor import assemble_bits
@@ -71,6 +73,13 @@ class LFDecoderConfig:
     enable_analog_fallback: bool = True
     preamble_bits: int = constants.PREAMBLE_BITS
     anchor_bit: int = constants.ANCHOR_BIT
+    #: Run the trace guard (:func:`repro.robustness.guard.sanitize_trace`)
+    #: in front of the pipeline: repair impaired captures, reject
+    #: unusable ones into an empty-but-honest result instead of letting
+    #: NaNs crash k-means.  Clean captures pass through untouched (the
+    #: decode is bit-identical with the guard on or off).
+    enable_trace_guard: bool = True
+    guard_config: Optional[GuardConfig] = None
 
     def __post_init__(self) -> None:
         if not self.candidate_bitrates_bps:
@@ -145,7 +154,30 @@ class LFDecoder:
         if session is not None:
             session.begin_epoch(sample_offset)
         t0 = time.perf_counter()
+        health = None
+        rejected: Optional[SignalQualityError] = None
+        if self.config.enable_trace_guard:
+            try:
+                with timer.stage("guard"):
+                    trace, health = sanitize_trace(
+                        trace, self.config.guard_config)
+            except SignalQualityError as exc:
+                rejected = exc
+        if rejected is not None:
+            # The capture is beyond repair: report an empty epoch with
+            # the structured health verdict instead of raising out of
+            # the decode path.
+            result = EpochResult(duration_s=trace.duration_s)
+            result.trace_health = getattr(rejected, "health", None)
+            result.degraded_streams.append(StreamFault(
+                offset_samples=0.0, period_samples=0.0, stage="guard",
+                error_type=type(rejected).__name__,
+                message=str(rejected), expected=False))
+            timer.add("total", time.perf_counter() - t0)
+            result.stage_timings = timer.timings
+            return self._finish(result, session)
         result = EpochResult(duration_s=trace.duration_s)
+        result.trace_health = health
         with timer.stage("edge"):
             edges = self.edge_detector.detect(trace)
         result.n_edges_detected = len(edges)
@@ -180,7 +212,18 @@ class LFDecoder:
                 streams = self._decode_stream(trace, hyp, edges, result,
                                               session=session,
                                               preferred=preferred)
-            except (DecodeError, ConfigurationError):
+            except (DecodeError, ConfigurationError) as exc:
+                # Routine abandonment: a junk hypothesis that failed a
+                # gate.  Recorded for observability, not degradation.
+                result.degraded_streams.append(
+                    _stream_fault(hyp, "decode", exc, expected=True))
+                continue
+            except Exception as exc:  # noqa: BLE001 — fault isolation
+                # One mis-modeled stream must not abort the epoch: the
+                # other hypotheses still decode, and the failure is
+                # reported instead of raised.
+                result.degraded_streams.append(
+                    _stream_fault(hyp, "decode", exc, expected=False))
                 continue
             result.streams.extend(streams)
         if not result.streams and self.config.enable_analog_fallback:
@@ -237,6 +280,24 @@ class LFDecoder:
         return streams
 
     # -- internals -------------------------------------------------------
+
+    def _diagnose_colliders(self, diffs: np.ndarray,
+                            report: CollisionReport) -> int:
+        """Best-effort collider count for an unresolved collision.
+
+        Re-runs collision detection with the cluster-count sweep
+        extended to 27 (= 3 colliders), which the decode path never
+        tries because nothing past 2-way is separable anyway.  The
+        sweep uses its own fixed-seed RNG so this diagnostic never
+        perturbs the decoder's random stream — clean decodes stay
+        bit-identical whether or not a failure path ran.
+        """
+        try:
+            diag = detect_collision(diffs, candidates=(3, 9, 27),
+                                    rng=np.random.default_rng(0))
+        except Exception:  # noqa: BLE001 — diagnostics must not raise
+            return report.estimated_colliders
+        return max(diag.estimated_colliders, report.estimated_colliders)
 
     def _refine_window(self, track: StreamTrack) -> int:
         """Averaging window for this stream's differentials."""
@@ -298,8 +359,10 @@ class LFDecoder:
                                                   {3: three}, keys=(3,)):
                             trusted = False
                             self._bump("kmeans_misses")
+                            session.note_invalidation(tracker)
                         else:
                             self._bump("kmeans_hits")
+                            session.note_warm_success(tracker)
                             fits[3] = three
                             fast_single = True
                             report = CollisionReport(
@@ -346,12 +409,14 @@ class LFDecoder:
                             # rerun the cold fan-out.
                             trusted = False
                             self._bump("kmeans_misses")
+                            session.note_invalidation(tracker)
                             fits = {}
                             report = detect_collision(
                                 diffs, noise_scale=noise_scale,
                                 rng=self._rng, fits_out=fits)
                         else:
                             self._bump("kmeans_hits")
+                            session.note_warm_success(tracker)
             if report.is_collision:
                 result.n_collisions_detected += 1
                 if report.estimated_colliders <= 2:
@@ -365,6 +430,20 @@ class LFDecoder:
                     if streams:
                         result.n_collisions_resolved += 1
                         return streams
+                # Separation failed or was never attempted (>2-way):
+                # report the unresolved collision with a diagnostic
+                # collider estimate before attempting single-stream
+                # salvage below.
+                n_colliders = self._diagnose_colliders(diffs, report)
+                error = CollisionUnresolvableError(n_colliders)
+                result.degraded_streams.append(StreamFault(
+                    offset_samples=track.offset_samples,
+                    period_samples=track.period_samples,
+                    stage="separate",
+                    error_type=type(error).__name__,
+                    message=str(error),
+                    n_colliders=n_colliders,
+                    expected=False))
                 # A >2-way collision (or a failed 2-way separation)
                 # falls through: attempt to salvage the strongest
                 # collider as a single stream — the header gate drops
@@ -402,8 +481,10 @@ class LFDecoder:
                                           {3: three}, keys=(3,)):
                     trusted = False
                     self._bump("kmeans_misses")
+                    session.note_invalidation(tracker)
                 else:
                     self._bump("kmeans_hits")
+                    session.note_warm_success(tracker)
                     proj_fits[3] = three
                     multilevel = False
         if multilevel is None:
@@ -418,12 +499,14 @@ class LFDecoder:
                                               proj_fits, keys=(3,)):
                         trusted = False
                         self._bump("kmeans_misses")
+                        session.note_invalidation(tracker)
                         proj_fits = {}
                         multilevel = _looks_multilevel(
                             observations, self._rng,
                             fits_out=proj_fits)
                     else:
                         self._bump("kmeans_hits")
+                        session.note_warm_success(tracker)
         if multilevel:
             # A collision whose edge vectors are (anti)parallel never
             # registers as two-dimensional, but its projection carries
@@ -591,6 +674,18 @@ class LFDecoder:
             edge_vector=edge_vector,
             confidence=assembled.header_score,
         )
+
+
+def _stream_fault(hypothesis, stage: str, exc: BaseException,
+                  expected: bool) -> StreamFault:
+    """A :class:`StreamFault` record for an abandoned hypothesis."""
+    return StreamFault(
+        offset_samples=float(getattr(hypothesis, "offset_samples", 0.0)),
+        period_samples=float(getattr(hypothesis, "period_samples", 0.0)),
+        stage=stage,
+        error_type=type(exc).__name__,
+        message=str(exc),
+        expected=expected)
 
 
 def _project_single(differentials: np.ndarray) -> np.ndarray:

@@ -75,6 +75,11 @@ class SessionConfig:
     max_misses: int = 2
     #: Hard cap on live trackers (stalest evicted first).
     max_trackers: int = 256
+    #: Warm-fit invalidations (without an intervening warm success)
+    #: before a tracker is quarantined back to the cold path.  A cache
+    #: entry that keeps failing its own verification is worse than no
+    #: cache: every epoch pays the warm attempt *and* the cold redo.
+    max_invalidations: int = 3
 
     def __post_init__(self) -> None:
         if self.period_tolerance <= 0:
@@ -91,6 +96,8 @@ class SessionConfig:
             raise ConfigurationError("max_misses must be >= 1")
         if self.max_trackers < 1:
             raise ConfigurationError("max_trackers must be >= 1")
+        if self.max_invalidations < 1:
+            raise ConfigurationError("max_invalidations must be >= 1")
 
 
 @dataclass
@@ -125,6 +132,12 @@ class StreamTracker:
     last_epoch: int = -1
     #: Transient per-epoch flag, reset by ``SessionState.begin_epoch``.
     matched: bool = False
+    #: Consecutive warm-fit invalidations without a warm success.
+    invalidations: int = 0
+    #: Quarantined trackers are invisible to matching, fold hints and
+    #: pair synthesis — the stream decodes cold and re-seeds a fresh
+    #: tracker; the quarantined entry is dropped at epoch end.
+    quarantined: bool = False
 
     def centroid_hints(self) -> Optional[Dict[int, np.ndarray]]:
         return dict(self.centroids) if self.centroids else None
@@ -177,6 +190,8 @@ class SessionState:
         self.epoch_count = 0
         #: Session-lifetime totals of the per-epoch cache counters.
         self.totals: Dict[str, int] = {key: 0 for key in CACHE_STAT_KEYS}
+        #: Trackers quarantined back to the cold path so far.
+        self.n_quarantined = 0
         #: Trackers behind this epoch's ``warm_hints`` (index-aligned).
         self._hint_trackers: List[StreamTracker] = []
         #: Global sample position of the current epoch's first sample.
@@ -205,12 +220,16 @@ class SessionState:
         for tracker in self.trackers:
             tracker.matched = False
         self._hint_trackers = [t for t in self.trackers
-                               if t.misses == 0]
+                               if t.misses == 0 and not t.quarantined]
 
     def end_epoch(self, cache_stats: Dict[str, int]) -> None:
         """Miss accounting + eviction, then fold counters into totals."""
         survivors: List[StreamTracker] = []
         for tracker in self.trackers:
+            if tracker.quarantined:
+                # Back to the cold path: the stream (if still present)
+                # re-seeded a fresh tracker via ``observe`` this epoch.
+                continue
             if tracker.matched:
                 tracker.misses = 0
                 survivors.append(tracker)
@@ -267,7 +286,7 @@ class SessionState:
         sig = edge_signature(differentials)
 
         def _score(tracker: StreamTracker) -> Optional[float]:
-            if tracker.matched:
+            if tracker.matched or tracker.quarantined:
                 return None
             rel = abs(tracker.period_samples - period_samples) \
                 / period_samples
@@ -328,8 +347,8 @@ class SessionState:
         if d.size < 9 or scatter_planarity(d) < 0.02:
             return None
         cands = [t for t in self.trackers
-                 if not t.matched and t.arity == 1
-                 and abs(t.edge_vector) > 0]
+                 if not t.matched and not t.quarantined
+                 and t.arity == 1 and abs(t.edge_vector) > 0]
         if len(cands) < 2:
             return None
         vectors = np.array([t.edge_vector for t in cands])
@@ -442,7 +461,7 @@ class SessionState:
         """
         cfg = self.config
         for tracker in self.trackers:
-            if not tracker.matched:
+            if not tracker.matched or tracker.quarantined:
                 continue
             rel = abs(tracker.period_samples - period_samples) \
                 / period_samples
@@ -456,6 +475,24 @@ class SessionState:
                     <= cfg.geometry_tolerance:
                 return tracker
         return None
+
+    def note_invalidation(self, tracker: StreamTracker) -> None:
+        """Record a warm-fit blowup against ``tracker``.
+
+        After ``max_invalidations`` consecutive blowups the tracker is
+        quarantined: it stops feeding hints, matching or pair synthesis,
+        the stream decodes cold (re-seeding a fresh tracker), and the
+        stale entry is dropped at epoch end.
+        """
+        tracker.invalidations += 1
+        if not tracker.quarantined and \
+                tracker.invalidations >= self.config.max_invalidations:
+            tracker.quarantined = True
+            self.n_quarantined += 1
+
+    def note_warm_success(self, tracker: StreamTracker) -> None:
+        """A warm fit passed verification: the cache explains the data."""
+        tracker.invalidations = 0
 
     def warm_fit_blown(self, cached_inertia_pp: Dict[int, float],
                        fits: Dict[int, KMeansResult],

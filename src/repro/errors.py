@@ -20,6 +20,35 @@ class SignalError(ReproError):
     """An IQ trace is malformed (wrong dtype, empty, inconsistent rate)."""
 
 
+class SignalQualityError(SignalError):
+    """A capture is too impaired for the trace guard to repair.
+
+    Raised by :func:`repro.robustness.guard.sanitize_trace` when an
+    impairment exceeds the repairable budget.  ``fraction`` is the
+    share of samples implicated, so callers can report degradation
+    quantitatively instead of guessing from the message.
+    """
+
+    def __init__(self, fraction: float, message: str = ""):
+        self.fraction = float(fraction)
+        if not message:
+            message = (f"{100.0 * self.fraction:.1f}% of samples are "
+                       "unusable")
+        super().__init__(message)
+
+
+class NonFiniteSignalError(SignalQualityError):
+    """Too many NaN/Inf samples to interpolate across (dead ADC runs)."""
+
+
+class SaturatedSignalError(SignalQualityError):
+    """The capture spends too long pinned at the ADC rails to trust."""
+
+
+class FlatlineSignalError(SignalQualityError):
+    """The capture is (almost) constant: no receiver was listening."""
+
+
 class DecodeError(ReproError):
     """The decoder could not recover a stream from the received signal."""
 

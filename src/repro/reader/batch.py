@@ -116,6 +116,11 @@ def decode_chunked(trace: IQTrace, chunk_samples: int,
         merged.n_collisions_detected += result.n_collisions_detected
         merged.n_collisions_resolved += result.n_collisions_resolved
         merged.n_spurious_edges += result.n_spurious_edges
+        for fault in result.degraded_streams:
+            fault.offset_samples += shift
+            merged.degraded_streams.append(fault)
+        merged.trace_health = _worse_health(merged.trace_health,
+                                            result.trace_health)
         for name, seconds in result.stage_timings.items():
             merged.stage_timings[name] = (
                 merged.stage_timings.get(name, 0.0) + seconds)
@@ -124,3 +129,24 @@ def decode_chunked(trace: IQTrace, chunk_samples: int,
                 merged.cache_stats.get(key, 0) + count)
     merged.streams = _dedup_streams(merged.streams)
     return merged
+
+
+_HEALTH_SEVERITY = {"clean": 0, "degraded": 1, "rejected": 2}
+
+
+def _worse_health(current, candidate):
+    """The more severe of two per-chunk trace-health reports.
+
+    A merged chunked decode carries a single health verdict; keeping
+    the worst chunk's report means ``EpochResult.degraded`` stays true
+    whenever any part of the capture needed repair.
+    """
+    if candidate is None:
+        return current
+    if current is None:
+        return candidate
+    rank = _HEALTH_SEVERITY.get
+    if rank(getattr(candidate, "verdict", "clean"), 0) > \
+            rank(getattr(current, "verdict", "clean"), 0):
+        return candidate
+    return current

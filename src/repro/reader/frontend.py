@@ -12,7 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SignalError
 from ..phy.noise import awgn
 from ..types import IQTrace
 from ..utils.rng import SeedLike, make_rng
@@ -45,7 +45,10 @@ class ReaderFrontend:
         """Add noise (and quantization, if configured) to ``clean``."""
         arr = np.asarray(clean, dtype=np.complex128)
         if arr.ndim != 1 or arr.size == 0:
-            raise ConfigurationError(
+            # A malformed input array is a signal-path problem, not a
+            # front-end configuration problem: raise the same error
+            # family IQTrace itself uses so callers need one handler.
+            raise SignalError(
                 "clean signal must be a non-empty 1-D array")
         received = arr
         if self.noise_std > 0:

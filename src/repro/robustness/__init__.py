@@ -1,0 +1,49 @@
+"""Robustness layer: fault injection and the decode-path trace guard.
+
+Real captures on commodity receivers are full of impairments the clean
+simulator never produces — dropped USB buffers, dead-ADC NaN runs,
+saturated front ends, DC steps when the reader re-tunes, and epochs cut
+short by carrier shutdown.  This package provides both sides of
+hardening against them:
+
+* :mod:`impairments` — composable, seed-deterministic trace
+  impairments applied to an :class:`~repro.reader.epoch.EpochCapture`
+  with its ground truth preserved, so degraded decodes stay scoreable;
+* :mod:`guard` — :func:`~repro.robustness.guard.sanitize_trace`, the
+  validation/repair front-end the decoder runs before touching a
+  capture: repair what is repairable, reject (with a structured
+  :class:`~repro.errors.SignalQualityError`) what is not, and report
+  everything in a :class:`~repro.robustness.guard.TraceHealth`.
+"""
+
+from .guard import GuardConfig, TraceHealth, sanitize_trace
+from .impairments import (
+    AdcSaturation,
+    BurstInterferer,
+    CarrierPhaseJump,
+    DcOffsetStep,
+    Impairment,
+    NonFiniteBurst,
+    SampleDropout,
+    TruncateEpoch,
+    apply_impairments,
+    impair_capture,
+    random_cocktail,
+)
+
+__all__ = [
+    "GuardConfig",
+    "TraceHealth",
+    "sanitize_trace",
+    "Impairment",
+    "SampleDropout",
+    "NonFiniteBurst",
+    "AdcSaturation",
+    "DcOffsetStep",
+    "CarrierPhaseJump",
+    "TruncateEpoch",
+    "BurstInterferer",
+    "apply_impairments",
+    "impair_capture",
+    "random_cocktail",
+]

@@ -1,0 +1,269 @@
+"""Composable, seed-deterministic trace impairments (fault injection).
+
+Each :class:`Impairment` is a small frozen dataclass that rewrites a
+complex sample array the way one concrete receiver pathology would:
+
+* :class:`SampleDropout` — the capture chain dropped buffers; the
+  affected runs read as zeros (the USRP driver's overflow behaviour).
+* :class:`NonFiniteBurst` — dead ADC / DMA corruption; runs of NaN or
+  ``inf`` samples.
+* :class:`AdcSaturation` — front-end overload; I/Q pinned at the rails
+  for whole runs.
+* :class:`DcOffsetStep` — the reader re-tuned or an interferer's
+  carrier leaked in; the baseband mean jumps mid-capture.
+* :class:`CarrierPhaseJump` — reader PLL re-lock; every sample after
+  the jump is rotated by a fixed phase.
+* :class:`TruncateEpoch` — the carrier shut down early; the tail of
+  the epoch is simply missing.
+* :class:`BurstInterferer` — a foreign transmitter keyed up for a few
+  hundred microseconds; an additive complex tone burst.
+
+Impairments draw every random choice (positions, run lengths, phases)
+from the generator handed to :func:`apply_impairments`, so a cocktail
+is exactly reproducible from ``(capture, impairments, seed)`` — the
+property the chaos harness relies on.  Ground truth is never touched:
+:func:`impair_capture` returns a new
+:class:`~repro.reader.epoch.EpochCapture` whose ``truths`` are the
+original records, so a degraded decode can still be scored bit-by-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..reader.epoch import EpochCapture
+from ..types import IQTrace
+from ..utils.rng import SeedLike, make_rng
+
+
+def _draw_runs(rng: np.random.Generator, n_samples: int, n_runs: int,
+               max_run: int) -> List[Tuple[int, int]]:
+    """Random (start, stop) runs inside ``[0, n_samples)``."""
+    runs: List[Tuple[int, int]] = []
+    for _ in range(n_runs):
+        length = int(rng.integers(1, max(max_run, 1) + 1))
+        length = min(length, n_samples)
+        start = int(rng.integers(0, max(n_samples - length, 0) + 1))
+        runs.append((start, start + length))
+    return runs
+
+
+@dataclass(frozen=True)
+class Impairment:
+    """Base class: one deterministic rewrite of a sample array."""
+
+    def apply(self, samples: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        """Return the impaired samples (may modify ``samples`` in place;
+        callers pass a private copy)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SampleDropout(Impairment):
+    """Zero runs where the capture chain dropped buffers."""
+
+    n_runs: int = 2
+    max_run: int = 200
+
+    def apply(self, samples, rng):
+        for start, stop in _draw_runs(rng, samples.size, self.n_runs,
+                                      self.max_run):
+            samples[start:stop] = 0.0
+        return samples
+
+
+@dataclass(frozen=True)
+class NonFiniteBurst(Impairment):
+    """Runs of NaN (or infinite) samples from a dead ADC / bad DMA."""
+
+    n_runs: int = 2
+    max_run: int = 100
+    use_inf: bool = False
+
+    def apply(self, samples, rng):
+        value = complex(np.inf, np.inf) if self.use_inf \
+            else complex(np.nan, np.nan)
+        for start, stop in _draw_runs(rng, samples.size, self.n_runs,
+                                      self.max_run):
+            samples[start:stop] = value
+        return samples
+
+
+@dataclass(frozen=True)
+class AdcSaturation(Impairment):
+    """Pin I and Q at the rails for whole runs (front-end overload)."""
+
+    n_runs: int = 2
+    max_run: int = 300
+    #: Rail level relative to the capture's own peak |I|/|Q|.
+    level_factor: float = 1.0
+
+    def apply(self, samples, rng):
+        finite = samples[np.isfinite(samples.real)
+                         & np.isfinite(samples.imag)]
+        if finite.size == 0:
+            return samples
+        rail = self.level_factor * max(
+            float(np.max(np.abs(finite.real))),
+            float(np.max(np.abs(finite.imag))), 1e-12)
+        for start, stop in _draw_runs(rng, samples.size, self.n_runs,
+                                      self.max_run):
+            chunk = samples[start:stop]
+            samples[start:stop] = (np.sign(chunk.real) * rail
+                                   + 1j * np.sign(chunk.imag) * rail)
+        return samples
+
+
+@dataclass(frozen=True)
+class DcOffsetStep(Impairment):
+    """Add a complex DC step from a random position onward."""
+
+    magnitude: float = 0.2
+
+    def apply(self, samples, rng):
+        at = int(rng.integers(0, samples.size))
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        samples[at:] += self.magnitude * np.exp(1j * phase)
+        return samples
+
+
+@dataclass(frozen=True)
+class CarrierPhaseJump(Impairment):
+    """Rotate everything after a random position (reader PLL re-lock)."""
+
+    max_radians: float = float(np.pi)
+
+    def apply(self, samples, rng):
+        at = int(rng.integers(0, samples.size))
+        angle = rng.uniform(-self.max_radians, self.max_radians)
+        samples[at:] *= np.exp(1j * angle)
+        return samples
+
+
+@dataclass(frozen=True)
+class TruncateEpoch(Impairment):
+    """Cut the capture short (carrier shut down early).
+
+    Keeps at least ``min_keep_fraction`` of the samples so the result
+    is still a decodable (if shorter) epoch.
+    """
+
+    min_keep_fraction: float = 0.5
+
+    def apply(self, samples, rng):
+        keep_min = max(int(self.min_keep_fraction * samples.size), 2)
+        keep = int(rng.integers(keep_min, samples.size + 1))
+        return samples[:keep]
+
+
+@dataclass(frozen=True)
+class BurstInterferer(Impairment):
+    """Additive complex tone burst from a foreign transmitter."""
+
+    amplitude: float = 0.3
+    max_run: int = 2000
+    #: Tone frequency as a fraction of the sample rate.
+    max_cycles_per_sample: float = 0.05
+
+    def apply(self, samples, rng):
+        (start, stop), = _draw_runs(rng, samples.size, 1, self.max_run)
+        n = stop - start
+        freq = rng.uniform(-self.max_cycles_per_sample,
+                           self.max_cycles_per_sample)
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        tone = self.amplitude * np.exp(
+            1j * (2.0 * np.pi * freq * np.arange(n) + phase))
+        samples[start:stop] += tone
+        return samples
+
+
+def apply_impairments(trace: IQTrace,
+                      impairments: Sequence[Impairment],
+                      rng: SeedLike = None) -> IQTrace:
+    """Apply ``impairments`` in order to a copy of ``trace``.
+
+    The returned trace is constructed with ``allow_nonfinite=True`` so
+    NaN/Inf bursts survive into it; the original trace is untouched.
+    """
+    gen = make_rng(rng)
+    samples = np.array(trace.samples, dtype=np.complex128, copy=True)
+    for impairment in impairments:
+        samples = impairment.apply(samples, gen)
+        if samples.size == 0:
+            raise ConfigurationError(
+                f"impairment {impairment!r} consumed the whole trace")
+    return IQTrace(samples=samples, sample_rate_hz=trace.sample_rate_hz,
+                   start_time_s=trace.start_time_s, allow_nonfinite=True)
+
+
+def impair_capture(capture: EpochCapture,
+                   impairments: Sequence[Impairment],
+                   rng: SeedLike = None) -> EpochCapture:
+    """Impaired copy of an epoch capture, ground truth preserved."""
+    trace = apply_impairments(capture.trace, impairments, rng=rng)
+    return EpochCapture(trace=trace, truths=list(capture.truths),
+                        epoch_index=capture.epoch_index)
+
+
+#: The candidate impairments :func:`random_cocktail` samples from, each
+#: paired with its inclusion probability.  Parameters are drawn per
+#: cocktail so two cocktails with the same ingredient still differ.
+_COCKTAIL_MENU = (
+    ("dropout", 0.5),
+    ("nonfinite", 0.5),
+    ("saturation", 0.4),
+    ("dc_step", 0.4),
+    ("phase_jump", 0.3),
+    ("truncate", 0.25),
+    ("interferer", 0.4),
+)
+
+
+def random_cocktail(rng: SeedLike = None,
+                    max_run_samples: int = 400) -> List[Impairment]:
+    """A randomized impairment cocktail for chaos testing.
+
+    Draws a subset of the impairment menu with randomized parameters.
+    The same seed always produces the same cocktail; an empty draw is
+    re-rolled into a single dropout so every cocktail perturbs the
+    trace at least once.
+    """
+    gen = make_rng(rng)
+    cocktail: List[Impairment] = []
+    for name, probability in _COCKTAIL_MENU:
+        if gen.random() >= probability:
+            continue
+        if name == "dropout":
+            cocktail.append(SampleDropout(
+                n_runs=int(gen.integers(1, 4)),
+                max_run=int(gen.integers(10, max_run_samples))))
+        elif name == "nonfinite":
+            cocktail.append(NonFiniteBurst(
+                n_runs=int(gen.integers(1, 4)),
+                max_run=int(gen.integers(5, max_run_samples // 2 + 6)),
+                use_inf=bool(gen.random() < 0.3)))
+        elif name == "saturation":
+            cocktail.append(AdcSaturation(
+                n_runs=int(gen.integers(1, 3)),
+                max_run=int(gen.integers(20, max_run_samples))))
+        elif name == "dc_step":
+            cocktail.append(DcOffsetStep(
+                magnitude=float(gen.uniform(0.05, 0.5))))
+        elif name == "phase_jump":
+            cocktail.append(CarrierPhaseJump())
+        elif name == "truncate":
+            cocktail.append(TruncateEpoch(
+                min_keep_fraction=float(gen.uniform(0.5, 0.9))))
+        elif name == "interferer":
+            cocktail.append(BurstInterferer(
+                amplitude=float(gen.uniform(0.05, 0.6)),
+                max_run=int(gen.integers(100, 5 * max_run_samples))))
+    if not cocktail:
+        cocktail.append(SampleDropout(
+            n_runs=1, max_run=int(gen.integers(10, max_run_samples))))
+    return cocktail

@@ -82,11 +82,18 @@ class IQTrace:
 
     ``samples`` holds I in the real part and Q in the imaginary part,
     exactly how the decoder consumes a USRP capture.
+
+    ``allow_nonfinite`` relaxes the constructor's finiteness check so a
+    *raw* capture with dropouts or dead-ADC runs (NaN/Inf samples) can
+    be represented at all; such traces must pass through
+    :func:`repro.robustness.guard.sanitize_trace` before decoding —
+    the decoder's maths assumes finite samples.
     """
 
     samples: np.ndarray
     sample_rate_hz: float
     start_time_s: float = 0.0
+    allow_nonfinite: bool = False
 
     def __post_init__(self) -> None:
         self.samples = np.asarray(self.samples)
@@ -97,8 +104,9 @@ class IQTrace:
             raise SignalError("IQ trace must not be empty")
         if not np.iscomplexobj(self.samples):
             self.samples = self.samples.astype(np.complex128)
-        if not np.all(np.isfinite(self.samples.real)) \
-                or not np.all(np.isfinite(self.samples.imag)):
+        if not self.allow_nonfinite and (
+                not np.all(np.isfinite(self.samples.real))
+                or not np.all(np.isfinite(self.samples.imag))):
             raise SignalError("IQ trace contains non-finite samples")
         if self.sample_rate_hz <= 0:
             raise SignalError(
@@ -174,7 +182,8 @@ class IQTrace:
         return IQTrace(
             samples=self.samples[start:stop],
             sample_rate_hz=self.sample_rate_hz,
-            start_time_s=self.start_time_s + start / self.sample_rate_hz)
+            start_time_s=self.start_time_s + start / self.sample_rate_hz,
+            allow_nonfinite=self.allow_nonfinite)
 
 
 @dataclass(frozen=True)
@@ -304,6 +313,30 @@ class DecodedStream:
 
 
 @dataclass
+class StreamFault:
+    """One stream hypothesis the decoder abandoned mid-epoch.
+
+    Expected decode failures (header gate, unresolvable collision) and
+    unexpected exceptions alike are captured here instead of aborting
+    the epoch: the remaining streams still decode, and the caller sees
+    *which* grid hypothesis degraded and why.
+    """
+
+    offset_samples: float
+    period_samples: float
+    stage: str
+    error_type: str
+    message: str
+    #: Colliders estimated on the failed grid (0 = not a collision).
+    n_colliders: int = 0
+    #: True for routine abandonments (junk hypotheses failing the
+    #: header gate and the like) that do not signal data loss; False
+    #: for genuine degradation — unresolvable collisions, unexpected
+    #: exceptions caught by per-stream fault isolation.
+    expected: bool = True
+
+
+@dataclass
 class EpochResult:
     """Everything the decoder recovered from one reader epoch."""
 
@@ -327,6 +360,30 @@ class EpochResult:
     #: Position of this epoch within a batch decode (see
     #: :class:`repro.core.engine.BatchDecoder`); 0 for single decodes.
     epoch_index: int = 0
+    #: Stream hypotheses abandoned mid-decode (per-stream fault
+    #: isolation): each record names the grid, the stage that failed
+    #: and the error, while the other streams of the epoch decoded on.
+    degraded_streams: List[StreamFault] = field(default_factory=list)
+    #: Trace-guard report for this epoch's capture (a
+    #: :class:`repro.robustness.guard.TraceHealth`), set whenever the
+    #: decoder's sanitize front-end ran; ``None`` when the guard was
+    #: disabled.  A clean capture yields a report with ``verdict ==
+    #: "clean"`` and an untouched trace.
+    trace_health: Optional[object] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when any part of this epoch decoded less than cleanly.
+
+        Routine stream abandonments (``StreamFault.expected``) do not
+        count — junk fold hypotheses failing the header gate are part
+        of a healthy decode.
+        """
+        if any(not fault.expected for fault in self.degraded_streams):
+            return True
+        health = self.trace_health
+        return health is not None and \
+            getattr(health, "verdict", "clean") != "clean"
 
     @property
     def n_streams(self) -> int:

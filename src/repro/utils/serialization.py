@@ -53,10 +53,14 @@ def load_trace(path: PathLike) -> IQTrace:
                 f"than supported {_TRACE_FORMAT_VERSION}")
         start = float(data["start_time_s"]) if "start_time_s" in data.files \
             else 0.0
+        # Recorded captures are exactly where front-end glitches live;
+        # defer finiteness to the decoder's trace guard (which repairs
+        # or rejects with diagnostics) instead of refusing the file.
         return IQTrace(
             samples=np.asarray(data["samples"], dtype=np.complex128),
             sample_rate_hz=float(data["sample_rate_hz"]),
             start_time_s=start,
+            allow_nonfinite=True,
         )
 
 

@@ -1,0 +1,225 @@
+"""Supervision tests for the batch engine: crashes, hangs, retries,
+and resource cleanup.
+
+The crash/hang helpers monkeypatch :func:`repro.core.engine._decode_task`
+in the parent process; the pool's workers are forked *after* the patch
+(pools spawn lazily at first submit, and respawned pools re-fork), so
+the sabotage propagates into every worker generation.
+"""
+
+import glob
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import engine as engine_module
+from repro.core.engine import BatchDecoder, EpochOutcome, _decode_task
+from repro.utils.rng import spawn_seed_sequences
+
+from ..conftest import build_decoder, build_network
+
+N_EPOCHS = 6
+
+if engine_module._shared_memory is None:  # pragma: no cover
+    pytest.skip("platform lacks multiprocessing.shared_memory",
+                allow_module_level=True)
+
+
+@pytest.fixture(scope="module")
+def config(fast_profile):
+    return build_decoder(fast_profile).config
+
+
+@pytest.fixture(scope="module")
+def captures(fast_profile):
+    """Single-tag epochs with ground truth (cheap, non-trivial)."""
+    return [build_network(1, fast_profile, seed=20 + k).run_epoch(0.006)
+            for k in range(N_EPOCHS)]
+
+
+@pytest.fixture(scope="module")
+def traces(captures):
+    return [c.trace for c in captures]
+
+
+@pytest.fixture(scope="module")
+def baseline(config, traces):
+    """Serial reference results for the same seeds."""
+    seqs = spawn_seed_sequences(0, len(traces))
+    return [_decode_task(i, t, seqs[i], config=config)
+            for i, t in enumerate(traces)]
+
+
+def _assert_matches_baseline(outcome, reference):
+    assert outcome.result is not None
+    assert outcome.result.epoch_index == reference.epoch_index
+    assert len(outcome.result.streams) == len(reference.streams)
+    for a, b in zip(outcome.result.streams, reference.streams):
+        np.testing.assert_array_equal(a.bits, b.bits)
+
+
+class TestWorkerCrash:
+    def test_crashing_task_quarantined_batch_completes(
+            self, config, traces, baseline, monkeypatch):
+        victim = 2
+
+        def crashing(index, trace, seed_seq, config=None):
+            if index == victim:
+                os._exit(17)
+            return _decode_task(index, trace, seed_seq, config=config)
+
+        monkeypatch.setattr(engine_module, "_decode_task", crashing)
+        engine = BatchDecoder(config=config, seed=0, max_workers=2)
+        outcomes = engine.decode_outcomes(traces)
+        assert [o.epoch_index for o in outcomes] == \
+            list(range(len(traces)))
+        assert outcomes[victim].status == "failed"
+        assert outcomes[victim].result is None
+        assert "WorkerCrashError" in outcomes[victim].error
+        for i, outcome in enumerate(outcomes):
+            if i != victim:
+                _assert_matches_baseline(outcome, baseline[i])
+
+    def test_crash_surfaces_as_engine_fault_in_iter_decode(
+            self, config, traces, monkeypatch):
+        def crashing(index, trace, seed_seq, config=None):
+            if index == 1:
+                os._exit(17)
+            return _decode_task(index, trace, seed_seq, config=config)
+
+        monkeypatch.setattr(engine_module, "_decode_task", crashing)
+        engine = BatchDecoder(config=config, seed=0, max_workers=2)
+        results = engine.decode_epochs(traces)
+        assert len(results) == len(traces)
+        failed = results[1]
+        assert failed.degraded
+        assert failed.degraded_streams[0].stage == "engine"
+        assert not failed.streams
+
+
+class TestHang:
+    def test_hung_task_times_out_batch_completes(
+            self, config, traces, baseline, monkeypatch):
+        victim = 1
+
+        def hanging(index, trace, seed_seq, config=None):
+            if index == victim:
+                time.sleep(300)
+            return _decode_task(index, trace, seed_seq, config=config)
+
+        monkeypatch.setattr(engine_module, "_decode_task", hanging)
+        engine = BatchDecoder(config=config, seed=0, max_workers=2,
+                              task_timeout_s=1.0)
+        start = time.monotonic()
+        outcomes = engine.decode_outcomes(traces)
+        elapsed = time.monotonic() - start
+        assert [o.epoch_index for o in outcomes] == \
+            list(range(len(traces)))
+        assert outcomes[victim].status == "failed"
+        assert "TaskHangError" in outcomes[victim].error
+        # Two strikes at 1 s each plus overhead — not 300 s.
+        assert elapsed < 60
+        for i, outcome in enumerate(outcomes):
+            if i != victim:
+                _assert_matches_baseline(outcome, baseline[i])
+
+
+class TestRetry:
+    def test_transient_worker_error_retried(self, config, traces,
+                                            baseline, monkeypatch,
+                                            tmp_path):
+        marker = tmp_path / "failed-once"
+
+        def flaky(index, trace, seed_seq, config=None):
+            if index == 3 and not marker.exists():
+                marker.write_text("x")
+                raise RuntimeError("transient glitch")
+            return _decode_task(index, trace, seed_seq, config=config)
+
+        monkeypatch.setattr(engine_module, "_decode_task", flaky)
+        engine = BatchDecoder(config=config, seed=0, max_workers=2,
+                              max_attempts=3)
+        outcomes = engine.decode_outcomes(traces)
+        assert outcomes[3].attempts >= 2
+        for i, outcome in enumerate(outcomes):
+            _assert_matches_baseline(outcome, baseline[i])
+
+    def test_persistent_error_fails_after_max_attempts(
+            self, config, traces, monkeypatch):
+        def broken(index, trace, seed_seq, config=None):
+            if index == 0:
+                raise ValueError("permanently broken epoch")
+            return _decode_task(index, trace, seed_seq, config=config)
+
+        monkeypatch.setattr(engine_module, "_decode_task", broken)
+        engine = BatchDecoder(config=config, seed=0, max_workers=2,
+                              max_attempts=2, retry_backoff_s=0.01)
+        outcomes = engine.decode_outcomes(traces)
+        assert outcomes[0].status == "failed"
+        assert "ValueError" in outcomes[0].error
+        assert outcomes[0].attempts == 2
+
+    def test_serial_path_retries_and_fails_identically(
+            self, config, traces, monkeypatch):
+        calls = []
+
+        def broken(index, trace, seed_seq, config=None):
+            calls.append(index)
+            raise ValueError("nope")
+
+        monkeypatch.setattr(engine_module, "_decode_task", broken)
+        engine = BatchDecoder(config=config, seed=0, max_workers=1,
+                              max_attempts=2, retry_backoff_s=0.0)
+        outcomes = engine.decode_outcomes(traces[:2])
+        assert [o.status for o in outcomes] == ["failed", "failed"]
+        assert calls == [0, 0, 1, 1]
+
+
+class TestOutcomeStatuses:
+    def test_clean_epochs_report_ok(self, config, traces):
+        engine = BatchDecoder(config=config, seed=0, max_workers=1)
+        outcomes = engine.decode_outcomes(traces[:2])
+        assert all(isinstance(o, EpochOutcome) for o in outcomes)
+        assert all(o.status == "ok" and o.ok for o in outcomes)
+        assert all(o.attempts == 1 for o in outcomes)
+
+    def test_repaired_epoch_reports_degraded(self, config, traces):
+        trace = traces[0].slice(0, len(traces[0]))
+        trace.allow_nonfinite = True
+        trace.samples = np.array(trace.samples, copy=True)
+        trace.samples[100:110] = np.nan
+        engine = BatchDecoder(config=config, seed=0, max_workers=1)
+        outcome, = engine.decode_outcomes([trace])
+        assert outcome.status == "degraded"
+        assert outcome.result.trace_health.verdict == "degraded"
+
+
+def _shm_blocks():
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+class TestSharedMemoryHygiene:
+    def test_abandoned_iteration_leaks_no_blocks(self, config, traces):
+        before = _shm_blocks()
+        engine = BatchDecoder(config=config, seed=0, max_workers=2,
+                              use_shared_memory=True)
+        iterator = engine.iter_decode(traces)
+        next(iterator)
+        iterator.close()  # consumer walks away mid-batch
+        assert _shm_blocks() == before
+
+    def test_crash_path_leaks_no_blocks(self, config, traces,
+                                        monkeypatch):
+        def crashing(index, trace, seed_seq, config=None):
+            if index == 2:
+                os._exit(17)
+            return _decode_task(index, trace, seed_seq, config=config)
+
+        monkeypatch.setattr(engine_module, "_decode_task", crashing)
+        before = _shm_blocks()
+        engine = BatchDecoder(config=config, seed=0, max_workers=2,
+                              use_shared_memory=True)
+        engine.decode_outcomes(traces)
+        assert _shm_blocks() == before

@@ -92,3 +92,18 @@ def test_decode_chunked_recovers_streams_with_global_offsets(config):
                        stream.period_samples - abs(phase - w)) < 10.0
                    for w in whole_phases)
     assert merged.stage_timings["total"] > 0.0
+
+
+def test_decode_chunked_merges_health_and_faults(config):
+    capture = make_capture(24, duration_s=0.012)
+    samples = np.array(capture.trace.samples, copy=True)
+    samples[100:120] = np.nan  # repairable gap in the first chunk
+    trace = IQTrace(samples=samples,
+                    sample_rate_hz=capture.trace.sample_rate_hz,
+                    allow_nonfinite=True)
+    merged = decode_chunked(trace, len(trace) // 2, config=config,
+                            seed=1, max_workers=1)
+    assert merged.trace_health is not None
+    assert merged.trace_health.verdict == "degraded"
+    assert merged.degraded
+    assert merged.n_streams >= 1  # the capture still decodes

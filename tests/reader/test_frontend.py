@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SignalError
 from repro.reader.frontend import ReaderFrontend
 
 
@@ -61,7 +61,8 @@ def test_validation():
     with pytest.raises(ConfigurationError):
         ReaderFrontend(sample_rate_hz=1.0, adc_bits=1)
     fe = ReaderFrontend(sample_rate_hz=1.0)
-    with pytest.raises(ConfigurationError):
+    # Malformed signal arrays are signal-path errors, matching IQTrace.
+    with pytest.raises(SignalError):
         fe.capture(np.empty(0, dtype=complex))
-    with pytest.raises(ConfigurationError):
+    with pytest.raises(SignalError):
         fe.capture(np.ones((2, 2)))

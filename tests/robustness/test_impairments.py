@@ -1,0 +1,94 @@
+"""Tests for the fault-injection impairment library."""
+
+import numpy as np
+import pytest
+
+from repro.robustness.impairments import (AdcSaturation, BurstInterferer,
+                                          CarrierPhaseJump, DcOffsetStep,
+                                          NonFiniteBurst, SampleDropout,
+                                          TruncateEpoch, apply_impairments,
+                                          impair_capture, random_cocktail)
+from repro.types import IQTrace
+
+from ..conftest import build_network
+
+ALL_IMPAIRMENTS = [
+    SampleDropout(),
+    NonFiniteBurst(),
+    NonFiniteBurst(use_inf=True),
+    AdcSaturation(),
+    DcOffsetStep(),
+    CarrierPhaseJump(),
+    TruncateEpoch(),
+    BurstInterferer(),
+]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    rng = np.random.default_rng(0)
+    samples = (0.5 + 0.3j
+               + 0.05 * (rng.normal(size=5000)
+                         + 1j * rng.normal(size=5000)))
+    return IQTrace(samples=samples, sample_rate_hz=2.5e6)
+
+
+@pytest.mark.parametrize("impairment", ALL_IMPAIRMENTS,
+                         ids=lambda imp: type(imp).__name__)
+def test_each_impairment_is_seed_deterministic(trace, impairment):
+    a = apply_impairments(trace, [impairment], rng=7)
+    b = apply_impairments(trace, [impairment], rng=7)
+    np.testing.assert_array_equal(a.samples, b.samples)
+    c = apply_impairments(trace, [impairment], rng=8)
+    assert a.samples.size != c.samples.size or \
+        not np.array_equal(a.samples, c.samples)
+
+
+@pytest.mark.parametrize("impairment", ALL_IMPAIRMENTS,
+                         ids=lambda imp: type(imp).__name__)
+def test_each_impairment_changes_something(trace, impairment):
+    out = apply_impairments(trace, [impairment], rng=3)
+    assert out.samples.size != trace.samples.size or \
+        not np.array_equal(out.samples, trace.samples)
+
+
+def test_original_trace_untouched(trace):
+    before = trace.samples.copy()
+    apply_impairments(trace, ALL_IMPAIRMENTS, rng=1)
+    np.testing.assert_array_equal(trace.samples, before)
+
+
+def test_nonfinite_burst_survives_trace_construction(trace):
+    out = apply_impairments(trace, [NonFiniteBurst(n_runs=3)], rng=2)
+    assert out.allow_nonfinite
+    assert not np.all(np.isfinite(out.samples.real))
+
+
+def test_truncate_respects_keep_fraction(trace):
+    for seed in range(10):
+        out = apply_impairments(
+            trace, [TruncateEpoch(min_keep_fraction=0.6)], rng=seed)
+        assert out.samples.size >= int(0.6 * trace.samples.size)
+        assert out.samples.size <= trace.samples.size
+
+
+def test_impair_capture_preserves_ground_truth(fast_profile):
+    sim = build_network(2, fast_profile, seed=9)
+    capture = sim.run_epoch(0.005)
+    before = capture.trace.samples.copy()
+    impaired = impair_capture(capture, [SampleDropout()], rng=4)
+    assert impaired.truths == capture.truths
+    assert impaired.epoch_index == capture.epoch_index
+    np.testing.assert_array_equal(capture.trace.samples, before)
+    assert not np.array_equal(impaired.trace.samples,
+                              capture.trace.samples)
+
+
+def test_random_cocktail_deterministic_and_nonempty():
+    for seed in range(20):
+        a = random_cocktail(rng=seed)
+        b = random_cocktail(rng=seed)
+        assert a == b
+        assert len(a) >= 1
+    # Different seeds explore different menus.
+    assert random_cocktail(rng=0) != random_cocktail(rng=1)
