@@ -11,6 +11,13 @@ decoder down without anyone staring at benchmark tables::
     PYTHONPATH=src python benchmarks/check_regression.py --tolerance 0.3
     PYTHONPATH=src python benchmarks/check_regression.py --candidate out.json
 
+The gate also checks the candidate's fidelity escalation rate: on the
+clean 16-tag benchmark most gate decisions should take the fast path,
+so a rate above the sanity ceiling (or a dead fast path — zero gate
+decisions, which reads as rate 1.0) means the adaptive ladder silently
+stopped paying for itself and fails the run even when raw throughput
+still clears the floor.
+
 The 20% default is deliberately loose: shared CI runners jitter by
 ±10% run to run, and the gate exists to catch real regressions (2x
 slowdowns from an accidental O(n^2) path), not 5% noise.  Ratcheting
@@ -36,6 +43,12 @@ BASELINE = BENCH_DIR / "BENCH_decoder.json"
 #: The benchmark whose samples_per_second is the headline number.
 HEADLINE = "test_decode_speed_16_tags"
 DEFAULT_TOLERANCE = 0.20
+#: Highest acceptable fidelity escalation rate on the clean 16-tag
+#: benchmark.  The fixture is low-noise and collision-light, so a
+#: healthy adaptive ladder resolves well over half its gate decisions
+#: on the fast path; a dead ladder reports rate 1.0 (no decisions at
+#: all) and fails too.
+DEFAULT_ESCALATION_CEILING = 0.5
 
 
 def _headline_rate(benchmarks: list) -> float:
@@ -47,6 +60,22 @@ def _headline_rate(benchmarks: list) -> float:
         f"no samples_per_second recorded for {HEADLINE!r}")
 
 
+def _headline_fidelity_stats(benchmarks: list) -> dict | None:
+    """The headline benchmark's fidelity counters, if recorded.
+
+    Accepts both the summary format (counters at the top level) and
+    pytest-benchmark's raw export (nested under ``extra_info``).
+    """
+    for bench in benchmarks:
+        if bench.get("name") != HEADLINE:
+            continue
+        stats = bench.get("fidelity_stats")
+        if stats is None:
+            stats = bench.get("extra_info", {}).get("fidelity_stats")
+        return stats
+    return None
+
+
 def load_baseline(path: Path) -> float:
     if not path.exists():
         raise SystemExit(f"baseline {path} not found — run "
@@ -54,8 +83,8 @@ def load_baseline(path: Path) -> float:
     return _headline_rate(json.loads(path.read_text())["benchmarks"])
 
 
-def measure_candidate(candidate: Path | None) -> float:
-    """Headline rate of the candidate: a saved export or a fresh run."""
+def measure_candidate(candidate: Path | None) -> tuple:
+    """Headline (rate, fidelity_stats) of a saved export or fresh run."""
     if candidate is not None:
         payload = json.loads(candidate.read_text())
         # Accept either our summary format or pytest-benchmark's raw
@@ -66,7 +95,7 @@ def measure_candidate(candidate: Path | None) -> float:
             if extra and "samples_per_second" in extra:
                 bench.setdefault("samples_per_second",
                                  extra["samples_per_second"])
-        return _headline_rate(benches)
+        return _headline_rate(benches), _headline_fidelity_stats(benches)
     with tempfile.TemporaryDirectory() as tmp:
         json_path = Path(tmp) / "candidate.json"
         cmd = [sys.executable, "-m", "pytest",
@@ -80,15 +109,41 @@ def measure_candidate(candidate: Path | None) -> float:
     return measure_candidate_from_raw(payload)
 
 
-def measure_candidate_from_raw(payload: dict) -> float:
+def measure_candidate_from_raw(payload: dict) -> tuple:
     for bench in payload.get("benchmarks", []):
         extra = bench.get("extra_info", {})
         if bench.get("name") == HEADLINE and \
                 "samples_per_second" in extra:
-            return float(extra["samples_per_second"])
+            return (float(extra["samples_per_second"]),
+                    extra.get("fidelity_stats"))
     raise SystemExit(
         f"benchmark export carries no samples_per_second for "
         f"{HEADLINE!r}")
+
+
+def check_escalation_rate(stats: dict | None, ceiling: float) -> int:
+    """0 when the escalation rate clears the ceiling, 1 otherwise.
+
+    ``None`` (an export predating the fidelity counters) passes with a
+    note — old saved candidates stay usable — but an all-zero counter
+    dict fails: the decoder *has* the counters and none of its fast
+    paths ever fired, which is exactly the dead-ladder regression the
+    ceiling exists to catch.
+    """
+    if stats is None:
+        print("escalation: no fidelity counters in export (skipped)")
+        return 0
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.core.fidelity import escalation_rate
+
+    rate = escalation_rate(stats)
+    print(f"escalation: {rate:.1%} of gate decisions "
+          f"(ceiling {ceiling:.0%})")
+    if rate > ceiling:
+        print("FAIL: fidelity escalation rate above the sanity ceiling"
+              " — the adaptive fast paths are not paying for themselves")
+        return 1
+    return 0
 
 
 def main(argv: list | None = None) -> int:
@@ -104,12 +159,18 @@ def main(argv: list | None = None) -> int:
     parser.add_argument("--tolerance", type=float,
                         default=DEFAULT_TOLERANCE,
                         help="allowed fractional drop (default 0.20)")
+    parser.add_argument("--escalation-ceiling", type=float,
+                        default=DEFAULT_ESCALATION_CEILING,
+                        help="maximum fidelity escalation rate on the "
+                             "clean benchmark (default 0.5)")
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
+    if not 0.0 < args.escalation_ceiling <= 1.0:
+        parser.error("--escalation-ceiling must be in (0, 1]")
 
     baseline = load_baseline(args.baseline)
-    candidate = measure_candidate(args.candidate)
+    candidate, fidelity = measure_candidate(args.candidate)
     floor = baseline * (1.0 - args.tolerance)
     change = candidate / baseline - 1.0
 
@@ -117,9 +178,12 @@ def main(argv: list | None = None) -> int:
     print(f"candidate: {candidate:,.0f} samples/s ({change:+.1%})")
     print(f"floor    : {floor:,.0f} samples/s "
           f"(-{args.tolerance:.0%} tolerance)")
+    status = check_escalation_rate(fidelity, args.escalation_ceiling)
     if candidate < floor:
         print("FAIL: throughput regressed past the tolerance")
         return 1
+    if status:
+        return status
     if candidate > baseline:
         print("OK (faster than baseline — consider refreshing it with "
               "benchmarks/run_bench.py)")

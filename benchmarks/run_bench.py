@@ -4,15 +4,23 @@
 Runs the pytest-benchmark speed tests (``test_decoder_speed.py`` and
 ``test_session_speed.py``) in a subprocess, pulls out the timing
 statistics and the decoder's per-stage wall-clock split, and writes
-them to ``benchmarks/BENCH_decoder.json`` so successive runs can be
+them to ``benchmarks/BENCH_decoder.json`` (plus a copy at the repo
+root, where release tooling picks it up) so successive runs can be
 diffed::
 
     PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python benchmarks/run_bench.py --profile
 
 The JSON payload records samples/second (the headline number), the
 mean/min/stddev decode time for the 16-tag epoch, the
-edge/fold/extract/detect/separate/viterbi stage breakdown, and the
-session benchmark's steady-state warm/cold speedup.
+edge/fold/extract/detect/separate/viterbi stage breakdown, the
+fidelity gate counters (fast-path hits versus escalations per gate),
+and the session benchmark's steady-state warm/cold speedup.
+
+``--profile`` additionally runs one 16-tag decode under cProfile and
+prints the top 20 functions by cumulative time — the first place to
+look when the stage split shifts and you need attribution below stage
+granularity.
 
 Stage fractions are normalized by the *sum of the stages*, not by the
 pipeline's wall clock: the wall clock includes untimed glue (python
@@ -23,6 +31,7 @@ and the fractions are asserted to sum to 1.
 
 from __future__ import annotations
 
+import argparse
 import json
 import math
 import subprocess
@@ -34,13 +43,17 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 OUTPUT = BENCH_DIR / "BENCH_decoder.json"
+#: Root-level copy of the summary (same payload, easier for tooling
+#: that only checks out the repo top level).
+ROOT_OUTPUT = REPO_ROOT / "BENCH_decoder.json"
 SPEED_TESTS = [BENCH_DIR / "test_decoder_speed.py",
                BENCH_DIR / "test_session_speed.py"]
 
 #: extra_info keys copied through to the summary when present.
 EXTRA_KEYS = ("samples_per_second", "steady_state_speedup",
               "warm_separate_fraction", "steady_cold_epoch_s",
-              "steady_warm_epoch_s", "cache_stats", "n_trackers")
+              "steady_warm_epoch_s", "cache_stats", "n_trackers",
+              "fidelity_stats")
 
 
 def run_speed_benchmark(json_path: Path) -> None:
@@ -97,13 +110,55 @@ def summarize(raw: dict) -> dict:
     }
 
 
-def main() -> None:
+def profile_one_decode(top: int = 20) -> None:
+    """cProfile a single 16-tag epoch decode; print top functions.
+
+    Reuses the speed benchmark's fixture (same seed, same tag
+    population) so the profile attributes exactly the workload the
+    headline number measures.
+    """
+    import cProfile
+    import pstats
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(BENCH_DIR))
+    from test_decoder_speed import sixteen_tag_capture
+    from repro.core.pipeline import LFDecoder, LFDecoderConfig
+
+    profile, capture = sixteen_tag_capture.__wrapped__()
+    decoder = LFDecoder(LFDecoderConfig(
+        candidate_bitrates_bps=[10e3], profile=profile), rng=1)
+    # One untimed decode first so numpy/jit warm-up does not pollute
+    # the profile; a fresh decoder for the measured pass keeps the
+    # session-free cold path honest.
+    decoder.decode_epoch(capture.trace)
+    decoder = LFDecoder(LFDecoderConfig(
+        candidate_bitrates_bps=[10e3], profile=profile), rng=1)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    decoder.decode_epoch(capture.trace)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(top)
+
+
+def main(argv: list | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Run the decoder speed benchmarks and record the "
+                    "summary JSON.")
+    parser.add_argument("--profile", action="store_true",
+                        help="also cProfile one 16-tag decode and "
+                             "print the top 20 cumulative functions")
+    args = parser.parse_args(argv)
+
     with tempfile.TemporaryDirectory() as tmp:
         json_path = Path(tmp) / "pytest_benchmark.json"
         run_speed_benchmark(json_path)
         raw = json.loads(json_path.read_text())
     summary = summarize(raw)
-    OUTPUT.write_text(json.dumps(summary, indent=2) + "\n")
+    payload = json.dumps(summary, indent=2) + "\n"
+    OUTPUT.write_text(payload)
+    ROOT_OUTPUT.write_text(payload)
     for bench in summary["benchmarks"]:
         line = f"{bench['name']}: mean {bench['mean_s'] * 1e3:.1f} ms"
         if bench.get("samples_per_second"):
@@ -117,7 +172,14 @@ def main() -> None:
         if "overhead_s" in bench:
             print(f"  overhead: {bench['overhead_s'] * 1e3:.1f} ms "
                   f"(outside stage timers)")
-    print(f"wrote {OUTPUT}")
+        stats = bench.get("fidelity_stats")
+        if stats and any(stats.values()):
+            fired = {name: count for name, count in stats.items()
+                     if count}
+            print(f"  fidelity: {fired}")
+    print(f"wrote {OUTPUT} and {ROOT_OUTPUT}")
+    if args.profile:
+        profile_one_decode()
 
 
 if __name__ == "__main__":

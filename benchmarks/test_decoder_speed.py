@@ -47,6 +47,12 @@ def test_decode_speed_16_tags(benchmark, sixteen_tag_capture):
     benchmark.extra_info["stage_timings"] = {
         name: float(seconds)
         for name, seconds in result.stage_timings.items()}
+    # Last-round fidelity gate counters: how often each adaptive fast
+    # path fired versus escalated.  check_regression.py reads these to
+    # flag a dead fast path or a runaway escalation rate.
+    benchmark.extra_info["fidelity_stats"] = {
+        name: int(count)
+        for name, count in result.fidelity_stats.items()}
     # Sanity floor only — absolute speed depends on the host; the
     # recorded samples_per_second in extra_info is the number to watch
     # across runs.

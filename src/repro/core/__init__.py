@@ -11,6 +11,10 @@ Pipeline stages (Section 3), each in its own module:
 7. :mod:`viterbi` — 4-state edge-sequence error correction (§3.5)
 8. :mod:`anchor` — anchor-bit cluster disambiguation (§3.4, Table 1)
 9. :mod:`pipeline` — :class:`LFDecoder` tying it all together
+
+:mod:`fidelity` threads a confidence-gated escalation policy through
+stages 4-8: each hot computation starts cheap and escalates to full
+fidelity only when its confidence gate fails.
 """
 
 from .edges import EdgeDetector, EdgeDetectorConfig
@@ -18,6 +22,8 @@ from .folding import FoldingConfig, find_stream_hypotheses
 from .streams import StreamTrack, track_stream, read_grid_differentials
 from .clustering import KMeansResult, kmeans, select_cluster_count
 from .collision import CollisionReport, detect_collision
+from .fidelity import (FIDELITY_STAT_KEYS, FidelityPolicy,
+                       escalation_rate, merge_fidelity_stats)
 from .separation import SeparationResult, separate_two_way
 from .viterbi import ViterbiDecoder, edge_states_to_bits, bits_to_edge_states
 from .anchor import resolve_polarity, assemble_bits
@@ -39,6 +45,10 @@ __all__ = [
     "select_cluster_count",
     "CollisionReport",
     "detect_collision",
+    "FIDELITY_STAT_KEYS",
+    "FidelityPolicy",
+    "escalation_rate",
+    "merge_fidelity_stats",
     "SeparationResult",
     "separate_two_way",
     "ViterbiDecoder",

@@ -80,7 +80,8 @@ def resolve_polarity(observations: np.ndarray,
                      anchor_bit: int = constants.ANCHOR_BIT,
                      decoder: Optional[ViterbiDecoder] = None,
                      use_viterbi: bool = True,
-                     flipped_hint: Optional[bool] = None) -> AssembledBits:
+                     flipped_hint: Optional[bool] = None,
+                     prescreen: bool = False) -> AssembledBits:
     """Decode a stream's projected observations into frame bits.
 
     Tries both polarities and up to three candidate frame-start slots
@@ -93,6 +94,14 @@ def resolve_polarity(observations: np.ndarray,
     a correct hint hits the perfect-header early exit without ever
     decoding the mirror image, a wrong one merely restores the cold
     two-polarity cost.  The hint never changes which assembly wins.
+
+    ``prescreen=True`` scores each candidate on a cheap hard-threshold
+    decode of the header slots and runs the full-length Viterbi only on
+    the winner.  The returned ``header_score`` always comes
+    from the full decode, so the pipeline's header acceptance gate sees
+    the same evidence either way — prescreening can only change *which*
+    candidate gets the full decode, a choice that matters exactly for
+    frames whose header is too corrupt to pass the gate.
     """
     obs = np.asarray(observations, dtype=np.float64).ravel()
     if obs.size == 0:
@@ -102,6 +111,8 @@ def resolve_polarity(observations: np.ndarray,
 
     order = (False, True) if flipped_hint is None \
         else (bool(flipped_hint), not flipped_hint)
+    if prescreen and use_viterbi:
+        return _resolve_prescreened(obs, header, dec, order)
     best: Optional[AssembledBits] = None
     for flipped in order:
         signed = -obs if flipped else obs
@@ -135,13 +146,56 @@ def resolve_polarity(observations: np.ndarray,
     return best
 
 
+def _resolve_prescreened(obs: np.ndarray, header: np.ndarray,
+                         dec: ViterbiDecoder,
+                         order) -> AssembledBits:
+    """Hard-decode-score every candidate, full-decode only the winner.
+
+    The ranking pass thresholds the header slots directly instead of
+    running a prefix Viterbi: with symmetric bit priors the Viterbi
+    per-slot decisions over a clean header agree with the hard
+    threshold, and candidates that disagree are exactly the corrupt
+    ones whose full decode would fail the acceptance gate anyway.
+    """
+    best = None  # (score, flipped, start)
+    for flipped in order:
+        signed = -obs if flipped else obs
+        for start in _candidate_starts(signed):
+            segment = signed[start:]
+            if segment.size < header.size:
+                continue
+            bits = hard_decode_bits(segment[:header.size])
+            score = _header_match(bits, header) \
+                - _pre_start_penalty(signed, int(start))
+            cand = (score, flipped, int(start))
+            if best is None or score > best[0] or (
+                    score == best[0]
+                    and (flipped, int(start)) < best[1:]):
+                best = cand
+            if best[0] >= 1.0:
+                break
+        if best is not None and best[0] >= 1.0:
+            break
+    if best is None:
+        raise DecodeError(
+            "no rising edge found in the stream; cannot locate the frame")
+    _, flipped, start = best
+    signed = -obs if flipped else obs
+    bits = dec.decode_bits(signed[start:], initial_state=RISE)
+    score = _header_match(bits, header) \
+        - _pre_start_penalty(signed, start)
+    return AssembledBits(bits=bits, start_slot=start,
+                         flipped=flipped, header_score=score)
+
+
 def assemble_bits(observations: np.ndarray,
                   use_viterbi: bool = True,
                   decoder: Optional[ViterbiDecoder] = None,
                   preamble_bits: int = constants.PREAMBLE_BITS,
                   anchor_bit: int = constants.ANCHOR_BIT,
                   min_header_score: float = 0.0,
-                  flipped_hint: Optional[bool] = None) -> AssembledBits:
+                  flipped_hint: Optional[bool] = None,
+                  prescreen: bool = False) -> AssembledBits:
     """Polarity-resolve and decode, optionally rejecting weak frames.
 
     ``min_header_score`` lets the pipeline discard assemblies whose
@@ -153,7 +207,8 @@ def assemble_bits(observations: np.ndarray,
                                  anchor_bit=anchor_bit,
                                  decoder=decoder,
                                  use_viterbi=use_viterbi,
-                                 flipped_hint=flipped_hint)
+                                 flipped_hint=flipped_hint,
+                                 prescreen=prescreen)
     if assembled.header_score < min_header_score:
         raise DecodeError(
             f"header score {assembled.header_score:.2f} below the "

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..utils.rng import SeedLike, make_rng
+from .fidelity import FidelityPolicy
 
 
 @dataclass
@@ -78,14 +79,19 @@ def _kmeans_pp_init(points: np.ndarray, k: int, n_init: int,
 def kmeans(points: np.ndarray, k: int, rng: SeedLike = None,
            n_init: int = 4, max_iter: int = 100,
            tol: float = 1e-10,
-           init_centroids: Optional[np.ndarray] = None) -> KMeansResult:
+           init_centroids: Optional[np.ndarray] = None,
+           bounded_min_points: int = 1024) -> KMeansResult:
     """Lloyd's algorithm on complex points with k-means++ restarts.
 
     ``init_centroids``, when given, is a length-``k`` complex array of
     prior centroids (e.g. a tracked stream's fit from the previous
     epoch).  It replaces the k-means++ restart fan-out with a *single*
     warm restart from those centroids — the cross-epoch fast path of
-    :mod:`repro.core.session` — and leaves the RNG untouched.
+    :mod:`repro.core.session` — and leaves the RNG untouched.  Warm
+    restarts on at least ``bounded_min_points`` points run the
+    bound-based Lloyd iteration (:func:`kmeans_bounded`), which
+    converges to the identical fit while skipping most distance
+    computations.
     """
     pts = np.asarray(points, dtype=np.complex128).ravel()
     if pts.size == 0:
@@ -103,22 +109,38 @@ def kmeans(points: np.ndarray, k: int, rng: SeedLike = None,
             raise ConfigurationError(
                 f"init_centroids has {warm.size} centroids, need {k}")
         n_init = 1
+        # A single warm restart on a large point set is the bound-based
+        # sweet spot: Hamerly pruning converges identically to the
+        # brute-force iteration (property-tested) while skipping most
+        # distance computations once assignments settle.
+        if pts.size >= bounded_min_points and k > 1:
+            return kmeans_bounded(pts, k, warm, max_iter=max_iter,
+                                  tol=tol)
     gen = make_rng(rng)
-
-    # All restarts run as one batched Lloyd iteration: centroids are an
-    # (R, k) stack, distances an (R, n, k) tensor, and the centroid
-    # update a single offset-bincount over every restart's labels.
-    # Seeding still draws from the generator restart-by-restart (the
-    # same RNG stream as a serial loop), each restart follows exactly
-    # the trajectory it would follow alone (converged restarts are
-    # frozen, not re-averaged), and the wall clock is set by the
-    # slowest restart instead of the sum of all of them.
-    n = pts.size
-    pr, pi = pts.real, pts.imag
     if init_centroids is not None:
         cents = warm[None, :].copy()
     else:
         cents = _kmeans_pp_init(pts, k, n_init, gen)
+    return _lloyd_batched(pts, cents, max_iter=max_iter, tol=tol)
+
+
+def _lloyd_batched(pts: np.ndarray, cents: np.ndarray,
+                   max_iter: int = 100,
+                   tol: float = 1e-10) -> KMeansResult:
+    """Batched Lloyd iteration over a stack of restarts.
+
+    All restarts run as one batched Lloyd iteration: centroids are an
+    (R, k) stack, distances an (R, n, k) tensor, and the centroid
+    update a single offset-bincount over every restart's labels.
+    Each restart follows exactly the trajectory it would follow alone
+    (converged restarts are frozen, not re-averaged), and the wall
+    clock is set by the slowest restart instead of the sum of all of
+    them.  The best restart by final inertia wins.
+    """
+    n = pts.size
+    n_init, k = cents.shape
+    cents = cents.copy()
+    pr, pi = pts.real, pts.imag
     offsets = (np.arange(n_init) * k)[:, None]
     pr_tiled = np.broadcast_to(pr, (n_init, n)).ravel()
     pi_tiled = np.broadcast_to(pi, (n_init, n)).ravel()
@@ -163,6 +185,109 @@ def kmeans(points: np.ndarray, k: int, rng: SeedLike = None,
                         inertia=float(inertias[best_r]))
 
 
+def kmeans_bounded(points: np.ndarray, k: int,
+                   init_centroids: np.ndarray,
+                   max_iter: int = 100, tol: float = 1e-10,
+                   stats: Optional[Dict[str, int]] = None
+                   ) -> KMeansResult:
+    """Single-restart Lloyd iteration with Hamerly distance bounds.
+
+    Follows the exact assignment trajectory of the brute-force
+    iteration (:func:`_lloyd_batched` with one restart) but maintains
+    per-point bounds — an upper bound on the distance to the assigned
+    centroid and a lower bound on the distance to every other — so most
+    points skip the full distance computation on most iterations.  A
+    point's exact distances are recomputed only when the bounds cross
+    (``upper >= lower``, inclusive so argmin first-index tie-breaking
+    matches the reference), which restores the invariant that every
+    point is labelled by true nearest centroid.  Centroid updates,
+    empty-cluster reseeding, the convergence test and the final
+    assignment reuse the reference formulas verbatim, so the returned
+    fit is bit-identical to the brute-force warm restart.
+    """
+    pts = np.asarray(points, dtype=np.complex128).ravel()
+    if pts.size == 0:
+        raise ConfigurationError("cannot cluster zero points")
+    cents = np.asarray(init_centroids, dtype=np.complex128).ravel().copy()
+    if cents.size != k:
+        raise ConfigurationError(
+            f"init_centroids has {cents.size} centroids, need {k}")
+    if k > pts.size:
+        raise ConfigurationError(
+            f"k={k} exceeds the number of points ({pts.size})")
+    if stats is not None:
+        stats["bounded_lloyd_runs"] = stats.get("bounded_lloyd_runs", 0) + 1
+    pr, pi = pts.real, pts.imag
+
+    def _full_dist2(c: np.ndarray) -> np.ndarray:
+        return ((pr[:, None] - c.real[None, :]) ** 2
+                + (pi[:, None] - c.imag[None, :]) ** 2)
+
+    dist2 = _full_dist2(cents)
+    labels = np.argmin(dist2, axis=1)
+    if k == 1:
+        part = np.sqrt(dist2[:, 0])
+        upper = part
+        lower = np.full(pts.size, np.inf)
+    else:
+        part = np.sqrt(np.partition(dist2, 1, axis=1))
+        upper = part[:, 0].copy()
+        lower = part[:, 1].copy()
+
+    for _ in range(max_iter):
+        counts = np.bincount(labels, minlength=k)
+        sums = (np.bincount(labels, weights=pr, minlength=k)
+                + 1j * np.bincount(labels, weights=pi, minlength=k))
+        new_c = np.where(counts > 0, sums / np.maximum(counts, 1), cents)
+        if (counts == 0).any():
+            # Mirror the reference reseed: empty clusters jump to the
+            # worst-fit point, measured against the pre-update
+            # centroids.  Bounds are rebuilt from scratch afterwards.
+            d2 = _full_dist2(cents)
+            worst = int(np.argmax(np.min(d2, axis=1)))
+            new_c[counts == 0] = pts[worst]
+            shift = np.abs(new_c - cents)
+            cents = new_c
+            if shift.max() <= tol:
+                break
+            d2 = _full_dist2(cents)
+            labels = np.argmin(d2, axis=1)
+            part = np.sqrt(np.partition(d2, 1, axis=1))
+            upper = part[:, 0].copy()
+            lower = part[:, 1].copy()
+            continue
+        shift = np.abs(new_c - cents)
+        cents = new_c
+        if shift.max() <= tol:
+            break
+        # Bound maintenance: the assigned centroid moved by
+        # shift[label] (upper grows by at most that), every other
+        # centroid by at most shift.max() (lower shrinks by at most
+        # that).
+        upper += shift[labels]
+        lower -= shift.max()
+        loose = np.flatnonzero(upper >= lower)
+        if loose.size:
+            # First tighten the upper bound to the exact distance to
+            # the assigned centroid — often enough to prune.
+            lab = labels[loose]
+            d_lab = np.abs(pts[loose] - cents[lab])
+            upper[loose] = d_lab
+            stale = loose[d_lab >= lower[loose]]
+            if stale.size:
+                d2s = ((pr[stale, None] - cents.real[None, :]) ** 2
+                       + (pi[stale, None] - cents.imag[None, :]) ** 2)
+                labels[stale] = np.argmin(d2s, axis=1)
+                parts = np.sqrt(np.partition(d2s, 1, axis=1))
+                upper[stale] = parts[:, 0]
+                lower[stale] = parts[:, 1]
+
+    dist2 = _full_dist2(cents)
+    labels = np.argmin(dist2, axis=1)
+    inertia = float(np.min(dist2, axis=1).sum())
+    return KMeansResult(centroids=cents, labels=labels, inertia=inertia)
+
+
 def bic_score(result: KMeansResult, n_points: int) -> float:
     """BIC-style score of a k-means fit (lower is better).
 
@@ -189,7 +314,9 @@ def select_cluster_count(points: np.ndarray,
                          centroid_hints: Optional[
                              Dict[int, np.ndarray]] = None,
                          fits_out: Optional[
-                             Dict[int, KMeansResult]] = None
+                             Dict[int, KMeansResult]] = None,
+                         policy: Optional[FidelityPolicy] = None,
+                         stats: Optional[Dict[str, int]] = None
                          ) -> KMeansResult:
     """Pick the cluster count by inertia-improvement ratio.
 
@@ -205,6 +332,15 @@ def select_cluster_count(points: np.ndarray,
     as a single warm Lloyd restart instead of the k-means++ fan-out.
     ``fits_out``, when given, is filled with every candidate's fit so a
     session cache can persist the centroids for the next epoch.
+
+    With an *active* ``policy`` (see :class:`FidelityPolicy`) the sweep
+    runs adaptively: k-means++ seeding is shared across the candidate
+    ks (each smaller k seeds from a prefix of the largest candidate's
+    seeds), model selection runs on a capped deterministic subsample,
+    and the full point set is refitted only when the inertia-ratio
+    verdict lands inside the policy's confidence gap.  ``stats``
+    accumulates the escalation counters.  A ``force_full`` (or absent)
+    policy runs the legacy sweep, consuming the identical RNG stream.
     """
     pts = np.asarray(points, dtype=np.complex128).ravel()
     if not candidates:
@@ -220,6 +356,11 @@ def select_cluster_count(points: np.ndarray,
             f"{pts.size} points")
     hints = centroid_hints or {}
 
+    if policy is not None and policy.active and len(feasible) > 1:
+        return _select_adaptive(pts, feasible, gen, n_init,
+                                improvement_factor, hints, fits_out,
+                                policy, stats)
+
     def _fit(k: int) -> KMeansResult:
         result = kmeans(pts, k, rng=gen, n_init=n_init,
                         init_centroids=hints.get(k))
@@ -233,4 +374,108 @@ def select_cluster_count(points: np.ndarray,
         floor = max(candidate.inertia, 1e-300)
         if best.inertia / floor >= improvement_factor:
             best = candidate
+    return best
+
+
+def _select_adaptive(pts: np.ndarray, feasible: List[int],
+                     gen: np.random.Generator, n_init: int,
+                     improvement_factor: float,
+                     hints: Dict[int, np.ndarray],
+                     fits_out: Optional[Dict[int, KMeansResult]],
+                     policy: FidelityPolicy,
+                     stats: Optional[Dict[str, int]]) -> KMeansResult:
+    """Subsampled, shared-seeded candidate-k sweep with escalation.
+
+    The largest candidate k is seeded once with k-means++; every
+    smaller candidate reuses a prefix of those seeds (a k-means++
+    prefix is itself a valid k-means++ draw, since seeding is greedy
+    and incremental), so the sweep pays one seeding fan-out instead of
+    one per candidate.  When the point set exceeds the policy's
+    subsample cap, the sweep runs on a deterministic seeded subsample
+    and the inertia-ratio verdict is trusted only when its log-margin
+    from the acceptance threshold exceeds ``log(confidence_gap)``;
+    otherwise the legacy full-set sweep runs.  A trusted subsample
+    verdict still refits the chosen k on the full set (warm-started
+    from the subsample centroids) so the returned labels cover every
+    point.
+    """
+    cap = policy.subsample_cap
+    subsampled = bool(cap) and pts.size > cap
+    if subsampled:
+        draw = np.random.default_rng(policy.subsample_seed)
+        sub_idx = draw.choice(pts.size, size=cap, replace=False)
+        sub_idx.sort()
+        sub = pts[sub_idx]
+        feasible = [k for k in feasible if k <= sub.size]
+    else:
+        sub = pts
+
+    # One k-means++ fan-out at the largest candidate seeds the whole
+    # sweep; smaller candidates take seed prefixes.  The restart count
+    # is narrowed: the collision verdict reads the inertia *ratio*
+    # between candidate ks (robust to a slightly sub-optimal fit on
+    # both sides), not the absolute fit quality the legacy fan-out
+    # polishes for.
+    k_max = feasible[-1]
+    restarts = min(n_init, 2)
+    shared = _kmeans_pp_init(sub, k_max, restarts, gen)
+
+    def _fit_sub(k: int) -> KMeansResult:
+        hint = hints.get(k)
+        if hint is not None and not subsampled:
+            seeds = np.asarray(hint, dtype=np.complex128).ravel()
+            if seeds.size == k:
+                return _lloyd_batched(sub, seeds[None, :])
+        return _lloyd_batched(sub, shared[:, :k])
+
+    fits = {k: _fit_sub(k) for k in feasible}
+    best_k = feasible[0]
+    confident = True
+    log_gap = math.log(policy.confidence_gap)
+    for k in feasible[1:]:
+        floor = max(fits[k].inertia, 1e-300)
+        ratio = max(fits[best_k].inertia, 1e-300) / floor
+        if subsampled:
+            margin = abs(math.log(ratio) - math.log(improvement_factor))
+            if margin < log_gap:
+                confident = False
+                break
+        if ratio >= improvement_factor:
+            best_k = k
+
+    if not confident:
+        # Low-confidence subsample verdict: escalate to the legacy
+        # full-set sweep (cold k-means++ restarts on every point).
+        if stats is not None:
+            stats["subsample_escalations"] = (
+                stats.get("subsample_escalations", 0) + 1)
+        best = None
+        for k in feasible:
+            result = kmeans(pts, k, rng=gen, n_init=n_init,
+                            init_centroids=hints.get(k))
+            if fits_out is not None:
+                fits_out[k] = result
+            if best is None:
+                best = result
+            else:
+                floor = max(result.inertia, 1e-300)
+                if best.inertia / floor >= improvement_factor:
+                    best = result
+        return best
+
+    if subsampled:
+        if stats is not None:
+            stats["subsample_fast"] = stats.get("subsample_fast", 0) + 1
+        # The verdict is trusted; the chosen k still needs full-set
+        # labels, so refit warm from the subsample centroids.
+        if pts.size >= policy.bounded_min_points and best_k > 1:
+            best = kmeans_bounded(pts, best_k, fits[best_k].centroids,
+                                  stats=stats)
+        else:
+            best = _lloyd_batched(pts, fits[best_k].centroids[None, :])
+        fits[best_k] = best
+    else:
+        best = fits[best_k]
+    if fits_out is not None:
+        fits_out.update(fits)
     return best

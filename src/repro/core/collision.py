@@ -22,17 +22,23 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..utils.rng import SeedLike
-from .clustering import KMeansResult, select_cluster_count
+from .clustering import KMeansResult, kmeans, select_cluster_count
+from .fidelity import FidelityPolicy
 
 
 @dataclass
 class CollisionReport:
-    """Outcome of collision analysis for one stream's differentials."""
+    """Outcome of collision analysis for one stream's differentials.
+
+    ``kmeans`` is ``None`` only on the adaptive pre-gate fast path of a
+    cold (sessionless) decode, where the verdict is settled by
+    planarity alone and no consumer needs the cluster fit.
+    """
 
     is_collision: bool
     n_clusters: int
     planarity: float           # minor/major axis ratio of the scatter
-    kmeans: KMeansResult
+    kmeans: Optional[KMeansResult]
 
     @property
     def estimated_colliders(self) -> int:
@@ -95,8 +101,11 @@ def detect_collision(differentials: np.ndarray,
                      rng: SeedLike = None,
                      centroid_hints: Optional[
                          Dict[int, np.ndarray]] = None,
-                     fits_out: Optional[Dict[int, object]] = None
-                     ) -> CollisionReport:
+                     fits_out: Optional[Dict[int, object]] = None,
+                     policy: Optional[FidelityPolicy] = None,
+                     stats: Optional[Dict[str, int]] = None,
+                     warm: bool = False,
+                     cache_fast_fit: bool = True) -> CollisionReport:
     """Decide whether a stream's grid differentials contain a collision.
 
     ``noise_scale``, when given, is the expected differential noise
@@ -108,6 +117,22 @@ def detect_collision(differentials: np.ndarray,
     (see :func:`repro.core.clustering.select_cluster_count`): hinted
     cluster counts fit as a single warm Lloyd restart, and every
     candidate fit is exported for the next epoch's cache.
+
+    With an *active* ``policy``, planarity is evaluated *before* the
+    cluster-count sweep: the final verdict only depends on planarity
+    versus the effective threshold (the sweep always returns k >= 3 for
+    these candidate sets), so a scatter whose planarity sits below
+    ``pregate_margin`` times the threshold is a guaranteed single tag
+    and skips the sweep.  ``warm=True`` (a session tracker already
+    vouches for the stream as a known single tag) widens the fast band
+    to ``pregate_margin_warm``.  Planarity in the low-confidence band
+    escalates to the full detector, so the fast path can never flip a
+    verdict.  ``stats`` accumulates the gate counters.
+
+    ``cache_fast_fit=False`` lets a caller with no session cache skip
+    the 3-cluster fit on the fast path entirely (the verdict never
+    reads it); escalated sweeps still export every fit via
+    ``fits_out``.
     """
     pts = np.asarray(differentials, dtype=np.complex128).ravel()
     if pts.size < 3:
@@ -116,14 +141,54 @@ def detect_collision(differentials: np.ndarray,
     if not 0 <= planarity_threshold < 1:
         raise ConfigurationError(
             "planarity threshold must be in [0, 1)")
+
+    adaptive = policy is not None and policy.active
+    if adaptive and policy.pregate:
+        planarity = scatter_planarity(pts)
+        threshold = effective_planarity_threshold(
+            pts, planarity_threshold=planarity_threshold,
+            noise_scale=noise_scale)
+        margin = (policy.pregate_margin_warm if warm
+                  else policy.pregate_margin)
+        if planarity <= margin * threshold:
+            if stats is not None:
+                stats["pregate_fast"] = stats.get("pregate_fast", 0) + 1
+            # Verdict is settled (single tag); the sweep is skipped.
+            # Only a session cache still needs the 3-cluster fit —
+            # its per-point inertia is next epoch's blowup baseline —
+            # so a cold decode skips the fit too.
+            fit = None
+            if fits_out is not None and cache_fast_fit:
+                k3 = min(3, pts.size)
+                fit = kmeans(pts, k3, rng=rng, n_init=1,
+                             init_centroids=(centroid_hints
+                                             or {}).get(k3),
+                             bounded_min_points=(
+                                 policy.bounded_min_points))
+                fits_out[k3] = fit
+            return CollisionReport(
+                is_collision=False,
+                n_clusters=min(fit.k, 3) if fit is not None else 3,
+                planarity=planarity,
+                kmeans=fit,
+            )
+        if stats is not None:
+            stats["pregate_escalations"] = (
+                stats.get("pregate_escalations", 0) + 1)
+    else:
+        planarity = None
+        threshold = None
+
     fit = select_cluster_count(pts, candidates=candidates, rng=rng,
                                improvement_factor=1.5,
                                centroid_hints=centroid_hints,
-                               fits_out=fits_out)
-    planarity = scatter_planarity(pts)
-    threshold = effective_planarity_threshold(
-        pts, planarity_threshold=planarity_threshold,
-        noise_scale=noise_scale)
+                               fits_out=fits_out,
+                               policy=policy, stats=stats)
+    if planarity is None:
+        planarity = scatter_planarity(pts)
+        threshold = effective_planarity_threshold(
+            pts, planarity_threshold=planarity_threshold,
+            noise_scale=noise_scale)
 
     # Planarity is the primary signal: a second collider makes the
     # differential scatter genuinely two-dimensional, whereas the

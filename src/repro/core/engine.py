@@ -64,6 +64,7 @@ from ..errors import ConfigurationError
 from ..types import EpochResult, IQTrace, StreamFault
 from ..utils.rng import iter_spawn_seed_sequences
 from ..utils.timing import merge_timings
+from .fidelity import merge_fidelity_stats
 from .pipeline import LFDecoder, LFDecoderConfig
 
 try:
@@ -587,6 +588,14 @@ class BatchDecoder:
         total: Dict[str, float] = {}
         for result in results:
             merge_timings(total, result.stage_timings)
+        return total
+
+    def aggregate_fidelity_stats(self, results: Iterable[EpochResult]
+                                 ) -> Dict[str, int]:
+        """Sum fidelity-gate counters across epoch results."""
+        total: Dict[str, int] = {}
+        for result in results:
+            merge_fidelity_stats(total, result.fidelity_stats)
         return total
 
 

@@ -110,7 +110,10 @@ def _circular_peak_offsets(counts: np.ndarray, bin_width: float,
             remaining[best] = 0
             continue
         centroid = float(np.sum(idx * local) / local.sum())
-        offsets.append((centroid % n_bins + 0.5) * bin_width)
+        # The +0.5 bin-centre shift can push a boundary-straddling
+        # peak's centroid to exactly n_bins; keep offsets in [0, period)
+        # by wrapping after the shift.
+        offsets.append(((centroid + 0.5) % n_bins) * bin_width)
         lo = best - suppress
         hi = best + suppress + 1
         wrap = np.mod(np.arange(lo, hi), n_bins)

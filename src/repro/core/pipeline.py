@@ -32,6 +32,7 @@ from .clustering import KMeansResult, kmeans
 from .collision import CollisionReport, detect_collision, \
     effective_planarity_threshold, scatter_planarity
 from .edges import EdgeDetector, EdgeDetectorConfig
+from .fidelity import FidelityPolicy
 from .folding import (FoldingConfig, analog_fold_search,
                       find_stream_hypotheses,
                       find_stream_hypotheses_warm)
@@ -80,6 +81,12 @@ class LFDecoderConfig:
     #: decode is bit-identical with the guard on or off).
     enable_trace_guard: bool = True
     guard_config: Optional[GuardConfig] = None
+    #: Multi-fidelity decode policy (see
+    #: :class:`repro.core.fidelity.FidelityPolicy`).  ``None`` uses the
+    #: default adaptive policy; ``FidelityPolicy.full()`` forces full
+    #: fidelity everywhere and reproduces the pre-adaptive decoder
+    #: bit-identically.
+    fidelity: Optional[FidelityPolicy] = None
 
     def __post_init__(self) -> None:
         if not self.candidate_bitrates_bps:
@@ -99,9 +106,15 @@ class LFDecoder:
         self.config = config or LFDecoderConfig()
         self._rng = make_rng(rng)
         self.edge_detector = EdgeDetector(self.config.edge_config)
-        self.viterbi = ViterbiDecoder(p_flip=self.config.p_flip)
+        self.fidelity = self.config.fidelity or FidelityPolicy()
+        self.viterbi = ViterbiDecoder(
+            p_flip=self.config.p_flip,
+            banded=(self.fidelity.active
+                    and self.fidelity.banded_viterbi),
+            band_margin=self.fidelity.viterbi_band_margin)
         self._timer = StageTimer()
         self._cache: Optional[Dict[str, int]] = None
+        self._fid: Dict[str, int] = self.fidelity.new_stats()
 
     def candidate_periods(self) -> List[float]:
         """Candidate bit periods in samples, shortest (fastest) first."""
@@ -151,6 +164,8 @@ class LFDecoder:
         self._timer = timer = StageTimer()
         self._cache = ({key: 0 for key in CACHE_STAT_KEYS}
                        if session is not None else None)
+        self._fid = self.fidelity.new_stats()
+        self.viterbi.stats = self._fid
         if session is not None:
             session.begin_epoch(sample_offset)
         t0 = time.perf_counter()
@@ -235,10 +250,11 @@ class LFDecoder:
 
     def _finish(self, result: EpochResult,
                 session: Optional[SessionState]) -> EpochResult:
-        """Publish cache counters and close the session epoch."""
+        """Publish cache + fidelity counters and close the session epoch."""
+        result.fidelity_stats = dict(self._fid)
         if session is not None and self._cache is not None:
             result.cache_stats = dict(self._cache)
-            session.end_epoch(self._cache)
+            session.end_epoch(self._cache, fidelity_stats=self._fid)
         return result
 
     def _bump(self, key: str) -> None:
@@ -395,12 +411,19 @@ class LFDecoder:
             if report is None:
                 hints = (tracker.centroid_hints()
                          if trusted and tracker.arity >= 2 else None)
+                # A matched single-tag tracker that lacks cached
+                # centroids (fresh tracker, invalidated cache) still
+                # vouches for the stream's geometry: the planarity
+                # pre-gate runs with its relaxed warm margin.
+                warm_vouched = (trusted and tracker is not None
+                                and tracker.arity == 1)
                 with self._timer.stage("detect"):
-                    report = detect_collision(diffs,
-                                              noise_scale=noise_scale,
-                                              rng=self._rng,
-                                              centroid_hints=hints,
-                                              fits_out=fits)
+                    report = detect_collision(
+                        diffs, noise_scale=noise_scale,
+                        rng=self._rng, centroid_hints=hints,
+                        fits_out=fits, policy=self.fidelity,
+                        stats=self._fid, warm=warm_vouched,
+                        cache_fast_fit=session is not None)
                     if hints is not None:
                         if session.warm_fit_blown(tracker.inertia_pp,
                                                   fits, keys=(9,)):
@@ -413,7 +436,9 @@ class LFDecoder:
                             fits = {}
                             report = detect_collision(
                                 diffs, noise_scale=noise_scale,
-                                rng=self._rng, fits_out=fits)
+                                rng=self._rng, fits_out=fits,
+                                policy=self.fidelity,
+                                stats=self._fid)
                         else:
                             self._bump("kmeans_hits")
                             session.note_warm_success(tracker)
@@ -452,7 +477,7 @@ class LFDecoder:
                 # survived the header check): fall back to decoding the
                 # strongest collider as a single stream rather than
                 # dropping both.
-        observations = _project_single(diffs)
+        observations, proj_scale = _project_single_scaled(diffs)
         proj_fits: Dict[int, KMeansResult] = {}
         multilevel: Optional[bool] = None
         can_check = cfg.enable_iq_separation and diffs.size >= 20
@@ -487,13 +512,35 @@ class LFDecoder:
                     session.note_warm_success(tracker)
                     proj_fits[3] = three
                     multilevel = False
+        pol = self.fidelity
+        if multilevel is None and can_check and pol.active \
+                and pol.dispersion_gate and not trusted:
+            # Dispersion pre-gate: a lone tag's projection sits on the
+            # {-1, 0, +1} lattice up to noise, while a collinear
+            # collision puts substantial mass at intermediate levels.
+            # A cleanly trimodal projection skips the paired k-means
+            # fits (and the collinear-split attempts their false
+            # positives trigger); any real collinear collision has
+            # off-lattice mass far above the gate and escalates.
+            with self._timer.stage("detect"):
+                off = np.abs(observations
+                             - np.clip(np.round(observations), -1, 1))
+                frac = float(np.mean(off > pol.dispersion_eps))
+                if frac <= pol.dispersion_fraction:
+                    multilevel = False
+                    self._fid["multilevel_fast"] += 1
+                else:
+                    self._fid["multilevel_escalations"] += 1
         if multilevel is None:
             proj_hints = (tracker.proj_hints() if trusted else None)
+            dec_rng = (self._track_rng(track) if pol.active
+                       else self._rng)
+            ml_init = 2 if pol.active else 3
             with self._timer.stage("detect"):
                 multilevel = (can_check and _looks_multilevel(
-                    observations, self._rng,
+                    observations, dec_rng,
                     centroid_hints=proj_hints,
-                    fits_out=proj_fits))
+                    fits_out=proj_fits, n_init=ml_init))
                 if proj_hints is not None and proj_fits:
                     if session.warm_fit_blown(tracker.proj_inertia_pp,
                                               proj_fits, keys=(3,)):
@@ -502,8 +549,8 @@ class LFDecoder:
                         session.note_invalidation(tracker)
                         proj_fits = {}
                         multilevel = _looks_multilevel(
-                            observations, self._rng,
-                            fits_out=proj_fits)
+                            observations, dec_rng,
+                            fits_out=proj_fits, n_init=ml_init)
                     else:
                         self._bump("kmeans_hits")
                         session.note_warm_success(tracker)
@@ -513,7 +560,16 @@ class LFDecoder:
             # more than three levels; the scalar-lattice separator
             # handles this degenerate case (an extension beyond the
             # paper's parallelogram method).
-            streams = self._decode_collinear(diffs, track, result)
+            level_hint = None
+            if pol.active and 9 in proj_fits:
+                # The multilevel check just fitted nine levels on this
+                # same projection (in normalized units); rescaled, they
+                # warm-seed the separator's level fit in place of its
+                # cold k-means++ fan-out.
+                level_hint = (proj_fits[9].centroids.real
+                              * proj_scale)
+            streams = self._decode_collinear(diffs, track, result,
+                                             level_hint=level_hint)
             if streams:
                 if session is not None \
                         and self._period_cacheable(track.period_samples):
@@ -535,13 +591,38 @@ class LFDecoder:
                             flipped=self._last_flipped)
         return [stream] if stream is not None else []
 
+    def _track_rng(self, track: StreamTrack) -> np.random.Generator:
+        """Deterministic per-track generator for adaptive decision fits.
+
+        The multilevel check and the collinear split sit on marginal
+        k-means fits whose outcome can depend on the initialization
+        draw.  Under the shared decoder RNG that draw depends on the
+        entire path history — a warm (session) decode and a cold decode
+        of the *same physical stream* reach it with different generator
+        states and can resolve a borderline split differently, breaking
+        the warm-bits == cold-bits invariant.  Seeding from the track's
+        quantized timing makes those fits a function of the stream
+        alone.  The offset quantum (16 samples) absorbs the sub-sample
+        jitter between warm and cold track estimates.
+        """
+        return np.random.default_rng(
+            (self.fidelity.subsample_seed,
+             int(round(track.period_samples)),
+             int(round(track.offset_samples / 16.0))))
+
     def _decode_collinear(self, diffs: np.ndarray, track: StreamTrack,
-                          result: EpochResult) -> List[DecodedStream]:
+                          result: EpochResult,
+                          level_hint: Optional[np.ndarray] = None
+                          ) -> List[DecodedStream]:
         """Attempt the 1-D scalar-lattice split of a collinear
         collision; both recovered frames must pass the header gate."""
+        adaptive = self.fidelity.active
+        rng = self._track_rng(track) if adaptive else self._rng
         try:
             with self._timer.stage("separate"):
-                separation = separate_collinear(diffs, rng=self._rng)
+                separation = separate_collinear(
+                    diffs, rng=rng, n_init=3 if adaptive else 6,
+                    init_levels=level_hint if adaptive else None)
         except (DecodeError, ConfigurationError):
             return []
         streams: List[DecodedStream] = []
@@ -587,12 +668,15 @@ class LFDecoder:
         elif tracker is not None and tracker.arity >= 2:
             centroid_hint = tracker.collision_centroids
             basis_hint = tracker.basis
-        elif session is not None and fits and 9 in fits:
+        elif (session is not None or self.fidelity.active) \
+                and fits and 9 in fits:
             # Separation fast path: the collision-detection stage
             # already fitted nine clusters on the narrow-guard
             # differentials.  The wide-guard re-extraction shifts the
             # points only slightly, so that fit seeds a single Lloyd
-            # restart instead of the full n_init fan-out.
+            # restart instead of the full n_init fan-out.  Any seed
+            # that traps Lloyd in a bad optimum falls through to the
+            # cold retry below, so cold adaptive decodes use it too.
             centroid_hint = fits[9].centroids
             seeded = True
         with self._timer.stage("separate"):
@@ -653,7 +737,8 @@ class LFDecoder:
                     preamble_bits=cfg.preamble_bits,
                     anchor_bit=cfg.anchor_bit,
                     min_header_score=cfg.min_header_score,
-                    flipped_hint=flipped_hint)
+                    flipped_hint=flipped_hint,
+                    prescreen=self.fidelity.active)
         except DecodeError:
             return None
         # Exposed for the session cache: the resolved polarity of the
@@ -696,6 +781,18 @@ def _project_single(differentials: np.ndarray) -> np.ndarray:
     cluster magnitude yields observations near {-1, 0, +1}.  Sign
     remains ambiguous; the anchor stage resolves it.
     """
+    return _project_single_scaled(differentials)[0]
+
+
+def _project_single_scaled(
+        differentials: np.ndarray) -> Tuple[np.ndarray, float]:
+    """:func:`_project_single` plus the normalization scale.
+
+    The scale maps normalized observation levels back into raw
+    projection units — the adaptive pipeline uses it to convert the
+    multilevel check's 9-level fit into warm seeds for the collinear
+    separator, which clusters the *unnormalized* projection.
+    """
     d = np.asarray(differentials, dtype=np.complex128).ravel()
     if d.size == 0:
         raise DecodeError("no differentials to project")
@@ -717,7 +814,7 @@ def _project_single(differentials: np.ndarray) -> np.ndarray:
     scale = float(np.median(np.abs(proj[strong])))
     if scale <= 0:
         raise DecodeError("degenerate projection scale")
-    return proj / scale
+    return proj / scale, scale
 
 
 def _hold_cluster_noise(differentials: np.ndarray) -> float:
@@ -775,7 +872,8 @@ def _looks_multilevel(observations: np.ndarray,
                       centroid_hints: Optional[
                           Dict[int, np.ndarray]] = None,
                       fits_out: Optional[
-                          Dict[int, KMeansResult]] = None) -> bool:
+                          Dict[int, KMeansResult]] = None,
+                      n_init: int = 3) -> bool:
     """True when a stream's 1-D projection has more than three levels.
 
     A lone tag's projection clusters at {-1, 0, +1}; a collinear
@@ -792,9 +890,9 @@ def _looks_multilevel(observations: np.ndarray,
     from .clustering import kmeans as _kmeans
     hints = centroid_hints or {}
     pts = obs.astype(np.complex128)
-    three = _kmeans(pts, 3, rng=rng, n_init=3,
+    three = _kmeans(pts, 3, rng=rng, n_init=n_init,
                     init_centroids=hints.get(3))
-    nine = _kmeans(pts, 9, rng=rng, n_init=3,
+    nine = _kmeans(pts, 9, rng=rng, n_init=n_init,
                    init_centroids=hints.get(9))
     if fits_out is not None:
         fits_out[3] = three

@@ -26,8 +26,8 @@ import numpy as np
 
 from ..errors import CollisionUnresolvableError, ConfigurationError, \
     DecodeError
-from ..utils.rng import SeedLike
-from .clustering import kmeans
+from ..utils.rng import SeedLike, make_rng
+from .clustering import _kmeans_pp_init, _lloyd_batched, kmeans
 
 #: The nine (a, b) lattice coordinates in a fixed order.
 LATTICE_COORDS: Tuple[Tuple[int, int], ...] = tuple(
@@ -293,7 +293,9 @@ def separate_two_way(differentials: np.ndarray,
 
 def separate_collinear(differentials: np.ndarray,
                        rng: SeedLike = None,
-                       min_scale_ratio: float = 1.35
+                       min_scale_ratio: float = 1.35,
+                       n_init: int = 6,
+                       init_levels: Optional[np.ndarray] = None
                        ) -> SeparationResult:
     """Separate a two-way collision whose edge vectors are (anti)parallel.
 
@@ -303,6 +305,16 @@ def separate_collinear(differentials: np.ndarray,
     line, separable by 1-D clustering whenever the two magnitudes
     differ enough (``min_scale_ratio`` between |s1| and |s2|).  This
     extends the paper's method to its documented degenerate case.
+
+    ``n_init`` is the k-means restart fan-out for the 1-D level fit;
+    the adaptive pipeline narrows it (a 1-D fit converges from far
+    fewer starts than the planar 9-cluster problem needs).
+
+    ``init_levels`` (nine raw projection levels from an earlier fit of
+    the same stream) replaces the cold fan-out with two warm restarts,
+    one per axis orientation — the caller's projection axis and this
+    function's eigenvector can disagree in sign, so both are tried and
+    the better fit wins.  The RNG is left untouched in that case.
     """
     pts = np.asarray(differentials, dtype=np.complex128).ravel()
     if pts.size < 9:
@@ -315,7 +327,19 @@ def separate_collinear(differentials: np.ndarray,
     direction = complex(axis[0], axis[1])
     proj = pts.real * axis[0] + pts.imag * axis[1]
 
-    fit = kmeans(proj.astype(np.complex128), 9, rng=rng, n_init=6)
+    pr = proj.astype(np.complex128)
+    if init_levels is not None and np.asarray(init_levels).size == 9:
+        # Two warm restarts (one per axis orientation) plus one cold
+        # k-means++ draw: the warm seeds carry the multilevel check's
+        # level structure, the cold draw keeps a bad warm fit from
+        # deciding the split on its own.
+        seeds = np.asarray(init_levels,
+                           dtype=np.complex128).ravel()
+        cold = _kmeans_pp_init(pr, 9, 1, make_rng(rng))
+        fit = _lloyd_batched(pr, np.vstack([seeds[None, :],
+                                            -seeds[None, :], cold]))
+    else:
+        fit = kmeans(pr, 9, rng=rng, n_init=n_init)
     centroids = np.sort(fit.centroids.real)
     scale = float(np.max(np.abs(centroids)))
     if scale <= 0:

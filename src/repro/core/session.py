@@ -37,6 +37,7 @@ from ..types import EpochResult, IQTrace
 from ..utils.rng import SeedLike
 from .clustering import KMeansResult
 from .collision import scatter_planarity
+from .fidelity import merge_fidelity_stats
 from .separation import _LATTICE_A, _LATTICE_B
 
 #: Counter keys every session epoch reports (hit/miss per warm stage).
@@ -190,6 +191,9 @@ class SessionState:
         self.epoch_count = 0
         #: Session-lifetime totals of the per-epoch cache counters.
         self.totals: Dict[str, int] = {key: 0 for key in CACHE_STAT_KEYS}
+        #: Session-lifetime totals of the per-epoch fidelity-gate
+        #: counters (see :mod:`repro.core.fidelity`).
+        self.fidelity_totals: Dict[str, int] = {}
         #: Trackers quarantined back to the cold path so far.
         self.n_quarantined = 0
         #: Trackers behind this epoch's ``warm_hints`` (index-aligned).
@@ -222,7 +226,9 @@ class SessionState:
         self._hint_trackers = [t for t in self.trackers
                                if t.misses == 0 and not t.quarantined]
 
-    def end_epoch(self, cache_stats: Dict[str, int]) -> None:
+    def end_epoch(self, cache_stats: Dict[str, int],
+                  fidelity_stats: Optional[Dict[str, int]] = None
+                  ) -> None:
         """Miss accounting + eviction, then fold counters into totals."""
         survivors: List[StreamTracker] = []
         for tracker in self.trackers:
@@ -244,6 +250,8 @@ class SessionState:
         self.epoch_count += 1
         for key in CACHE_STAT_KEYS:
             self.totals[key] += int(cache_stats.get(key, 0))
+        if fidelity_stats:
+            merge_fidelity_stats(self.fidelity_totals, fidelity_stats)
 
     # -- warm hints for the fold search -----------------------------------
 
@@ -546,6 +554,11 @@ class SessionDecoder:
     def cache_stats(self) -> Dict[str, int]:
         """Session-lifetime cache hit/miss totals."""
         return dict(self.state.totals)
+
+    @property
+    def fidelity_stats(self) -> Dict[str, int]:
+        """Session-lifetime fidelity-gate totals."""
+        return dict(self.state.fidelity_totals)
 
     @property
     def n_trackers(self) -> int:

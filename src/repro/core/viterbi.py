@@ -15,7 +15,7 @@ Emission means in projected-coordinate space: +1, -1, 0, 0.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -83,14 +83,35 @@ class ViterbiDecoder:
         :meth:`fit_flip_probability`.
     sigma:
         Emission noise scale; estimated per-stream when None.
+    banded:
+        Enable the banded fast path: when every observation clears the
+        emission decision band (see :meth:`_decode_states_banded`), the
+        thresholded state path is provably the Viterbi optimum and the
+        trellis recursion is skipped.  Any observation inside the band,
+        or a thresholded path that violates the trellis, falls back to
+        the exact recursion, so the result is always the exact Viterbi
+        path.
+    band_margin:
+        Extra width (observation units) added to the provably-safe
+        decision band; observations inside the widened band force the
+        exact recursion.
     """
 
     def __init__(self, p_flip: float = 0.5,
-                 sigma: Optional[float] = None):
+                 sigma: Optional[float] = None,
+                 banded: bool = False,
+                 band_margin: float = 1e-9):
         self.p_flip = p_flip
         self.sigma = sigma
         if sigma is not None and sigma <= 0:
             raise ConfigurationError("sigma must be positive")
+        if band_margin < 0:
+            raise ConfigurationError("band_margin must be >= 0")
+        self.banded = banded
+        self.band_margin = band_margin
+        #: Optional fidelity counter dict; when set, every decode
+        #: increments ``viterbi_banded`` or ``viterbi_exact``.
+        self.stats: Optional[Dict[str, int]] = None
         self._log_trans = _transition_matrix(p_flip)
 
     def fit_flip_probability(self,
@@ -134,6 +155,18 @@ class ViterbiDecoder:
             raise ConfigurationError("need at least one observation")
         sigma = self.sigma if self.sigma is not None \
             else estimate_sigma(obs)
+
+        if self.banded:
+            states = self._decode_states_banded(obs, sigma,
+                                                initial_state)
+            if states is not None:
+                if self.stats is not None:
+                    self.stats["viterbi_banded"] = (
+                        self.stats.get("viterbi_banded", 0) + 1)
+                return states
+        if self.stats is not None:
+            self.stats["viterbi_exact"] = (
+                self.stats.get("viterbi_exact", 0) + 1)
 
         # The trellis is tiny (4 states, each with exactly two valid
         # predecessors), so a scalar Python recursion beats building a
@@ -195,6 +228,61 @@ class ViterbiDecoder:
         for t in range(obs.size - 1, 0, -1):
             state = backptr[t][state]
             states[t - 1] = state
+        return states
+
+    def _decode_states_banded(self, obs: np.ndarray, sigma: float,
+                              initial_state: Optional[int]
+                              ) -> Optional[np.ndarray]:
+        """Thresholded state path when it is provably Viterbi-optimal.
+
+        Returns None when optimality cannot be certified (the exact
+        recursion must run).  The certificate: round each observation
+        to its nearest emission mean in {-1, 0, +1}.  For any valid
+        alternative path, the transition score differs from the
+        thresholded path's only at slots whose mean *type* differs
+        (edge vs hold — the transition into slot t is a flip iff the
+        state at t is an edge state), and each such slot changes the
+        transition score by at most ``swing = |log p_flip -
+        log(1 - p_flip)|`` while losing at least ``|1 - 2|obs_t|| /
+        (2 sigma^2)`` of emission score (the gap between the nearest
+        and second-nearest mean).  So when every observation satisfies
+
+            | |obs_t| - 0.5 | > sigma^2 * swing  (+ band_margin)
+
+        every deviation from the thresholded path strictly lowers the
+        total score, making it the unique optimum — provided the path
+        is trellis-valid and starts in an admissible state; otherwise
+        the optimum takes a different shape and we fall back.
+        """
+        band = sigma * sigma * abs(
+            math.log(self.p_flip) - math.log(1.0 - self.p_flip))
+        if np.any(np.abs(np.abs(obs) - 0.5)
+                  <= band + self.band_margin):
+            return None
+
+        m = np.clip(np.rint(obs), -1, 1).astype(np.int8)
+        n = obs.size
+        start_high = initial_state in (FALL, HOLD_HIGH)
+        # Level after each slot: forward-fill from the latest edge.
+        edge_pos = np.where(m != 0, np.arange(n), -1)
+        last_edge = np.maximum.accumulate(edge_pos)
+        level_after = np.where(last_edge >= 0,
+                               m[np.maximum(last_edge, 0)] == 1,
+                               start_high)
+        entering = np.empty(n, dtype=bool)
+        entering[0] = start_high
+        entering[1:] = level_after[:-1]
+        # Trellis validity: a rise needs a low entering level, a fall a
+        # high one (holds match any level by construction).
+        if np.any((m == 1) & entering) or np.any((m == -1) & ~entering):
+            return None
+        states = np.where(
+            m == 1, RISE,
+            np.where(m == -1, FALL,
+                     np.where(entering, HOLD_HIGH,
+                              HOLD_LOW))).astype(np.int8)
+        if initial_state is not None and states[0] != initial_state:
+            return None
         return states
 
     def decode_bits(self, observations: np.ndarray,

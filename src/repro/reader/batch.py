@@ -127,6 +127,9 @@ def decode_chunked(trace: IQTrace, chunk_samples: int,
         for key, count in result.cache_stats.items():
             merged.cache_stats[key] = (
                 merged.cache_stats.get(key, 0) + count)
+        for key, count in result.fidelity_stats.items():
+            merged.fidelity_stats[key] = (
+                merged.fidelity_stats.get(key, 0) + count)
     merged.streams = _dedup_streams(merged.streams)
     return merged
 

@@ -357,6 +357,13 @@ class EpochResult:
     #: decoded through a :class:`repro.core.session.SessionDecoder`;
     #: empty for cold (stateless) decodes.
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: Fidelity-gate counters for the adaptive decode path (see
+    #: :data:`repro.core.fidelity.FIDELITY_STAT_KEYS`): one
+    #: (fast, escalation) pair per confidence gate plus the bound-based
+    #: Lloyd run count, filled by :meth:`LFDecoder.decode_epoch`.  An
+    #: all-zero dict under the default policy means the fast paths
+    #: never fired — a perf regression the benchmark ceiling flags.
+    fidelity_stats: Dict[str, int] = field(default_factory=dict)
     #: Position of this epoch within a batch decode (see
     #: :class:`repro.core.engine.BatchDecoder`); 0 for single decodes.
     epoch_index: int = 0
