@@ -10,7 +10,10 @@ Pipeline stages (Section 3), each in its own module:
 6. :mod:`separation` — parallelogram separation of 2-way collisions (§3.4)
 7. :mod:`viterbi` — 4-state edge-sequence error correction (§3.5)
 8. :mod:`anchor` — anchor-bit cluster disambiguation (§3.4, Table 1)
-9. :mod:`pipeline` — :class:`LFDecoder` tying it all together
+9. :mod:`stages` — each pipeline step as a composable
+   :class:`~repro.core.stages.context.Stage` over a shared
+   :class:`~repro.core.stages.context.DecodeContext`
+10. :mod:`pipeline` — :class:`LFDecoder` composing the stage graph
 
 :mod:`fidelity` threads a confidence-gated escalation policy through
 stages 4-8: each hot computation starts cheap and escalates to full
@@ -27,9 +30,12 @@ from .fidelity import (FIDELITY_STAT_KEYS, FidelityPolicy,
 from .separation import SeparationResult, separate_two_way
 from .viterbi import ViterbiDecoder, edge_states_to_bits, bits_to_edge_states
 from .anchor import resolve_polarity, assemble_bits
+from .stages import (DecodeContext, Stage, StageObserver, StageRunner,
+                     StatsAccumulator, default_epoch_stages,
+                     default_stream_stages)
 from .pipeline import LFDecoder, LFDecoderConfig
-from .session import (SessionConfig, SessionDecoder, SessionState,
-                      StreamTracker)
+from .session import SessionConfig, SessionState, StreamTracker
+from .session_decoder import SessionDecoder
 from .engine import BatchDecoder, EpochOutcome
 
 __all__ = [
@@ -64,4 +70,11 @@ __all__ = [
     "StreamTracker",
     "BatchDecoder",
     "EpochOutcome",
+    "DecodeContext",
+    "Stage",
+    "StageObserver",
+    "StageRunner",
+    "StatsAccumulator",
+    "default_epoch_stages",
+    "default_stream_stages",
 ]

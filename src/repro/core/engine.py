@@ -63,9 +63,8 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..types import EpochResult, IQTrace, StreamFault
 from ..utils.rng import iter_spawn_seed_sequences
-from ..utils.timing import merge_timings
-from .fidelity import merge_fidelity_stats
 from .pipeline import LFDecoder, LFDecoderConfig
+from .stages.stats import StatsAccumulator
 
 try:
     from multiprocessing import shared_memory as _shared_memory
@@ -587,7 +586,7 @@ class BatchDecoder:
         """Sum per-stage wall-clock seconds across epoch results."""
         total: Dict[str, float] = {}
         for result in results:
-            merge_timings(total, result.stage_timings)
+            StatsAccumulator.merge_timing(total, result.stage_timings)
         return total
 
     def aggregate_fidelity_stats(self, results: Iterable[EpochResult]
@@ -595,7 +594,7 @@ class BatchDecoder:
         """Sum fidelity-gate counters across epoch results."""
         total: Dict[str, int] = {}
         for result in results:
-            merge_fidelity_stats(total, result.fidelity_stats)
+            StatsAccumulator.merge_counts(total, result.fidelity_stats)
         return total
 
 

@@ -172,10 +172,14 @@ class FidelityPolicy:
 
 def merge_fidelity_stats(into: Dict[str, int],
                          update: Mapping[str, int]) -> Dict[str, int]:
-    """Accumulate one fidelity counter dict into another."""
-    for key, count in update.items():
-        into[key] = into.get(key, 0) + int(count)
-    return into
+    """Accumulate one fidelity counter dict into another.
+
+    Thin compatibility alias over the one counter-merge implementation
+    in :mod:`repro.core.stages.stats` (imported lazily: the stage
+    package sits above this module in the import graph).
+    """
+    from .stages.stats import StatsAccumulator
+    return StatsAccumulator.merge_counts(into, update)
 
 
 def escalation_rate(stats: Mapping[str, int]) -> float:

@@ -1,47 +1,61 @@
 """The end-to-end LF-Backscatter decoder (Section 3, Figure 3).
 
 :class:`LFDecoder` turns one epoch's IQ trace into decoded per-tag bit
-streams by chaining every stage of the paper's pipeline:
+streams by composing the stage graph of :mod:`repro.core.stages`:
 
-    edge detection -> eye-pattern stream separation -> grid differential
-    extraction -> collision detection -> parallelogram separation ->
-    Viterbi error correction -> anchor disambiguation.
+    guard -> edge detection -> eye-pattern folding -> per-stream chain
+    (tracking -> collision detection -> parallelogram separation ->
+    Viterbi -> anchor) -> analog fallback -> dedup.
 
-The IQ-separation and error-correction stages can be disabled
+Each stage is a module implementing the
+:class:`~repro.core.stages.context.Stage` protocol over one shared
+:class:`~repro.core.stages.context.DecodeContext`; this module only
+assembles the graph, owns the long-lived helpers (edge detector,
+Viterbi decoder, RNG) and publishes the epoch's statistics.  The
+IQ-separation and error-correction stages can be disabled
 independently to reproduce the ablation of Figure 9.
+
+Observability: :meth:`LFDecoder.add_observer` attaches a
+:class:`~repro.core.stages.context.StageObserver` whose callbacks fire
+around every stage invocation.  Observers are read-only taps —
+attaching one never changes decode output (pinned by the golden-digest
+equivalence tests).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from .. import constants
-from ..errors import (CollisionUnresolvableError, ConfigurationError,
-                      DecodeError, SignalQualityError)
-from ..robustness.guard import GuardConfig, sanitize_trace
-from ..types import (DecodedStream, DetectedEdge, EpochResult, IQTrace,
-                     SimulationProfile, StreamFault)
+from ..errors import ConfigurationError
+from ..robustness.guard import GuardConfig
+from ..types import EpochResult, IQTrace, SimulationProfile
 from ..utils.rng import SeedLike, make_rng
-from ..utils.timing import StageTimer
-from .anchor import assemble_bits
-from .clustering import KMeansResult, kmeans
-from .collision import CollisionReport, detect_collision, \
-    effective_planarity_threshold, scatter_planarity
 from .edges import EdgeDetector, EdgeDetectorConfig
 from .fidelity import FidelityPolicy
-from .folding import (FoldingConfig, analog_fold_search,
-                      find_stream_hypotheses,
-                      find_stream_hypotheses_warm)
-from .separation import (_lattice_points, separate_collinear,
-                         separate_two_way)
-from .session import CACHE_STAT_KEYS, SessionState, StreamTracker
-from .streams import (StreamTrack, read_grid_differentials,
-                      track_from_analog, track_stream)
+from .folding import FoldingConfig
+from .stages import (DecodeContext, StageObserver, StageRunner,
+                     StatsAccumulator, default_epoch_stages,
+                     default_stream_stages)
+from .stages.anchor import dedup_streams
+from .stages.context import Stage, stream_fault
+from .stages.projection import (hold_cluster_noise, looks_multilevel,
+                                project_single, project_single_scaled)
 from .viterbi import ViterbiDecoder
+
+if TYPE_CHECKING:  # typing only — session imports stay lazy
+    from .session import SessionState
+
+# Former private homes of the projection / dedup helpers, kept as
+# aliases for callers that imported them before the stage extraction.
+_project_single = project_single
+_project_single_scaled = project_single_scaled
+_hold_cluster_noise = hold_cluster_noise
+_looks_multilevel = looks_multilevel
+_dedup_streams = dedup_streams
+_stream_fault = stream_fault
 
 
 @dataclass
@@ -102,7 +116,8 @@ class LFDecoder:
     """Decodes concurrent laissez-faire streams from raw IQ captures."""
 
     def __init__(self, config: Optional[LFDecoderConfig] = None,
-                 rng: SeedLike = None):
+                 rng: SeedLike = None,
+                 observers: Sequence[StageObserver] = ()):
         self.config = config or LFDecoderConfig()
         self._rng = make_rng(rng)
         self.edge_detector = EdgeDetector(self.config.edge_config)
@@ -112,9 +127,34 @@ class LFDecoder:
             banded=(self.fidelity.active
                     and self.fidelity.banded_viterbi),
             band_margin=self.fidelity.viterbi_band_margin)
-        self._timer = StageTimer()
-        self._cache: Optional[Dict[str, int]] = None
-        self._fid: Dict[str, int] = self.fidelity.new_stats()
+        self._runner = StageRunner(default_epoch_stages(),
+                                   default_stream_stages(),
+                                   observers=observers)
+
+    # -- stage-graph surface ----------------------------------------------
+
+    @property
+    def epoch_stages(self) -> Sequence[Stage]:
+        """The epoch-level stage list this decoder composes."""
+        return self._runner.epoch_stages
+
+    @property
+    def stream_stages(self) -> Sequence[Stage]:
+        """The per-stream stage chain this decoder composes."""
+        return self._runner.stream_stages
+
+    @property
+    def observers(self) -> List[StageObserver]:
+        return list(self._runner.observers)
+
+    def add_observer(self, observer: StageObserver) -> None:
+        """Attach a read-only :class:`StageObserver` to every decode."""
+        self._runner.observers.append(observer)
+
+    def remove_observer(self, observer: StageObserver) -> None:
+        self._runner.observers.remove(observer)
+
+    # -- decoding ----------------------------------------------------------
 
     def candidate_periods(self) -> List[float]:
         """Candidate bit periods in samples, shortest (fastest) first."""
@@ -122,24 +162,10 @@ class LFDecoder:
         return sorted(fs / rate
                       for rate in set(self.config.candidate_bitrates_bps))
 
-    def _period_cacheable(self, period_samples: float) -> bool:
-        """Whether a fitted period is plausible enough to track.
-
-        A real stream's fitted period sits within the clock-drift
-        budget of a candidate rate (plus margin for collision mixture
-        fits, which skew the most).  Junk hypotheses assembled from
-        claim residue fit exotic periods — caching those would seed
-        next epoch's warm fold with self-perpetuating garbage.
-        """
-        folding = self.config.folding_config or FoldingConfig()
-        slack = max(3e-6 * folding.max_drift_ppm, 5e-4)
-        return any(abs(period_samples - cand) / cand <= slack
-                   for cand in self.candidate_periods())
-
     def decode_epoch(self, trace: IQTrace,
-                     session: Optional[SessionState] = None,
+                     session: Optional["SessionState"] = None,
                      sample_offset: float = 0.0) -> EpochResult:
-        """Run the full pipeline over one epoch's capture.
+        """Run the full stage graph over one epoch's capture.
 
         The returned :class:`EpochResult` carries a wall-clock breakdown
         in ``stage_timings`` (keys ``edge``, ``fold``, ``extract``,
@@ -152,8 +178,8 @@ class LFDecoder:
         from cached centroids, and two-way separation tries the cached
         lattice basis first.  Cache hit/miss counters land in the
         result's ``cache_stats``.  Most callers should go through
-        :class:`repro.core.session.SessionDecoder` instead of passing
-        the state by hand.
+        :class:`repro.core.session_decoder.SessionDecoder` instead of
+        passing the state by hand.
 
         ``sample_offset`` is this trace's global sample position inside
         a longer capture being decoded chunk-by-chunk: tags keep
@@ -161,741 +187,23 @@ class LFDecoder:
         are kept in global coordinates and stay matchable from one
         chunk to the next.  Leave it zero for independent epochs.
         """
-        self._timer = timer = StageTimer()
-        self._cache = ({key: 0 for key in CACHE_STAT_KEYS}
-                       if session is not None else None)
-        self._fid = self.fidelity.new_stats()
-        self.viterbi.stats = self._fid
+        stats = StatsAccumulator(cache_enabled=session is not None,
+                                 fidelity=self.fidelity.new_stats())
+        # The banded-Viterbi escalation counters write into the same
+        # dict the accumulator publishes.
+        self.viterbi.stats = stats.fidelity
         if session is not None:
             session.begin_epoch(sample_offset)
         t0 = time.perf_counter()
-        health = None
-        rejected: Optional[SignalQualityError] = None
-        if self.config.enable_trace_guard:
-            try:
-                with timer.stage("guard"):
-                    trace, health = sanitize_trace(
-                        trace, self.config.guard_config)
-            except SignalQualityError as exc:
-                rejected = exc
-        if rejected is not None:
-            # The capture is beyond repair: report an empty epoch with
-            # the structured health verdict instead of raising out of
-            # the decode path.
-            result = EpochResult(duration_s=trace.duration_s)
-            result.trace_health = getattr(rejected, "health", None)
-            result.degraded_streams.append(StreamFault(
-                offset_samples=0.0, period_samples=0.0, stage="guard",
-                error_type=type(rejected).__name__,
-                message=str(rejected), expected=False))
-            timer.add("total", time.perf_counter() - t0)
-            result.stage_timings = timer.timings
-            return self._finish(result, session)
-        result = EpochResult(duration_s=trace.duration_s)
-        result.trace_health = health
-        with timer.stage("edge"):
-            edges = self.edge_detector.detect(trace)
-        result.n_edges_detected = len(edges)
-        if not edges:
-            timer.add("total", time.perf_counter() - t0)
-            result.stage_timings = timer.timings
-            return self._finish(result, session)
-
-        with timer.stage("fold"):
-            if session is not None:
-                hypotheses, sources, hits, misses = \
-                    find_stream_hypotheses_warm(
-                        edges, self.candidate_periods(),
-                        session.warm_hints(),
-                        config=self.config.folding_config)
-                self._cache["fold_hits"] += hits
-                self._cache["fold_misses"] += misses
-            else:
-                hypotheses = find_stream_hypotheses(
-                    edges, self.candidate_periods(),
-                    config=self.config.folding_config)
-                sources = [None] * len(hypotheses)
-        claimed = set()
-        for hyp in hypotheses:
-            claimed.update(hyp.edge_indices)
-        result.n_spurious_edges = len(edges) - len(claimed)
-
-        for hyp, source in zip(hypotheses, sources):
-            preferred = (session.hint_tracker(source)
-                         if session is not None else None)
-            try:
-                streams = self._decode_stream(trace, hyp, edges, result,
-                                              session=session,
-                                              preferred=preferred)
-            except (DecodeError, ConfigurationError) as exc:
-                # Routine abandonment: a junk hypothesis that failed a
-                # gate.  Recorded for observability, not degradation.
-                result.degraded_streams.append(
-                    _stream_fault(hyp, "decode", exc, expected=True))
-                continue
-            except Exception as exc:  # noqa: BLE001 — fault isolation
-                # One mis-modeled stream must not abort the epoch: the
-                # other hypotheses still decode, and the failure is
-                # reported instead of raised.
-                result.degraded_streams.append(
-                    _stream_fault(hyp, "decode", exc, expected=False))
-                continue
-            result.streams.extend(streams)
-        if not result.streams and self.config.enable_analog_fallback:
-            result.streams.extend(self._decode_analog(trace, edges))
-        result.streams = _dedup_streams(result.streams)
-        timer.add("total", time.perf_counter() - t0)
-        result.stage_timings = timer.timings
-        return self._finish(result, session)
-
-    def _finish(self, result: EpochResult,
-                session: Optional[SessionState]) -> EpochResult:
-        """Publish cache + fidelity counters and close the session epoch."""
-        result.fidelity_stats = dict(self._fid)
-        if session is not None and self._cache is not None:
-            result.cache_stats = dict(self._cache)
-            session.end_epoch(self._cache, fidelity_stats=self._fid)
+        ctx = DecodeContext(trace, self.config, self._rng,
+                            self.edge_detector, self.viterbi,
+                            self.fidelity, stats, session=session,
+                            sample_offset=sample_offset)
+        ctx.runner = self._runner
+        self._runner.run_epoch(ctx)
+        stats.add_time("total", time.perf_counter() - t0)
+        result = stats.publish(ctx.result)
+        if session is not None and stats.cache is not None:
+            session.end_epoch(stats.cache,
+                              fidelity_stats=stats.fidelity)
         return result
-
-    def _bump(self, key: str) -> None:
-        if self._cache is not None:
-            self._cache[key] = self._cache.get(key, 0) + 1
-
-    def _decode_analog(self, trace: IQTrace,
-                       edges: Sequence[DetectedEdge]
-                       ) -> List[DecodedStream]:
-        """Low-SNR fallback: fold the analog differential energy.
-
-        When individual edges are buried in noise the edge-based search
-        finds nothing, but the eye-pattern fold of the *analog*
-        differential energy (Section 3.2's original formulation) still
-        accumulates a stream's periodic energy.  Only single streams
-        are recovered this way — at SNRs where this path is needed,
-        collision separation has no margin anyway.
-        """
-        energy = self.edge_detector.differential_magnitude(trace) ** 2
-        with self._timer.stage("fold"):
-            hypotheses = analog_fold_search(energy,
-                                            self.candidate_periods())
-        streams: List[DecodedStream] = []
-        for hyp in hypotheses:
-            try:
-                track = track_from_analog(hyp, energy)
-                with self._timer.stage("extract"):
-                    diffs = read_grid_differentials(
-                        trace, track, edges,
-                        detector=self.edge_detector,
-                        window_override=self._refine_window(track))
-                observations = _project_single(diffs)
-                stream = self._assemble(observations, track,
-                                        collided=False)
-            except (DecodeError, ConfigurationError):
-                continue
-            if stream is not None:
-                streams.append(stream)
-        return streams
-
-    # -- internals -------------------------------------------------------
-
-    def _diagnose_colliders(self, diffs: np.ndarray,
-                            report: CollisionReport) -> int:
-        """Best-effort collider count for an unresolved collision.
-
-        Re-runs collision detection with the cluster-count sweep
-        extended to 27 (= 3 colliders), which the decode path never
-        tries because nothing past 2-way is separable anyway.  The
-        sweep uses its own fixed-seed RNG so this diagnostic never
-        perturbs the decoder's random stream — clean decodes stay
-        bit-identical whether or not a failure path ran.
-        """
-        try:
-            diag = detect_collision(diffs, candidates=(3, 9, 27),
-                                    rng=np.random.default_rng(0))
-        except Exception:  # noqa: BLE001 — diagnostics must not raise
-            return report.estimated_colliders
-        return max(diag.estimated_colliders, report.estimated_colliders)
-
-    def _refine_window(self, track: StreamTrack) -> int:
-        """Averaging window for this stream's differentials."""
-        cfg = self.config
-        base = self.edge_detector.config.max_refine_window
-        scaled = int(track.period_samples * cfg.refine_window_fraction)
-        return max(base, min(scaled, cfg.refine_window_cap))
-
-    def _decode_stream(self, trace: IQTrace, hypothesis, edges, result,
-                       session: Optional[SessionState] = None,
-                       preferred: Optional[StreamTracker] = None
-                       ) -> List[DecodedStream]:
-        cfg = self.config
-        track = track_stream(hypothesis, edges, len(trace))
-        with self._timer.stage("extract"):
-            diffs = read_grid_differentials(
-                trace, track, edges, detector=self.edge_detector,
-                window_override=self._refine_window(track))
-        tracker: Optional[StreamTracker] = None
-        if session is not None:
-            tracker = session.match(track.period_samples,
-                                    track.offset_samples, diffs,
-                                    preferred=preferred)
-        # Trust is per-stream and revocable: the first warm fit that
-        # stops explaining the data drops every later stage of this
-        # stream back onto the cold path.
-        trusted = tracker is not None
-        collided = False
-        fast_single = False
-        fits: Dict[int, KMeansResult] = {}
-        if cfg.enable_iq_separation and diffs.size >= 9:
-            noise_scale = _hold_cluster_noise(diffs)
-            report: Optional[CollisionReport] = None
-            if trusted and tracker.arity == 1 \
-                    and 3 in tracker.centroids \
-                    and 3 in tracker.inertia_pp:
-                # Fast path: the tracker saw a single tag here last
-                # epoch.  Planarity (the same statistic the full
-                # detector gates on) must still look one-dimensional —
-                # a weak new collider can fatten the scatter without
-                # blowing the k-means inertia — and then one warm Lloyd
-                # restart of the 3-cluster model verifies the cluster
-                # structure, skipping the 9-cluster fan-out entirely.
-                with self._timer.stage("detect"):
-                    planarity = scatter_planarity(diffs)
-                    if planarity > effective_planarity_threshold(
-                            diffs, noise_scale=noise_scale):
-                        # The tracked tag is likely inside a fresh
-                        # collision now: release the tracker so pair
-                        # synthesis may claim it as a constituent.
-                        tracker.matched = False
-                        tracker = None
-                        trusted = False
-                        self._bump("kmeans_misses")
-                    else:
-                        three = kmeans(diffs.ravel(), 3, rng=self._rng,
-                                       init_centroids=tracker.centroids[3])
-                        if session.warm_fit_blown(tracker.inertia_pp,
-                                                  {3: three}, keys=(3,)):
-                            trusted = False
-                            self._bump("kmeans_misses")
-                            session.note_invalidation(tracker)
-                        else:
-                            self._bump("kmeans_hits")
-                            session.note_warm_success(tracker)
-                            fits[3] = three
-                            fast_single = True
-                            report = CollisionReport(
-                                is_collision=False, n_clusters=3,
-                                planarity=planarity,
-                                kmeans=three)
-            if report is None and session is not None \
-                    and (tracker is None or not trusted):
-                # The stream matches no cached state directly — but a
-                # *new* collision between two known tags is still warm:
-                # its lattice basis is the constituents' cached edge
-                # vectors (collision pairings re-randomize each epoch,
-                # the channel geometry does not).
-                with self._timer.stage("detect"):
-                    synth = session.synthesize_pair(diffs)
-                if synth is not None:
-                    pair_a, pair_b = synth
-                    try:
-                        streams = self._decode_collided(
-                            trace, track, edges, session=session,
-                            basis_override=(pair_a.edge_vector,
-                                            pair_b.edge_vector))
-                    except (DecodeError, ConfigurationError):
-                        streams = []
-                    if streams:
-                        session.consume_pair(pair_a, pair_b)
-                        result.n_collisions_detected += 1
-                        result.n_collisions_resolved += 1
-                        return streams
-            if report is None:
-                hints = (tracker.centroid_hints()
-                         if trusted and tracker.arity >= 2 else None)
-                # A matched single-tag tracker that lacks cached
-                # centroids (fresh tracker, invalidated cache) still
-                # vouches for the stream's geometry: the planarity
-                # pre-gate runs with its relaxed warm margin.
-                warm_vouched = (trusted and tracker is not None
-                                and tracker.arity == 1)
-                with self._timer.stage("detect"):
-                    report = detect_collision(
-                        diffs, noise_scale=noise_scale,
-                        rng=self._rng, centroid_hints=hints,
-                        fits_out=fits, policy=self.fidelity,
-                        stats=self._fid, warm=warm_vouched,
-                        cache_fast_fit=session is not None)
-                    if hints is not None:
-                        if session.warm_fit_blown(tracker.inertia_pp,
-                                                  fits, keys=(9,)):
-                            # The cached centroids no longer explain
-                            # this stream (moved tag or wrong tracker):
-                            # rerun the cold fan-out.
-                            trusted = False
-                            self._bump("kmeans_misses")
-                            session.note_invalidation(tracker)
-                            fits = {}
-                            report = detect_collision(
-                                diffs, noise_scale=noise_scale,
-                                rng=self._rng, fits_out=fits,
-                                policy=self.fidelity,
-                                stats=self._fid)
-                        else:
-                            self._bump("kmeans_hits")
-                            session.note_warm_success(tracker)
-            if report.is_collision:
-                result.n_collisions_detected += 1
-                if report.estimated_colliders <= 2:
-                    try:
-                        streams = self._decode_collided(
-                            trace, track, edges, session=session,
-                            tracker=tracker if trusted else None,
-                            fits=fits)
-                    except (DecodeError, ConfigurationError):
-                        streams = []
-                    if streams:
-                        result.n_collisions_resolved += 1
-                        return streams
-                # Separation failed or was never attempted (>2-way):
-                # report the unresolved collision with a diagnostic
-                # collider estimate before attempting single-stream
-                # salvage below.
-                n_colliders = self._diagnose_colliders(diffs, report)
-                error = CollisionUnresolvableError(n_colliders)
-                result.degraded_streams.append(StreamFault(
-                    offset_samples=track.offset_samples,
-                    period_samples=track.period_samples,
-                    stage="separate",
-                    error_type=type(error).__name__,
-                    message=str(error),
-                    n_colliders=n_colliders,
-                    expected=False))
-                # A >2-way collision (or a failed 2-way separation)
-                # falls through: attempt to salvage the strongest
-                # collider as a single stream — the header gate drops
-                # it again if the contamination is too heavy.
-                # Separation failed (degenerate basis or no frame
-                # survived the header check): fall back to decoding the
-                # strongest collider as a single stream rather than
-                # dropping both.
-        observations, proj_scale = _project_single_scaled(diffs)
-        proj_fits: Dict[int, KMeansResult] = {}
-        multilevel: Optional[bool] = None
-        can_check = cfg.enable_iq_separation and diffs.size >= 20
-        if can_check and fast_single:
-            # The IQ-plane verify just re-confirmed last epoch's
-            # single-tag geometry (planarity *and* 3-cluster inertia).
-            # A collinear collision onset would have blown that inertia
-            # check — its 9 scalar levels move points far from the
-            # cached {0, +e, -e} — so the projection re-verify is
-            # redundant; the tracker's cached projection state persists
-            # untouched for the epoch this skip stops holding.
-            multilevel = False
-        elif can_check and trusted and tracker.arity == 1 \
-                and 3 in tracker.proj_centroids \
-                and 3 in tracker.proj_inertia_pp:
-            # Fast path mirroring the collision check: the projection
-            # was three-level last epoch; re-verify with one warm Lloyd
-            # and skip the 9-cluster comparison (and with it the
-            # expensive collinear-split attempts its false positives
-            # trigger).
-            with self._timer.stage("detect"):
-                three = kmeans(observations.astype(np.complex128), 3,
-                               rng=self._rng,
-                               init_centroids=tracker.proj_centroids[3])
-                if session.warm_fit_blown(tracker.proj_inertia_pp,
-                                          {3: three}, keys=(3,)):
-                    trusted = False
-                    self._bump("kmeans_misses")
-                    session.note_invalidation(tracker)
-                else:
-                    self._bump("kmeans_hits")
-                    session.note_warm_success(tracker)
-                    proj_fits[3] = three
-                    multilevel = False
-        pol = self.fidelity
-        if multilevel is None and can_check and pol.active \
-                and pol.dispersion_gate and not trusted:
-            # Dispersion pre-gate: a lone tag's projection sits on the
-            # {-1, 0, +1} lattice up to noise, while a collinear
-            # collision puts substantial mass at intermediate levels.
-            # A cleanly trimodal projection skips the paired k-means
-            # fits (and the collinear-split attempts their false
-            # positives trigger); any real collinear collision has
-            # off-lattice mass far above the gate and escalates.
-            with self._timer.stage("detect"):
-                off = np.abs(observations
-                             - np.clip(np.round(observations), -1, 1))
-                frac = float(np.mean(off > pol.dispersion_eps))
-                if frac <= pol.dispersion_fraction:
-                    multilevel = False
-                    self._fid["multilevel_fast"] += 1
-                else:
-                    self._fid["multilevel_escalations"] += 1
-        if multilevel is None:
-            proj_hints = (tracker.proj_hints() if trusted else None)
-            dec_rng = (self._track_rng(track) if pol.active
-                       else self._rng)
-            ml_init = 2 if pol.active else 3
-            with self._timer.stage("detect"):
-                multilevel = (can_check and _looks_multilevel(
-                    observations, dec_rng,
-                    centroid_hints=proj_hints,
-                    fits_out=proj_fits, n_init=ml_init))
-                if proj_hints is not None and proj_fits:
-                    if session.warm_fit_blown(tracker.proj_inertia_pp,
-                                              proj_fits, keys=(3,)):
-                        trusted = False
-                        self._bump("kmeans_misses")
-                        session.note_invalidation(tracker)
-                        proj_fits = {}
-                        multilevel = _looks_multilevel(
-                            observations, dec_rng,
-                            fits_out=proj_fits, n_init=ml_init)
-                    else:
-                        self._bump("kmeans_hits")
-                        session.note_warm_success(tracker)
-        if multilevel:
-            # A collision whose edge vectors are (anti)parallel never
-            # registers as two-dimensional, but its projection carries
-            # more than three levels; the scalar-lattice separator
-            # handles this degenerate case (an extension beyond the
-            # paper's parallelogram method).
-            level_hint = None
-            if pol.active and 9 in proj_fits:
-                # The multilevel check just fitted nine levels on this
-                # same projection (in normalized units); rescaled, they
-                # warm-seed the separator's level fit in place of its
-                # cold k-means++ fan-out.
-                level_hint = (proj_fits[9].centroids.real
-                              * proj_scale)
-            streams = self._decode_collinear(diffs, track, result,
-                                             level_hint=level_hint)
-            if streams:
-                if session is not None \
-                        and self._period_cacheable(track.period_samples):
-                    session.observe(tracker if trusted else None,
-                                    track.period_samples,
-                                    track.offset_samples, diffs,
-                                    fits=fits, proj_fits=proj_fits,
-                                    arity=2)
-                return streams
-        hint = tracker.flipped if trusted and tracker.arity == 1 else None
-        stream = self._assemble(observations, track, collided=collided,
-                                flipped_hint=hint)
-        if stream is not None and session is not None \
-                and self._period_cacheable(track.period_samples):
-            session.observe(tracker if trusted else None,
-                            track.period_samples,
-                            track.offset_samples, diffs,
-                            fits=fits, proj_fits=proj_fits,
-                            flipped=self._last_flipped)
-        return [stream] if stream is not None else []
-
-    def _track_rng(self, track: StreamTrack) -> np.random.Generator:
-        """Deterministic per-track generator for adaptive decision fits.
-
-        The multilevel check and the collinear split sit on marginal
-        k-means fits whose outcome can depend on the initialization
-        draw.  Under the shared decoder RNG that draw depends on the
-        entire path history — a warm (session) decode and a cold decode
-        of the *same physical stream* reach it with different generator
-        states and can resolve a borderline split differently, breaking
-        the warm-bits == cold-bits invariant.  Seeding from the track's
-        quantized timing makes those fits a function of the stream
-        alone.  The offset quantum (16 samples) absorbs the sub-sample
-        jitter between warm and cold track estimates.
-        """
-        return np.random.default_rng(
-            (self.fidelity.subsample_seed,
-             int(round(track.period_samples)),
-             int(round(track.offset_samples / 16.0))))
-
-    def _decode_collinear(self, diffs: np.ndarray, track: StreamTrack,
-                          result: EpochResult,
-                          level_hint: Optional[np.ndarray] = None
-                          ) -> List[DecodedStream]:
-        """Attempt the 1-D scalar-lattice split of a collinear
-        collision; both recovered frames must pass the header gate."""
-        adaptive = self.fidelity.active
-        rng = self._track_rng(track) if adaptive else self._rng
-        try:
-            with self._timer.stage("separate"):
-                separation = separate_collinear(
-                    diffs, rng=rng, n_init=3 if adaptive else 6,
-                    init_levels=level_hint if adaptive else None)
-        except (DecodeError, ConfigurationError):
-            return []
-        streams: List[DecodedStream] = []
-        for column, edge_vector in ((0, separation.e1),
-                                    (1, separation.e2)):
-            stream = self._assemble(
-                separation.coords[:, column].astype(np.float64),
-                track, collided=True, edge_vector=edge_vector)
-            if stream is not None:
-                streams.append(stream)
-        if len(streams) == 2:
-            result.n_collisions_detected += 1
-            result.n_collisions_resolved += 1
-            return streams
-        return []
-
-    def _decode_collided(self, trace: IQTrace, track: StreamTrack,
-                         edges: Sequence[DetectedEdge],
-                         session: Optional[SessionState] = None,
-                         tracker: Optional[StreamTracker] = None,
-                         fits: Optional[Dict[int, KMeansResult]] = None,
-                         basis_override: Optional[
-                             Tuple[complex, complex]] = None
-                         ) -> List[DecodedStream]:
-        """Split a two-way collision and decode both tags."""
-        cfg = self.config
-        # Wider guard: the two colliders' edges sit a few samples apart
-        # once drift separates them, so exclude a larger transition zone.
-        guard = (self.edge_detector.config.guard
-                 + cfg.collision_guard_extra)
-        with self._timer.stage("extract"):
-            diffs = read_grid_differentials(
-                trace, track, edges, detector=self.edge_detector,
-                guard_override=guard,
-                window_override=self._refine_window(track))
-        centroid_hint = basis_hint = None
-        seeded = False
-        if basis_override is not None:
-            # Synthesized from two known tags' cached edge vectors:
-            # both the k-means seed and the basis come for free.
-            basis_hint = basis_override
-            centroid_hint = _lattice_points(*basis_override)
-        elif tracker is not None and tracker.arity >= 2:
-            centroid_hint = tracker.collision_centroids
-            basis_hint = tracker.basis
-        elif (session is not None or self.fidelity.active) \
-                and fits and 9 in fits:
-            # Separation fast path: the collision-detection stage
-            # already fitted nine clusters on the narrow-guard
-            # differentials.  The wide-guard re-extraction shifts the
-            # points only slightly, so that fit seeds a single Lloyd
-            # restart instead of the full n_init fan-out.  Any seed
-            # that traps Lloyd in a bad optimum falls through to the
-            # cold retry below, so cold adaptive decodes use it too.
-            centroid_hint = fits[9].centroids
-            seeded = True
-        with self._timer.stage("separate"):
-            separation = separate_two_way(
-                diffs, rng=self._rng,
-                centroid_hint=centroid_hint,
-                basis_hint=basis_hint,
-                basis_tolerance=(session.config.basis_tolerance
-                                 if session is not None else 0.25))
-            if centroid_hint is not None and not seeded:
-                self._bump("kmeans_hits")
-            if basis_hint is not None:
-                self._bump("basis_hits" if separation.basis_cached
-                           else "basis_misses")
-        scale = max(abs(separation.e1), abs(separation.e2))
-        if scale <= 0 or separation.lattice_error > 0.35 * scale:
-            if seeded:
-                # The within-epoch seed may have trapped Lloyd in a bad
-                # optimum; retry cold before declaring a false positive.
-                with self._timer.stage("separate"):
-                    separation = separate_two_way(diffs, rng=self._rng)
-                scale = max(abs(separation.e1), abs(separation.e2))
-        if scale <= 0 or separation.lattice_error > 0.35 * scale:
-            raise DecodeError(
-                f"collision lattice fit too poor "
-                f"(error {separation.lattice_error:.3g} vs scale "
-                f"{scale:.3g}); likely a false-positive collision")
-        streams: List[DecodedStream] = []
-        for column, edge_vector in ((0, separation.e1),
-                                    (1, separation.e2)):
-            stream = self._assemble(separation.coords[:, column], track,
-                                    collided=True,
-                                    edge_vector=edge_vector)
-            if stream is not None:
-                streams.append(stream)
-        if streams and session is not None \
-                and self._period_cacheable(track.period_samples):
-            session.observe(tracker, track.period_samples,
-                            track.offset_samples, diffs,
-                            fits=fits, arity=2,
-                            basis=(separation.e1, separation.e2),
-                            collision_centroids=separation.centroids)
-        return streams
-
-    def _assemble(self, observations: np.ndarray, track: StreamTrack,
-                  collided: bool,
-                  edge_vector: complex = 0j,
-                  flipped_hint: Optional[bool] = None
-                  ) -> Optional[DecodedStream]:
-        cfg = self.config
-        self._last_flipped: Optional[bool] = None
-        try:
-            with self._timer.stage("viterbi"):
-                assembled = assemble_bits(
-                    observations,
-                    use_viterbi=cfg.enable_error_correction,
-                    decoder=self.viterbi,
-                    preamble_bits=cfg.preamble_bits,
-                    anchor_bit=cfg.anchor_bit,
-                    min_header_score=cfg.min_header_score,
-                    flipped_hint=flipped_hint,
-                    prescreen=self.fidelity.active)
-        except DecodeError:
-            return None
-        # Exposed for the session cache: the resolved polarity of the
-        # projection axis is channel geometry, stable across epochs.
-        self._last_flipped = assembled.flipped
-        offset = (track.offset_samples
-                  + assembled.start_slot * track.period_samples)
-        fs = cfg.profile.sample_rate_hz
-        measured_rate = fs / track.period_samples
-        nominal = min(cfg.candidate_bitrates_bps,
-                      key=lambda r: abs(r - measured_rate))
-        return DecodedStream(
-            bits=assembled.bits,
-            offset_samples=offset,
-            period_samples=track.period_samples,
-            bitrate_bps=nominal,
-            collided=collided,
-            edge_vector=edge_vector,
-            confidence=assembled.header_score,
-        )
-
-
-def _stream_fault(hypothesis, stage: str, exc: BaseException,
-                  expected: bool) -> StreamFault:
-    """A :class:`StreamFault` record for an abandoned hypothesis."""
-    return StreamFault(
-        offset_samples=float(getattr(hypothesis, "offset_samples", 0.0)),
-        period_samples=float(getattr(hypothesis, "period_samples", 0.0)),
-        stage=stage,
-        error_type=type(exc).__name__,
-        message=str(exc),
-        expected=expected)
-
-
-def _project_single(differentials: np.ndarray) -> np.ndarray:
-    """Project a single tag's differentials onto its edge direction.
-
-    The principal axis of the scatter (about the origin) is the tag's
-    edge line {-e, 0, +e}; projecting and normalizing by the edge
-    cluster magnitude yields observations near {-1, 0, +1}.  Sign
-    remains ambiguous; the anchor stage resolves it.
-    """
-    return _project_single_scaled(differentials)[0]
-
-
-def _project_single_scaled(
-        differentials: np.ndarray) -> Tuple[np.ndarray, float]:
-    """:func:`_project_single` plus the normalization scale.
-
-    The scale maps normalized observation levels back into raw
-    projection units — the adaptive pipeline uses it to convert the
-    multilevel check's 9-level fit into warm seeds for the collinear
-    separator, which clusters the *unnormalized* projection.
-    """
-    d = np.asarray(differentials, dtype=np.complex128).ravel()
-    if d.size == 0:
-        raise DecodeError("no differentials to project")
-    x = np.stack([d.real, d.imag])
-    moment = x @ x.T / d.size
-    eigvals, eigvecs = np.linalg.eigh(moment)
-    u = eigvecs[:, -1]  # principal direction (unit)
-    # LAPACK's eigenvector sign is arbitrary; pin it to a fixed
-    # half-plane so the projection polarity of a stable channel is
-    # reproducible across epochs (the session caches the resolved
-    # frame polarity and tries it first).
-    if u[0] < 0 or (u[0] == 0 and u[1] < 0):
-        u = -u
-    proj = d.real * u[0] + d.imag * u[1]
-    peak = float(np.max(np.abs(proj)))
-    if peak <= 0:
-        raise DecodeError("stream has no measurable edges")
-    strong = np.abs(proj) > 0.5 * peak
-    scale = float(np.median(np.abs(proj[strong])))
-    if scale <= 0:
-        raise DecodeError("degenerate projection scale")
-    return proj / scale, scale
-
-
-def _hold_cluster_noise(differentials: np.ndarray) -> float:
-    """Noise scale estimated from the hold (near-zero) cluster."""
-    d = np.asarray(differentials, dtype=np.complex128).ravel()
-    mags = np.abs(d)
-    peak = float(np.max(mags)) if mags.size else 0.0
-    if peak <= 0:
-        return 0.0
-    hold = d[mags < 0.3 * peak]
-    if hold.size < 2:
-        return 0.0
-    return float(np.sqrt(np.mean(np.abs(hold) ** 2)))
-
-
-def _dedup_streams(streams: List[DecodedStream],
-                   offset_tolerance: float = 8.0,
-                   max_disagreement: float = 0.15
-                   ) -> List[DecodedStream]:
-    """Drop ghost duplicates: same rate, same phase, same bits.
-
-    Residual detections of a decoded stream occasionally assemble into
-    a second copy shifted by a few samples.  A ghost decodes (nearly)
-    the same bit sequence as the original, which distinguishes it from
-    a genuinely distinct tag that happens to share the phase — the
-    latter carries different data and must be kept.
-    """
-    kept: List[DecodedStream] = []
-    for stream in sorted(streams,
-                         key=lambda s: (-s.confidence, -s.n_bits)):
-        duplicate = False
-        for existing in kept:
-            if existing.bitrate_bps != stream.bitrate_bps:
-                continue
-            period = existing.period_samples
-            gap = abs(stream.offset_samples - existing.offset_samples)
-            gap_mod = min(gap % period, period - gap % period)
-            if gap_mod > offset_tolerance:
-                continue
-            n = min(existing.n_bits, stream.n_bits)
-            if n == 0:
-                continue
-            disagreement = float(np.count_nonzero(
-                existing.bits[:n] != stream.bits[:n])) / n
-            if disagreement <= max_disagreement:
-                duplicate = True
-                break
-        if not duplicate:
-            kept.append(stream)
-    return kept
-
-
-def _looks_multilevel(observations: np.ndarray,
-                      rng, improvement: float = 5.0,
-                      centroid_hints: Optional[
-                          Dict[int, np.ndarray]] = None,
-                      fits_out: Optional[
-                          Dict[int, KMeansResult]] = None,
-                      n_init: int = 3) -> bool:
-    """True when a stream's 1-D projection has more than three levels.
-
-    A lone tag's projection clusters at {-1, 0, +1}; a collinear
-    collision adds intermediate levels.  Nine clusters must beat three
-    by a large inertia factor (noise-splitting alone buys ~3x).
-
-    ``centroid_hints`` / ``fits_out`` are the session warm-start hooks:
-    hinted cluster counts run as a single warm Lloyd restart and the
-    fresh fits are exported for the next epoch's cache.
-    """
-    obs = np.asarray(observations, dtype=np.float64).ravel()
-    if obs.size < 20:
-        return False
-    from .clustering import kmeans as _kmeans
-    hints = centroid_hints or {}
-    pts = obs.astype(np.complex128)
-    three = _kmeans(pts, 3, rng=rng, n_init=n_init,
-                    init_centroids=hints.get(3))
-    nine = _kmeans(pts, 9, rng=rng, n_init=n_init,
-                   init_centroids=hints.get(9))
-    if fits_out is not None:
-        fits_out[3] = three
-        fits_out[9] = nine
-    floor = max(nine.inertia, 1e-300)
-    return three.inertia / floor >= improvement

@@ -15,7 +15,8 @@ not of epochs.  A cold decoder re-derives all of that every epoch; a
   drift-tolerant period/phase/geometry tests, invalidates cached state
   whenever it stops explaining the data (fit-error blowup, repeated
   misses), and evicts trackers for streams that left the session;
-* :class:`SessionDecoder` is the user-facing wrapper: an
+* :class:`~repro.core.session_decoder.SessionDecoder` (in its own
+  module, lazily re-exported here) is the user-facing wrapper: an
   :class:`~repro.core.pipeline.LFDecoder` plus a session state threaded
   through every ``decode_epoch`` call.
 
@@ -23,29 +24,27 @@ Warm state is advisory only: every consumer verifies it against the
 fresh capture (single-fold check, warm-Lloyd inertia guard, lattice
 error threshold) and falls back to the cold path on mismatch, so a
 stale cache costs one extra check — never a wrong decode.
+
+This module sits *below* :mod:`repro.core.pipeline` in the import
+graph (the stage modules' typing refers to the tracker/state classes
+here); it must not import the pipeline at module scope —
+``tools/check_import_cycles.py`` enforces this.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..types import EpochResult, IQTrace
-from ..utils.rng import SeedLike
 from .clustering import KMeansResult
 from .collision import scatter_planarity
-from .fidelity import merge_fidelity_stats
 from .separation import _LATTICE_A, _LATTICE_B
-
-#: Counter keys every session epoch reports (hit/miss per warm stage).
-CACHE_STAT_KEYS: Tuple[str, ...] = (
-    "fold_hits", "fold_misses",
-    "kmeans_hits", "kmeans_misses",
-    "basis_hits", "basis_misses",
-)
+# Canonical home of the counter keys and the merge semantics is the
+# stats layer; re-exported here for compatibility.
+from .stages.stats import CACHE_STAT_KEYS, StatsAccumulator
 
 
 @dataclass(frozen=True)
@@ -248,10 +247,10 @@ class SessionState:
             survivors = survivors[:self.config.max_trackers]
         self.trackers = survivors
         self.epoch_count += 1
-        for key in CACHE_STAT_KEYS:
-            self.totals[key] += int(cache_stats.get(key, 0))
+        StatsAccumulator.merge_counts(self.totals, cache_stats)
         if fidelity_stats:
-            merge_fidelity_stats(self.fidelity_totals, fidelity_stats)
+            StatsAccumulator.merge_counts(self.fidelity_totals,
+                                          fidelity_stats)
 
     # -- warm hints for the fold search -----------------------------------
 
@@ -527,63 +526,13 @@ class SessionState:
         return False
 
 
-class SessionDecoder:
-    """A decoder that stays warm across consecutive epochs.
-
-    Drop-in upgrade over :class:`~repro.core.pipeline.LFDecoder` for
-    sustained multi-epoch traffic: the first epoch decodes cold and
-    seeds the session state; later epochs warm-start the fold search,
-    the collision-detection k-means, and the separation basis recovery
-    from the tracked per-stream state.  Every
-    :class:`~repro.types.EpochResult` carries the per-stage cache
-    hit/miss counters in ``cache_stats``.
-    """
-
-    def __init__(self, config=None, rng: SeedLike = None,
-                 session_config: Optional[SessionConfig] = None):
-        # Local import: pipeline imports this module's types.
-        from .pipeline import LFDecoder
-        self.decoder = LFDecoder(config, rng=rng)
-        self.state = SessionState(session_config)
-
-    @property
-    def config(self):
-        return self.decoder.config
-
-    @property
-    def cache_stats(self) -> Dict[str, int]:
-        """Session-lifetime cache hit/miss totals."""
-        return dict(self.state.totals)
-
-    @property
-    def fidelity_stats(self) -> Dict[str, int]:
-        """Session-lifetime fidelity-gate totals."""
-        return dict(self.state.fidelity_totals)
-
-    @property
-    def n_trackers(self) -> int:
-        return self.state.n_trackers
-
-    def decode_epoch(self, trace: IQTrace,
-                     sample_offset: float = 0.0) -> EpochResult:
-        """Decode one epoch, warm-started from the session state.
-
-        ``sample_offset`` positions the trace inside a longer capture
-        (see :meth:`repro.core.pipeline.LFDecoder.decode_epoch`).
-        """
-        return self.decoder.decode_epoch(trace, session=self.state,
-                                         sample_offset=sample_offset)
-
-    def decode_epochs(self, traces: Iterable[IQTrace]
-                      ) -> List[EpochResult]:
-        """Decode consecutive epochs of one capture session, in order."""
-        results = []
-        for index, trace in enumerate(traces):
-            result = self.decode_epoch(trace)
-            result.epoch_index = index
-            results.append(result)
-        return results
-
-    def reset(self) -> None:
-        """Drop all session state (next epoch decodes cold)."""
-        self.state = SessionState(self.state.config)
+def __getattr__(name: str):
+    # Lazy re-export: SessionDecoder moved to session_decoder.py (it
+    # sits above the pipeline in the import graph, this module below).
+    # PEP 562 keeps ``from repro.core.session import SessionDecoder``
+    # working without a module-scope import cycle.
+    if name == "SessionDecoder":
+        from .session_decoder import SessionDecoder
+        return SessionDecoder
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,24 @@
+"""Edge-detection stage (Section 3.1).
+
+A thin stage wrapper over :class:`repro.core.edges.EdgeDetector`: the
+detector itself (differential sweep, refinement, thresholds) lives in
+:mod:`repro.core.edges`; this stage binds it into the stage graph and
+short-circuits the epoch when the capture contains no edges at all.
+"""
+
+from __future__ import annotations
+
+from .context import DecodeContext
+
+
+class EdgeStage:
+    """Detect antenna-transition edges on the combined IQ signal."""
+
+    name = "edge"
+    timing_key = "edge"
+
+    def run(self, ctx: DecodeContext) -> None:
+        ctx.edges = ctx.edge_detector.detect(ctx.trace)
+        ctx.result.n_edges_detected = len(ctx.edges)
+        if not ctx.edges:
+            ctx.done = True

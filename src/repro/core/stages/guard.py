@@ -1,0 +1,47 @@
+"""Guard stage: trace sanitization in front of the decode path.
+
+Runs :func:`repro.robustness.guard.sanitize_trace` over the raw
+capture — repairing short NaN gaps, excising long bad runs, rejecting
+unusable captures — before any decoder maths sees it.  A clean capture
+passes through untouched (the decode is bit-identical with the guard
+on or off); a rejected one short-circuits the epoch into an
+empty-but-honest result carrying the structured health verdict.
+"""
+
+from __future__ import annotations
+
+from ...errors import SignalQualityError
+from ...types import StreamFault
+from ..stages.context import DecodeContext
+from ...robustness.guard import sanitize_trace
+
+
+class GuardStage:
+    """Sanitize (or reject) the epoch's capture."""
+
+    name = "guard"
+    #: Self-timed: a decode with the guard disabled must not report a
+    #: ``guard`` timing bucket at all (the stage never ran).
+    timing_key = None
+
+    def run(self, ctx: DecodeContext) -> None:
+        if not ctx.config.enable_trace_guard:
+            return
+        try:
+            with ctx.stats.stage("guard"):
+                trace, health = sanitize_trace(ctx.trace,
+                                               ctx.config.guard_config)
+        except SignalQualityError as exc:
+            # The capture is beyond repair: report an empty epoch with
+            # the structured health verdict instead of raising out of
+            # the decode path.
+            ctx.result.trace_health = getattr(exc, "health", None)
+            ctx.stats.note_fault(StreamFault(
+                offset_samples=0.0, period_samples=0.0, stage="guard",
+                error_type=type(exc).__name__,
+                message=str(exc), expected=False))
+            ctx.done = True
+            return
+        ctx.trace = trace
+        ctx.result.duration_s = trace.duration_s
+        ctx.result.trace_health = health

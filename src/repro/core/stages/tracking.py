@@ -1,0 +1,58 @@
+"""Tracking stages: grid refinement, readout, and the stream driver.
+
+:class:`StreamsStage` is the epoch-level driver that walks the fold
+stage's hypotheses and runs each one through the stream-level chain
+(tracking → collision → separation → anchor) with per-stream fault
+confinement applied by the :class:`~repro.core.stages.context.
+StageRunner`.  :class:`TrackStage` is the chain's first link: it
+refines the hypothesis into a drift-tracking grid, reads the grid
+differentials, and matches the stream against the session's trackers.
+"""
+
+from __future__ import annotations
+
+from ..streams import read_grid_differentials, track_stream
+from .context import DecodeContext, StreamScope
+
+
+class StreamsStage:
+    """Decode every fold hypothesis through the stream stage chain."""
+
+    name = "streams"
+    #: Self-timed by the chain's stages (``extract`` / ``detect`` /
+    #: ``separate`` / ``viterbi`` accumulate across hypotheses).
+    timing_key = None
+
+    def run(self, ctx: DecodeContext) -> None:
+        for hyp, source in zip(ctx.hypotheses, ctx.sources):
+            preferred = (ctx.session.hint_tracker(source)
+                         if ctx.session is not None else None)
+            scope = StreamScope(hypothesis=hyp, source=source,
+                                preferred=preferred)
+            streams = ctx.runner.run_stream(ctx, scope)
+            ctx.result.streams.extend(streams)
+
+
+class TrackStage:
+    """Refine the grid, read its differentials, match the session."""
+
+    name = "track"
+    timing_key = None  # times the grid readout into ``extract``
+
+    def run(self, ctx: DecodeContext) -> None:
+        scope = ctx.stream
+        scope.track = track_stream(scope.hypothesis, ctx.edges,
+                                   len(ctx.trace))
+        with ctx.stats.stage("extract"):
+            scope.diffs = read_grid_differentials(
+                ctx.trace, scope.track, ctx.edges,
+                detector=ctx.edge_detector,
+                window_override=ctx.refine_window(scope.track))
+        if ctx.session is not None:
+            scope.tracker = ctx.session.match(
+                scope.track.period_samples, scope.track.offset_samples,
+                scope.diffs, preferred=scope.preferred)
+        # Trust is per-stream and revocable: the first warm fit that
+        # stops explaining the data drops every later stage of this
+        # stream back onto the cold path.
+        scope.trusted = scope.tracker is not None

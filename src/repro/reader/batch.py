@@ -19,8 +19,9 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..core.engine import BatchDecoder
-from ..core.pipeline import LFDecoderConfig, _dedup_streams
-from ..core.session import SessionDecoder
+from ..core.pipeline import LFDecoderConfig
+from ..core.session_decoder import SessionDecoder
+from ..core.stages import StatsAccumulator, dedup_streams, worse_health
 from ..errors import ConfigurationError
 from ..types import EpochResult, IQTrace
 from .epoch import EpochCapture
@@ -83,7 +84,8 @@ def decode_chunked(trace: IQTrace, chunk_samples: int,
     across chunk boundaries (the comparator only re-randomizes it at
     carrier power-up), so tracker phase matching, cached k-means
     centroids, and cached collision bases all stay valid from chunk to
-    chunk.  Pass a fresh :class:`~repro.core.session.SessionDecoder`
+    chunk.  Pass a fresh
+    :class:`~repro.core.session_decoder.SessionDecoder`
     (or one still warm from an earlier capture of the same tag
     population); its trackers and cache counters remain inspectable
     after the call.
@@ -107,6 +109,7 @@ def decode_chunked(trace: IQTrace, chunk_samples: int,
                               max_workers=max_workers)
         pairs = zip(chunks, engine.iter_decode(chunks))
     merged = EpochResult(duration_s=trace.duration_s)
+    stats = StatsAccumulator()
     for chunk, result in pairs:
         shift = (chunk.start_time_s - trace.start_time_s) * fs
         for stream in result.streams:
@@ -116,40 +119,16 @@ def decode_chunked(trace: IQTrace, chunk_samples: int,
         merged.n_collisions_detected += result.n_collisions_detected
         merged.n_collisions_resolved += result.n_collisions_resolved
         merged.n_spurious_edges += result.n_spurious_edges
-        for fault in result.degraded_streams:
-            fault.offset_samples += shift
-            merged.degraded_streams.append(fault)
-        merged.trace_health = _worse_health(merged.trace_health,
-                                            result.trace_health)
-        for name, seconds in result.stage_timings.items():
-            merged.stage_timings[name] = (
-                merged.stage_timings.get(name, 0.0) + seconds)
-        for key, count in result.cache_stats.items():
-            merged.cache_stats[key] = (
-                merged.cache_stats.get(key, 0) + count)
-        for key, count in result.fidelity_stats.items():
-            merged.fidelity_stats[key] = (
-                merged.fidelity_stats.get(key, 0) + count)
-    merged.streams = _dedup_streams(merged.streams)
-    return merged
+        # Timings / cache counters / fidelity counters / faults /
+        # trace health all merge through the one accumulator.  Faults
+        # are *copied* into the merged coordinate frame, so per-chunk
+        # results stay unmutated (their ``expected`` flags and
+        # chunk-local offsets remain inspectable afterwards).
+        stats.absorb_result(result, offset_shift=shift)
+    merged.streams = dedup_streams(merged.streams)
+    return stats.publish(merged)
 
 
-_HEALTH_SEVERITY = {"clean": 0, "degraded": 1, "rejected": 2}
-
-
-def _worse_health(current, candidate):
-    """The more severe of two per-chunk trace-health reports.
-
-    A merged chunked decode carries a single health verdict; keeping
-    the worst chunk's report means ``EpochResult.degraded`` stays true
-    whenever any part of the capture needed repair.
-    """
-    if candidate is None:
-        return current
-    if current is None:
-        return candidate
-    rank = _HEALTH_SEVERITY.get
-    if rank(getattr(candidate, "verdict", "clean"), 0) > \
-            rank(getattr(current, "verdict", "clean"), 0):
-        return candidate
-    return current
+#: Back-compat alias: the health-merge helper now lives in
+#: :mod:`repro.core.stages.stats` next to the rest of the merge logic.
+_worse_health = worse_health

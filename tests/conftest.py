@@ -7,6 +7,8 @@ suite stays quick while exercising the identical decoder code paths.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,39 @@ from repro.phy.channel import ChannelModel, random_coefficients
 from repro.reader.simulator import NetworkSimulator
 from repro.tags.lf_tag import LFTag
 from repro.types import SimulationProfile, TagConfig
+
+if os.environ.get("REPRO_STAGE_OBSERVER"):
+    # Observer-attached test mode: every decoder the suite constructs
+    # gets a counting StageObserver, so a full run under this flag
+    # proves observation is zero-cost to correctness (CI runs the
+    # chaos + equivalence suites both ways).  Note process-pool
+    # workers construct their decoders in child processes where this
+    # hook is absent — exactly the point: their results must match
+    # the observed in-process ones anyway.
+    from repro.core.stages import StageObserver
+
+    class _CountingObserver(StageObserver):
+        def __init__(self) -> None:
+            self.stage_starts = 0
+            self.stage_ends = 0
+            self.stream_faults = 0
+
+        def on_stage_start(self, stage, ctx):
+            self.stage_starts += 1
+
+        def on_stage_end(self, stage, ctx, elapsed_s):
+            self.stage_ends += 1
+
+        def on_stream_fault(self, fault, ctx):
+            self.stream_faults += 1
+
+    _original_init = LFDecoder.__init__
+
+    def _observed_init(self, *args, **kwargs):
+        _original_init(self, *args, **kwargs)
+        self.add_observer(_CountingObserver())
+
+    LFDecoder.__init__ = _observed_init
 
 
 @pytest.fixture(scope="session")

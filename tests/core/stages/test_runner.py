@@ -1,0 +1,199 @@
+"""Unit tests for the stage runner's cross-cutting behaviours.
+
+Timing, ``done`` short-circuits, per-stream fault confinement and
+observer dispatch are the runner's whole job — stage modules assume
+them, so they are pinned here with synthetic stages instead of the
+real decode graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import LFDecoder, LFDecoderConfig
+from repro.core.stages.context import (DecodeContext, Stage,
+                                       StageObserver, StageRunner,
+                                       StreamScope)
+from repro.core.stages.stats import StatsAccumulator
+from repro.errors import ConfigurationError, DecodeError
+from repro.types import DecodedStream, IQTrace, StreamHypothesis
+
+from ...conftest import build_decoder
+
+
+class _FakeStage:
+    """A scriptable stage: runs ``action(ctx)`` when invoked."""
+
+    def __init__(self, name, timing_key=None, action=None):
+        self.name = name
+        self.timing_key = timing_key
+        self.calls = 0
+        self._action = action
+
+    def run(self, ctx):
+        self.calls += 1
+        if self._action is not None:
+            self._action(ctx)
+
+
+class _RecordingObserver(StageObserver):
+    def __init__(self):
+        self.events = []
+
+    def on_stage_start(self, stage, ctx):
+        self.events.append(("start", stage.name))
+
+    def on_stage_end(self, stage, ctx, elapsed_s):
+        assert elapsed_s >= 0.0
+        self.events.append(("end", stage.name))
+
+    def on_stream_fault(self, fault, ctx):
+        self.events.append(("fault", fault.error_type))
+
+
+@pytest.fixture()
+def ctx(fast_profile):
+    decoder = build_decoder(fast_profile)
+    trace = IQTrace(np.ones(4096, dtype=np.complex128),
+                    fast_profile.sample_rate_hz)
+    stats = StatsAccumulator(fidelity=decoder.fidelity.new_stats())
+    return DecodeContext(trace, decoder.config, decoder._rng,
+                         decoder.edge_detector, decoder.viterbi,
+                         decoder.fidelity, stats)
+
+
+def _scope():
+    return StreamScope(hypothesis=StreamHypothesis(
+        offset_samples=100.0, period_samples=250.0))
+
+
+class TestStageProtocol:
+    def test_fake_stage_satisfies_the_protocol(self):
+        assert isinstance(_FakeStage("x"), Stage)
+
+    def test_real_decoder_stages_satisfy_the_protocol(self, fast_profile):
+        decoder = build_decoder(fast_profile)
+        for stage in (*decoder.epoch_stages, *decoder.stream_stages):
+            assert isinstance(stage, Stage), stage
+
+
+class TestTiming:
+    def test_timing_key_stage_is_timed_by_the_runner(self, ctx):
+        runner = StageRunner([_FakeStage("edge", timing_key="edge")], [])
+        runner.run_epoch(ctx)
+        assert "edge" in ctx.stats.timings
+        assert ctx.stats.timings["edge"] >= 0.0
+
+    def test_self_timed_stage_gets_no_runner_bucket(self, ctx):
+        runner = StageRunner([_FakeStage("guard", timing_key=None)], [])
+        runner.run_epoch(ctx)
+        assert ctx.stats.timings == {}
+
+    def test_timing_accumulates_across_invocations(self, ctx):
+        stage = _FakeStage("fold", timing_key="fold")
+        runner = StageRunner([stage, stage], [])
+        runner.run_epoch(ctx)
+        assert stage.calls == 2
+        assert len(ctx.stats.timings) == 1  # one shared bucket
+
+
+class TestShortCircuit:
+    def test_ctx_done_skips_the_remaining_epoch_stages(self, ctx):
+        def reject(c):
+            c.done = True
+        late = _FakeStage("late")
+        runner = StageRunner([_FakeStage("guard", action=reject), late],
+                             [])
+        runner.run_epoch(ctx)
+        assert late.calls == 0
+
+    def test_scope_done_skips_the_remaining_stream_stages(self, ctx):
+        def resolve(c):
+            c.stream.finish([])
+        late = _FakeStage("anchor")
+        runner = StageRunner([], [_FakeStage("track", action=resolve),
+                                  late])
+        runner.run_stream(ctx, _scope())
+        assert late.calls == 0
+
+    def test_finish_returns_the_resolved_streams(self, ctx):
+        stream = DecodedStream(bits=np.array([0, 1]),
+                               offset_samples=10.0,
+                               period_samples=250.0, bitrate_bps=10e3)
+
+        def resolve(c):
+            c.stream.finish([stream])
+        runner = StageRunner([], [_FakeStage("track", action=resolve)])
+        assert runner.run_stream(ctx, _scope()) == [stream]
+
+
+class TestFaultConfinement:
+    @pytest.mark.parametrize("exc_type", [DecodeError,
+                                          ConfigurationError])
+    def test_gate_failures_record_an_expected_fault(self, ctx,
+                                                    exc_type):
+        def gate(c):
+            raise exc_type("junk hypothesis")
+        runner = StageRunner([], [_FakeStage("track", action=gate)])
+        assert runner.run_stream(ctx, _scope()) == []
+        fault, = ctx.stats.faults
+        assert fault.expected
+        assert fault.stage == "decode"
+        assert fault.error_type == exc_type.__name__
+
+    def test_bugs_record_an_unexpected_fault(self, ctx):
+        def bug(c):
+            raise RuntimeError("synthetic stage bug")
+        runner = StageRunner([], [_FakeStage("track", action=bug)])
+        assert runner.run_stream(ctx, _scope()) == []
+        fault, = ctx.stats.faults
+        assert not fault.expected
+        assert fault.error_type == "RuntimeError"
+        assert fault.offset_samples == 100.0
+
+    def test_one_faulted_hypothesis_does_not_stop_the_next(self, ctx):
+        state = {"calls": 0}
+
+        def flaky(c):
+            state["calls"] += 1
+            if state["calls"] == 1:
+                raise RuntimeError("first hypothesis only")
+            c.stream.finish([])
+        runner = StageRunner([], [_FakeStage("track", action=flaky)])
+        runner.run_stream(ctx, _scope())
+        runner.run_stream(ctx, _scope())
+        assert state["calls"] == 2
+        assert len(ctx.stats.faults) == 1
+
+    def test_stream_scope_is_cleared_even_on_a_fault(self, ctx):
+        def bug(c):
+            raise RuntimeError("boom")
+        runner = StageRunner([], [_FakeStage("track", action=bug)])
+        runner.run_stream(ctx, _scope())
+        assert ctx.stream is None
+
+
+class TestObserverDispatch:
+    def test_start_and_end_fire_around_each_stage(self, ctx):
+        observer = _RecordingObserver()
+        runner = StageRunner([_FakeStage("edge", timing_key="edge"),
+                              _FakeStage("fold", timing_key="fold")],
+                             [], observers=[observer])
+        runner.run_epoch(ctx)
+        assert observer.events == [("start", "edge"), ("end", "edge"),
+                                   ("start", "fold"), ("end", "fold")]
+
+    def test_fault_callback_fires_on_confinement(self, ctx):
+        observer = _RecordingObserver()
+
+        def bug(c):
+            raise RuntimeError("boom")
+        runner = StageRunner([], [_FakeStage("track", action=bug)],
+                             observers=[observer])
+        runner.run_stream(ctx, _scope())
+        assert ("fault", "RuntimeError") in observer.events
+
+    def test_observed_timing_still_lands_in_the_bucket(self, ctx):
+        runner = StageRunner([_FakeStage("edge", timing_key="edge")],
+                             [], observers=[_RecordingObserver()])
+        runner.run_epoch(ctx)
+        assert "edge" in ctx.stats.timings

@@ -1,0 +1,184 @@
+"""Unit tests for the unified StatsAccumulator merge semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.stages.stats import (CACHE_STAT_KEYS, StatsAccumulator,
+                                     worse_health)
+from repro.robustness.guard import TraceHealth
+from repro.types import EpochResult, StreamFault
+
+
+def _fault(offset=100.0, expected=False, stage="separate"):
+    return StreamFault(offset_samples=offset, period_samples=250.0,
+                       stage=stage, error_type="RuntimeError",
+                       message="boom", expected=expected)
+
+
+class TestCounters:
+    def test_bump_is_a_noop_without_a_cache(self):
+        acc = StatsAccumulator(cache_enabled=False)
+        acc.bump("kmeans_hits")
+        assert acc.cache is None
+
+    def test_bump_counts_into_the_cache(self):
+        acc = StatsAccumulator(cache_enabled=True)
+        acc.bump("kmeans_hits")
+        acc.bump("fold_hits", 3)
+        assert acc.cache["kmeans_hits"] == 1
+        assert acc.cache["fold_hits"] == 3
+
+    def test_cache_starts_zeroed_over_the_canonical_keys(self):
+        acc = StatsAccumulator(cache_enabled=True)
+        assert set(acc.cache) == set(CACHE_STAT_KEYS)
+        assert all(v == 0 for v in acc.cache.values())
+
+    def test_bump_fidelity_counts(self):
+        acc = StatsAccumulator(fidelity={"multilevel_fast": 0})
+        acc.bump_fidelity("multilevel_fast")
+        acc.bump_fidelity("new_key", 2)
+        assert acc.fidelity == {"multilevel_fast": 1, "new_key": 2}
+
+    def test_merge_counts_adds_per_key(self):
+        into = {"a": 1}
+        out = StatsAccumulator.merge_counts(into, {"a": 2, "b": 5})
+        assert out is into
+        assert into == {"a": 3, "b": 5}
+
+    def test_merge_timing_adds_per_stage(self):
+        into = {"edge": 0.5}
+        StatsAccumulator.merge_timing(into, {"edge": 0.25, "fold": 1.0})
+        assert into == {"edge": 0.75, "fold": 1.0}
+
+
+class TestPublish:
+    def test_publish_copies_everything_once(self):
+        acc = StatsAccumulator(cache_enabled=True,
+                               fidelity={"viterbi_banded": 2})
+        acc.bump("basis_hits")
+        acc.add_time("edge", 0.125)
+        acc.note_fault(_fault(expected=True))
+        result = acc.publish(EpochResult(duration_s=1.0))
+        assert result.stage_timings["edge"] == 0.125
+        assert result.cache_stats["basis_hits"] == 1
+        assert result.fidelity_stats == {"viterbi_banded": 2}
+        assert len(result.degraded_streams) == 1
+        # Published dicts are copies: later accumulator use must not
+        # retroactively mutate an already-returned result.
+        acc.bump("basis_hits")
+        assert result.cache_stats["basis_hits"] == 1
+
+    def test_publish_without_cache_leaves_cache_stats_empty(self):
+        acc = StatsAccumulator(cache_enabled=False)
+        result = acc.publish(EpochResult())
+        assert result.cache_stats == {}
+
+    def test_publish_keeps_worse_health(self):
+        degraded = TraceHealth(n_samples=10, verdict="degraded")
+        clean = TraceHealth(n_samples=10, verdict="clean")
+        acc = StatsAccumulator()
+        acc.note_health(degraded)
+        result = EpochResult()
+        result.trace_health = clean
+        assert acc.publish(result).trace_health is degraded
+
+
+class TestAbsorbResult:
+    """Regression tests for the chunk-merge fault handling.
+
+    The pre-refactor ``decode_chunked`` merge mutated each chunk's
+    faults in place (``fault.offset_samples += shift``), so the
+    chunk-local results were corrupted after merging and re-merging
+    double-shifted.  ``absorb_result`` must copy.
+    """
+
+    def _chunk_result(self):
+        result = EpochResult(duration_s=0.5)
+        result.stage_timings = {"edge": 0.1, "total": 0.2}
+        result.cache_stats = {"fold_hits": 2}
+        result.fidelity_stats = {"pregate_fast": 4}
+        result.degraded_streams = [_fault(offset=40.0, expected=True),
+                                   _fault(offset=70.0, expected=False)]
+        return result
+
+    def test_faults_are_copied_not_aliased(self):
+        chunk = self._chunk_result()
+        acc = StatsAccumulator()
+        acc.absorb_result(chunk, offset_shift=1000.0)
+        assert acc.faults[0] is not chunk.degraded_streams[0]
+        # The source result is untouched (chunk-local coordinates).
+        assert chunk.degraded_streams[0].offset_samples == 40.0
+        assert acc.faults[0].offset_samples == 1040.0
+
+    def test_expected_flags_survive_the_merge(self):
+        chunk = self._chunk_result()
+        acc = StatsAccumulator()
+        acc.absorb_result(chunk, offset_shift=500.0)
+        assert [f.expected for f in acc.faults] == [True, False]
+        merged = acc.publish(EpochResult())
+        assert [f.expected for f in merged.degraded_streams] \
+            == [True, False]
+        assert merged.degraded  # the unexpected fault still flags it
+
+    def test_absorbing_twice_does_not_double_shift(self):
+        chunk = self._chunk_result()
+        acc = StatsAccumulator()
+        acc.absorb_result(chunk, offset_shift=100.0)
+        acc.absorb_result(chunk, offset_shift=100.0)
+        assert [f.offset_samples for f in acc.faults] \
+            == [140.0, 170.0, 140.0, 170.0]
+
+    def test_counters_and_timings_accumulate(self):
+        acc = StatsAccumulator()
+        acc.absorb_result(self._chunk_result())
+        acc.absorb_result(self._chunk_result(), offset_shift=10.0)
+        assert acc.timings == {"edge": 0.2, "total": 0.4}
+        assert acc.cache == {key: (4 if key == "fold_hits" else 0)
+                             for key in CACHE_STAT_KEYS}
+        assert acc.fidelity == {"pregate_fast": 8}
+
+    def test_cache_stays_none_for_cold_results(self):
+        acc = StatsAccumulator()
+        cold = EpochResult()
+        cold.fidelity_stats = {"pregate_fast": 1}
+        acc.absorb_result(cold)
+        assert acc.cache is None
+
+    def test_health_merge_keeps_the_worst_chunk(self):
+        acc = StatsAccumulator()
+        first = EpochResult()
+        first.trace_health = TraceHealth(n_samples=10, verdict="clean")
+        second = EpochResult()
+        second.trace_health = TraceHealth(n_samples=10, verdict="rejected")
+        acc.absorb_result(first)
+        acc.absorb_result(second)
+        acc.absorb_result(first)
+        assert acc.trace_health.verdict == "rejected"
+
+
+class TestWorseHealth:
+    @pytest.mark.parametrize("a,b,winner", [
+        ("clean", "degraded", "degraded"),
+        ("degraded", "rejected", "rejected"),
+        ("rejected", "clean", "rejected"),
+        ("clean", "clean", "clean"),
+    ])
+    def test_severity_order(self, a, b, winner):
+        ha, hb = TraceHealth(n_samples=10, verdict=a), TraceHealth(n_samples=10, verdict=b)
+        assert worse_health(ha, hb).verdict == winner
+
+    def test_none_always_loses(self):
+        health = TraceHealth(n_samples=10, verdict="clean")
+        assert worse_health(None, health) is health
+        assert worse_health(health, None) is health
+        assert worse_health(None, None) is None
+
+
+class TestStageTiming:
+    def test_stage_context_manager_accumulates(self):
+        acc = StatsAccumulator()
+        with acc.stage("detect"):
+            np.linalg.eigh(np.eye(8))
+        with acc.stage("detect"):
+            pass
+        assert acc.timings["detect"] > 0.0

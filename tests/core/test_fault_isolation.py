@@ -6,6 +6,7 @@ import pytest
 from repro.analysis.throughput import match_streams
 from repro.core.pipeline import LFDecoder, LFDecoderConfig
 from repro.core.session import SessionConfig, SessionState
+from repro.core.stages.tracking import TrackStage
 from repro.phy.channel import ChannelModel
 from repro.reader.simulator import NetworkSimulator
 from repro.tags.base import FixedOffsetModel
@@ -82,17 +83,16 @@ class TestStreamFaultIsolation:
                             for m in match_streams(capture, clean))
         assert clean_matched == 4
 
-        original = LFDecoder._decode_stream
+        original = TrackStage.run
         state = {"calls": 0}
 
-        def sabotaged(self, trace, hypothesis, edges, result, **kwargs):
+        def sabotaged(self, ctx):
             state["calls"] += 1
             if state["calls"] == 2:
                 raise RuntimeError("synthetic stage bug")
-            return original(self, trace, hypothesis, edges, result,
-                            **kwargs)
+            return original(self, ctx)
 
-        monkeypatch.setattr(LFDecoder, "_decode_stream", sabotaged)
+        monkeypatch.setattr(TrackStage, "run", sabotaged)
         result = build_decoder(fast_profile).decode_epoch(capture.trace)
         faults = [f for f in result.degraded_streams
                   if f.error_type == "RuntimeError"]

@@ -1,0 +1,46 @@
+"""The decode path's import graph stays acyclic and layered."""
+
+import importlib.util
+from pathlib import Path
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" \
+    / "check_import_cycles.py"
+_spec = importlib.util.spec_from_file_location("check_import_cycles",
+                                               _TOOL)
+_tool = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_tool)
+
+
+class TestImportGraph:
+    def test_no_runtime_cycles_or_forbidden_edges(self):
+        assert _tool.check() == []
+
+    def test_stats_layer_sits_at_the_bottom(self):
+        graph = _tool.build_graph()
+        assert graph["repro.core.stages.stats"] <= {
+            "repro.types", "repro.utils.timing"}
+
+    def test_session_does_not_import_pipeline_at_module_scope(self):
+        graph = _tool.build_graph()
+        assert "repro.core.pipeline" \
+            not in graph["repro.core.session"]
+
+    def test_stage_modules_do_not_import_upper_layers(self):
+        graph = _tool.build_graph()
+        upper = {"repro.core.pipeline", "repro.core.session",
+                 "repro.core.session_decoder", "repro.core.engine"}
+        for module, edges in graph.items():
+            if module.startswith("repro.core.stages"):
+                assert not (edges & upper), (module, edges & upper)
+
+    def test_detector_catches_a_synthetic_cycle(self):
+        cycles = _tool.find_cycles({
+            "a": {"b"}, "b": {"c"}, "c": {"a"}, "d": {"a"}})
+        assert cycles == [["a", "b", "c"]]
+
+    def test_type_checking_blocks_are_skipped(self):
+        graph = _tool.build_graph()
+        # context.py references session/fidelity types under
+        # TYPE_CHECKING only; those edges must not appear.
+        assert "repro.core.session" \
+            not in graph["repro.core.stages.context"]
