@@ -157,23 +157,38 @@ def _resolve_prescreened(obs: np.ndarray, header: np.ndarray,
     threshold, and candidates that disagree are exactly the corrupt
     ones whose full decode would fail the acceptance gate anyway.
     """
+    h = header.size
     best = None  # (score, flipped, start)
     for flipped in order:
         signed = -obs if flipped else obs
-        for start in _candidate_starts(signed):
-            segment = signed[start:]
-            if segment.size < header.size:
-                continue
-            bits = hard_decode_bits(segment[:header.size])
-            score = _header_match(bits, header) \
-                - _pre_start_penalty(signed, int(start))
-            cand = (score, flipped, int(start))
+        starts = [int(s) for s in _candidate_starts(signed)
+                  if signed.size - int(s) >= h]
+        if not starts:
+            continue
+        # One struct-of-arrays hard decode over every candidate of
+        # this polarity: the candidates' header windows stack into an
+        # (S, h) matrix and threshold/forward-fill in one pass.
+        # Within a polarity the tie-break prefers the earlier start
+        # anyway, so scoring candidates past a perfect one cannot
+        # change the winner.
+        seg = np.stack([signed[s:s + h] for s in starts])
+        m = np.minimum(np.maximum(np.rint(seg), -1),
+                       1).astype(np.int8)
+        idx = np.where(m != 0, np.arange(h)[None, :], -1)
+        last = np.maximum.accumulate(idx, axis=1)
+        bits = np.where(
+            last >= 0,
+            np.take_along_axis(m, np.maximum(last, 0), axis=1) == 1,
+            False).astype(np.int8)
+        matches = np.count_nonzero(bits == header[None, :],
+                                   axis=1) / header.size
+        for i, start in enumerate(starts):
+            score = float(matches[i]) \
+                - _pre_start_penalty(signed, start)
             if best is None or score > best[0] or (
                     score == best[0]
-                    and (flipped, int(start)) < best[1:]):
-                best = cand
-            if best[0] >= 1.0:
-                break
+                    and (flipped, start) < best[1:]):
+                best = (score, flipped, start)
         if best is not None and best[0] >= 1.0:
             break
     if best is None:

@@ -18,6 +18,7 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..utils.rng import SeedLike, make_rng
 from .fidelity import FidelityPolicy
+from .kernels import KernelBackend, get_backend
 
 
 @dataclass
@@ -55,8 +56,10 @@ def _kmeans_pp_init(points: np.ndarray, k: int, n_init: int,
     us = np.empty((n_init, max(k - 1, 0)))
     for r in range(n_init):
         first[r] = rng.integers(0, n)
-        for j in range(k - 1):
-            us[r, j] = rng.random()
+        # One vectorized draw consumes the identical generator stream
+        # as k-1 scalar ``rng.random()`` calls (each double is one
+        # 64-bit draw), without k-1 Python round-trips.
+        us[r, :] = rng.random(k - 1)
     cents = np.empty((n_init, k), dtype=np.complex128)
     cents[:, 0] = points[first]
     dist2 = ((pr[None, :] - pr[first][:, None]) ** 2
@@ -80,7 +83,8 @@ def kmeans(points: np.ndarray, k: int, rng: SeedLike = None,
            n_init: int = 4, max_iter: int = 100,
            tol: float = 1e-10,
            init_centroids: Optional[np.ndarray] = None,
-           bounded_min_points: int = 1024) -> KMeansResult:
+           bounded_min_points: int = 1024,
+           backend: Optional[KernelBackend] = None) -> KMeansResult:
     """Lloyd's algorithm on complex points with k-means++ restarts.
 
     ``init_centroids``, when given, is a length-``k`` complex array of
@@ -115,80 +119,41 @@ def kmeans(points: np.ndarray, k: int, rng: SeedLike = None,
         # distance computations once assignments settle.
         if pts.size >= bounded_min_points and k > 1:
             return kmeans_bounded(pts, k, warm, max_iter=max_iter,
-                                  tol=tol)
+                                  tol=tol, backend=backend)
     gen = make_rng(rng)
     if init_centroids is not None:
         cents = warm[None, :].copy()
     else:
         cents = _kmeans_pp_init(pts, k, n_init, gen)
-    return _lloyd_batched(pts, cents, max_iter=max_iter, tol=tol)
+    return _lloyd_batched(pts, cents, max_iter=max_iter, tol=tol,
+                          backend=backend)
 
 
 def _lloyd_batched(pts: np.ndarray, cents: np.ndarray,
                    max_iter: int = 100,
-                   tol: float = 1e-10) -> KMeansResult:
+                   tol: float = 1e-10,
+                   backend: Optional[KernelBackend] = None
+                   ) -> KMeansResult:
     """Batched Lloyd iteration over a stack of restarts.
 
-    All restarts run as one batched Lloyd iteration: centroids are an
-    (R, k) stack, distances an (R, n, k) tensor, and the centroid
-    update a single offset-bincount over every restart's labels.
-    Each restart follows exactly the trajectory it would follow alone
-    (converged restarts are frozen, not re-averaged), and the wall
-    clock is set by the slowest restart instead of the sum of all of
-    them.  The best restart by final inertia wins.
+    All restarts run in one batched iteration (an (R, k) centroid
+    stack); each restart follows exactly the trajectory it would
+    follow alone, and the best restart by final inertia wins.  The
+    arithmetic lives in the kernel backend's ``lloyd_batched``
+    (:mod:`repro.core.kernels`).
     """
-    n = pts.size
-    n_init, k = cents.shape
-    cents = cents.copy()
-    pr, pi = pts.real, pts.imag
-    offsets = (np.arange(n_init) * k)[:, None]
-    pr_tiled = np.broadcast_to(pr, (n_init, n)).ravel()
-    pi_tiled = np.broadcast_to(pi, (n_init, n)).ravel()
-
-    def _dist2(c: np.ndarray) -> np.ndarray:
-        return ((pr[None, :, None] - c.real[:, None, :]) ** 2
-                + (pi[None, :, None] - c.imag[:, None, :]) ** 2)
-
-    # Restarts drop out of the iteration as they converge, so late
-    # iterations only pay for the rows still moving.
-    act = np.arange(n_init)
-    for _ in range(max_iter):
-        c = cents[act]
-        a = act.size
-        dist2 = _dist2(c)
-        flat = (np.argmin(dist2, axis=2) + offsets[:a]).ravel()
-        total = a * k
-        counts = np.bincount(flat, minlength=total).reshape(a, k)
-        sums = (np.bincount(flat, weights=pr_tiled[:a * n],
-                            minlength=total)
-                + 1j * np.bincount(flat, weights=pi_tiled[:a * n],
-                                   minlength=total)).reshape(a, k)
-        new_c = np.where(counts > 0, sums / np.maximum(counts, 1), c)
-        empty_rows = np.flatnonzero((counts == 0).any(axis=1))
-        if empty_rows.size:
-            # Re-seed empty clusters at the restart's worst-fit point.
-            worst = np.argmax(np.min(dist2, axis=2), axis=1)
-            for r in empty_rows:
-                new_c[r, counts[r] == 0] = pts[worst[r]]
-        moved = np.max(np.abs(new_c - c), axis=1)
-        cents[act] = new_c
-        act = act[moved > tol]
-        if act.size == 0:
-            break
-
-    dist2 = _dist2(cents)
-    per_restart = np.min(dist2, axis=2)
-    inertias = per_restart.sum(axis=1)
-    best_r = int(np.argmin(inertias))
-    labels = np.argmin(dist2[best_r], axis=1)
-    return KMeansResult(centroids=cents[best_r], labels=labels,
-                        inertia=float(inertias[best_r]))
+    kern = backend if backend is not None else get_backend()
+    centroids, labels, inertia = kern.lloyd_batched(
+        pts, cents, max_iter=max_iter, tol=tol)
+    return KMeansResult(centroids=centroids, labels=labels,
+                        inertia=inertia)
 
 
 def kmeans_bounded(points: np.ndarray, k: int,
                    init_centroids: np.ndarray,
                    max_iter: int = 100, tol: float = 1e-10,
-                   stats: Optional[Dict[str, int]] = None
+                   stats: Optional[Dict[str, int]] = None,
+                   backend: Optional[KernelBackend] = None
                    ) -> KMeansResult:
     """Single-restart Lloyd iteration with Hamerly distance bounds.
 
@@ -217,75 +182,11 @@ def kmeans_bounded(points: np.ndarray, k: int,
             f"k={k} exceeds the number of points ({pts.size})")
     if stats is not None:
         stats["bounded_lloyd_runs"] = stats.get("bounded_lloyd_runs", 0) + 1
-    pr, pi = pts.real, pts.imag
-
-    def _full_dist2(c: np.ndarray) -> np.ndarray:
-        return ((pr[:, None] - c.real[None, :]) ** 2
-                + (pi[:, None] - c.imag[None, :]) ** 2)
-
-    dist2 = _full_dist2(cents)
-    labels = np.argmin(dist2, axis=1)
-    if k == 1:
-        part = np.sqrt(dist2[:, 0])
-        upper = part
-        lower = np.full(pts.size, np.inf)
-    else:
-        part = np.sqrt(np.partition(dist2, 1, axis=1))
-        upper = part[:, 0].copy()
-        lower = part[:, 1].copy()
-
-    for _ in range(max_iter):
-        counts = np.bincount(labels, minlength=k)
-        sums = (np.bincount(labels, weights=pr, minlength=k)
-                + 1j * np.bincount(labels, weights=pi, minlength=k))
-        new_c = np.where(counts > 0, sums / np.maximum(counts, 1), cents)
-        if (counts == 0).any():
-            # Mirror the reference reseed: empty clusters jump to the
-            # worst-fit point, measured against the pre-update
-            # centroids.  Bounds are rebuilt from scratch afterwards.
-            d2 = _full_dist2(cents)
-            worst = int(np.argmax(np.min(d2, axis=1)))
-            new_c[counts == 0] = pts[worst]
-            shift = np.abs(new_c - cents)
-            cents = new_c
-            if shift.max() <= tol:
-                break
-            d2 = _full_dist2(cents)
-            labels = np.argmin(d2, axis=1)
-            part = np.sqrt(np.partition(d2, 1, axis=1))
-            upper = part[:, 0].copy()
-            lower = part[:, 1].copy()
-            continue
-        shift = np.abs(new_c - cents)
-        cents = new_c
-        if shift.max() <= tol:
-            break
-        # Bound maintenance: the assigned centroid moved by
-        # shift[label] (upper grows by at most that), every other
-        # centroid by at most shift.max() (lower shrinks by at most
-        # that).
-        upper += shift[labels]
-        lower -= shift.max()
-        loose = np.flatnonzero(upper >= lower)
-        if loose.size:
-            # First tighten the upper bound to the exact distance to
-            # the assigned centroid — often enough to prune.
-            lab = labels[loose]
-            d_lab = np.abs(pts[loose] - cents[lab])
-            upper[loose] = d_lab
-            stale = loose[d_lab >= lower[loose]]
-            if stale.size:
-                d2s = ((pr[stale, None] - cents.real[None, :]) ** 2
-                       + (pi[stale, None] - cents.imag[None, :]) ** 2)
-                labels[stale] = np.argmin(d2s, axis=1)
-                parts = np.sqrt(np.partition(d2s, 1, axis=1))
-                upper[stale] = parts[:, 0]
-                lower[stale] = parts[:, 1]
-
-    dist2 = _full_dist2(cents)
-    labels = np.argmin(dist2, axis=1)
-    inertia = float(np.min(dist2, axis=1).sum())
-    return KMeansResult(centroids=cents, labels=labels, inertia=inertia)
+    kern = backend if backend is not None else get_backend()
+    centroids, labels, inertia = kern.bounded_lloyd(
+        pts, cents, max_iter=max_iter, tol=tol)
+    return KMeansResult(centroids=centroids, labels=labels,
+                        inertia=inertia)
 
 
 def bic_score(result: KMeansResult, n_points: int) -> float:
@@ -316,7 +217,8 @@ def select_cluster_count(points: np.ndarray,
                          fits_out: Optional[
                              Dict[int, KMeansResult]] = None,
                          policy: Optional[FidelityPolicy] = None,
-                         stats: Optional[Dict[str, int]] = None
+                         stats: Optional[Dict[str, int]] = None,
+                         backend: Optional[KernelBackend] = None
                          ) -> KMeansResult:
     """Pick the cluster count by inertia-improvement ratio.
 
@@ -359,11 +261,11 @@ def select_cluster_count(points: np.ndarray,
     if policy is not None and policy.active and len(feasible) > 1:
         return _select_adaptive(pts, feasible, gen, n_init,
                                 improvement_factor, hints, fits_out,
-                                policy, stats)
+                                policy, stats, backend)
 
     def _fit(k: int) -> KMeansResult:
         result = kmeans(pts, k, rng=gen, n_init=n_init,
-                        init_centroids=hints.get(k))
+                        init_centroids=hints.get(k), backend=backend)
         if fits_out is not None:
             fits_out[k] = result
         return result
@@ -383,7 +285,9 @@ def _select_adaptive(pts: np.ndarray, feasible: List[int],
                      hints: Dict[int, np.ndarray],
                      fits_out: Optional[Dict[int, KMeansResult]],
                      policy: FidelityPolicy,
-                     stats: Optional[Dict[str, int]]) -> KMeansResult:
+                     stats: Optional[Dict[str, int]],
+                     backend: Optional[KernelBackend] = None
+                     ) -> KMeansResult:
     """Subsampled, shared-seeded candidate-k sweep with escalation.
 
     The largest candidate k is seeded once with k-means++; every
@@ -425,8 +329,9 @@ def _select_adaptive(pts: np.ndarray, feasible: List[int],
         if hint is not None and not subsampled:
             seeds = np.asarray(hint, dtype=np.complex128).ravel()
             if seeds.size == k:
-                return _lloyd_batched(sub, seeds[None, :])
-        return _lloyd_batched(sub, shared[:, :k])
+                return _lloyd_batched(sub, seeds[None, :],
+                                      backend=backend)
+        return _lloyd_batched(sub, shared[:, :k], backend=backend)
 
     fits = {k: _fit_sub(k) for k in feasible}
     best_k = feasible[0]
@@ -452,7 +357,8 @@ def _select_adaptive(pts: np.ndarray, feasible: List[int],
         best = None
         for k in feasible:
             result = kmeans(pts, k, rng=gen, n_init=n_init,
-                            init_centroids=hints.get(k))
+                            init_centroids=hints.get(k),
+                            backend=backend)
             if fits_out is not None:
                 fits_out[k] = result
             if best is None:
@@ -470,9 +376,10 @@ def _select_adaptive(pts: np.ndarray, feasible: List[int],
         # labels, so refit warm from the subsample centroids.
         if pts.size >= policy.bounded_min_points and best_k > 1:
             best = kmeans_bounded(pts, best_k, fits[best_k].centroids,
-                                  stats=stats)
+                                  stats=stats, backend=backend)
         else:
-            best = _lloyd_batched(pts, fits[best_k].centroids[None, :])
+            best = _lloyd_batched(pts, fits[best_k].centroids[None, :],
+                                  backend=backend)
         fits[best_k] = best
     else:
         best = fits[best_k]

@@ -19,6 +19,7 @@ from .. import constants
 from ..errors import ConfigurationError, SignalError
 from ..types import DetectedEdge, IQTrace
 from ..utils.dsp import find_peaks_above
+from .kernels import KernelBackend, get_backend
 
 
 @dataclass(frozen=True)
@@ -60,11 +61,72 @@ class EdgeDetectorConfig:
             raise ConfigurationError("max_refine_window must be >= 1")
 
 
+def refine_window_bounds(pos: np.ndarray, limits: np.ndarray, n: int,
+                         guard: int, max_w: int):
+    """Neighbour-bounded averaging windows for differential extraction.
+
+    For each position, the before/after windows are clipped at the
+    nearest bounding edge in ``limits`` (sorted) so averaging never
+    straddles another tag's transition, capped at ``max_w`` samples
+    and guarded by ``guard`` samples around the transition itself.
+    Degenerate windows (no clean room before/after) fall back to a
+    single sample next to the guard band, substituted in place so the
+    whole extraction stays one prefix-sum gather over all positions.
+
+    Returns ``(lo_b, hi_b, lo_a, hi_a)`` — every window non-empty.
+    This planning step is shared by the per-stream
+    :meth:`EdgeDetector.refine_differentials` path and the epoch
+    driver's SoA-batched extraction, so both produce bit-identical
+    windows.
+    """
+    # Nearest bounding edges strictly before / after each position.
+    idx = np.searchsorted(limits, pos, side="left")
+    prev_edge = np.where(idx > 0, limits[np.maximum(idx - 1, 0)], -1)
+    same = limits[np.minimum(idx, limits.size - 1)] == pos
+    nxt = idx + same.astype(np.int64)
+    next_edge = np.where(nxt < limits.size,
+                         limits[np.minimum(nxt, limits.size - 1)], n)
+    # Guard against unsorted duplicate hits.
+    prev_edge = np.where(prev_edge >= pos, -1, prev_edge)
+    next_edge = np.where(next_edge <= pos, n, next_edge)
+
+    # minimum/maximum chains in place of np.clip: same values, less
+    # dispatch overhead on these small int arrays.
+    lo_b = np.minimum(np.maximum(np.maximum(prev_edge + guard + 1,
+                                            pos - guard - max_w), 0), n)
+    hi_b = np.minimum(np.maximum(pos - guard, 0), n)
+    lo_a = np.minimum(np.maximum(pos + guard + 1, 0), n)
+    hi_a = np.minimum(np.maximum(np.minimum(next_edge - guard,
+                                            pos + guard + 1 + max_w),
+                                 0), n)
+
+    bad_b = hi_b <= lo_b
+    if np.any(bad_b):
+        lo_b = np.where(bad_b, np.maximum(pos - guard - 1, 0), lo_b)
+        hi_b = np.where(bad_b, np.maximum(pos - guard, lo_b + 1),
+                        hi_b)
+    bad_a = hi_a <= lo_a
+    if np.any(bad_a):
+        hi_a = np.where(bad_a, np.minimum(pos + guard + 2, n), hi_a)
+        lo_a = np.where(bad_a, np.minimum(pos + guard + 1, hi_a - 1),
+                        lo_a)
+    return lo_b, hi_b, lo_a, hi_a
+
+
 class EdgeDetector:
     """Extracts :class:`DetectedEdge` records from an IQ trace."""
 
-    def __init__(self, config: Optional[EdgeDetectorConfig] = None):
+    def __init__(self, config: Optional[EdgeDetectorConfig] = None,
+                 backend: Optional[KernelBackend] = None):
         self.config = config or EdgeDetectorConfig()
+        #: Kernel backend for the differential gather; ``None`` defers
+        #: to the process default at call time.
+        self.backend = backend
+
+    @property
+    def kernels(self) -> KernelBackend:
+        return self.backend if self.backend is not None \
+            else get_backend()
 
     def differential_magnitude(self, trace: IQTrace) -> np.ndarray:
         """|dS(t)| sweep used for coarse edge localization.
@@ -151,44 +213,10 @@ class EdgeDetector:
         limits = np.sort(np.asarray(
             positions if bounds is None else bounds, dtype=np.int64))
         csum = trace.prefix_sum()
-        guard = cfg.guard
-        max_w = cfg.max_refine_window
-
-        # Nearest bounding edges strictly before / after each position.
-        idx = np.searchsorted(limits, pos, side="left")
-        prev_edge = np.where(idx > 0, limits[np.maximum(idx - 1, 0)], -1)
-        same = limits[np.minimum(idx, limits.size - 1)] == pos
-        nxt = idx + same.astype(np.int64)
-        next_edge = np.where(nxt < limits.size,
-                             limits[np.minimum(nxt, limits.size - 1)], n)
-        # Guard against unsorted duplicate hits.
-        prev_edge = np.where(prev_edge >= pos, -1, prev_edge)
-        next_edge = np.where(next_edge <= pos, n, next_edge)
-
-        lo_b = np.clip(np.maximum(prev_edge + guard + 1,
-                                  pos - guard - max_w), 0, n)
-        hi_b = np.clip(pos - guard, 0, n)
-        lo_a = np.clip(pos + guard + 1, 0, n)
-        hi_a = np.clip(np.minimum(next_edge - guard,
-                                  pos + guard + 1 + max_w), 0, n)
-
-        # Degenerate windows (no clean room before/after) fall back to a
-        # single sample next to the guard band; the fallback bounds are
-        # substituted in place so the whole extraction stays one
-        # prefix-sum gather over all positions.
-        bad_b = hi_b <= lo_b
-        if np.any(bad_b):
-            lo_b = np.where(bad_b, np.maximum(pos - guard - 1, 0), lo_b)
-            hi_b = np.where(bad_b, np.maximum(pos - guard, lo_b + 1),
-                            hi_b)
-        bad_a = hi_a <= lo_a
-        if np.any(bad_a):
-            hi_a = np.where(bad_a, np.minimum(pos + guard + 2, n), hi_a)
-            lo_a = np.where(bad_a, np.minimum(pos + guard + 1, hi_a - 1),
-                            lo_a)
-        before = (csum[hi_b] - csum[lo_b]) / (hi_b - lo_b)
-        after = (csum[hi_a] - csum[lo_a]) / (hi_a - lo_a)
-        return np.asarray(after - before, dtype=np.complex128)
+        lo_b, hi_b, lo_a, hi_a = refine_window_bounds(
+            pos, limits, n, cfg.guard, cfg.max_refine_window)
+        return self.kernels.edge_differentials(csum, lo_b, hi_b,
+                                               lo_a, hi_a)
 
 
 def _merge_similar(positions: np.ndarray, differentials: np.ndarray,

@@ -93,9 +93,12 @@ def _circular_peak_offsets(counts: np.ndarray, bin_width: float,
     n_bins = counts.size
     if n_bins == 0:
         return []
-    window = np.zeros(n_bins, dtype=np.int64)
-    for shift in range(-span_bins, span_bins + 1):
-        window += np.roll(counts, -shift)
+    # Circular windowed sum via one gather: window[i] =
+    # sum(counts[(i+s) % n] for s in -span..span), identical to the
+    # np.roll accumulation it replaces without the per-shift copies.
+    shifts = np.arange(-span_bins, span_bins + 1)
+    idx = (np.arange(n_bins)[None, :] + shifts[:, None]) % n_bins
+    window = counts[idx].sum(axis=0, dtype=np.int64)
     offsets: List[float] = []
     remaining = window.astype(np.int64).copy()
     suppress = 2 * span_bins + 1

@@ -1,0 +1,125 @@
+"""The :class:`KernelBackend` protocol — the decoder's compute seam.
+
+The decode pipeline's arithmetic hot spots are a handful of tight
+numeric kernels: the batched/bounded Lloyd iterations behind every
+k-means fit, the greedy centroid<->lattice matching of the collision
+separator, the prefix-sum gather that extracts edge differentials, and
+the four-state Viterbi recursion.  Everything else in the pipeline is
+orchestration.  This module names those kernels as a protocol so the
+orchestration code can stay backend-agnostic: the pure-numpy
+:class:`~repro.core.kernels.reference.ReferenceBackend` is the
+bit-exact reference (pinned by the golden digests), and the optional
+:class:`~repro.core.kernels.numba_backend.NumbaBackend` JIT-compiles
+the same kernel bodies for throughput.
+
+Kernels take and return plain ``numpy`` arrays — no dataclasses, no
+pipeline types — so a backend implementation never needs anything
+above this package in the import graph (``tools/check_import_cycles``
+enforces that).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class KernelBackend(Protocol):
+    """Numeric kernels the decode pipeline dispatches to.
+
+    Implementations must be *numerically equivalent* to the reference
+    backend: identical labels, states and differentials, with floating
+    sums (inertias, match errors) allowed to differ only by summation
+    order (a few ulp).  The reference backend itself is the bit-exact
+    definition of the decoder's output.
+    """
+
+    #: Short identifier (``"reference"``, ``"numba"``) recorded in
+    #: benchmark JSON and selectable via ``REPRO_KERNEL_BACKEND``.
+    name: str
+
+    def warm_up(self) -> None:
+        """Pay one-time costs (JIT compilation) up front.
+
+        Called at backend construction so stage timings never include
+        compilation.  The reference backend's warm-up is a no-op.
+        """
+
+    def lloyd_batched(self, pts: np.ndarray, cents: np.ndarray,
+                      max_iter: int = 100, tol: float = 1e-10
+                      ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Lloyd iteration over a stack of restarts; best restart wins.
+
+        ``pts`` is complex (n,), ``cents`` a complex (R, k) stack of
+        initial centroids (one row per restart).  Returns the winning
+        restart's ``(centroids (k,), labels (n,), inertia)``.  The
+        input ``cents`` is not mutated.
+        """
+        ...
+
+    def bounded_lloyd(self, pts: np.ndarray, cents: np.ndarray,
+                      max_iter: int = 100, tol: float = 1e-10
+                      ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Single-restart Lloyd from ``cents`` (complex (k,)).
+
+        Follows the exact assignment trajectory of ``lloyd_batched``
+        with one restart; backends may prune distance computations
+        (Hamerly bounds) but must return the identical fit.
+        """
+        ...
+
+    def lattice_match_errors(self, cents: np.ndarray,
+                             lattices: np.ndarray) -> np.ndarray:
+        """Greedy matching error of ``cents`` against many lattices.
+
+        ``cents`` is complex (n,), ``lattices`` complex (P, m); returns
+        (P,) mean matching distances.  The greedy assignment takes, for
+        each lattice point in column order, the nearest *unassigned*
+        centroid (first minimum in index order on ties).
+        """
+        ...
+
+    def edge_differentials(self, csum: np.ndarray,
+                           lo_b: np.ndarray, hi_b: np.ndarray,
+                           lo_a: np.ndarray, hi_a: np.ndarray
+                           ) -> np.ndarray:
+        """Windowed IQ differentials from a complex prefix sum.
+
+        For each position ``i``:
+        ``mean(csum[lo_a[i]:hi_a[i]]) - mean(csum[lo_b[i]:hi_b[i]])``
+        where the mean of a prefix-sum window ``[lo, hi)`` is
+        ``(csum[hi] - csum[lo]) / (hi - lo)``.  All windows must be
+        non-empty (``hi > lo``); the caller's bounds-planning handles
+        degenerate windows.  This is the kernel the SoA-batched
+        extraction funnels *every* stream's grid slots through.
+        """
+        ...
+
+    def viterbi_exact(self, obs: np.ndarray, sigma: float,
+                      log_flip: float, log_hold: float,
+                      initial_state: int = -1) -> np.ndarray:
+        """Exact four-state Viterbi over projected observations.
+
+        ``obs`` is float (T,); ``initial_state`` pins the first state
+        (0..3) or is -1 to share the prior between RISE and HOLD_LOW.
+        Returns the int8 state path.  Ties prefer the lower-numbered
+        predecessor.
+        """
+        ...
+
+    def viterbi_banded(self, obs: np.ndarray, band: float,
+                       start_high: bool, required_first: int = -1
+                       ) -> Optional[np.ndarray]:
+        """Thresholded state path when provably Viterbi-optimal.
+
+        Certifies the banded fast path: every observation must clear
+        the decision band (``| |obs| - 0.5 | > band``) and the
+        thresholded path must be trellis-valid from the entering level
+        ``start_high``; ``required_first`` (0..3, or -1 for no pin)
+        additionally requires that exact first state.  Returns the
+        int8 state path, or None when optimality cannot be certified
+        (the caller falls back to :meth:`viterbi_exact`).
+        """
+        ...

@@ -1,0 +1,110 @@
+"""Optional numba-JIT kernel backend.
+
+Compiles the loop-form kernel bodies of
+:mod:`repro.core.kernels._jit_impl` with ``numba.njit``.  numba is
+imported lazily inside :class:`NumbaBackend` — importing *this module*
+never requires it, and backend selection
+(:func:`repro.core.kernels.resolve_backend`) catches the
+``ImportError`` to fall back to the reference backend with a warning.
+
+Compilation happens once, at backend construction (:meth:`warm_up`
+runs every kernel on tiny representative inputs), so stage timings
+never include JIT compile time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import _jit_impl
+
+
+class NumbaBackend:
+    """JIT-compiled :class:`~repro.core.kernels.base.KernelBackend`.
+
+    Raises ``ImportError`` at construction when numba is missing; the
+    selection layer turns that into a warn-once reference fallback.
+    """
+
+    name = "numba"
+
+    def __init__(self, warm: bool = True):
+        import numba
+
+        self.numba_version: str = numba.__version__
+        jit = numba.njit(cache=True, fastmath=False, nogil=True)
+        self._lloyd_batched = jit(_jit_impl.lloyd_batched)
+        self._bounded_lloyd = jit(_jit_impl.bounded_lloyd)
+        self._lattice_match_errors = jit(_jit_impl.lattice_match_errors)
+        self._edge_differentials = jit(_jit_impl.edge_differentials)
+        self._viterbi_exact = jit(_jit_impl.viterbi_exact)
+        self._viterbi_banded = jit(_jit_impl.viterbi_banded)
+        if warm:
+            self.warm_up()
+
+    def warm_up(self) -> None:
+        """Compile every kernel now, on tiny representative inputs."""
+        pts = np.array([0j, 1 + 0j, 0 + 1j, 1 + 1j], dtype=np.complex128)
+        cents = np.array([[0j, 1 + 1j]], dtype=np.complex128)
+        self._lloyd_batched(pts, cents, 2, 1e-10)
+        self._bounded_lloyd(pts, cents[0], 2, 1e-10)
+        self._lattice_match_errors(pts, pts.reshape(2, 2))
+        csum = np.cumsum(np.concatenate(([0j], pts)))
+        idx = np.array([0, 1], dtype=np.int64)
+        self._edge_differentials(csum, idx, idx + 1, idx + 2, idx + 3)
+        obs = np.array([1.0, -1.0, 0.0])
+        self._viterbi_exact(obs, 0.3, -0.7, -0.7, -1)
+        self._viterbi_banded(obs, 0.01, False, -1)
+
+    def lloyd_batched(self, pts: np.ndarray, cents: np.ndarray,
+                      max_iter: int = 100, tol: float = 1e-10
+                      ) -> Tuple[np.ndarray, np.ndarray, float]:
+        c, labels, inertia = self._lloyd_batched(
+            np.ascontiguousarray(pts, dtype=np.complex128),
+            np.ascontiguousarray(cents, dtype=np.complex128),
+            max_iter, tol)
+        return c, labels, float(inertia)
+
+    def bounded_lloyd(self, pts: np.ndarray, cents: np.ndarray,
+                      max_iter: int = 100, tol: float = 1e-10
+                      ) -> Tuple[np.ndarray, np.ndarray, float]:
+        c, labels, inertia = self._bounded_lloyd(
+            np.ascontiguousarray(pts, dtype=np.complex128),
+            np.ascontiguousarray(cents, dtype=np.complex128),
+            max_iter, tol)
+        return c, labels, float(inertia)
+
+    def lattice_match_errors(self, cents: np.ndarray,
+                             lattices: np.ndarray) -> np.ndarray:
+        return self._lattice_match_errors(
+            np.ascontiguousarray(cents, dtype=np.complex128),
+            np.ascontiguousarray(lattices, dtype=np.complex128))
+
+    def edge_differentials(self, csum: np.ndarray,
+                           lo_b: np.ndarray, hi_b: np.ndarray,
+                           lo_a: np.ndarray, hi_a: np.ndarray
+                           ) -> np.ndarray:
+        return self._edge_differentials(
+            np.ascontiguousarray(csum, dtype=np.complex128),
+            np.ascontiguousarray(lo_b, dtype=np.int64),
+            np.ascontiguousarray(hi_b, dtype=np.int64),
+            np.ascontiguousarray(lo_a, dtype=np.int64),
+            np.ascontiguousarray(hi_a, dtype=np.int64))
+
+    def viterbi_exact(self, obs: np.ndarray, sigma: float,
+                      log_flip: float, log_hold: float,
+                      initial_state: int = -1) -> np.ndarray:
+        return self._viterbi_exact(
+            np.ascontiguousarray(obs, dtype=np.float64),
+            float(sigma), float(log_flip), float(log_hold),
+            int(initial_state))
+
+    def viterbi_banded(self, obs: np.ndarray, band: float,
+                       start_high: bool, required_first: int = -1
+                       ) -> Optional[np.ndarray]:
+        ok, states = self._viterbi_banded(
+            np.ascontiguousarray(obs, dtype=np.float64),
+            float(band), bool(start_high), int(required_first))
+        return states if ok else None

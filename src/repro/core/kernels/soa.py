@@ -1,0 +1,95 @@
+"""Struct-of-arrays batching of ragged per-stream data.
+
+The per-stream stages naturally produce *ragged* work: each stream
+hypothesis has its own number of grid slots.  Calling a kernel once
+per stream leaves most of the time in call overhead, so the epoch
+driver packs every stream's arrays into padded struct-of-arrays
+matrices — grouped by **length class** (the next power of two at or
+above the row length, so padding waste is bounded by 2x and the
+number of distinct matrix shapes stays logarithmic) — and services
+all rows of a class with one kernel call over the raveled matrix.
+
+Pad lanes are filled with caller-supplied safe values (e.g. a trivial
+``[0, 1)`` prefix-sum window) so the kernel can process them blindly;
+``SoABatch.mask`` marks the live lanes and :meth:`SoABatch.unpack`
+slices each row's true-length result back out.  The property suite
+checks that pad lanes never perturb live-lane results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+def length_class(n: int) -> int:
+    """The padded width bucket for a row of ``n`` elements (pow2)."""
+    width = 1
+    while width < n:
+        width *= 2
+    return width
+
+
+@dataclass
+class SoABatch:
+    """One length class of packed rows.
+
+    ``columns[c][r]`` is row ``rows[r]``'s c-th array padded to
+    ``width``; ``mask[r, i]`` is True on live lanes.
+    """
+
+    width: int
+    rows: List[int]
+    lengths: np.ndarray            # (R,) true row lengths
+    mask: np.ndarray               # (R, width) bool
+    columns: Tuple[np.ndarray, ...]  # each (R, width)
+
+    def unpack(self, flat: np.ndarray) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(row_index, row_result)`` from a raveled kernel result.
+
+        ``flat`` is the kernel's output over ``columns[c].ravel()``
+        inputs — shape (R * width,); each yielded row is the first
+        ``lengths[r]`` lanes of its padded stripe.
+        """
+        per_row = flat.reshape(len(self.rows), self.width)
+        for r, row_index in enumerate(self.rows):
+            yield row_index, per_row[r, :int(self.lengths[r])]
+
+
+def pack_ragged(rows: Sequence[Tuple[np.ndarray, ...]],
+                pad_values: Sequence) -> List[SoABatch]:
+    """Pack ragged rows of parallel arrays into length-class batches.
+
+    ``rows[r]`` is a tuple of equal-length 1-D arrays (one per column);
+    ``pad_values[c]`` fills column ``c``'s pad lanes.  Empty rows are
+    dropped (there is nothing to compute for them).  Returns batches
+    in ascending width order; row order within a batch follows the
+    input order, so packing is deterministic.
+    """
+    by_class: Dict[int, List[int]] = {}
+    for r, cols in enumerate(rows):
+        n = int(cols[0].size)
+        if n == 0:
+            continue
+        by_class.setdefault(length_class(n), []).append(r)
+
+    batches: List[SoABatch] = []
+    for width in sorted(by_class):
+        members = by_class[width]
+        n_rows = len(members)
+        lengths = np.array([rows[r][0].size for r in members],
+                           dtype=np.int64)
+        mask = np.arange(width)[None, :] < lengths[:, None]
+        columns = []
+        for c, pad in enumerate(pad_values):
+            col = np.full((n_rows, width), pad,
+                          dtype=np.asarray(rows[members[0]][c]).dtype)
+            for i, r in enumerate(members):
+                col[i, :lengths[i]] = rows[r][c]
+            columns.append(col)
+        batches.append(SoABatch(width=width, rows=members,
+                                lengths=lengths, mask=mask,
+                                columns=tuple(columns)))
+    return batches

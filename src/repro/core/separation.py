@@ -28,6 +28,7 @@ from ..errors import CollisionUnresolvableError, ConfigurationError, \
     DecodeError
 from ..utils.rng import SeedLike, make_rng
 from .clustering import _kmeans_pp_init, _lloyd_batched, kmeans
+from .kernels import KernelBackend, get_backend
 
 #: The nine (a, b) lattice coordinates in a fixed order.
 LATTICE_COORDS: Tuple[Tuple[int, int], ...] = tuple(
@@ -69,43 +70,41 @@ def _lattice_points(e1: complex, e2: complex) -> np.ndarray:
     return _LATTICE_A * e1 + _LATTICE_B * e2
 
 
-def _match_error(centroids: np.ndarray, lattice: np.ndarray) -> float:
+def _match_error(centroids: np.ndarray, lattice: np.ndarray,
+                 backend: Optional[KernelBackend] = None) -> float:
     """Mean distance of a one-to-one greedy matching centroids<->lattice.
 
-    The pairwise distance matrix is built once; the greedy pass then
-    just masks assigned centroids, preserving the reference tie-break
-    (first remaining centroid in index order wins).
+    The greedy pass preserves the reference tie-break (first remaining
+    centroid in index order wins).
     """
     cents = np.asarray(centroids, dtype=np.complex128).ravel()
     lat = np.asarray(lattice, dtype=np.complex128).ravel()
-    return float(_match_errors_batch(cents, lat[None, :])[0])
+    return float(_match_errors_batch(cents, lat[None, :],
+                                     backend=backend)[0])
 
 
 def _match_errors_batch(cents: np.ndarray,
-                        lattices: np.ndarray) -> np.ndarray:
+                        lattices: np.ndarray,
+                        backend: Optional[KernelBackend] = None
+                        ) -> np.ndarray:
     """Greedy matching error of ``cents`` against many lattices at once.
 
-    ``lattices`` is (P, m); the return is (P,) mean matching distances.
-    The greedy pass runs its m assignment steps *across every lattice
-    simultaneously* — the per-step argmin over centroids is a single
-    (P, n) reduction — and keeps the serial tie-break (first remaining
-    centroid in index order wins, because ``argmin`` returns the first
-    minimum).
+    ``lattices`` is (P, m); the return is (P,) mean matching
+    distances.  The arithmetic lives in the kernel backend's
+    ``lattice_match_errors`` (:mod:`repro.core.kernels`), which runs
+    the greedy assignment batched across every lattice while keeping
+    the serial tie-break (first remaining centroid in index order
+    wins).
     """
-    n = cents.size
-    n_lat, m = lattices.shape
-    dist = np.abs(cents[None, :, None] - lattices[:, None, :])
-    rows = np.arange(n_lat)
-    total = np.zeros(n_lat, dtype=np.float64)
-    for j in range(m):
-        picks = np.argmin(dist[:, :, j], axis=1)
-        total += dist[rows, picks, j]
-        dist[rows, picks, :] = np.inf
-    return total / m
+    kern = backend if backend is not None else get_backend()
+    return kern.lattice_match_errors(
+        np.asarray(cents, dtype=np.complex128),
+        np.asarray(lattices, dtype=np.complex128))
 
 
 def basis_from_lattice_fit(centroids: np.ndarray,
-                           min_parallelism: float = 0.15
+                           min_parallelism: float = 0.15,
+                           backend: Optional[KernelBackend] = None
                            ) -> Tuple[complex, complex, float]:
     """Recover (e1, e2) by exhaustive basis search over centroid pairs.
 
@@ -141,7 +140,7 @@ def basis_from_lattice_fit(centroids: np.ndarray,
                "(tag IQ vectors are parallel)")
     lattices = (u[valid, None] * _LATTICE_A[None, :]
                 + v[valid, None] * _LATTICE_B[None, :])
-    errors = _match_errors_batch(cents, lattices)
+    errors = _match_errors_batch(cents, lattices, backend=backend)
     best = int(np.argmin(errors))
     return (complex(u[valid][best]), complex(v[valid][best]),
             float(errors[best]))
@@ -235,7 +234,9 @@ def separate_two_way(differentials: np.ndarray,
                      method: str = "lattice_fit",
                      centroid_hint: Optional[np.ndarray] = None,
                      basis_hint: Optional[Tuple[complex, complex]] = None,
-                     basis_tolerance: float = 0.25) -> SeparationResult:
+                     basis_tolerance: float = 0.25,
+                     backend: Optional[KernelBackend] = None
+                     ) -> SeparationResult:
     """Split a two-way collided stream into per-tag edge observations.
 
     Clusters the differentials into nine groups, recovers the basis
@@ -256,13 +257,15 @@ def separate_two_way(differentials: np.ndarray,
         raise CollisionUnresolvableError(
             2, f"only {pts.size} differentials; need >= 9 to fit the "
                "collision lattice")
-    fit = kmeans(pts, 9, rng=rng, n_init=6, init_centroids=centroid_hint)
+    fit = kmeans(pts, 9, rng=rng, n_init=6,
+                 init_centroids=centroid_hint, backend=backend)
     basis_cached = False
     e1 = e2 = None
     err = 0.0
     if basis_hint is not None:
         h1, h2 = complex(basis_hint[0]), complex(basis_hint[1])
-        hint_err = _match_error(fit.centroids, _lattice_points(h1, h2))
+        hint_err = _match_error(fit.centroids, _lattice_points(h1, h2),
+                                backend=backend)
         scale = float(np.max(np.abs(fit.centroids)))
         if scale > 0 and hint_err <= basis_tolerance * scale:
             e1, e2, err = h1, h2, hint_err
@@ -274,12 +277,14 @@ def separate_two_way(differentials: np.ndarray,
             # seed is suspect too, so the cold recovery must run on a
             # cold fan-out fit — a stale cache degrades to the exact
             # cold behaviour, never to a poisoned one.
-            fit = kmeans(pts, 9, rng=rng, n_init=6)
+            fit = kmeans(pts, 9, rng=rng, n_init=6, backend=backend)
         if method == "lattice_fit":
-            e1, e2, err = basis_from_lattice_fit(fit.centroids)
+            e1, e2, err = basis_from_lattice_fit(fit.centroids,
+                                                 backend=backend)
         elif method == "collinear_midpoints":
             e1, e2 = basis_from_collinear_midpoints(fit.centroids)
-            err = _match_error(fit.centroids, _lattice_points(e1, e2))
+            err = _match_error(fit.centroids, _lattice_points(e1, e2),
+                               backend=backend)
         else:
             raise ConfigurationError(
                 f"unknown separation method {method!r}; expected "
@@ -295,7 +300,8 @@ def separate_collinear(differentials: np.ndarray,
                        rng: SeedLike = None,
                        min_scale_ratio: float = 1.35,
                        n_init: int = 6,
-                       init_levels: Optional[np.ndarray] = None
+                       init_levels: Optional[np.ndarray] = None,
+                       backend: Optional[KernelBackend] = None
                        ) -> SeparationResult:
     """Separate a two-way collision whose edge vectors are (anti)parallel.
 
@@ -337,46 +343,54 @@ def separate_collinear(differentials: np.ndarray,
                            dtype=np.complex128).ravel()
         cold = _kmeans_pp_init(pr, 9, 1, make_rng(rng))
         fit = _lloyd_batched(pr, np.vstack([seeds[None, :],
-                                            -seeds[None, :], cold]))
+                                            -seeds[None, :], cold]),
+                             backend=backend)
     else:
-        fit = kmeans(pr, 9, rng=rng, n_init=n_init)
+        fit = kmeans(pr, 9, rng=rng, n_init=n_init, backend=backend)
     centroids = np.sort(fit.centroids.real)
     scale = float(np.max(np.abs(centroids)))
     if scale <= 0:
         raise CollisionUnresolvableError(2, "no signal on the axis")
 
-    # Search scalar basis pairs exactly like the 2-D lattice fit.
+    # Search scalar basis pairs exactly like the 2-D lattice fit: all
+    # C(8, 2) = 28 candidate pairs are gate-filtered vectorized, the
+    # survivors scored by one batched greedy matching.  triu_indices
+    # enumerates pairs in itertools.combinations order and argmin
+    # returns the first minimum, so the winner matches the former
+    # serial loop's strict-less tie-break exactly.
     origin_idx = int(np.argmin(np.abs(centroids)))
     outer = np.delete(centroids, origin_idx)
-    best = None
-    for i, j in itertools.combinations(range(outer.size), 2):
-        s1, s2 = float(outer[i]), float(outer[j])
-        if min(abs(s1), abs(s2)) <= 0:
-            continue
-        ratio = max(abs(s1), abs(s2)) / min(abs(s1), abs(s2))
-        if ratio < min_scale_ratio:
-            continue  # magnitudes too similar: labels ambiguous
-        # The basis must explain the scatter's full extent: the
-        # largest lattice value is |s1|+|s2|, which has to match the
-        # outermost centroid (rejects aliases built from the small
-        # near-cancellation value).
-        if abs((abs(s1) + abs(s2)) - scale) > 0.2 * scale:
-            continue
-        lattice = _LATTICE_A * s1 + _LATTICE_B * s2
+    ii, jj = np.triu_indices(outer.size, k=1)
+    s1s, s2s = outer[ii], outer[jj]
+    small = np.minimum(np.abs(s1s), np.abs(s2s))
+    big = np.maximum(np.abs(s1s), np.abs(s2s))
+    ok = small > 0
+    # Magnitudes too similar make the labels ambiguous.
+    ok &= np.divide(big, small, out=np.full_like(big, np.inf),
+                    where=small > 0) >= min_scale_ratio
+    # The basis must explain the scatter's full extent: the largest
+    # lattice value is |s1|+|s2|, which has to match the outermost
+    # centroid (rejects aliases built from the small
+    # near-cancellation value).
+    ok &= np.abs((big + small) - scale) <= 0.2 * scale
+    if np.any(ok):
+        lattices = (s1s[ok, None] * _LATTICE_A[None, :]
+                    + s2s[ok, None] * _LATTICE_B[None, :])
         # Reject coincidental value collisions (e.g. s1 = -2*s2 makes
         # two lattice points coincide and the labels ambiguous).
-        gaps = np.abs(np.subtract.outer(lattice, lattice))
-        np.fill_diagonal(gaps, np.inf)
-        if gaps.min() < 0.2 * min(abs(s1), abs(s2)):
-            continue
-        err = _match_error(centroids.astype(np.complex128),
-                           lattice.astype(np.complex128))
-        if best is None or err < best[2]:
-            best = (s1, s2, err)
-    if best is None:
+        gaps = np.abs(lattices[:, :, None] - lattices[:, None, :])
+        gaps[:, np.arange(9), np.arange(9)] = np.inf
+        clean = gaps.min(axis=(1, 2)) >= 0.2 * small[ok]
+    if not np.any(ok) or not np.any(clean):
         raise CollisionUnresolvableError(
             2, "collinear magnitudes too similar to label")
-    s1, s2, err = best
+    errs = _match_errors_batch(
+        centroids.astype(np.complex128),
+        lattices[clean].astype(np.complex128), backend=backend)
+    win = int(np.argmin(errs))
+    s1 = float(s1s[ok][clean][win])
+    s2 = float(s2s[ok][clean][win])
+    err = float(errs[win])
     if err > 0.15 * scale:
         raise CollisionUnresolvableError(
             2, f"scalar lattice fit too poor (err {err:.3g} vs scale "

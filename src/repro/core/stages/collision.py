@@ -92,7 +92,8 @@ class CollisionStage:
                     ctx.bump("kmeans_misses")
                 else:
                     three = kmeans(diffs.ravel(), 3, rng=ctx.rng,
-                                   init_centroids=tracker.centroids[3])
+                                   init_centroids=tracker.centroids[3],
+                                   backend=ctx.kernels)
                     if session.warm_fit_blown(tracker.inertia_pp,
                                               {3: three}, keys=(3,)):
                         scope.trusted = False
@@ -146,7 +147,8 @@ class CollisionStage:
                     rng=ctx.rng, centroid_hints=hints,
                     fits_out=scope.fits, policy=ctx.fidelity,
                     stats=ctx.stats.fidelity, warm=warm_vouched,
-                    cache_fast_fit=session is not None)
+                    cache_fast_fit=session is not None,
+                    backend=ctx.kernels)
                 if hints is not None:
                     if session.warm_fit_blown(tracker.inertia_pp,
                                               scope.fits, keys=(9,)):
@@ -161,7 +163,8 @@ class CollisionStage:
                             diffs, noise_scale=noise_scale,
                             rng=ctx.rng, fits_out=scope.fits,
                             policy=ctx.fidelity,
-                            stats=ctx.stats.fidelity)
+                            stats=ctx.stats.fidelity,
+                            backend=ctx.kernels)
                     else:
                         ctx.bump("kmeans_hits")
                         session.note_warm_success(tracker)

@@ -44,6 +44,7 @@ from ...types import (DecodedStream, DetectedEdge, EpochResult,
 from ..clustering import KMeansResult
 from ..collision import CollisionReport
 from ..folding import FoldingConfig
+from ..kernels import KernelBackend, get_backend
 from ..streams import StreamTrack
 from .stats import StatsAccumulator
 
@@ -112,7 +113,8 @@ class DecodeContext:
                  fidelity: "FidelityPolicy",
                  stats: StatsAccumulator,
                  session: Optional["SessionState"] = None,
-                 sample_offset: float = 0.0):
+                 sample_offset: float = 0.0,
+                 kernels: Optional[KernelBackend] = None):
         self.trace = trace
         self.config = config
         self.rng = rng
@@ -122,6 +124,9 @@ class DecodeContext:
         self.stats = stats
         self.session = session
         self.sample_offset = sample_offset
+        #: Kernel backend shared by every stage of this decode.
+        self.kernels: KernelBackend = (kernels if kernels is not None
+                                       else get_backend())
         self.result = EpochResult(duration_s=trace.duration_s)
         #: The runner executing this context's decode — set by the
         #: decoder before the epoch starts.  Epoch-level driver stages
@@ -129,6 +134,11 @@ class DecodeContext:
         self.runner: Optional["StageRunner"] = None
         #: Epoch-level short-circuit (guard rejection, zero edges).
         self.done = False
+        #: Sorted unique edge positions of the epoch, filled by the
+        #: stream driver's batched extraction pre-pass and reused by
+        #: every later re-extraction (the edge list is immutable once
+        #: detection ran).
+        self.edge_positions: Optional[np.ndarray] = None
         # -- inter-stage working state --------------------------------
         self.edges: List[DetectedEdge] = []
         self.hypotheses: List[StreamHypothesis] = []

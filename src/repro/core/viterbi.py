@@ -21,6 +21,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..types import EdgePolarity
+from .kernels import KernelBackend, get_backend
 
 RISE, FALL, HOLD_HIGH, HOLD_LOW = 0, 1, 2, 3
 
@@ -100,7 +101,8 @@ class ViterbiDecoder:
     def __init__(self, p_flip: float = 0.5,
                  sigma: Optional[float] = None,
                  banded: bool = False,
-                 band_margin: float = 1e-9):
+                 band_margin: float = 1e-9,
+                 backend: Optional[KernelBackend] = None):
         self.p_flip = p_flip
         self.sigma = sigma
         if sigma is not None and sigma <= 0:
@@ -109,10 +111,18 @@ class ViterbiDecoder:
             raise ConfigurationError("band_margin must be >= 0")
         self.banded = banded
         self.band_margin = band_margin
+        #: Kernel backend for the trellis recursions; ``None`` defers
+        #: to the process default at call time.
+        self.backend = backend
         #: Optional fidelity counter dict; when set, every decode
         #: increments ``viterbi_banded`` or ``viterbi_exact``.
         self.stats: Optional[Dict[str, int]] = None
         self._log_trans = _transition_matrix(p_flip)
+
+    @property
+    def kernels(self) -> KernelBackend:
+        return self.backend if self.backend is not None \
+            else get_backend()
 
     def fit_flip_probability(self,
                              bit_sequences: Sequence[np.ndarray]) -> float:
@@ -168,67 +178,16 @@ class ViterbiDecoder:
             self.stats["viterbi_exact"] = (
                 self.stats.get("viterbi_exact", 0) + 1)
 
-        # The trellis is tiny (4 states, each with exactly two valid
-        # predecessors), so a scalar Python recursion beats building a
-        # (4, 4) candidate matrix per step by an order of magnitude.
-        # Emissions are still computed vectorized; HOLD_HIGH/HOLD_LOW
-        # share the zero-mean emission.
-        const = -math.log(sigma) - 0.5 * math.log(2.0 * math.pi)
-        inv = 1.0 / sigma
-        e_plus = (-0.5 * ((obs - 1.0) * inv) ** 2 + const).tolist()
-        e_minus = (-0.5 * ((obs + 1.0) * inv) ** 2 + const).tolist()
-        e_zero = (-0.5 * (obs * inv) ** 2 + const).tolist()
-
-        if initial_state is None:
-            log_half = math.log(0.5)
-            init = [log_half, _NEG_INF, _NEG_INF, log_half]
-        else:
-            if initial_state not in (RISE, FALL, HOLD_HIGH, HOLD_LOW):
-                raise ConfigurationError(
-                    f"invalid initial state {initial_state}")
-            init = [_NEG_INF] * 4
-            init[initial_state] = 0.0
-        s0 = init[RISE] + e_plus[0]
-        s1 = init[FALL] + e_minus[0]
-        s2 = init[HOLD_HIGH] + e_zero[0]
-        s3 = init[HOLD_LOW] + e_zero[0]
-
+        if initial_state is not None \
+                and initial_state not in (RISE, FALL, HOLD_HIGH,
+                                          HOLD_LOW):
+            raise ConfigurationError(
+                f"invalid initial state {initial_state}")
         lf = float(self._log_trans[RISE, FALL])       # log p_flip
         lh = float(self._log_trans[RISE, HOLD_HIGH])  # log (1 - p_flip)
-        backptr = [(0, 0, 0, 0)]
-        for t in range(1, obs.size):
-            # Ties prefer the lower-numbered predecessor, matching the
-            # dense argmax of the reference formulation.
-            if s1 >= s3:          # -> RISE: from FALL or HOLD_LOW
-                n0, b0 = s1 + lf, FALL
-            else:
-                n0, b0 = s3 + lf, HOLD_LOW
-            if s0 >= s2:          # -> FALL: from RISE or HOLD_HIGH
-                n1, b1 = s0 + lf, RISE
-            else:
-                n1, b1 = s2 + lf, HOLD_HIGH
-            if s0 >= s2:          # -> HOLD_HIGH: from RISE or HOLD_HIGH
-                n2, b2 = s0 + lh, RISE
-            else:
-                n2, b2 = s2 + lh, HOLD_HIGH
-            if s1 >= s3:          # -> HOLD_LOW: from FALL or HOLD_LOW
-                n3, b3 = s1 + lh, FALL
-            else:
-                n3, b3 = s3 + lh, HOLD_LOW
-            backptr.append((b0, b1, b2, b3))
-            s0 = n0 + e_plus[t]
-            s1 = n1 + e_minus[t]
-            s2 = n2 + e_zero[t]
-            s3 = n3 + e_zero[t]
-
-        finals = (s0, s1, s2, s3)
-        state = finals.index(max(finals))
-        states = np.empty(obs.size, dtype=np.int8)
-        states[-1] = state
-        for t in range(obs.size - 1, 0, -1):
-            state = backptr[t][state]
-            states[t - 1] = state
-        return states
+        return self.kernels.viterbi_exact(
+            obs, sigma, lf, lh,
+            -1 if initial_state is None else int(initial_state))
 
     def _decode_states_banded(self, obs: np.ndarray, sigma: float,
                               initial_state: Optional[int]
@@ -256,34 +215,10 @@ class ViterbiDecoder:
         """
         band = sigma * sigma * abs(
             math.log(self.p_flip) - math.log(1.0 - self.p_flip))
-        if np.any(np.abs(np.abs(obs) - 0.5)
-                  <= band + self.band_margin):
-            return None
-
-        m = np.clip(np.rint(obs), -1, 1).astype(np.int8)
-        n = obs.size
         start_high = initial_state in (FALL, HOLD_HIGH)
-        # Level after each slot: forward-fill from the latest edge.
-        edge_pos = np.where(m != 0, np.arange(n), -1)
-        last_edge = np.maximum.accumulate(edge_pos)
-        level_after = np.where(last_edge >= 0,
-                               m[np.maximum(last_edge, 0)] == 1,
-                               start_high)
-        entering = np.empty(n, dtype=bool)
-        entering[0] = start_high
-        entering[1:] = level_after[:-1]
-        # Trellis validity: a rise needs a low entering level, a fall a
-        # high one (holds match any level by construction).
-        if np.any((m == 1) & entering) or np.any((m == -1) & ~entering):
-            return None
-        states = np.where(
-            m == 1, RISE,
-            np.where(m == -1, FALL,
-                     np.where(entering, HOLD_HIGH,
-                              HOLD_LOW))).astype(np.int8)
-        if initial_state is not None and states[0] != initial_state:
-            return None
-        return states
+        return self.kernels.viterbi_banded(
+            obs, band + self.band_margin, start_high,
+            -1 if initial_state is None else int(initial_state))
 
     def decode_bits(self, observations: np.ndarray,
                     initial_state: Optional[int] = None) -> np.ndarray:
@@ -300,7 +235,8 @@ def hard_decode_bits(observations: np.ndarray) -> np.ndarray:
     Figure 9.  An (invalid) repeated rise simply keeps the level high.
     """
     obs = np.asarray(observations, dtype=np.float64).ravel()
-    states = np.clip(np.round(obs), -1, 1).astype(np.int8)
+    states = np.minimum(np.maximum(np.rint(obs), -1),
+                        1).astype(np.int8)
     # Forward-fill the level from the most recent non-hold state: the
     # level at t is 1 iff the last edge seen was a rise (level starts 0).
     edge_idx = np.where(states != 0, np.arange(states.size), -1)

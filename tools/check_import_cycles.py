@@ -55,6 +55,15 @@ FORBIDDEN_PREFIXES: Tuple[Tuple[str, str], ...] = (
     ("repro.core.stages.", "repro.core.engine"),
 )
 
+#: The kernel backends are the bottom of the compute stack: plain
+#: arrays in, plain arrays out.  Nothing under this prefix may import
+#: anything from ``repro`` except its own siblings and the entries in
+#: the allowlist — a backend that needs pipeline/stage types is a
+#: layering bug, and would also drag JIT compilation into modules that
+#: must import cheaply.
+KERNELS_PREFIX = "repro.core.kernels"
+KERNELS_ALLOWED: Tuple[str, ...] = ("repro.errors",)
+
 
 def iter_modules() -> Iterator[Tuple[str, Path]]:
     for path in sorted((SRC / PACKAGE).rglob("*.py")):
@@ -199,6 +208,16 @@ def check() -> List[str]:
             if importer.startswith(prefix) and imported in edges:
                 problems.append(
                     f"forbidden import: {importer} -> {imported}")
+    for importer, edges in graph.items():
+        if not importer.startswith(KERNELS_PREFIX):
+            continue
+        for imported in sorted(edges):
+            if imported.startswith(KERNELS_PREFIX) \
+                    or imported in KERNELS_ALLOWED:
+                continue
+            problems.append(
+                f"forbidden import: {importer} -> {imported} "
+                f"(kernel backends must stay below the decode layers)")
     return problems
 
 
