@@ -18,6 +18,16 @@ decisions, which reads as rate 1.0) means the adaptive ladder silently
 stopped paying for itself and fails the run even when raw throughput
 still clears the floor.
 
+When a service soak export (``BENCH_service.json``, written by
+``benchmarks/run_soak.py``) is present the gate also checks the
+streaming service: sustained throughput against the committed
+``benchmarks/BENCH_service.json`` baseline (same tolerance), the
+overload phase's shed fraction against a ceiling, and the exact
+terminal accounting both phases must keep (every submitted chunk
+decoded, failed, or shed — nothing lost).  With no committed service
+baseline the throughput comparison is informational only, so the gate
+can land before the first baseline does.
+
 The 20% default is deliberately loose: shared CI runners jitter by
 ±10% run to run, and the gate exists to catch real regressions (2x
 slowdowns from an accidental O(n^2) path), not 5% noise.  Ratcheting
@@ -52,6 +62,16 @@ DEFAULT_TOLERANCE = 0.20
 #: on the fast path; a dead ladder reports rate 1.0 (no decisions at
 #: all) and fails too.
 DEFAULT_ESCALATION_CEILING = 0.5
+#: Committed soak baseline for the streaming service.
+SERVICE_BASELINE = BENCH_DIR / "BENCH_service.json"
+#: Default location run_soak.py drops its summary (repo root, what CI
+#: uploads).
+SERVICE_CANDIDATE = REPO_ROOT / "BENCH_service.json"
+#: Highest acceptable shed fraction in the overload phase.  The phase
+#: offers 2x the measured capacity, so a healthy service sheds about
+#: half its chunks; far above that means real throughput collapsed
+#: under load (the shedding itself got expensive).
+DEFAULT_SHED_CEILING = 0.75
 
 
 def _entry_backend(bench: dict) -> str:
@@ -180,6 +200,85 @@ def check_escalation_rate(stats: dict | None, ceiling: float) -> int:
     return 0
 
 
+def check_service(candidate_path: Path, baseline_path: Path,
+                  tolerance: float, shed_ceiling: float) -> int:
+    """Gate the streaming-service soak export, if one is present.
+
+    0 when no candidate exists (nothing to gate), when the candidate
+    keeps its invariants and clears the baseline floor, or when no
+    baseline is committed yet (informational); 1 on any failure.
+    """
+    if not candidate_path.exists():
+        print("service: no soak export found (skipped) — run "
+              "benchmarks/run_soak.py to produce one")
+        return 0
+    try:
+        candidate = json.loads(candidate_path.read_text())
+    except ValueError as exc:
+        print(f"service: FAIL: unreadable soak export "
+              f"{candidate_path}: {exc}")
+        return 1
+
+    failed = False
+    for phase in ("throughput", "overload"):
+        report = candidate.get(phase)
+        if report is None:
+            continue
+        if not report.get("accounting_exact", False):
+            print(f"service: FAIL: {phase} phase lost records "
+                  f"(submitted != decoded + failed + shed)")
+            failed = True
+    throughput = candidate.get("throughput", {})
+    if throughput.get("shed", 0):
+        # The throughput phase runs closed-loop: shedding there means
+        # the backpressure path is broken, not that load was high.
+        print("service: FAIL: closed-loop throughput phase shed "
+              f"{throughput['shed']} chunks")
+        failed = True
+    overload = candidate.get("overload")
+    if overload is not None:
+        shed_fraction = float(overload.get("shed_fraction", 0.0))
+        print(f"service: overload shed fraction {shed_fraction:.1%} "
+              f"(ceiling {shed_ceiling:.0%})")
+        if shed_fraction > shed_ceiling:
+            print("service: FAIL: overload shed fraction above the "
+                  "ceiling — throughput collapsed under load")
+            failed = True
+
+    sustained = float(throughput.get(
+        "sustained_samples_per_second", 0.0))
+    if not sustained:
+        print("service: FAIL: no sustained throughput recorded")
+        return 1
+    if not baseline_path.exists():
+        print(f"service: sustained {sustained:,.0f} samples/s "
+              f"(no committed baseline at {baseline_path.name} — "
+              f"informational, not gated)")
+        return 1 if failed else 0
+    baseline_rate = float(json.loads(baseline_path.read_text())
+                          .get("throughput", {})
+                          .get("sustained_samples_per_second", 0.0))
+    if not baseline_rate:
+        print("service: baseline has no sustained throughput — "
+              "regenerate it with benchmarks/run_soak.py")
+        return 1 if failed else 0
+    floor = baseline_rate * (1.0 - tolerance)
+    change = sustained / baseline_rate - 1.0
+    print(f"service: baseline : {baseline_rate:,.0f} samples/s")
+    print(f"service: candidate: {sustained:,.0f} samples/s "
+          f"({change:+.1%})")
+    print(f"service: floor    : {floor:,.0f} samples/s "
+          f"(-{tolerance:.0%} tolerance)")
+    if sustained < floor:
+        print("service: FAIL: sustained throughput regressed past "
+              "the tolerance")
+        failed = True
+    elif sustained > baseline_rate:
+        print("service: faster than baseline — consider refreshing "
+              "benchmarks/BENCH_service.json")
+    return 1 if failed else 0
+
+
 def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when decoder throughput regresses past the "
@@ -197,6 +296,17 @@ def main(argv: list | None = None) -> int:
                         default=DEFAULT_ESCALATION_CEILING,
                         help="maximum fidelity escalation rate on the "
                              "clean benchmark (default 0.5)")
+    parser.add_argument("--service-candidate", type=Path,
+                        default=SERVICE_CANDIDATE,
+                        help="soak export from run_soak.py (gated "
+                             "only when the file exists)")
+    parser.add_argument("--service-baseline", type=Path,
+                        default=SERVICE_BASELINE,
+                        help="committed BENCH_service.json baseline")
+    parser.add_argument("--shed-ceiling", type=float,
+                        default=DEFAULT_SHED_CEILING,
+                        help="maximum overload-phase shed fraction "
+                             "(default 0.75)")
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
@@ -239,10 +349,15 @@ def main(argv: list | None = None) -> int:
         print(f"[{backend}] candidate: {candidates[backend]:,.0f} "
               f"samples/s (no baseline recorded — informational)")
     status = check_escalation_rate(fidelity, args.escalation_ceiling)
+    service_status = check_service(
+        args.service_candidate, args.service_baseline,
+        args.tolerance, args.shed_ceiling)
     if failed:
         return 1
     if status:
         return status
+    if service_status:
+        return service_status
     if any_faster:
         print("OK (faster than baseline — consider refreshing it with "
               "benchmarks/run_bench.py)")

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Soak benchmark: sustained multi-reader traffic through the service.
+
+Replays minutes of synthetic traffic — ``--readers`` reader front ends,
+each with ``--tags`` tags and periodic tag churn — through the
+streaming decode service (:mod:`repro.service`) and records the
+numbers that make "many readers, heavy traffic" a gated, trended
+quantity::
+
+    PYTHONPATH=src python benchmarks/run_soak.py
+    PYTHONPATH=src python benchmarks/run_soak.py --duration 30 \
+        --readers 2 --tags 8 --churn-every 3
+
+Two phases per run:
+
+* **throughput** — closed loop (bounded queues backpressure the
+  producer): sustained samples/s is the service's decode capacity,
+  p50/p99 chunk latency its service quality under full load;
+* **overload** — open loop at ``--overload-factor`` × the measured
+  capacity: the service must shed (oldest first) with exact
+  accounting and bounded queues instead of growing memory or
+  crashing.
+
+The summary lands in ``BENCH_service.json`` (repo root, plus a copy
+at ``--out``); ``benchmarks/check_regression.py`` gates it against
+the committed ``benchmarks/BENCH_service.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.soak import SoakConfig, run_soak  # noqa: E402
+
+#: Root-level copy (same payload; what CI uploads and the gate reads).
+ROOT_JSON = REPO_ROOT / "BENCH_service.json"
+
+
+def _decoder_baseline() -> float | None:
+    """Headline single-epoch rate from BENCH_decoder.json, if present.
+
+    The soak report records its sustained rate as a ratio of this so
+    the "streaming costs <20% over the raw decoder" story is one
+    number in the JSON.
+    """
+    path = BENCH_DIR / "BENCH_decoder.json"
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+        for bench in payload.get("benchmarks", []):
+            if bench.get("name", "").startswith(
+                    "test_decode_speed_16_tags") and \
+                    bench.get("samples_per_second"):
+                return float(bench["samples_per_second"])
+    except (ValueError, KeyError):  # malformed baseline: skip ratio
+        return None
+    return None
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Replay sustained multi-reader traffic through "
+                    "the streaming decode service.")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="wall-clock seconds per phase "
+                             "(default 60)")
+    parser.add_argument("--readers", type=int, default=2,
+                        help="reader front ends (default 2)")
+    parser.add_argument("--tags", type=int, default=8,
+                        help="tags per reader (default 8)")
+    parser.add_argument("--churn-every", type=int, default=3,
+                        help="rebuild a reader's tag population every "
+                             "N pool epochs (default 3; 0 = no churn)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="worker shards (default 2)")
+    parser.add_argument("--queue-depth", type=int, default=8,
+                        help="bounded per-shard queue depth "
+                             "(default 8)")
+    parser.add_argument("--chunks-per-epoch", type=int, default=2,
+                        help="ring-buffer chunks per epoch capture "
+                             "(default 2)")
+    parser.add_argument("--overload-factor", type=float, default=2.0,
+                        help="offered load multiple in the overload "
+                             "phase (default 2.0)")
+    parser.add_argument("--no-overload", action="store_true",
+                        help="skip the overload phase")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path,
+                        default=BENCH_DIR / "results"
+                        / "BENCH_service.json",
+                        help="where to write the summary JSON")
+    args = parser.parse_args(argv)
+
+    cfg = SoakConfig(
+        n_readers=args.readers,
+        tags_per_reader=args.tags,
+        churn_every=args.churn_every,
+        duration_s=args.duration,
+        overload_factor=args.overload_factor,
+        overload=not args.no_overload,
+        seed=args.seed,
+        n_shards=args.shards,
+        queue_depth=args.queue_depth,
+        chunks_per_epoch=args.chunks_per_epoch,
+    )
+    report = run_soak(cfg, log=print)
+
+    summary = {
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "machine": platform.node(),
+        "python": platform.python_version(),
+        **report.to_dict(),
+    }
+    baseline = _decoder_baseline()
+    if baseline:
+        summary["decoder_baseline_samples_per_second"] = baseline
+        summary["throughput_vs_decoder_baseline"] = (
+            report.throughput.sustained_samples_per_second / baseline)
+
+    payload = json.dumps(summary, indent=2) + "\n"
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(payload)
+    ROOT_JSON.write_text(payload)
+    print(f"\nwrote {args.out} (and {ROOT_JSON})")
+    t = report.throughput
+    print(f"sustained : {t.sustained_samples_per_second:,.0f} "
+          f"samples/s over {t.wall_s:.1f}s "
+          f"({t.decoded} chunks, {t.failed} failed)")
+    print(f"latency   : p50 {t.p50_chunk_latency_s * 1e3:.1f} ms, "
+          f"p99 {t.p99_chunk_latency_s * 1e3:.1f} ms")
+    if baseline:
+        print(f"vs decoder: "
+              f"{summary['throughput_vs_decoder_baseline']:.2f}x the "
+              f"single-epoch bench rate ({baseline:,.0f})")
+    if report.overload is not None:
+        o = report.overload
+        print(f"overload  : shed {o.shed_fraction:.1%} at "
+              f"{o.offered_samples_per_second:,.0f} offered "
+              f"samples/s, max queue depth {o.max_queue_depth}, "
+              f"accounting "
+              f"{'exact' if o.accounting_exact else 'BROKEN'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

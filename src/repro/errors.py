@@ -76,3 +76,24 @@ class ChannelEstimationError(ReproError):
 
 class HardwareModelError(ReproError):
     """A hardware design references an unknown component or bad budget."""
+
+
+class ServiceError(ReproError):
+    """The streaming decode service could not honor a request."""
+
+
+class RingFullError(ServiceError):
+    """A chunk ring has no contiguous space left for a new frame.
+
+    Live (queued or in-flight) frames hold their ring regions until
+    they are retired; a producer that outruns its consumer sees this
+    error and must shed load or fall back to inline transport.
+    """
+
+
+class FrameTooLargeError(ServiceError):
+    """A chunk is larger than its ring's total capacity.
+
+    No amount of retirement can make such a frame fit; the chunk must
+    be split (or the ring sized up) before submission.
+    """

@@ -16,7 +16,7 @@ multi-epoch experiment takes:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..core.engine import BatchDecoder
 from ..core.pipeline import LFDecoderConfig
@@ -97,21 +97,34 @@ def decode_chunked(trace: IQTrace, chunk_samples: int,
     """
     chunks = chunk_trace(trace, chunk_samples)
     fs = trace.sample_rate_hz
+    shifts = [(chunk.start_time_s - trace.start_time_s) * fs
+              for chunk in chunks]
     if session is not None:
-        results = []
-        for chunk in chunks:
-            shift = (chunk.start_time_s - trace.start_time_s) * fs
-            results.append(session.decode_epoch(chunk,
-                                                sample_offset=shift))
-        pairs = zip(chunks, results)
+        results = [session.decode_epoch(chunk, sample_offset=shift)
+                   for chunk, shift in zip(chunks, shifts)]
     else:
         engine = BatchDecoder(config=config, seed=seed,
                               max_workers=max_workers)
-        pairs = zip(chunks, engine.iter_decode(chunks))
-    merged = EpochResult(duration_s=trace.duration_s)
+        results = engine.iter_decode(chunks)
+    return merge_chunk_results(zip(shifts, results), trace.duration_s)
+
+
+def merge_chunk_results(pairs: Iterable[Tuple[float, EpochResult]],
+                        duration_s: float) -> EpochResult:
+    """Merge per-chunk decode results into one capture-level result.
+
+    ``pairs`` holds ``(shift, result)`` per chunk, in capture order,
+    where ``shift`` is the chunk's start offset in samples relative to
+    the capture.  Stream offsets move into global coordinates, the
+    per-chunk edge/collision counters are summed, and duplicate
+    streams straddling a chunk boundary are collapsed by the
+    pipeline's ghost-stream filter.  This is the one merge shared by
+    :func:`decode_chunked` and the streaming service's
+    :func:`repro.service.service.merge_stream_results`.
+    """
+    merged = EpochResult(duration_s=duration_s)
     stats = StatsAccumulator()
-    for chunk, result in pairs:
-        shift = (chunk.start_time_s - trace.start_time_s) * fs
+    for shift, result in pairs:
         for stream in result.streams:
             stream.offset_samples += shift
         merged.streams.extend(result.streams)

@@ -1,0 +1,34 @@
+"""Streaming decode service: sharded async ingest over warm decoders.
+
+The "millions of users" layer of the reproduction: a long-running
+asyncio front end (:class:`DecodeService`) that absorbs continuously
+arriving IQ chunks from many readers, routes them to per-shard worker
+threads whose :class:`~repro.core.session_decoder.SessionDecoder`
+caches stay warm chunk to chunk, sheds load under overload instead of
+growing memory, and exports live Prometheus-style metrics.
+
+See ``docs/ARCHITECTURE.md`` (service layer) and ``docs/API.md`` for
+the full reference; ``python -m repro.service`` runs a quickstart
+against the network simulator and ``benchmarks/run_soak.py`` the
+multi-reader soak benchmark.
+"""
+
+from .config import BLOCK, SHED_OLDEST, ServiceConfig
+from .framing import ChunkFrame, ChunkRing
+from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                      MetricsRegistry, StageLatencyObserver)
+from .router import shard_index, stream_seed
+from .service import DecodeService, ServiceStats, merge_stream_results
+from .worker import (STATUS_DEGRADED, STATUS_FAILED, STATUS_OK,
+                     STATUS_SHED, ChunkResult, ShardWorker)
+
+__all__ = [
+    "BLOCK", "SHED_OLDEST", "ServiceConfig",
+    "ChunkFrame", "ChunkRing",
+    "DEFAULT_BUCKETS", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "StageLatencyObserver",
+    "shard_index", "stream_seed",
+    "DecodeService", "ServiceStats", "merge_stream_results",
+    "STATUS_DEGRADED", "STATUS_FAILED", "STATUS_OK", "STATUS_SHED",
+    "ChunkResult", "ShardWorker",
+]

@@ -1,0 +1,58 @@
+"""Quickstart: run the streaming service against the simulator.
+
+::
+
+    PYTHONPATH=src python -m repro.service --seconds 5 --readers 2
+
+Renders a small pool of multi-reader traffic, streams it through a
+:class:`~repro.service.service.DecodeService` in closed loop, and
+prints the live metrics page plus a one-line summary — the smallest
+end-to-end demonstration of ingest → shard router → warm workers →
+metrics.  Use ``benchmarks/run_soak.py`` for the gated soak numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .soak import SoakConfig, run_soak
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Stream simulated multi-reader traffic through "
+                    "the decode service.")
+    parser.add_argument("--seconds", type=float, default=5.0,
+                        help="replay duration (default 5)")
+    parser.add_argument("--readers", type=int, default=2)
+    parser.add_argument("--tags", type=int, default=4,
+                        help="tags per reader (default 4)")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the Prometheus metrics page too")
+    args = parser.parse_args(argv)
+
+    cfg = SoakConfig(n_readers=args.readers,
+                     tags_per_reader=args.tags,
+                     n_shards=args.shards,
+                     duration_s=args.seconds,
+                     seed=args.seed,
+                     overload=False)
+    report = run_soak(cfg, log=print)
+    t = report.throughput
+    if args.metrics:
+        print("\n" + getattr(t, "metrics_text", "").rstrip())
+    print(f"\ndecoded {t.decoded} chunks "
+          f"({t.samples_decoded:,} samples) in {t.wall_s:.1f}s -> "
+          f"{t.sustained_samples_per_second:,.0f} samples/s, "
+          f"p99 chunk latency {t.p99_chunk_latency_s * 1e3:.1f} ms")
+    hits = {k: v for k, v in t.cache_stats.items()
+            if k.endswith("_hits")}
+    print(f"warm-cache hits: {hits}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Configuration of the streaming decode service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..core.pipeline import LFDecoderConfig
+from ..core.session import SessionConfig
+from ..errors import ConfigurationError
+from .metrics import DEFAULT_BUCKETS
+
+#: Overflow policies for a full shard queue.
+SHED_OLDEST = "shed_oldest"
+BLOCK = "block"
+
+
+@dataclass
+class ServiceConfig:
+    """Every knob of :class:`~repro.service.service.DecodeService`.
+
+    The service defaults are sized for a couple of readers on one box;
+    scale ``n_shards`` with cores and ``queue_depth`` with the jitter
+    of the offered load.
+    """
+
+    #: Worker shards.  Each shard is one worker thread owning the warm
+    #: per-stream SessionDecoders routed to it; every chunk of one
+    #: (reader, antenna) stream lands on the same shard.
+    n_shards: int = 2
+    #: Bounded per-shard queue depth (frames waiting to decode).
+    queue_depth: int = 8
+    #: What a full queue does to new work: ``"shed_oldest"`` drops the
+    #: oldest *queued* frame (freshest data wins, shed counters tick),
+    #: ``"block"`` makes ``submit`` await free room (closed-loop
+    #: backpressure to the producer).
+    overflow: str = SHED_OLDEST
+    #: Per-shard ring capacity in complex128 samples (16 bytes each).
+    ring_samples: int = 1 << 20
+    #: Back the rings with multiprocessing.shared_memory blocks
+    #: (``None`` = when the platform has them).
+    use_shared_memory: Optional[bool] = None
+    #: Decoder configuration shared by every stream's SessionDecoder.
+    decoder: LFDecoderConfig = field(default_factory=LFDecoderConfig)
+    #: Cross-epoch tracking configuration (``None`` = defaults).
+    session: Optional[SessionConfig] = None
+    #: Root seed; each stream's decoder RNG derives from
+    #: (seed, reader_id, antenna) so results replay bit-identically.
+    seed: int = 0
+    #: Decode attempts per chunk before it is reported failed.
+    max_attempts: int = 2
+    #: Consecutive failed chunks on one stream before its session is
+    #: respawned cold (the service-level analogue of the batch
+    #: engine's worker respawn).
+    respawn_after: int = 3
+    #: Hard cap on live per-stream sessions per shard; the least
+    #: recently used stream is evicted first (its tags re-warm on
+    #: return) so tag churn cannot grow memory without bound.
+    max_sessions: int = 64
+    #: Latency histogram bucket bounds, seconds.
+    latency_buckets: Sequence[float] = DEFAULT_BUCKETS
+    #: Test seam: builds the per-stream decoder for a stream key.
+    #: ``None`` builds a SessionDecoder from ``decoder``/``session``
+    #: seeded by :func:`repro.service.router.stream_seed`.  A custom
+    #: factory receives ``(stream_key, seed)`` and must return an
+    #: object with ``decode_epoch(trace, sample_offset=...)``.
+    decoder_factory: Optional[Callable[[Tuple[int, int], int],
+                                       object]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be >= 1, got {self.n_shards}")
+        if self.queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.overflow not in (SHED_OLDEST, BLOCK):
+            raise ConfigurationError(
+                f"overflow must be {SHED_OLDEST!r} or {BLOCK!r}, "
+                f"got {self.overflow!r}")
+        if self.ring_samples < 1:
+            raise ConfigurationError(
+                f"ring_samples must be >= 1, got {self.ring_samples}")
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.respawn_after < 1:
+            raise ConfigurationError(
+                f"respawn_after must be >= 1, got {self.respawn_after}")
+        if self.max_sessions < 1:
+            raise ConfigurationError(
+                f"max_sessions must be >= 1, got {self.max_sessions}")

@@ -1,0 +1,268 @@
+"""Ring-buffer chunk framing over the shared-memory transport.
+
+The streaming service moves IQ chunks from the async ingest front end
+to the shard workers without pickling sample arrays: each shard owns
+one :class:`ChunkRing` — a fixed-capacity ``complex128`` ring backed by
+a ``multiprocessing.shared_memory`` block (the same transport the batch
+engine uses, :mod:`repro.core.engine`) — and every accepted chunk
+becomes a :class:`ChunkFrame` describing a zero-copy view into it.
+
+Framing rules
+-------------
+
+* Frames are allocated contiguously.  When the tail of the ring is too
+  short for the next chunk, allocation *wraps*: the partial tail is
+  left unused and the frame starts at sample 0 (a frame never straddles
+  the ring boundary, so its view is always one contiguous slice).
+* A chunk larger than the whole ring raises
+  :class:`~repro.errors.FrameTooLargeError` — no retirement can ever
+  make it fit.
+* A chunk that does not fit *right now* (live frames hold the space)
+  raises :class:`~repro.errors.RingFullError`; the service reacts by
+  shedding queued frames or falling back to inline (in-object) sample
+  transport.
+* Frames retire in any order (load shedding retires queued frames
+  around an in-flight one), but space is reclaimed in allocation order:
+  a retired frame's region is only reusable once every earlier frame
+  has retired too.  This keeps the free region a single span and the
+  accounting O(1) amortized.
+
+The ring is thread-safe: the ingest loop writes and sheds while a
+worker thread views and retires.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import FrameTooLargeError, RingFullError, ServiceError
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - always present on CPython 3.8+
+    _shared_memory = None
+
+_SAMPLE_DTYPE = np.complex128
+
+
+@dataclass
+class ChunkFrame:
+    """One IQ chunk accepted by the service, plus its routing identity.
+
+    ``reader_id`` / ``antenna`` identify the stream the chunk belongs
+    to (the shard key); ``seq`` is the submitter's per-stream sequence
+    number.  ``sample_offset`` positions the chunk inside its capture
+    in *samples* — the same value :func:`repro.reader.batch.decode_chunked`
+    passes to ``SessionDecoder.decode_epoch`` so warm trackers match in
+    global coordinates.
+
+    ``frame_id`` ≥ 0 names a region in the shard's :class:`ChunkRing`;
+    ``frame_id == -1`` means the samples travel inline (``inline`` holds
+    the array) because the ring had no room.
+    """
+
+    reader_id: int
+    antenna: int
+    seq: int
+    n_samples: int
+    sample_rate_hz: float
+    start_time_s: float
+    sample_offset: float
+    frame_id: int = -1
+    inline: Optional[np.ndarray] = None
+    #: ``time.perf_counter()`` at ingest, for end-to-end chunk latency.
+    submitted_at: float = 0.0
+    #: Metadata the submitter wants echoed back on the result (epoch
+    #: index, truth handle, ...); the service never reads it.
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def stream_key(self) -> tuple:
+        return (self.reader_id, self.antenna)
+
+
+class ChunkRing:
+    """Fixed-capacity complex-sample ring with in-order reclamation.
+
+    Parameters
+    ----------
+    capacity_samples:
+        Ring size in ``complex128`` samples (16 bytes each).
+    use_shared_memory:
+        ``True`` backs the ring with a ``multiprocessing.shared_memory``
+        block (default when the platform provides one); ``False`` uses
+        a private numpy array.  Framing behaviour is identical — the
+        knob only changes where the bytes live.
+    """
+
+    def __init__(self, capacity_samples: int,
+                 use_shared_memory: Optional[bool] = None):
+        if capacity_samples < 1:
+            raise ServiceError(
+                f"ring capacity must be >= 1 sample, got "
+                f"{capacity_samples}")
+        if use_shared_memory is None:
+            use_shared_memory = _shared_memory is not None
+        if use_shared_memory and _shared_memory is None:
+            raise ServiceError("shared-memory ring requested but "
+                               "multiprocessing.shared_memory is "
+                               "unavailable")
+        self.capacity = int(capacity_samples)
+        self._shm = None
+        if use_shared_memory:
+            try:
+                self._shm = _shared_memory.SharedMemory(
+                    create=True,
+                    size=self.capacity * _SAMPLE_DTYPE().itemsize)
+            except OSError:  # exhausted /dev/shm — degrade silently
+                self._shm = None
+        if self._shm is not None:
+            self._buf = np.ndarray((self.capacity,),
+                                   dtype=_SAMPLE_DTYPE,
+                                   buffer=self._shm.buf)
+        else:
+            self._buf = np.empty(self.capacity, dtype=_SAMPLE_DTYPE)
+        self._lock = threading.Lock()
+        #: frame_id -> (start, n, retired), in allocation order.
+        self._live: "OrderedDict[int, list]" = OrderedDict()
+        self._head = 0           # end of the newest allocation
+        self._next_id = 0
+        #: Lifetime counters (exposed through the service metrics).
+        self.frames_written = 0
+        self.frames_wrapped = 0
+        self.samples_wasted_tail = 0
+
+    # -- producer side -----------------------------------------------------
+
+    def write(self, samples: np.ndarray) -> int:
+        """Copy ``samples`` into the ring; return the new frame id.
+
+        Raises :class:`FrameTooLargeError` when the chunk can never
+        fit and :class:`RingFullError` when live frames currently hold
+        the space.
+        """
+        samples = np.ascontiguousarray(samples, dtype=_SAMPLE_DTYPE)
+        n = int(samples.size)
+        if n == 0:
+            raise ServiceError("cannot frame an empty chunk")
+        if n > self.capacity:
+            raise FrameTooLargeError(
+                f"chunk of {n} samples exceeds the ring capacity of "
+                f"{self.capacity} samples")
+        with self._lock:
+            start = self._allocate(n)
+            self._buf[start:start + n] = samples
+            frame_id = self._next_id
+            self._next_id += 1
+            self._live[frame_id] = [start, n, False]
+            self._head = start + n
+            self.frames_written += 1
+            return frame_id
+
+    def _allocate(self, n: int) -> int:
+        """Find a contiguous start for ``n`` samples (lock held).
+
+        The live span runs from the oldest frame's start to ``_head``
+        in allocation order; it *wraps* exactly when the oldest start
+        sits at or past ``_head`` (``>=`` disambiguates the exactly-full
+        ring, where head == tail with frames still live).
+        """
+        if not self._live:
+            # Empty ring: reset to 0 so long chunks always fit.
+            return 0
+        tail = next(iter(self._live.values()))[0]
+        if tail >= self._head:
+            # Wrapped span: the only free run is [head, tail).
+            if n <= tail - self._head:
+                return self._head
+            raise RingFullError(
+                f"no contiguous run of {n} samples free "
+                f"(gap {tail - self._head})")
+        # Unwrapped span [tail, head): free space is the buffer tail
+        # past head, plus the prefix before the oldest frame.
+        if n <= self.capacity - self._head:
+            return self._head
+        if n <= tail:
+            self.frames_wrapped += 1
+            self.samples_wasted_tail += self.capacity - self._head
+            return 0
+        raise RingFullError(
+            f"no contiguous run of {n} samples free "
+            f"(end {self.capacity - self._head}, prefix {tail})")
+
+    # -- consumer side -----------------------------------------------------
+
+    def view(self, frame_id: int) -> np.ndarray:
+        """Zero-copy view of a live frame's samples.
+
+        The view is only valid until the frame is retired; the worker
+        must finish decoding (every array an ``EpochResult`` carries is
+        derived, never a slice of the raw trace) before calling
+        :meth:`retire`.
+        """
+        with self._lock:
+            try:
+                start, n, retired = self._live[frame_id]
+            except KeyError:
+                raise ServiceError(f"frame {frame_id} is not live")
+            if retired:
+                raise ServiceError(f"frame {frame_id} already retired")
+            return self._buf[start:start + n]
+
+    def retire(self, frame_id: int) -> None:
+        """Mark a frame done; reclaim space in allocation order."""
+        with self._lock:
+            if frame_id not in self._live:
+                raise ServiceError(f"frame {frame_id} is not live")
+            self._live[frame_id][2] = True
+            while self._live:
+                oldest_id = next(iter(self._live))
+                if not self._live[oldest_id][2]:
+                    break
+                self._live.popitem(last=False)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def live_frames(self) -> int:
+        with self._lock:
+            return sum(1 for e in self._live.values() if not e[2])
+
+    @property
+    def free_samples(self) -> int:
+        """Largest chunk guaranteed to fit right now."""
+        with self._lock:
+            if not self._live:
+                return self.capacity
+            tail = next(iter(self._live.values()))[0]
+            if tail >= self._head:
+                return tail - self._head
+            return max(self.capacity - self._head, tail)
+
+    @property
+    def uses_shared_memory(self) -> bool:
+        return self._shm is not None
+
+    def close(self) -> None:
+        """Release the backing block (frames become invalid)."""
+        with self._lock:
+            self._live.clear()
+            self._buf = np.empty(0, dtype=_SAMPLE_DTYPE)
+            if self._shm is not None:
+                self._shm.close()
+                try:
+                    self._shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+                self._shm = None
+
+    def __del__(self):  # pragma: no cover - belt and braces
+        try:
+            self.close()
+        except Exception:
+            pass

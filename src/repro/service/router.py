@@ -1,0 +1,57 @@
+"""Deterministic shard routing for (reader, antenna) stream keys.
+
+Sharding exists so *warm state stays shard-local*: every chunk of one
+physical stream must land on the same worker, whose per-stream
+:class:`~repro.core.session_decoder.SessionDecoder` carries the fold /
+k-means / lattice caches across chunks.  The route is a pure function
+of the stream key and the shard count — never of arrival order, Python
+process, or hash randomization — so a replayed trace always exercises
+the same workers and a restarted service re-warms the same shards.
+
+The hash is FNV-1a over the key bytes: stable across processes and
+platforms (unlike builtin ``hash``), cheap, and well-mixed for the
+small integer keys readers use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _fnv1a(data: bytes) -> int:
+    value = _FNV_OFFSET
+    for byte in data:
+        value = ((value ^ byte) * _FNV_PRIME) & _MASK
+    return value
+
+
+def stream_key_bytes(reader_id: int, antenna: int) -> bytes:
+    """Canonical byte encoding of a stream key."""
+    return b"%d/%d" % (int(reader_id), int(antenna))
+
+
+def shard_index(reader_id: int, antenna: int, n_shards: int) -> int:
+    """Which shard owns the (reader, antenna) stream.  Deterministic."""
+    if n_shards < 1:
+        raise ConfigurationError(
+            f"n_shards must be >= 1, got {n_shards}")
+    return _fnv1a(stream_key_bytes(reader_id, antenna)) % n_shards
+
+
+def stream_seed(root_seed: int, reader_id: int, antenna: int) -> int:
+    """Deterministic decoder seed for one stream's SessionDecoder.
+
+    Derived through :class:`numpy.random.SeedSequence` so per-stream
+    RNGs are statistically independent, yet any offline re-decode (the
+    golden bit-identity tests run ``decode_chunked`` with a session
+    seeded the same way) reproduces the service's output exactly.
+    """
+    seq = np.random.SeedSequence(
+        [int(root_seed) & _MASK, int(reader_id), int(antenna)])
+    return int(seq.generate_state(1, dtype=np.uint64)[0])

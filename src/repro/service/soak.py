@@ -1,0 +1,317 @@
+"""Soak-traffic generation and replay for the streaming service.
+
+Everything the soak benchmark (``benchmarks/run_soak.py``) and the
+quickstart CLI (``python -m repro.service``) need to put the service
+under sustained multi-reader load:
+
+* :func:`build_traffic` pre-renders a pool of epoch captures per
+  reader — with **tag churn**: every ``churn_every`` pool epochs the
+  reader's tag population is rebuilt (new ids, new channel
+  coefficients), so the replay continuously retires warm trackers and
+  warms new ones, exactly the many-sensor regime the mmBack-style
+  deployments hit.  Rendering happens once, up front: the soak then
+  stresses the *decoder*, not the simulator.
+* :func:`run_soak` replays that traffic through a
+  :class:`~repro.service.service.DecodeService` in two phases:
+
+  1. **throughput** — closed-loop (``overflow="block"``): the
+     producer is backpressured by the bounded queues, nothing sheds,
+     and the sustained decode rate is the service's real capacity;
+  2. **overload** — open-loop (``overflow="shed_oldest"``) at
+     ``overload_factor`` × the measured capacity: the service must
+     degrade gracefully — bounded queue depth, oldest-chunk shedding
+     with exact accounting, no growth and no crash.
+
+The resulting :class:`SoakReport` serializes to the
+``BENCH_service.json`` schema that ``benchmarks/check_regression.py``
+gates in CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.pipeline import LFDecoderConfig
+from ..errors import ConfigurationError
+from ..phy.channel import ChannelModel, random_coefficients
+from ..reader.batch import chunk_trace
+from ..reader.simulator import NetworkSimulator
+from ..tags.lf_tag import LFTag
+from ..types import IQTrace, SimulationProfile, TagConfig
+from .config import BLOCK, SHED_OLDEST, ServiceConfig
+from .service import DecodeService
+from .worker import ChunkResult
+
+
+@dataclass
+class SoakConfig:
+    """Shape of the synthetic many-reader workload."""
+
+    n_readers: int = 2
+    tags_per_reader: int = 8
+    #: Epoch duration in seconds (fast profile: 0.01 s = 25k samples).
+    epoch_s: float = 0.01
+    #: Chunks each epoch is framed into (ring-buffer granularity).
+    chunks_per_epoch: int = 2
+    #: Distinct pre-rendered epochs per reader, replayed cyclically.
+    pool_epochs: int = 6
+    #: Rebuild the tag population every this many pool epochs (tag
+    #: churn; 0 disables churn).
+    churn_every: int = 3
+    #: Wall-clock seconds per phase.
+    duration_s: float = 20.0
+    #: Offered-load multiple of measured capacity in the overload
+    #: phase.
+    overload_factor: float = 2.0
+    seed: int = 0
+    n_shards: int = 2
+    queue_depth: int = 8
+    ring_samples: int = 1 << 18
+    #: Skip the overload phase (quickstart mode).
+    overload: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_readers < 1:
+            raise ConfigurationError("need at least one reader")
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        if self.overload_factor <= 1.0:
+            raise ConfigurationError(
+                "overload_factor must exceed 1.0")
+        if self.chunks_per_epoch < 1:
+            raise ConfigurationError(
+                "chunks_per_epoch must be >= 1")
+
+
+@dataclass
+class PhaseReport:
+    """Measured outcome of one replay phase."""
+
+    wall_s: float = 0.0
+    submitted: int = 0
+    decoded: int = 0
+    failed: int = 0
+    shed: int = 0
+    samples_offered: int = 0
+    samples_decoded: int = 0
+    sustained_samples_per_second: float = 0.0
+    offered_samples_per_second: float = 0.0
+    p50_chunk_latency_s: float = 0.0
+    p99_chunk_latency_s: float = 0.0
+    max_queue_depth: int = 0
+    shed_fraction: float = 0.0
+    #: submitted == decoded + failed + shed after drain — the
+    #: zero-lost-records invariant the gate asserts.
+    accounting_exact: bool = False
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class SoakReport:
+    """Everything ``BENCH_service.json`` records for one soak run."""
+
+    config: SoakConfig
+    throughput: PhaseReport
+    overload: Optional[PhaseReport] = None
+
+    def to_dict(self) -> dict:
+        payload = {
+            "config": asdict(self.config),
+            "throughput": asdict(self.throughput),
+        }
+        if self.overload is not None:
+            payload["overload"] = asdict(self.overload)
+        return payload
+
+
+#: One reader's replayable traffic: epochs, each a list of
+#: (chunk_trace, sample_offset) pairs.
+ReaderTraffic = List[List[Tuple[IQTrace, float]]]
+
+
+def _build_reader_pool(reader_id: int, cfg: SoakConfig,
+                       profile: SimulationProfile) -> ReaderTraffic:
+    epochs: ReaderTraffic = []
+    for pool_index in range(cfg.pool_epochs):
+        generation = (pool_index // cfg.churn_every
+                      if cfg.churn_every else 0)
+        gen = np.random.default_rng(
+            (cfg.seed, reader_id, generation))
+        n_tags = cfg.tags_per_reader
+        coeffs = random_coefficients(n_tags, rng=gen)
+        # Churned generations carry fresh tag ids so a new population
+        # reads as new streams, not as impossible drift of old ones.
+        base_id = generation * n_tags
+        channel = ChannelModel(
+            {base_id + k: coeffs[k] for k in range(n_tags)},
+            environment_offset=0.5 + 0.3j)
+        tags = [LFTag(TagConfig(tag_id=base_id + k,
+                                bitrate_bps=10e3,
+                                channel_coefficient=coeffs[k]),
+                      profile=profile,
+                      rng=np.random.default_rng(
+                          gen.integers(0, 2 ** 63)))
+                for k in range(n_tags)]
+        sim = NetworkSimulator(tags, channel, profile=profile,
+                               noise_std=0.01, rng=gen)
+        capture = sim.run_epoch(cfg.epoch_s, epoch_index=pool_index)
+        trace = capture.trace
+        chunk_samples = max(1, len(trace) // cfg.chunks_per_epoch)
+        fs = trace.sample_rate_hz
+        chunks = [
+            (chunk, (chunk.start_time_s - trace.start_time_s) * fs)
+            for chunk in chunk_trace(trace, chunk_samples)]
+        epochs.append(chunks)
+    return epochs
+
+
+def build_traffic(cfg: SoakConfig,
+                  profile: Optional[SimulationProfile] = None
+                  ) -> Dict[int, ReaderTraffic]:
+    """Pre-render every reader's epoch pool (the expensive part)."""
+    profile = profile or SimulationProfile.fast()
+    return {reader_id: _build_reader_pool(reader_id, cfg, profile)
+            for reader_id in range(cfg.n_readers)}
+
+
+class _PhaseProbe:
+    """Collects per-chunk latencies and samples queue depths."""
+
+    def __init__(self, service: DecodeService):
+        self.service = service
+        self.latencies: List[float] = []
+        self.max_queue_depth = 0
+        self._lock = threading.Lock()
+        service.add_result_handler(self._on_result)
+
+    def _on_result(self, outcome: ChunkResult) -> None:
+        if outcome.status != "shed":
+            with self._lock:
+                self.latencies.append(outcome.latency_s)
+
+    def sample_queues(self) -> None:
+        depth = max(self.service.snapshot().queue_depths.values(),
+                    default=0)
+        self.max_queue_depth = max(self.max_queue_depth, depth)
+
+    def percentile(self, q: float) -> float:
+        with self._lock:
+            if not self.latencies:
+                return 0.0
+            return float(np.percentile(self.latencies, q))
+
+
+async def _replay_phase(cfg: SoakConfig,
+                        traffic: Dict[int, ReaderTraffic],
+                        service_config: ServiceConfig,
+                        duration_s: float,
+                        offered_samples_per_second: Optional[float]
+                        ) -> PhaseReport:
+    """Replay traffic for ``duration_s``; paced when a target offered
+    rate is given (open loop), queue-backpressured otherwise."""
+    report = PhaseReport()
+    async with DecodeService(service_config) as service:
+        probe = _PhaseProbe(service)
+        cursors = {reader: 0 for reader in traffic}
+        start = time.perf_counter()
+        offered_samples = 0
+        next_deadline = start
+        while time.perf_counter() - start < duration_s:
+            for reader_id, pool in traffic.items():
+                epoch = pool[cursors[reader_id] % len(pool)]
+                cursors[reader_id] += 1
+                for chunk, sample_offset in epoch:
+                    await service.submit(
+                        reader_id=reader_id, antenna=0, trace=chunk,
+                        sample_offset=sample_offset)
+                    offered_samples += len(chunk)
+                    if offered_samples_per_second is not None:
+                        next_deadline += (len(chunk)
+                                          / offered_samples_per_second)
+                        delay = next_deadline - time.perf_counter()
+                        if delay > 0:
+                            await asyncio.sleep(delay)
+                probe.sample_queues()
+            # Yield so worker completions propagate even when the
+            # closed-loop producer never blocks on a full queue.
+            await asyncio.sleep(0)
+        probe.sample_queues()
+        await service.drain()
+        wall = time.perf_counter() - start
+        stats = service.snapshot()
+        report.cache_stats = service.cache_stats()
+        # Live exposition page, for CLIs; not part of the JSON schema
+        # (PhaseReport fields serialize, dynamic attributes do not).
+        report.metrics_text = service.render_metrics()
+    report.wall_s = wall
+    report.submitted = stats.submitted
+    report.decoded = stats.decoded
+    report.failed = stats.failed
+    report.shed = stats.shed
+    report.samples_offered = offered_samples
+    report.samples_decoded = stats.samples_decoded
+    report.sustained_samples_per_second = (
+        stats.samples_decoded / wall if wall > 0 else 0.0)
+    report.offered_samples_per_second = (
+        offered_samples / wall if wall > 0 else 0.0)
+    report.p50_chunk_latency_s = probe.percentile(50.0)
+    report.p99_chunk_latency_s = probe.percentile(99.0)
+    report.max_queue_depth = probe.max_queue_depth
+    report.shed_fraction = (
+        stats.shed / stats.completed if stats.completed else 0.0)
+    report.accounting_exact = (
+        stats.submitted == stats.decoded + stats.failed + stats.shed)
+    return report
+
+
+def _service_config(cfg: SoakConfig, overflow: str,
+                    profile: SimulationProfile) -> ServiceConfig:
+    decoder = LFDecoderConfig(candidate_bitrates_bps=[10e3],
+                              profile=profile)
+    return ServiceConfig(n_shards=cfg.n_shards,
+                         queue_depth=cfg.queue_depth,
+                         ring_samples=cfg.ring_samples,
+                         overflow=overflow,
+                         decoder=decoder,
+                         seed=cfg.seed)
+
+
+def run_soak(cfg: SoakConfig,
+             profile: Optional[SimulationProfile] = None,
+             log=lambda msg: None) -> SoakReport:
+    """Run the full soak (throughput phase, then overload phase)."""
+    profile = profile or SimulationProfile.fast()
+    log(f"rendering traffic: {cfg.n_readers} readers x "
+        f"{cfg.tags_per_reader} tags, pool of {cfg.pool_epochs} "
+        f"epochs, churn every {cfg.churn_every}")
+    traffic = build_traffic(cfg, profile)
+
+    log(f"throughput phase: closed loop, {cfg.duration_s:.0f}s")
+    throughput = asyncio.run(_replay_phase(
+        cfg, traffic, _service_config(cfg, BLOCK, profile),
+        cfg.duration_s, offered_samples_per_second=None))
+    log(f"  sustained {throughput.sustained_samples_per_second:,.0f} "
+        f"samples/s, p99 chunk latency "
+        f"{throughput.p99_chunk_latency_s * 1e3:.1f} ms")
+
+    overload = None
+    if cfg.overload and throughput.sustained_samples_per_second > 0:
+        offered = (cfg.overload_factor
+                   * throughput.sustained_samples_per_second)
+        log(f"overload phase: open loop at {offered:,.0f} samples/s "
+            f"({cfg.overload_factor:g}x capacity), "
+            f"{cfg.duration_s:.0f}s")
+        overload = asyncio.run(_replay_phase(
+            cfg, traffic, _service_config(cfg, SHED_OLDEST, profile),
+            cfg.duration_s, offered_samples_per_second=offered))
+        log(f"  shed fraction {overload.shed_fraction:.1%}, max queue "
+            f"depth {overload.max_queue_depth}, accounting "
+            f"{'exact' if overload.accounting_exact else 'BROKEN'}")
+    return SoakReport(config=cfg, throughput=throughput,
+                      overload=overload)

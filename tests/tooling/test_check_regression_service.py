@@ -1,0 +1,125 @@
+"""The service section of the benchmark regression gate.
+
+Exercises ``benchmarks/check_regression.py::check_service`` directly
+against synthetic soak exports: pass/fail on the throughput floor,
+the shed-fraction ceiling, the exact-accounting invariant, and the
+warn-only path when no service baseline is committed yet.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    REPO_ROOT / "benchmarks" / "check_regression.py")
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def _export(sustained=400_000.0, shed_fraction=0.5,
+            accounting=True, shed_in_throughput=0,
+            with_overload=True) -> dict:
+    payload = {
+        "throughput": {
+            "sustained_samples_per_second": sustained,
+            "shed": shed_in_throughput,
+            "accounting_exact": accounting,
+        },
+    }
+    if with_overload:
+        payload["overload"] = {
+            "shed_fraction": shed_fraction,
+            "accounting_exact": accounting,
+        }
+    return payload
+
+
+def _write(tmp_path: Path, name: str, payload: dict) -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def _gate(tmp_path, candidate, baseline=None, tolerance=0.2,
+          shed_ceiling=0.75) -> int:
+    candidate_path = _write(tmp_path, "candidate.json", candidate)
+    if baseline is None:
+        baseline_path = tmp_path / "missing_baseline.json"
+    else:
+        baseline_path = _write(tmp_path, "baseline.json", baseline)
+    return check_regression.check_service(
+        candidate_path, baseline_path, tolerance, shed_ceiling)
+
+
+def test_passes_when_candidate_clears_the_floor(tmp_path):
+    assert _gate(tmp_path, _export(sustained=390_000),
+                 baseline=_export(sustained=400_000)) == 0
+
+
+def test_fails_when_throughput_regresses_past_tolerance(tmp_path):
+    assert _gate(tmp_path, _export(sustained=300_000),
+                 baseline=_export(sustained=400_000)) == 1
+
+
+def test_missing_baseline_is_informational_not_failing(tmp_path):
+    assert _gate(tmp_path, _export(sustained=100.0)) == 0
+
+
+def test_missing_candidate_is_skipped(tmp_path):
+    assert check_regression.check_service(
+        tmp_path / "nope.json", tmp_path / "nope2.json",
+        0.2, 0.75) == 0
+
+
+def test_fails_on_shed_fraction_above_ceiling(tmp_path):
+    assert _gate(tmp_path, _export(shed_fraction=0.9)) == 1
+
+
+def test_fails_on_broken_accounting(tmp_path):
+    assert _gate(tmp_path, _export(accounting=False),
+                 baseline=_export()) == 1
+
+
+def test_fails_when_closed_loop_phase_shed(tmp_path):
+    assert _gate(tmp_path, _export(shed_in_throughput=3),
+                 baseline=_export()) == 1
+
+
+def test_fails_on_unreadable_export(tmp_path):
+    bad = tmp_path / "candidate.json"
+    bad.write_text("{not json")
+    assert check_regression.check_service(
+        bad, tmp_path / "baseline.json", 0.2, 0.75) == 1
+
+
+def test_overload_phase_is_optional(tmp_path):
+    # A --no-overload soak still gates on throughput alone.
+    assert _gate(tmp_path, _export(with_overload=False),
+                 baseline=_export(with_overload=False)) == 0
+
+
+def test_committed_baseline_matches_gate_schema():
+    """The baseline this repo ships must satisfy its own gate."""
+    baseline = REPO_ROOT / "benchmarks" / "BENCH_service.json"
+    assert baseline.exists()
+    assert check_regression.check_service(
+        baseline, baseline, 0.2, 0.75) == 0
+
+
+def test_cli_wires_service_gate(tmp_path):
+    # End-to-end through main(): decoder candidate from the committed
+    # export, service candidate from a synthetic one.
+    candidate = _write(tmp_path, "svc.json", _export())
+    baseline = _write(tmp_path, "svc_base.json", _export())
+    rc = check_regression.main([
+        "--candidate",
+        str(REPO_ROOT / "benchmarks" / "BENCH_decoder.json"),
+        "--service-candidate", str(candidate),
+        "--service-baseline", str(baseline)])
+    assert rc == 0
