@@ -64,9 +64,12 @@ DEFAULT_TOLERANCE = 0.20
 DEFAULT_ESCALATION_CEILING = 0.5
 #: Committed soak baseline for the streaming service.
 SERVICE_BASELINE = BENCH_DIR / "BENCH_service.json"
-#: Default location run_soak.py drops its summary (repo root, what CI
-#: uploads).
-SERVICE_CANDIDATE = REPO_ROOT / "BENCH_service.json"
+#: Default location run_soak.py drops its summary (uncommitted; what
+#: CI uploads).
+SERVICE_CANDIDATE = BENCH_DIR / "results" / "BENCH_service.json"
+#: Default location the survival sweep drops its matrix
+#: (``python -m repro.robustness.survival --out ...``).
+SURVIVAL_CANDIDATE = BENCH_DIR / "results" / "survival_matrix.json"
 #: Highest acceptable shed fraction in the overload phase.  The phase
 #: offers 2x the measured capacity, so a healthy service sheds about
 #: half its chunks; far above that means real throughput collapsed
@@ -228,6 +231,31 @@ def check_service(candidate_path: Path, baseline_path: Path,
             print(f"service: FAIL: {phase} phase lost records "
                   f"(submitted != decoded + failed + shed)")
             failed = True
+    # Chaos phases (present only for --chaos runs): the service must
+    # keep exact accounting, bound its queues, and let nothing but
+    # deliberate worker kills escape a thread, under every cocktail.
+    queue_bound = int(candidate.get("config", {})
+                      .get("queue_depth", 0)) or None
+    for name, report in (candidate.get("chaos") or {}).items():
+        if not report.get("accounting_exact", False):
+            print(f"service: FAIL: chaos[{name}] lost records "
+                  f"(submitted != decoded + failed + shed)")
+            failed = True
+        escapes = int(report.get("unexpected_thread_exceptions", 0))
+        if escapes:
+            print(f"service: FAIL: chaos[{name}] let {escapes} "
+                  f"unexpected exception(s) escape a worker thread")
+            failed = True
+        depth = int(report.get("max_queue_depth", 0))
+        if queue_bound is not None and depth > queue_bound:
+            print(f"service: FAIL: chaos[{name}] queue depth {depth} "
+                  f"exceeded the configured bound {queue_bound}")
+            failed = True
+        injected = {k: v for k, v in
+                    (report.get("injected") or {}).items() if v}
+        print(f"service: chaos[{name}] survived "
+              f"(injected {injected or 'nothing'}, "
+              f"max queue depth {depth})")
     throughput = candidate.get("throughput", {})
     if throughput.get("shed", 0):
         # The throughput phase runs closed-loop: shedding there means
@@ -279,6 +307,63 @@ def check_service(candidate_path: Path, baseline_path: Path,
     return 1 if failed else 0
 
 
+def check_survival(path: Path) -> int:
+    """Gate the robustness survival matrix, if one is present.
+
+    Three informal invariants (0 when they hold or no matrix exists):
+
+    * no cell is ``failed`` — fault confinement never broke;
+    * the flat-channel baselines decode — impairment handling cost
+      nothing on the paper's own regime;
+    * at least one multipath scenario is confined/degraded without the
+      equalizer pre-stage yet decoded with it — the stage still earns
+      its place in the pipeline.
+    """
+    if not path.exists():
+        print("survival: no matrix found (skipped) — run "
+              "python -m repro.robustness.survival to produce one")
+        return 0
+    try:
+        matrix = json.loads(path.read_text())
+        scenarios = matrix["scenarios"]
+    except (ValueError, KeyError) as exc:
+        print(f"survival: FAIL: unreadable matrix {path}: {exc}")
+        return 1
+
+    failed = False
+    for name, row in scenarios.items():
+        for config, cell in row.items():
+            if cell.get("classification") == "failed":
+                print(f"survival: FAIL: {name}/{config} raised "
+                      f"({cell.get('error', '?')}) — confinement "
+                      f"broke")
+                failed = True
+    for name in ("flat_6", "flat_14"):
+        row = scenarios.get(name)
+        if row is None:
+            continue
+        cls = row.get("baseline", {}).get("classification")
+        if cls != "decoded":
+            print(f"survival: FAIL: flat baseline {name} is {cls!r}, "
+                  f"expected 'decoded'")
+            failed = True
+    rescued = [
+        name for name, row in scenarios.items()
+        if row.get("baseline", {}).get("classification")
+        in ("degraded", "confined")
+        and row.get("equalizer", {}).get("classification") == "decoded"]
+    if rescued:
+        print(f"survival: equalizer rescues {sorted(rescued)}")
+    else:
+        print("survival: FAIL: no scenario is degraded/confined at "
+              "baseline yet decoded with the equalizer — the "
+              "pre-stage no longer earns its place")
+        failed = True
+    if not failed:
+        print(f"survival: OK ({len(scenarios)} scenarios)")
+    return 1 if failed else 0
+
+
 def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when decoder throughput regresses past the "
@@ -307,6 +392,11 @@ def main(argv: list | None = None) -> int:
                         default=DEFAULT_SHED_CEILING,
                         help="maximum overload-phase shed fraction "
                              "(default 0.75)")
+    parser.add_argument("--survival", type=Path,
+                        default=SURVIVAL_CANDIDATE,
+                        help="survival matrix JSON from "
+                             "repro.robustness.survival (gated only "
+                             "when the file exists)")
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
@@ -352,12 +442,15 @@ def main(argv: list | None = None) -> int:
     service_status = check_service(
         args.service_candidate, args.service_baseline,
         args.tolerance, args.shed_ceiling)
+    survival_status = check_survival(args.survival)
     if failed:
         return 1
     if status:
         return status
     if service_status:
         return service_status
+    if survival_status:
+        return survival_status
     if any_faster:
         print("OK (faster than baseline — consider refreshing it with "
               "benchmarks/run_bench.py)")

@@ -21,9 +21,17 @@ Two phases per run:
   accounting and bounded queues instead of growing memory or
   crashing.
 
-The summary lands in ``BENCH_service.json`` (repo root, plus a copy
-at ``--out``); ``benchmarks/check_regression.py`` gates it against
-the committed ``benchmarks/BENCH_service.json`` baseline.
+``--chaos`` adds a phase per named fault cocktail (worker stalls,
+crashes, kills, shm corruption, clock skew — see
+:mod:`repro.service.chaos`): the service must keep exact accounting
+and suffer zero unexpected thread exceptions while the injector
+sabotages it from the inside.  ``--chaos everything`` runs just the
+combined cocktail; bare ``--chaos`` sweeps them all.
+
+The summary lands at ``--out`` (default
+``benchmarks/results/BENCH_service.json`` — the uncommitted candidate
+CI uploads); ``benchmarks/check_regression.py`` gates it against the
+committed ``benchmarks/BENCH_service.json`` baseline.
 """
 
 from __future__ import annotations
@@ -39,10 +47,8 @@ BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.service.chaos import CHAOS_COCKTAILS  # noqa: E402
 from repro.service.soak import SoakConfig, run_soak  # noqa: E402
-
-#: Root-level copy (same payload; what CI uploads and the gate reads).
-ROOT_JSON = REPO_ROOT / "BENCH_service.json"
 
 
 def _decoder_baseline() -> float | None:
@@ -94,12 +100,29 @@ def main(argv: list | None = None) -> int:
                              "phase (default 2.0)")
     parser.add_argument("--no-overload", action="store_true",
                         help="skip the overload phase")
+    parser.add_argument("--chaos", nargs="*", default=None,
+                        metavar="COCKTAIL",
+                        help="add chaos phases; names from "
+                             f"{sorted(CHAOS_COCKTAILS)}, bare flag "
+                             "= all of them")
+    parser.add_argument("--chaos-duration", type=float, default=5.0,
+                        help="wall-clock seconds per chaos cocktail "
+                             "(default 5)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=Path,
                         default=BENCH_DIR / "results"
                         / "BENCH_service.json",
                         help="where to write the summary JSON")
     args = parser.parse_args(argv)
+
+    cocktails = None
+    if args.chaos is not None:
+        names = args.chaos or sorted(CHAOS_COCKTAILS)
+        unknown = sorted(set(names) - set(CHAOS_COCKTAILS))
+        if unknown:
+            parser.error(f"unknown chaos cocktails {unknown}; pick "
+                         f"from {sorted(CHAOS_COCKTAILS)}")
+        cocktails = {name: CHAOS_COCKTAILS[name] for name in names}
 
     cfg = SoakConfig(
         n_readers=args.readers,
@@ -112,8 +135,9 @@ def main(argv: list | None = None) -> int:
         n_shards=args.shards,
         queue_depth=args.queue_depth,
         chunks_per_epoch=args.chunks_per_epoch,
+        chaos_duration_s=args.chaos_duration,
     )
-    report = run_soak(cfg, log=print)
+    report = run_soak(cfg, log=print, chaos_cocktails=cocktails)
 
     summary = {
         "generated_at": datetime.now(timezone.utc).isoformat(),
@@ -130,8 +154,7 @@ def main(argv: list | None = None) -> int:
     payload = json.dumps(summary, indent=2) + "\n"
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(payload)
-    ROOT_JSON.write_text(payload)
-    print(f"\nwrote {args.out} (and {ROOT_JSON})")
+    print(f"\nwrote {args.out}")
     t = report.throughput
     print(f"sustained : {t.sustained_samples_per_second:,.0f} "
           f"samples/s over {t.wall_s:.1f}s "
@@ -149,6 +172,15 @@ def main(argv: list | None = None) -> int:
               f"samples/s, max queue depth {o.max_queue_depth}, "
               f"accounting "
               f"{'exact' if o.accounting_exact else 'BROKEN'}")
+    for name, phase in report.chaos.items():
+        injected = ", ".join(f"{k}={v}" for k, v in
+                             sorted(phase.injected.items()) if v)
+        print(f"chaos[{name}]: {phase.decoded} decoded, "
+              f"{phase.failed} failed, {phase.shed} shed; injected "
+              f"{injected or 'nothing'}; accounting "
+              f"{'exact' if phase.accounting_exact else 'BROKEN'}; "
+              f"{phase.unexpected_thread_exceptions} unexpected "
+              f"thread exceptions")
     return 0
 
 

@@ -34,6 +34,7 @@ from ..robustness.guard import GuardConfig
 from ..types import EpochResult, IQTrace, SimulationProfile
 from ..utils.rng import SeedLike, make_rng
 from .edges import EdgeDetector, EdgeDetectorConfig
+from .equalizer import EqualizerConfig
 from .fidelity import FidelityPolicy
 from .folding import FoldingConfig
 from .kernels import KernelBackend, resolve_backend
@@ -96,6 +97,13 @@ class LFDecoderConfig:
     #: decode is bit-identical with the guard on or off).
     enable_trace_guard: bool = True
     guard_config: Optional[GuardConfig] = None
+    #: Run the blind equalizer (:func:`repro.core.equalizer.equalize`)
+    #: between the guard and edge detection: estimate the FIR channel
+    #: from the capture itself and invert it when frequency-selective.
+    #: Off by default — decodes with the stage disabled are
+    #: bit-identical to a build without it (pinned by golden digests).
+    enable_equalizer: bool = False
+    equalizer_config: Optional[EqualizerConfig] = None
     #: Multi-fidelity decode policy (see
     #: :class:`repro.core.fidelity.FidelityPolicy`).  ``None`` uses the
     #: default adaptive policy; ``FidelityPolicy.full()`` forces full

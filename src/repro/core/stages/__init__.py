@@ -20,6 +20,7 @@ from .collision import CollisionStage
 from .context import (DecodeContext, Stage, StageObserver, StageRunner,
                       StreamScope, stream_fault)
 from .edges import EdgeStage
+from .equalizer import EqualizerStage
 from .folding import AnalogFallbackStage, FoldStage
 from .guard import GuardStage
 from .projection import (hold_cluster_noise, looks_multilevel,
@@ -32,8 +33,8 @@ from .tracking import StreamsStage, TrackStage
 
 def default_epoch_stages() -> List[Stage]:
     """The epoch-level stage list of the paper's pipeline, in order."""
-    return [GuardStage(), EdgeStage(), FoldStage(), StreamsStage(),
-            AnalogFallbackStage(), DedupStage()]
+    return [GuardStage(), EqualizerStage(), EdgeStage(), FoldStage(),
+            StreamsStage(), AnalogFallbackStage(), DedupStage()]
 
 
 def default_stream_stages() -> List[Stage]:
@@ -45,7 +46,8 @@ def default_stream_stages() -> List[Stage]:
 __all__ = [
     "AnalogFallbackStage", "AnchorStage", "CACHE_STAT_KEYS",
     "CollisionStage", "DecodeContext", "DedupStage", "EdgeStage",
-    "FoldStage", "GuardStage", "SeparationStage", "Stage",
+    "EqualizerStage", "FoldStage", "GuardStage", "SeparationStage",
+    "Stage",
     "StageObserver", "StageRunner", "StatsAccumulator", "StreamScope",
     "StreamsStage", "TrackStage", "assemble_stream", "decode_collided",
     "decode_collinear", "dedup_streams", "default_epoch_stages",

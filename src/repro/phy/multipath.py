@@ -1,0 +1,223 @@
+"""Frequency-selective multipath channel model (FIR taps + presets).
+
+The paper's channel model (Eq. 1) is *flat*: one complex coefficient
+per tag.  The ambient-backscatter transceiver literature (arXiv
+1812.11278, 1901.00368) centers on the frequency-selective regime
+instead — the received waveform is the tag waveform convolved with a
+sparse FIR impulse response whose echoes arrive spread over a
+meaningful fraction of the symbol period.  :class:`MultipathProfile`
+captures that response as ``(delay, gain)`` taps; the presets model
+the two indoor geometries the literature keeps returning to:
+
+* :meth:`MultipathProfile.dense_reflector_room` — many weak early
+  echoes (cluttered lab / metal shelving): short delay spread, mild
+  edge smearing the edge-differential front end mostly survives;
+* :meth:`MultipathProfile.hallway` — few *strong late* echoes (guided
+  propagation down a corridor): long delay spread that smears a bit
+  edge into a staircase and defeats plain edge detection — the regime
+  that needs the equalizing pre-stage
+  (:class:`repro.core.stages.equalizer.EqualizerStage`).
+
+Delays are expressed in **samples**.  At the repo's simulation rates a
+sample is a large physical distance, so the presets are scaled to be
+meaningful relative to the *bit period* (the quantity that decides
+whether a channel reads as flat or selective), not to the meters of a
+physical room.
+
+:func:`doppler_trajectory` is the mobility-side companion: a
+time-varying per-tag coefficient with Doppler-style phase drift plus
+antenna-pattern fading, pluggable into
+:class:`repro.phy.channel.ChannelModel` trajectories exactly like the
+Figure 1 generators in :mod:`repro.phy.dynamics`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils.rng import SeedLike, make_rng
+from .channel import CoefficientTrajectory
+
+
+@dataclass(frozen=True)
+class MultipathProfile:
+    """A sparse FIR channel: per-tap integer delays and complex gains.
+
+    ``delays_samples[0]`` must be 0 (the direct path) and ``gains[0]``
+    is its complex gain; echoes follow in increasing delay order.
+    """
+
+    delays_samples: Tuple[int, ...]
+    gains: Tuple[complex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.delays_samples) != len(self.gains):
+            raise ConfigurationError(
+                "need one gain per delay, got "
+                f"{len(self.delays_samples)} delays / "
+                f"{len(self.gains)} gains")
+        if not self.delays_samples:
+            raise ConfigurationError("profile needs at least one tap")
+        if self.delays_samples[0] != 0:
+            raise ConfigurationError(
+                "first tap must be the direct path (delay 0)")
+        if any(d < 0 for d in self.delays_samples):
+            raise ConfigurationError("tap delays must be >= 0")
+        if list(self.delays_samples) != sorted(set(self.delays_samples)):
+            raise ConfigurationError(
+                "tap delays must be strictly increasing")
+        if self.gains[0] == 0:
+            raise ConfigurationError("direct path gain must be nonzero")
+
+    @property
+    def n_taps(self) -> int:
+        return len(self.delays_samples)
+
+    @property
+    def delay_spread_samples(self) -> int:
+        """Delay of the last echo (0 for a flat channel)."""
+        return int(self.delays_samples[-1])
+
+    @property
+    def echo_energy(self) -> float:
+        """Echo power relative to the direct path, ``sum|h_k/h_0|^2``."""
+        direct = abs(self.gains[0])
+        return float(sum(abs(g) ** 2 for g in self.gains[1:])
+                     / (direct ** 2))
+
+    def impulse_response(self) -> np.ndarray:
+        """Dense complex FIR taps, length ``delay_spread + 1``."""
+        h = np.zeros(self.delay_spread_samples + 1, dtype=np.complex128)
+        for delay, gain in zip(self.delays_samples, self.gains):
+            h[delay] = gain
+        return h
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def exponential(cls, n_echoes: int, max_delay_samples: int,
+                    echo_amplitude: float = 0.4,
+                    decay: float = 2.0,
+                    rng: SeedLike = None) -> "MultipathProfile":
+        """Random sparse profile with an exponential power-delay decay.
+
+        ``n_echoes`` echoes at distinct random delays in
+        ``[1, max_delay_samples]``; echo ``k`` at delay ``d`` has
+        magnitude ``echo_amplitude * exp(-decay * d / max_delay)``
+        and a uniform random phase.  Seed-deterministic.
+        """
+        if n_echoes < 1:
+            raise ConfigurationError("need at least one echo")
+        if max_delay_samples < 1:
+            raise ConfigurationError("max delay must be >= 1 sample")
+        if n_echoes > max_delay_samples:
+            raise ConfigurationError(
+                f"cannot place {n_echoes} distinct echoes in "
+                f"{max_delay_samples} delay slots")
+        gen = make_rng(rng)
+        delays = np.sort(gen.choice(
+            np.arange(1, max_delay_samples + 1), size=n_echoes,
+            replace=False))
+        # The furthest echo defines the spread; pin one there so the
+        # profile's delay_spread matches what was asked for.
+        delays[-1] = max_delay_samples
+        gains = [complex(1.0)]
+        for delay in delays:
+            magnitude = echo_amplitude * math.exp(
+                -decay * float(delay) / max_delay_samples)
+            phase = gen.uniform(0.0, 2.0 * math.pi)
+            gains.append(magnitude * complex(math.cos(phase),
+                                             math.sin(phase)))
+        return cls(delays_samples=(0, *(int(d) for d in delays)),
+                   gains=tuple(gains))
+
+    @classmethod
+    def dense_reflector_room(cls, samples_per_bit: int = 250,
+                             rng: SeedLike = None) -> "MultipathProfile":
+        """Many weak early echoes: cluttered room, short delay spread.
+
+        Spread ~ 15% of a bit period, per-echo amplitudes <= 0.35 —
+        edges blur slightly but stay detectable.
+        """
+        max_delay = max(int(0.15 * samples_per_bit), 4)
+        return cls.exponential(n_echoes=min(8, max_delay),
+                               max_delay_samples=max_delay,
+                               echo_amplitude=0.35, decay=1.5, rng=rng)
+
+    @classmethod
+    def hallway(cls, samples_per_bit: int = 250,
+                rng: SeedLike = None) -> "MultipathProfile":
+        """Few strong late echoes: corridor-guided propagation.
+
+        Spread ~ 60% of a bit period with echo amplitudes up to ~0.7:
+        each bit edge becomes a staircase of comparable steps, which
+        the edge-differential front end mis-reads as several distinct
+        transitions.  This is the scenario the equalizing pre-stage
+        exists for.
+        """
+        gen = make_rng(rng)
+        max_delay = max(int(0.6 * samples_per_bit), 8)
+        # Three echoes clustered late (wall-bounce round trips).
+        delays = sorted({max(1, int(max_delay * f))
+                         for f in (0.35, 0.7, 1.0)})
+        gains = [complex(1.0)]
+        for k, delay in enumerate(delays):
+            magnitude = 0.7 * (0.75 ** k)
+            phase = gen.uniform(0.0, 2.0 * math.pi)
+            gains.append(magnitude * complex(math.cos(phase),
+                                             math.sin(phase)))
+        return cls(delays_samples=(0, *delays), gains=tuple(gains))
+
+
+def apply_multipath(samples: np.ndarray,
+                    profile: MultipathProfile) -> np.ndarray:
+    """Convolve a capture with the profile's FIR response, causally.
+
+    The capture starts mid-carrier, so the filter is warmed up on a
+    constant extension of the first sample instead of on zeros — the
+    output has no artificial startup edge and keeps the input length.
+    """
+    h = profile.impulse_response()
+    x = np.asarray(samples, dtype=np.complex128)
+    if h.size == 1:
+        return x * h[0]
+    warm = np.full(h.size - 1, x[0], dtype=np.complex128)
+    padded = np.concatenate([warm, x])
+    out = np.convolve(padded, h)[h.size - 1:h.size - 1 + x.size]
+    return np.ascontiguousarray(out)
+
+
+def doppler_trajectory(base: complex,
+                       doppler_hz: float = 40.0,
+                       fade_depth: float = 0.3,
+                       fade_rate_hz: float = 7.0,
+                       rng: SeedLike = None) -> CoefficientTrajectory:
+    """Fast tag mobility: Doppler phase drift plus pattern fading.
+
+    The coefficient's phase advances at ``doppler_hz`` (a tag moving
+    radially sweeps carrier phase at the Doppler rate) while the
+    antenna pattern and changing multipath modulate the magnitude at
+    ``fade_rate_hz`` with fractional depth ``fade_depth``.  Plug into
+    :class:`repro.phy.channel.ChannelModel` ``trajectories`` like the
+    :mod:`repro.phy.dynamics` generators.
+    """
+    if fade_depth < 0 or fade_depth >= 1:
+        raise ConfigurationError(
+            f"fade depth must be in [0, 1), got {fade_depth}")
+    gen = make_rng(rng)
+    phase0 = float(gen.uniform(0.0, 2.0 * math.pi))
+    fade0 = float(gen.uniform(0.0, 2.0 * math.pi))
+
+    def trajectory(times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=np.float64)
+        phase = 2.0 * math.pi * doppler_hz * t + phase0
+        fade = 1.0 - fade_depth * np.sin(
+            2.0 * math.pi * fade_rate_hz * t + fade0) ** 2
+        return base * fade * np.exp(1j * phase)
+
+    return trajectory

@@ -23,13 +23,42 @@ from .impairments import (
     CarrierPhaseJump,
     DcOffsetStep,
     Impairment,
+    MultipathChannel,
     NonFiniteBurst,
     SampleDropout,
+    SweptInterferer,
+    TagMobility,
     TruncateEpoch,
     apply_impairments,
     impair_capture,
     random_cocktail,
 )
+# Scenario / survival symbols are re-exported lazily (PEP 562):
+# survival imports the decoder through repro.analysis, and the decode
+# path's guard stage imports this package — an eager import here would
+# be circular.
+_LAZY = {
+    "Scenario": "scenarios",
+    "SCENARIOS": "scenarios",
+    "build_scenario_capture": "scenarios",
+    "SurvivalCell": "survival",
+    "SurvivalMatrix": "survival",
+    "classify_decode": "survival",
+    "run_survival_matrix": "survival",
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from importlib import import_module
+
+        module = import_module(f".{_LAZY[name]}", __name__)
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "GuardConfig",
@@ -43,7 +72,17 @@ __all__ = [
     "CarrierPhaseJump",
     "TruncateEpoch",
     "BurstInterferer",
+    "MultipathChannel",
+    "TagMobility",
+    "SweptInterferer",
     "apply_impairments",
     "impair_capture",
     "random_cocktail",
+    "Scenario",
+    "SCENARIOS",
+    "build_scenario_capture",
+    "SurvivalCell",
+    "SurvivalMatrix",
+    "classify_decode",
+    "run_survival_matrix",
 ]

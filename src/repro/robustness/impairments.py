@@ -18,6 +18,18 @@ complex sample array the way one concrete receiver pathology would:
 * :class:`BurstInterferer` — a foreign transmitter keyed up for a few
   hundred microseconds; an additive complex tone burst.
 
+The frequency-selective family (this file's second generation) models
+the channel itself rather than the capture chain:
+
+* :class:`MultipathChannel` — the whole capture convolved with a
+  sparse FIR echo profile (:mod:`repro.phy.multipath` presets):
+  dense-reflector room, hallway, or a randomized exponential decay.
+* :class:`TagMobility` — bulk fast mobility; a slow complex envelope
+  (Doppler-style phase drift plus pattern fading) multiplies the
+  capture, expressed in cycles/sample so no sample rate is needed.
+* :class:`SweptInterferer` — a frequency-hopping neighbour; an
+  additive chirp sweeping through the band during a run.
+
 Impairments draw every random choice (positions, run lengths, phases)
 from the generator handed to :func:`apply_impairments`, so a cocktail
 is exactly reproducible from ``(capture, impairments, seed)`` — the
@@ -182,6 +194,128 @@ class BurstInterferer(Impairment):
         return samples
 
 
+@dataclass(frozen=True)
+class MultipathChannel(Impairment):
+    """Convolve the capture with a sparse FIR echo profile.
+
+    ``preset`` picks the geometry (``"room"``, ``"hallway"`` or
+    ``"exponential"``); the tap layout is drawn from the cocktail's
+    generator, so the same seed reproduces the same channel.  Explicit
+    ``delays_samples``/``gains`` override the preset entirely (and use
+    no randomness).
+    """
+
+    preset: str = "room"
+    #: Scales preset delay spreads; should match the capture's
+    #: samples-per-bit for the presets to read as intended.
+    samples_per_bit: int = 250
+    delays_samples: Tuple[int, ...] = ()
+    gains: Tuple[complex, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.preset not in ("room", "hallway", "exponential"):
+            raise ConfigurationError(
+                f"unknown multipath preset {self.preset!r}")
+        if bool(self.delays_samples) != bool(self.gains):
+            raise ConfigurationError(
+                "explicit taps need both delays_samples and gains")
+
+    def _profile(self, rng: np.random.Generator) -> "MultipathProfile":
+        from ..phy.multipath import MultipathProfile
+        if self.delays_samples:
+            return MultipathProfile(
+                delays_samples=tuple(self.delays_samples),
+                gains=tuple(self.gains))
+        if self.preset == "room":
+            return MultipathProfile.dense_reflector_room(
+                self.samples_per_bit, rng=rng)
+        if self.preset == "hallway":
+            return MultipathProfile.hallway(self.samples_per_bit,
+                                            rng=rng)
+        max_delay = max(int(0.25 * self.samples_per_bit), 4)
+        return MultipathProfile.exponential(
+            n_echoes=min(8, max_delay), max_delay_samples=max_delay,
+            echo_amplitude=0.45, decay=1.0, rng=rng)
+
+    def apply(self, samples, rng):
+        from ..phy.multipath import apply_multipath
+        finite = np.isfinite(samples.real) & np.isfinite(samples.imag)
+        profile = self._profile(rng)
+        if np.all(finite):
+            return apply_multipath(samples, profile)
+        # Echoes of a NaN burst would smear non-finite values across
+        # the delay spread; convolve the finite content instead and
+        # re-impose the original non-finite runs afterwards.
+        patched = samples.copy()
+        patched[~finite] = samples[finite].mean() if finite.any() \
+            else 0.0
+        out = apply_multipath(patched, profile)
+        out[~finite] = samples[~finite]
+        return out
+
+
+@dataclass(frozen=True)
+class TagMobility(Impairment):
+    """Multiply by a slow Doppler-drift + fading envelope.
+
+    Rates are in cycles per sample (sample-rate agnostic); the
+    defaults correspond to tens-of-Hz Doppler and a few-Hz fade at the
+    fast profile's 2.5 Msps.
+    """
+
+    max_doppler_cycles_per_sample: float = 4e-5
+    fade_depth: float = 0.4
+    fade_cycles_per_sample: float = 8e-6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fade_depth < 1.0:
+            raise ConfigurationError(
+                "fade_depth must be in [0, 1)")
+
+    def apply(self, samples, rng):
+        n = samples.size
+        doppler = rng.uniform(-self.max_doppler_cycles_per_sample,
+                              self.max_doppler_cycles_per_sample)
+        phase0 = rng.uniform(0.0, 2.0 * np.pi)
+        fade0 = rng.uniform(0.0, 2.0 * np.pi)
+        t = np.arange(n)
+        envelope = (1.0 - self.fade_depth * np.sin(
+            2.0 * np.pi * self.fade_cycles_per_sample * t
+            + fade0) ** 2) * np.exp(
+            1j * (2.0 * np.pi * doppler * t + phase0))
+        # Non-finite samples (from an earlier cocktail ingredient)
+        # stay non-finite through the multiply; the warning is noise.
+        with np.errstate(invalid="ignore"):
+            samples *= envelope
+        return samples
+
+
+@dataclass(frozen=True)
+class SweptInterferer(Impairment):
+    """Additive linear chirp sweeping through the band during a run."""
+
+    amplitude: float = 0.3
+    max_run: int = 4000
+    #: Sweep start/end frequency bounds, as fractions of sample rate.
+    max_cycles_per_sample: float = 0.1
+
+    def apply(self, samples, rng):
+        (start, stop), = _draw_runs(rng, samples.size, 1, self.max_run)
+        n = stop - start
+        f0 = rng.uniform(-self.max_cycles_per_sample,
+                         self.max_cycles_per_sample)
+        f1 = rng.uniform(-self.max_cycles_per_sample,
+                         self.max_cycles_per_sample)
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        t = np.arange(n)
+        inst_phase = 2.0 * np.pi * (f0 * t
+                                    + (f1 - f0) * t ** 2
+                                    / (2.0 * max(n, 1)))
+        samples[start:stop] += self.amplitude * np.exp(
+            1j * (inst_phase + phase))
+        return samples
+
+
 def apply_impairments(trace: IQTrace,
                       impairments: Sequence[Impairment],
                       rng: SeedLike = None) -> IQTrace:
@@ -223,19 +357,34 @@ _COCKTAIL_MENU = (
     ("interferer", 0.4),
 )
 
+#: Frequency-selective additions, kept in a separate tuple appended
+#: *after* the flat menu so a seed's flat-ingredient draws are a
+#: stable prefix — old seeds keep their old cocktails' flat part.
+_SELECTIVE_MENU = (
+    ("multipath", 0.35),
+    ("mobility", 0.3),
+    ("swept", 0.3),
+)
+
 
 def random_cocktail(rng: SeedLike = None,
-                    max_run_samples: int = 400) -> List[Impairment]:
+                    max_run_samples: int = 400,
+                    frequency_selective: bool = True
+                    ) -> List[Impairment]:
     """A randomized impairment cocktail for chaos testing.
 
     Draws a subset of the impairment menu with randomized parameters.
     The same seed always produces the same cocktail; an empty draw is
     re-rolled into a single dropout so every cocktail perturbs the
-    trace at least once.
+    trace at least once.  ``frequency_selective=False`` restricts the
+    draw to the original flat-channel menu (whose draws are a stable
+    prefix of the full menu's for any seed).
     """
     gen = make_rng(rng)
+    menu = _COCKTAIL_MENU + (_SELECTIVE_MENU if frequency_selective
+                             else ())
     cocktail: List[Impairment] = []
-    for name, probability in _COCKTAIL_MENU:
+    for name, probability in menu:
         if gen.random() >= probability:
             continue
         if name == "dropout":
@@ -263,6 +412,19 @@ def random_cocktail(rng: SeedLike = None,
             cocktail.append(BurstInterferer(
                 amplitude=float(gen.uniform(0.05, 0.6)),
                 max_run=int(gen.integers(100, 5 * max_run_samples))))
+        elif name == "multipath":
+            cocktail.append(MultipathChannel(
+                preset=str(gen.choice(
+                    ["room", "hallway", "exponential"]))))
+        elif name == "mobility":
+            cocktail.append(TagMobility(
+                max_doppler_cycles_per_sample=float(
+                    gen.uniform(5e-6, 8e-5)),
+                fade_depth=float(gen.uniform(0.1, 0.6))))
+        elif name == "swept":
+            cocktail.append(SweptInterferer(
+                amplitude=float(gen.uniform(0.05, 0.5)),
+                max_run=int(gen.integers(500, 10 * max_run_samples))))
     if not cocktail:
         cocktail.append(SampleDropout(
             n_runs=1, max_run=int(gen.integers(10, max_run_samples))))

@@ -13,6 +13,9 @@ against the network simulator and ``benchmarks/run_soak.py`` the
 multi-reader soak benchmark.
 """
 
+from .chaos import (CHAOS_COCKTAILS, ChaosConfig, ChaosCrashError,
+                    ChaosInjector, ChaosWorkerKill,
+                    capture_thread_exceptions, chaos_service_config)
 from .config import BLOCK, SHED_OLDEST, ServiceConfig
 from .framing import ChunkFrame, ChunkRing
 from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
@@ -23,6 +26,9 @@ from .worker import (STATUS_DEGRADED, STATUS_FAILED, STATUS_OK,
                      STATUS_SHED, ChunkResult, ShardWorker)
 
 __all__ = [
+    "CHAOS_COCKTAILS", "ChaosConfig", "ChaosCrashError",
+    "ChaosInjector", "ChaosWorkerKill", "capture_thread_exceptions",
+    "chaos_service_config",
     "BLOCK", "SHED_OLDEST", "ServiceConfig",
     "ChunkFrame", "ChunkRing",
     "DEFAULT_BUCKETS", "Counter", "Gauge", "Histogram",

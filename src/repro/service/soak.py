@@ -22,6 +22,16 @@ under sustained multi-reader load:
      degrade gracefully — bounded queue depth, oldest-chunk shedding
      with exact accounting, no growth and no crash.
 
+A third, opt-in phase family puts the service under *infrastructure*
+fault injection: ``run_soak(..., chaos_cocktails=...)`` replays the
+same traffic once per named :class:`~repro.service.chaos.ChaosConfig`
+cocktail while a :class:`~repro.service.chaos.ChaosInjector` stalls,
+crashes, kills and corrupts the decode path from the inside and skews
+chunk arrival clocks at submit time.  Each chaos phase must end with
+the same exact accounting as the overload phase — and with zero
+*unexpected* thread exceptions (deliberate worker kills are expected;
+anything else escaping a worker thread fails the gate).
+
 The resulting :class:`SoakReport` serializes to the
 ``BENCH_service.json`` schema that ``benchmarks/check_regression.py``
 gates in CI.
@@ -32,7 +42,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -44,6 +54,8 @@ from ..reader.batch import chunk_trace
 from ..reader.simulator import NetworkSimulator
 from ..tags.lf_tag import LFTag
 from ..types import IQTrace, SimulationProfile, TagConfig
+from .chaos import (ChaosConfig, ChaosInjector, capture_thread_exceptions,
+                    chaos_service_config)
 from .config import BLOCK, SHED_OLDEST, ServiceConfig
 from .service import DecodeService
 from .worker import ChunkResult
@@ -75,6 +87,10 @@ class SoakConfig:
     ring_samples: int = 1 << 18
     #: Skip the overload phase (quickstart mode).
     overload: bool = True
+    #: Wall-clock seconds per chaos cocktail (chaos phases replay the
+    #: same traffic once per cocktail, so they get their own, shorter
+    #: budget).
+    chaos_duration_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.n_readers < 1:
@@ -110,6 +126,11 @@ class PhaseReport:
     #: zero-lost-records invariant the gate asserts.
     accounting_exact: bool = False
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: Faults the chaos injector actually fired (chaos phases only).
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: Worker-thread escapes that were *not* deliberate kills — must
+    #: be zero (chaos phases only; witnessed via threading.excepthook).
+    unexpected_thread_exceptions: int = 0
 
 
 @dataclass
@@ -119,6 +140,8 @@ class SoakReport:
     config: SoakConfig
     throughput: PhaseReport
     overload: Optional[PhaseReport] = None
+    #: One open-loop phase per chaos cocktail, by cocktail name.
+    chaos: Dict[str, PhaseReport] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         payload = {
@@ -127,6 +150,9 @@ class SoakReport:
         }
         if self.overload is not None:
             payload["overload"] = asdict(self.overload)
+        if self.chaos:
+            payload["chaos"] = {name: asdict(report)
+                                for name, report in self.chaos.items()}
         return payload
 
 
@@ -211,14 +237,18 @@ async def _replay_phase(cfg: SoakConfig,
                         traffic: Dict[int, ReaderTraffic],
                         service_config: ServiceConfig,
                         duration_s: float,
-                        offered_samples_per_second: Optional[float]
+                        offered_samples_per_second: Optional[float],
+                        injector: Optional[ChaosInjector] = None
                         ) -> PhaseReport:
     """Replay traffic for ``duration_s``; paced when a target offered
-    rate is given (open loop), queue-backpressured otherwise."""
+    rate is given (open loop), queue-backpressured otherwise.  With an
+    ``injector``, each chunk's arrival clock may be skewed before
+    submission (the injector's submit-side fault)."""
     report = PhaseReport()
     async with DecodeService(service_config) as service:
         probe = _PhaseProbe(service)
         cursors = {reader: 0 for reader in traffic}
+        seqs = {reader: 0 for reader in traffic}
         start = time.perf_counter()
         offered_samples = 0
         next_deadline = start
@@ -227,6 +257,16 @@ async def _replay_phase(cfg: SoakConfig,
                 epoch = pool[cursors[reader_id] % len(pool)]
                 cursors[reader_id] += 1
                 for chunk, sample_offset in epoch:
+                    if injector is not None:
+                        skew = injector.skew_for(reader_id, 0,
+                                                 seqs[reader_id])
+                        seqs[reader_id] += 1
+                        if skew:
+                            chunk = IQTrace(
+                                samples=chunk.samples,
+                                sample_rate_hz=chunk.sample_rate_hz,
+                                start_time_s=(chunk.start_time_s
+                                              + skew))
                     await service.submit(
                         reader_id=reader_id, antenna=0, trace=chunk,
                         sample_offset=sample_offset)
@@ -282,10 +322,35 @@ def _service_config(cfg: SoakConfig, overflow: str,
                          seed=cfg.seed)
 
 
+def _run_chaos_phase(cfg: SoakConfig,
+                     traffic: Dict[int, ReaderTraffic],
+                     chaos: ChaosConfig,
+                     profile: SimulationProfile) -> PhaseReport:
+    """One open-loop replay under a chaos cocktail.
+
+    Shedding stays enabled (a stalled or dying worker must not wedge
+    the producer), every injected fault is counted, and any worker
+    escape that is not a deliberate kill is recorded as unexpected.
+    """
+    base = _service_config(cfg, SHED_OLDEST, profile)
+    config, injector = chaos_service_config(
+        base, replace(chaos, seed=cfg.seed))
+    with capture_thread_exceptions() as escapes:
+        report = asyncio.run(_replay_phase(
+            cfg, traffic, config, cfg.chaos_duration_s,
+            offered_samples_per_second=None, injector=injector))
+    report.injected = injector.counts()
+    report.unexpected_thread_exceptions = len(escapes.unexpected)
+    return report
+
+
 def run_soak(cfg: SoakConfig,
              profile: Optional[SimulationProfile] = None,
-             log=lambda msg: None) -> SoakReport:
-    """Run the full soak (throughput phase, then overload phase)."""
+             log=lambda msg: None,
+             chaos_cocktails: Optional[Dict[str, ChaosConfig]] = None
+             ) -> SoakReport:
+    """Run the full soak (throughput phase, then overload phase, then
+    one chaos phase per cocktail in ``chaos_cocktails``)."""
     profile = profile or SimulationProfile.fast()
     log(f"rendering traffic: {cfg.n_readers} readers x "
         f"{cfg.tags_per_reader} tags, pool of {cfg.pool_epochs} "
@@ -313,5 +378,18 @@ def run_soak(cfg: SoakConfig,
         log(f"  shed fraction {overload.shed_fraction:.1%}, max queue "
             f"depth {overload.max_queue_depth}, accounting "
             f"{'exact' if overload.accounting_exact else 'BROKEN'}")
+
+    chaos_reports: Dict[str, PhaseReport] = {}
+    for name, chaos in (chaos_cocktails or {}).items():
+        log(f"chaos phase [{name}]: open loop, "
+            f"{cfg.chaos_duration_s:.0f}s")
+        phase = _run_chaos_phase(cfg, traffic, chaos, profile)
+        injected = ", ".join(f"{k}={v}" for k, v in
+                             sorted(phase.injected.items()) if v)
+        log(f"  injected {injected or 'nothing'}; accounting "
+            f"{'exact' if phase.accounting_exact else 'BROKEN'}, "
+            f"{phase.unexpected_thread_exceptions} unexpected thread "
+            f"exceptions")
+        chaos_reports[name] = phase
     return SoakReport(config=cfg, throughput=throughput,
-                      overload=overload)
+                      overload=overload, chaos=chaos_reports)

@@ -192,18 +192,30 @@ class ShardWorker:
         return True
 
     def join_idle(self, timeout: Optional[float] = None) -> bool:
-        """Block until the queue is empty and nothing is in flight."""
+        """Block until the queue is empty and nothing is in flight.
+
+        A worker thread killed mid-frame (chaos injection, interpreter
+        shutdown races) would leave queued frames stranded forever;
+        the wait therefore ticks and respawns the thread whenever work
+        remains but the loop is dead.
+        """
         deadline = None if timeout is None else \
             time.perf_counter() + timeout
-        with self._cond:
-            while self._queue or self._in_flight:
+        while True:
+            with self._cond:
+                if not self._queue and not self._in_flight:
+                    return True
                 remaining = None
                 if deadline is not None:
                     remaining = deadline - time.perf_counter()
                     if remaining <= 0:
                         return False
-                self._idle.wait(timeout=remaining)
-        return True
+                tick = 0.1 if remaining is None \
+                    else min(remaining, 0.1)
+                self._idle.wait(timeout=tick)
+                work_remains = bool(self._queue or self._in_flight)
+            if work_remains:
+                self.ensure_alive()
 
     # -- ingest side -------------------------------------------------------
 
@@ -263,6 +275,24 @@ class ShardWorker:
                                   shard=self._shard_label)
             try:
                 outcome = self._decode_frame(frame)
+            except BaseException as exc:
+                # A non-Exception escape (chaos worker kill, interpreter
+                # teardown) is about to take this thread down.  The
+                # frame's ring region was already retired inside
+                # _decode_frame's finally; deliver its terminal verdict
+                # so the service's accounting stays exact, then let the
+                # thread die — ensure_alive()/join_idle() respawn it.
+                self._m_done.inc(1.0, shard=self._shard_label,
+                                 status=STATUS_FAILED)
+                latency = time.perf_counter() - frame.submitted_at
+                self._m_latency.observe(latency,
+                                        shard=self._shard_label,
+                                        status=STATUS_FAILED)
+                self._on_result(ChunkResult(
+                    frame=frame, status=STATUS_FAILED,
+                    error=f"worker died: {type(exc).__name__}: {exc}",
+                    latency_s=latency, shard=self.shard_id))
+                raise
             finally:
                 with self._cond:
                     self._in_flight -= 1
@@ -272,29 +302,41 @@ class ShardWorker:
     def _decode_frame(self, frame: ChunkFrame) -> ChunkResult:
         samples = (frame.inline if frame.frame_id < 0
                    else self.ring.view(frame.frame_id))
+        # allow_nonfinite: a corrupted shm region (chaos injection,
+        # DMA gone wrong) must reach the decode path's guard stage —
+        # which repairs or rejects it — rather than crash on trace
+        # validation here and skip the accounting below.
         trace = IQTrace(samples=samples,
                         sample_rate_hz=frame.sample_rate_hz,
-                        start_time_s=frame.start_time_s)
+                        start_time_s=frame.start_time_s,
+                        allow_nonfinite=True)
         slot = self._slot_for(frame.stream_key)
         attempts = 0
         error: Optional[str] = None
         result: Optional[EpochResult] = None
         decode_s = 0.0
-        while attempts < self.config.max_attempts:
-            attempts += 1
-            start = time.perf_counter()
-            try:
-                result = slot.decoder.decode_epoch(
-                    trace, sample_offset=frame.sample_offset)
-                decode_s = time.perf_counter() - start
-                break
-            except Exception as exc:  # noqa: BLE001 — supervision
-                decode_s = time.perf_counter() - start
-                error = f"{type(exc).__name__}: {exc}"
-                if attempts < self.config.max_attempts:
-                    self._m_retries.inc(1.0, shard=self._shard_label)
-        if frame.frame_id >= 0:
-            self.ring.retire(frame.frame_id)
+        try:
+            while attempts < self.config.max_attempts:
+                attempts += 1
+                start = time.perf_counter()
+                try:
+                    result = slot.decoder.decode_epoch(
+                        trace, sample_offset=frame.sample_offset)
+                    decode_s = time.perf_counter() - start
+                    break
+                except Exception as exc:  # noqa: BLE001 — supervision
+                    decode_s = time.perf_counter() - start
+                    error = f"{type(exc).__name__}: {exc}"
+                    if attempts < self.config.max_attempts:
+                        self._m_retries.inc(1.0,
+                                            shard=self._shard_label)
+        finally:
+            # Retire even when a BaseException (chaos worker kill)
+            # aborts the decode: a dead shard must not leak its
+            # frame's ring region — or, for shared-memory rings, the
+            # /dev/shm backing it pins.
+            if frame.frame_id >= 0:
+                self.ring.retire(frame.frame_id)
         latency = time.perf_counter() - frame.submitted_at
         if result is None:
             slot.consecutive_failures += 1

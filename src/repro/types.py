@@ -377,6 +377,12 @@ class EpochResult:
     #: disabled.  A clean capture yields a report with ``verdict ==
     #: "clean"`` and an untouched trace.
     trace_health: Optional[object] = None
+    #: Blind-equalizer report for this epoch (a
+    #: :class:`repro.core.equalizer.EqualizerReport`), set whenever the
+    #: opt-in equalizer pre-stage ran; ``None`` when the stage was
+    #: disabled (the default).  ``applied`` is False when the channel
+    #: read as flat and the capture passed through untouched.
+    equalizer: Optional[object] = None
 
     @property
     def degraded(self) -> bool:
