@@ -273,6 +273,21 @@ def check_service(candidate_path: Path, baseline_path: Path,
                   "ceiling — throughput collapsed under load")
             failed = True
 
+    # Scaling-sweep cells (present for --scaling-sweep runs): every
+    # cell ran closed-loop, so exact accounting and zero shed are
+    # invariants regardless of which executor produced the cell.
+    for executor, curve in (candidate.get("scaling") or {}).items():
+        for shards, cell in sorted(curve.items(),
+                                   key=lambda kv: int(kv[0])):
+            if not cell.get("accounting_exact", False):
+                print(f"service: FAIL: scaling[{executor} x{shards}] "
+                      f"lost records")
+                failed = True
+            if cell.get("shed", 0):
+                print(f"service: FAIL: scaling[{executor} x{shards}] "
+                      f"shed {cell['shed']} chunks in closed loop")
+                failed = True
+
     sustained = float(throughput.get(
         "sustained_samples_per_second", 0.0))
     if not sustained:
@@ -283,8 +298,8 @@ def check_service(candidate_path: Path, baseline_path: Path,
               f"(no committed baseline at {baseline_path.name} — "
               f"informational, not gated)")
         return 1 if failed else 0
-    baseline_rate = float(json.loads(baseline_path.read_text())
-                          .get("throughput", {})
+    baseline = json.loads(baseline_path.read_text())
+    baseline_rate = float(baseline.get("throughput", {})
                           .get("sustained_samples_per_second", 0.0))
     if not baseline_rate:
         print("service: baseline has no sustained throughput — "
@@ -304,7 +319,49 @@ def check_service(candidate_path: Path, baseline_path: Path,
     elif sustained > baseline_rate:
         print("service: faster than baseline — consider refreshing "
               "benchmarks/BENCH_service.json")
+    if check_process_scaling(candidate, baseline, tolerance):
+        failed = True
     return 1 if failed else 0
+
+
+def check_process_scaling(candidate: dict, baseline: dict,
+                          tolerance: float) -> int:
+    """Gate the process-executor scaling curve against the baseline's.
+
+    Compares the best sustained rate in the candidate's
+    ``scaling["process"]`` curve to the same figure in the committed
+    baseline.  A committed baseline that *predates* the scaling field
+    (pre-process-executor soaks) only warns — the gate must be able to
+    land before the first refreshed baseline does.  0 = pass/warn,
+    1 = regression.
+    """
+    curve = (candidate.get("scaling") or {}).get("process")
+    if not curve:
+        return 0                 # no sweep in this run: nothing to gate
+    best = max(float(c.get("sustained_samples_per_second", 0.0))
+               for c in curve.values())
+    base_curve = (baseline.get("scaling") or {}).get("process")
+    if not base_curve:
+        print(f"service: WARNING: committed baseline predates the "
+              f"process-executor scaling field — candidate best "
+              f"{best:,.0f} samples/s recorded, not gated; refresh "
+              f"benchmarks/BENCH_service.json with "
+              f"run_soak.py --scaling-sweep")
+        return 0
+    base_best = max(float(c.get("sustained_samples_per_second", 0.0))
+                    for c in base_curve.values())
+    if not base_best:
+        return 0
+    floor = base_best * (1.0 - tolerance)
+    change = best / base_best - 1.0
+    print(f"service: process-executor best: {best:,.0f} samples/s "
+          f"({change:+.1%} vs baseline {base_best:,.0f}, floor "
+          f"{floor:,.0f})")
+    if best < floor:
+        print("service: FAIL: process-executor throughput regressed "
+              "past the tolerance")
+        return 1
+    return 0
 
 
 def check_survival(path: Path) -> int:

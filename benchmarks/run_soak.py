@@ -21,6 +21,13 @@ Two phases per run:
   accounting and bounded queues instead of growing memory or
   crashing.
 
+``--executor process`` runs the same phases with one child process
+per shard (multi-core scaling); ``--scaling-sweep`` additionally
+replays the closed-loop phase at n_shards in {1, 2, 4} under *both*
+executors and records the scaling table in the JSON (the
+``BENCH_service.json`` ``scaling`` section the regression gate and
+the CI scaling-curve artifact read).
+
 ``--chaos`` adds a phase per named fault cocktail (worker stalls,
 crashes, kills, shm corruption, clock skew — see
 :mod:`repro.service.chaos`): the service must keep exact accounting
@@ -48,7 +55,10 @@ REPO_ROOT = BENCH_DIR.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.service.chaos import CHAOS_COCKTAILS  # noqa: E402
-from repro.service.soak import SoakConfig, run_soak  # noqa: E402
+from repro.service.config import (PROCESS, THREAD,  # noqa: E402
+                                  _default_executor)
+from repro.service.soak import (DEFAULT_SCALING_SHARDS,  # noqa: E402
+                                SoakConfig, run_soak)
 
 
 def _decoder_baseline() -> float | None:
@@ -89,6 +99,26 @@ def main(argv: list | None = None) -> int:
                              "N pool epochs (default 3; 0 = no churn)")
     parser.add_argument("--shards", type=int, default=2,
                         help="worker shards (default 2)")
+    parser.add_argument("--executor", choices=[THREAD, PROCESS],
+                        default=_default_executor(),
+                        help="shard executor (default: "
+                             "$REPRO_SERVICE_EXECUTOR or 'thread')")
+    parser.add_argument("--scaling-sweep", action="store_true",
+                        help="also run the closed-loop phase at "
+                             f"n_shards in {list(DEFAULT_SCALING_SHARDS)} "
+                             "per executor and record the scaling "
+                             "table")
+    parser.add_argument("--scaling-shards", type=int, nargs="+",
+                        default=None, metavar="N",
+                        help="shard counts for the scaling sweep "
+                             f"(default {list(DEFAULT_SCALING_SHARDS)})")
+    parser.add_argument("--scaling-executors", nargs="+",
+                        choices=[THREAD, PROCESS], default=None,
+                        help="executors for the scaling sweep "
+                             "(default: both)")
+    parser.add_argument("--scaling-duration", type=float, default=None,
+                        help="wall-clock seconds per scaling cell "
+                             "(default: --duration)")
     parser.add_argument("--queue-depth", type=int, default=8,
                         help="bounded per-shard queue depth "
                              "(default 8)")
@@ -133,11 +163,21 @@ def main(argv: list | None = None) -> int:
         overload=not args.no_overload,
         seed=args.seed,
         n_shards=args.shards,
+        executor=args.executor,
         queue_depth=args.queue_depth,
         chunks_per_epoch=args.chunks_per_epoch,
         chaos_duration_s=args.chaos_duration,
     )
-    report = run_soak(cfg, log=print, chaos_cocktails=cocktails)
+    scaling_shards = None
+    if args.scaling_sweep or args.scaling_shards:
+        scaling_shards = tuple(args.scaling_shards
+                               or DEFAULT_SCALING_SHARDS)
+    report = run_soak(
+        cfg, log=print, chaos_cocktails=cocktails,
+        scaling_shards=scaling_shards,
+        scaling_executors=tuple(args.scaling_executors
+                                or (THREAD, PROCESS)),
+        scaling_duration_s=args.scaling_duration)
 
     summary = {
         "generated_at": datetime.now(timezone.utc).isoformat(),
@@ -181,6 +221,15 @@ def main(argv: list | None = None) -> int:
               f"{'exact' if phase.accounting_exact else 'BROKEN'}; "
               f"{phase.unexpected_thread_exceptions} unexpected "
               f"thread exceptions")
+    if report.scaling:
+        print("scaling   : executor x n_shards -> sustained samples/s")
+        for executor, curve in report.scaling.items():
+            cells = ", ".join(
+                f"x{shards}: "
+                f"{phase.sustained_samples_per_second:,.0f}"
+                for shards, phase in sorted(
+                    curve.items(), key=lambda kv: int(kv[0])))
+            print(f"  {executor:8s} {cells}")
     return 0
 
 

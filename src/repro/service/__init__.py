@@ -2,10 +2,13 @@
 
 The "millions of users" layer of the reproduction: a long-running
 asyncio front end (:class:`DecodeService`) that absorbs continuously
-arriving IQ chunks from many readers, routes them to per-shard worker
-threads whose :class:`~repro.core.session_decoder.SessionDecoder`
-caches stay warm chunk to chunk, sheds load under overload instead of
-growing memory, and exports live Prometheus-style metrics.
+arriving IQ chunks from many readers, routes them to per-shard workers
+— threads, or one child process per shard
+(``ServiceConfig.executor``) for multi-core scaling — whose
+:class:`~repro.core.session_decoder.SessionDecoder` caches stay warm
+chunk to chunk, sheds load under overload instead of growing memory,
+and exports live Prometheus-style metrics aggregated across
+executors.
 
 See ``docs/ARCHITECTURE.md`` (service layer) and ``docs/API.md`` for
 the full reference; ``python -m repro.service`` runs a quickstart
@@ -16,25 +19,31 @@ multi-reader soak benchmark.
 from .chaos import (CHAOS_COCKTAILS, ChaosConfig, ChaosCrashError,
                     ChaosInjector, ChaosWorkerKill,
                     capture_thread_exceptions, chaos_service_config)
-from .config import BLOCK, SHED_OLDEST, ServiceConfig
-from .framing import ChunkFrame, ChunkRing
+from .config import (BLOCK, EXECUTOR_ENV, PROCESS, SHED_OLDEST, THREAD,
+                     ServiceConfig)
+from .framing import ChunkFrame, ChunkRing, RingView
 from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
-                      MetricsRegistry, StageLatencyObserver)
+                      MetricsRegistry, RegistrySnapshotter,
+                      StageLatencyObserver, diff_snapshot)
+from .process_worker import ProcessShardWorker
 from .router import shard_index, stream_seed
 from .service import DecodeService, ServiceStats, merge_stream_results
 from .worker import (STATUS_DEGRADED, STATUS_FAILED, STATUS_OK,
-                     STATUS_SHED, ChunkResult, ShardWorker)
+                     STATUS_SHED, ChunkResult, SessionPool, ShardWorker)
 
 __all__ = [
     "CHAOS_COCKTAILS", "ChaosConfig", "ChaosCrashError",
     "ChaosInjector", "ChaosWorkerKill", "capture_thread_exceptions",
     "chaos_service_config",
-    "BLOCK", "SHED_OLDEST", "ServiceConfig",
-    "ChunkFrame", "ChunkRing",
+    "BLOCK", "EXECUTOR_ENV", "PROCESS", "SHED_OLDEST", "THREAD",
+    "ServiceConfig",
+    "ChunkFrame", "ChunkRing", "RingView",
     "DEFAULT_BUCKETS", "Counter", "Gauge", "Histogram",
-    "MetricsRegistry", "StageLatencyObserver",
+    "MetricsRegistry", "RegistrySnapshotter", "StageLatencyObserver",
+    "diff_snapshot",
+    "ProcessShardWorker",
     "shard_index", "stream_seed",
     "DecodeService", "ServiceStats", "merge_stream_results",
     "STATUS_DEGRADED", "STATUS_FAILED", "STATUS_OK", "STATUS_SHED",
-    "ChunkResult", "ShardWorker",
+    "ChunkResult", "SessionPool", "ShardWorker",
 ]

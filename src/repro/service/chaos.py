@@ -27,6 +27,15 @@ soak driver (:func:`repro.service.soak.run_soak` with a
 :class:`ChaosConfig`), which perturbs each chunk's ``start_time_s``
 before submission.
 
+Chaos reaches both executors through the same seam: under
+``executor="process"`` the chaos-wrapped decoders are built *inside*
+each shard's child (the fork-inherited injector builds them there), so
+a **kill** takes down a real child process — the parent must reap and
+respawn it — while a **corrupt** scribbles the child's mapping of the
+shared ring.  The injector's counters are ``multiprocessing.Value``
+cells, so faults fired in children are visible to the parent's
+assertions.
+
 Every draw comes from a per-stream generator seeded by
 ``(chaos.seed, stream seed)``, so a chaos soak replays exactly.
 :data:`CHAOS_COCKTAILS` names the standard single-fault and
@@ -35,6 +44,7 @@ everything-at-once mixes the chaos-service CI job sweeps.
 
 from __future__ import annotations
 
+import multiprocessing as _mp
 import threading
 import time
 from dataclasses import dataclass, replace
@@ -193,23 +203,46 @@ class ChaosInjector:
     "the service survived X" should also assert X happened).
     """
 
+    #: The fault menu, fixed up front so the counters can live in
+    #: fork-inherited shared memory (see ``__init__``).
+    FAULTS: Tuple[str, ...] = ("stall", "crash", "kill", "corrupt",
+                               "skew")
+
     def __init__(self, chaos: ChaosConfig,
                  base_config: ServiceConfig):
         self.chaos = chaos
         self._base = base_config
         self._inner_factory = base_config.decoder_factory
         self._lock = threading.Lock()
-        self.injected: Dict[str, int] = {
-            "stall": 0, "crash": 0, "kill": 0, "corrupt": 0,
-            "skew": 0}
+        # multiprocessing.Value counters so faults fired inside a
+        # process-executor child (the _ChaosDecoder is built in the
+        # child, from the fork-inherited copy of this injector) tick
+        # the *same* shared cells the parent reads.  Each Value brings
+        # its own cross-process lock.
+        self._counters = {name: _mp.Value("q", 0)
+                          for name in self.FAULTS}
 
     def count(self, fault: str) -> None:
-        with self._lock:
-            self.injected[fault] = self.injected.get(fault, 0) + 1
+        counter = self._counters.get(fault)
+        if counter is None:
+            # Unknown fault names only ever come from parent-side
+            # extensions; a Value created after the fork would not be
+            # shared, so gate creation behind the in-process lock.
+            with self._lock:
+                counter = self._counters.setdefault(
+                    fault, _mp.Value("q", 0))
+        with counter.get_lock():
+            counter.value += 1
 
     def counts(self) -> Dict[str, int]:
         with self._lock:
-            return dict(self.injected)
+            return {name: int(counter.value)
+                    for name, counter in self._counters.items()}
+
+    @property
+    def injected(self) -> Dict[str, int]:
+        """Alias of :meth:`counts` kept for the PR 8 soak API."""
+        return self.counts()
 
     def decoder_factory(self, key: Tuple[int, int], seed: int):
         if self._inner_factory is not None:

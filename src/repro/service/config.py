@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Tuple
 
@@ -13,6 +14,21 @@ from .metrics import DEFAULT_BUCKETS
 #: Overflow policies for a full shard queue.
 SHED_OLDEST = "shed_oldest"
 BLOCK = "block"
+
+#: Shard executors: worker threads in the service process (GIL-bound,
+#: zero setup cost) or one long-lived child process per shard
+#: (multi-core scaling; frames decode zero-copy from the shard's shm
+#: ring mapped by name in the child).
+THREAD = "thread"
+PROCESS = "process"
+
+#: Environment override for the default executor — how CI runs the
+#: whole service suite once per executor without editing every test.
+EXECUTOR_ENV = "REPRO_SERVICE_EXECUTOR"
+
+
+def _default_executor() -> str:
+    return os.environ.get(EXECUTOR_ENV, THREAD)
 
 
 @dataclass
@@ -28,6 +44,16 @@ class ServiceConfig:
     #: per-stream SessionDecoders routed to it; every chunk of one
     #: (reader, antenna) stream lands on the same shard.
     n_shards: int = 2
+    #: Shard executor: ``"thread"`` decodes in worker threads of the
+    #: service process; ``"process"`` gives each shard a long-lived
+    #: child process that maps the shard's shm ring by name and
+    #: decodes frames zero-copy with warm sessions resident in the
+    #: child.  Default honours ``REPRO_SERVICE_EXECUTOR``.
+    executor: str = field(default_factory=_default_executor)
+    #: Seconds a process-executor child may spend on one frame before
+    #: the parent declares it hung, kills it, and resubmits the frame
+    #: to a fresh child (``None`` = never; thread executor ignores it).
+    child_timeout_s: Optional[float] = None
     #: Bounded per-shard queue depth (frames waiting to decode).
     queue_depth: int = 8
     #: What a full queue does to new work: ``"shed_oldest"`` drops the
@@ -74,6 +100,13 @@ class ServiceConfig:
         if self.queue_depth < 1:
             raise ConfigurationError(
                 f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.executor not in (THREAD, PROCESS):
+            raise ConfigurationError(
+                f"executor must be {THREAD!r} or {PROCESS!r}, "
+                f"got {self.executor!r}")
+        if self.child_timeout_s is not None and self.child_timeout_s <= 0:
+            raise ConfigurationError(
+                f"child_timeout_s must be > 0, got {self.child_timeout_s}")
         if self.overflow not in (SHED_OLDEST, BLOCK):
             raise ConfigurationError(
                 f"overflow must be {SHED_OLDEST!r} or {BLOCK!r}, "

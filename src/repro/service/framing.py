@@ -29,6 +29,17 @@ Framing rules
 
 The ring is thread-safe: the ingest loop writes and sheds while a
 worker thread views and retires.
+
+Cross-process use (the ``executor="process"`` shard workers) splits
+the ring across the boundary: the *parent* owns the ring — all
+allocation, retirement and reclamation bookkeeping stays in one
+process — while a child process attaches the same shared-memory block
+by name through :class:`RingView` and maps any frame's samples
+zero-copy from the ``(start, n)`` region the parent hands it
+(:meth:`ChunkRing.region`).  Retire/reclaim signalling rides the
+worker's command pipe: the parent retires a frame when the child's
+terminal verdict for it arrives (or when the child dies holding it),
+so a crashed child can never leak its in-flight slot.
 """
 
 from __future__ import annotations
@@ -214,6 +225,19 @@ class ChunkRing:
                 raise ServiceError(f"frame {frame_id} already retired")
             return self._buf[start:start + n]
 
+    def region(self, frame_id: int) -> tuple:
+        """``(start, n)`` of a live frame — what a cross-process
+        reader needs to map the frame's samples from a
+        :class:`RingView` without sharing any ring bookkeeping."""
+        with self._lock:
+            try:
+                start, n, retired = self._live[frame_id]
+            except KeyError:
+                raise ServiceError(f"frame {frame_id} is not live")
+            if retired:
+                raise ServiceError(f"frame {frame_id} already retired")
+            return start, n
+
     def retire(self, frame_id: int) -> None:
         """Mark a frame done; reclaim space in allocation order."""
         with self._lock:
@@ -248,6 +272,12 @@ class ChunkRing:
     def uses_shared_memory(self) -> bool:
         return self._shm is not None
 
+    @property
+    def shm_name(self) -> Optional[str]:
+        """Name a child process can attach the backing block by
+        (``None`` when the ring degraded to a private buffer)."""
+        return self._shm.name if self._shm is not None else None
+
     def close(self) -> None:
         """Release the backing block (frames become invalid)."""
         with self._lock:
@@ -260,6 +290,69 @@ class ChunkRing:
                 except FileNotFoundError:  # pragma: no cover
                     pass
                 self._shm = None
+
+    def __del__(self):  # pragma: no cover - belt and braces
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class RingView:
+    """Read-side attachment to another process's :class:`ChunkRing`.
+
+    The child end of the process-executor split: attaches the parent's
+    shared-memory block by name and maps ``(start, n)`` regions the
+    parent hands over the command pipe as zero-copy ``complex128``
+    views.  Holds **no** ring bookkeeping — allocation, retirement and
+    reclamation all stay with the owning parent, so there is no
+    cross-process state to keep coherent.
+
+    Attaching re-registers the block with the ``shared_memory``
+    resource tracker.  Under the ``fork`` start method the tracker
+    process is shared with the parent and registration is a set, so
+    the extra registration is harmless (and unregistering would strip
+    the parent's own entry); under per-process trackers the attachment
+    must be unregistered or the child's tracker tears the block down
+    when the child exits — the same dance the batch engine's shm
+    transport does (:func:`repro.core.engine._decode_task_shm`).
+    """
+
+    def __init__(self, name: str):
+        if _shared_memory is None:  # pragma: no cover - CPython 3.8+
+            raise ServiceError("multiprocessing.shared_memory is "
+                               "unavailable")
+        self._shm = _shared_memory.SharedMemory(name=name)
+        try:
+            import multiprocessing
+            if multiprocessing.get_start_method() != "fork":
+                from multiprocessing import resource_tracker
+                resource_tracker.unregister(self._shm._name,
+                                            "shared_memory")
+        except Exception:  # pragma: no cover - tracker layout varies
+            pass
+        self.capacity = self._shm.size // _SAMPLE_DTYPE().itemsize
+        self._buf = np.ndarray((self.capacity,), dtype=_SAMPLE_DTYPE,
+                               buffer=self._shm.buf)
+
+    def view(self, start: int, n: int) -> np.ndarray:
+        """Zero-copy view of the region the parent allocated.
+
+        Valid only until the parent retires the frame — which it does
+        on receipt of this frame's verdict, never before.
+        """
+        if not 0 <= start <= start + n <= self.capacity:
+            raise ServiceError(
+                f"region [{start}, {start + n}) outside the "
+                f"{self.capacity}-sample ring")
+        return self._buf[start:start + n]
+
+    def close(self) -> None:
+        """Detach (the parent still owns — and unlinks — the block)."""
+        if self._shm is not None:
+            self._buf = np.empty(0, dtype=_SAMPLE_DTYPE)
+            self._shm.close()
+            self._shm = None
 
     def __del__(self):  # pragma: no cover - belt and braces
         try:

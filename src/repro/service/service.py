@@ -49,12 +49,21 @@ import numpy as np
 from ..errors import RingFullError, ServiceError
 from ..reader.batch import merge_chunk_results
 from ..types import EpochResult, IQTrace
-from .config import BLOCK, ServiceConfig
+from .config import BLOCK, PROCESS, ServiceConfig
 from .framing import ChunkFrame
 from .metrics import MetricsRegistry
 from .router import shard_index
 from .worker import (STATUS_DEGRADED, STATUS_FAILED, STATUS_OK,
                      STATUS_SHED, ChunkResult, ShardWorker)
+
+
+def _worker_class(config: ServiceConfig):
+    """The shard-worker class for ``config.executor`` (imported lazily
+    so the thread executor never touches multiprocessing)."""
+    if config.executor == PROCESS:
+        from .process_worker import ProcessShardWorker
+        return ProcessShardWorker
+    return ShardWorker
 
 
 @dataclass
@@ -94,8 +103,9 @@ class DecodeService:
     def __init__(self, config: Optional[ServiceConfig] = None):
         self.config = config or ServiceConfig()
         self.metrics = MetricsRegistry()
+        worker_cls = _worker_class(self.config)
         self._workers: List[ShardWorker] = [
-            ShardWorker(i, self.config, self.metrics, self._on_result)
+            worker_cls(i, self.config, self.metrics, self._on_result)
             for i in range(self.config.n_shards)]
         self._handlers: List[Callable[[ChunkResult], None]] = []
         self._seq: Dict[Tuple[int, int], int] = {}
@@ -116,6 +126,11 @@ class DecodeService:
         if self._started:
             return self
         self._loop = asyncio.get_running_loop()
+        # Executor prestart (the process executor forks its children
+        # here) runs before ANY worker thread exists: forking a
+        # single-threaded parent cannot inherit a lock mid-acquire.
+        for worker in self._workers:
+            worker.prestart()
         for worker in self._workers:
             worker.start()
         self._started = True

@@ -56,7 +56,8 @@ from ..tags.lf_tag import LFTag
 from ..types import IQTrace, SimulationProfile, TagConfig
 from .chaos import (ChaosConfig, ChaosInjector, capture_thread_exceptions,
                     chaos_service_config)
-from .config import BLOCK, SHED_OLDEST, ServiceConfig
+from .config import (BLOCK, PROCESS, SHED_OLDEST, THREAD, ServiceConfig,
+                     _default_executor)
 from .service import DecodeService
 from .worker import ChunkResult
 
@@ -83,6 +84,9 @@ class SoakConfig:
     overload_factor: float = 2.0
     seed: int = 0
     n_shards: int = 2
+    #: Shard executor (``"thread"`` or ``"process"``); default honours
+    #: ``REPRO_SERVICE_EXECUTOR`` like :class:`ServiceConfig` does.
+    executor: str = field(default_factory=_default_executor)
     queue_depth: int = 8
     ring_samples: int = 1 << 18
     #: Skip the overload phase (quickstart mode).
@@ -142,6 +146,10 @@ class SoakReport:
     overload: Optional[PhaseReport] = None
     #: One open-loop phase per chaos cocktail, by cocktail name.
     chaos: Dict[str, PhaseReport] = field(default_factory=dict)
+    #: Shard-count scaling curve: executor -> str(n_shards) -> closed
+    #: loop phase (``--scaling-sweep`` mode).
+    scaling: Dict[str, Dict[str, PhaseReport]] = \
+        field(default_factory=dict)
 
     def to_dict(self) -> dict:
         payload = {
@@ -153,6 +161,11 @@ class SoakReport:
         if self.chaos:
             payload["chaos"] = {name: asdict(report)
                                 for name, report in self.chaos.items()}
+        if self.scaling:
+            payload["scaling"] = {
+                executor: {shards: asdict(report)
+                           for shards, report in curve.items()}
+                for executor, curve in self.scaling.items()}
         return payload
 
 
@@ -238,12 +251,15 @@ async def _replay_phase(cfg: SoakConfig,
                         service_config: ServiceConfig,
                         duration_s: float,
                         offered_samples_per_second: Optional[float],
-                        injector: Optional[ChaosInjector] = None
+                        injector: Optional[ChaosInjector] = None,
+                        should_stop=lambda: False
                         ) -> PhaseReport:
     """Replay traffic for ``duration_s``; paced when a target offered
     rate is given (open loop), queue-backpressured otherwise.  With an
     ``injector``, each chunk's arrival clock may be skewed before
-    submission (the injector's submit-side fault)."""
+    submission (the injector's submit-side fault).  ``should_stop``
+    (polled between epochs) ends the phase early but still drains —
+    the CLI's graceful-SIGTERM path."""
     report = PhaseReport()
     async with DecodeService(service_config) as service:
         probe = _PhaseProbe(service)
@@ -252,7 +268,8 @@ async def _replay_phase(cfg: SoakConfig,
         start = time.perf_counter()
         offered_samples = 0
         next_deadline = start
-        while time.perf_counter() - start < duration_s:
+        while time.perf_counter() - start < duration_s \
+                and not should_stop():
             for reader_id, pool in traffic.items():
                 epoch = pool[cursors[reader_id] % len(pool)]
                 cursors[reader_id] += 1
@@ -311,10 +328,15 @@ async def _replay_phase(cfg: SoakConfig,
 
 
 def _service_config(cfg: SoakConfig, overflow: str,
-                    profile: SimulationProfile) -> ServiceConfig:
+                    profile: SimulationProfile,
+                    n_shards: Optional[int] = None,
+                    executor: Optional[str] = None) -> ServiceConfig:
     decoder = LFDecoderConfig(candidate_bitrates_bps=[10e3],
                               profile=profile)
-    return ServiceConfig(n_shards=cfg.n_shards,
+    return ServiceConfig(n_shards=cfg.n_shards if n_shards is None
+                         else n_shards,
+                         executor=cfg.executor if executor is None
+                         else executor,
                          queue_depth=cfg.queue_depth,
                          ring_samples=cfg.ring_samples,
                          overflow=overflow,
@@ -344,29 +366,80 @@ def _run_chaos_phase(cfg: SoakConfig,
     return report
 
 
+#: Shard counts the ``--scaling-sweep`` mode measures by default.
+DEFAULT_SCALING_SHARDS: Tuple[int, ...] = (1, 2, 4)
+
+
+def run_scaling_sweep(cfg: SoakConfig,
+                      traffic: Dict[int, ReaderTraffic],
+                      profile: SimulationProfile,
+                      executors: Tuple[str, ...] = (THREAD, PROCESS),
+                      shard_counts: Tuple[int, ...]
+                      = DEFAULT_SCALING_SHARDS,
+                      duration_s: Optional[float] = None,
+                      log=lambda msg: None,
+                      should_stop=lambda: False
+                      ) -> Dict[str, Dict[str, PhaseReport]]:
+    """Closed-loop throughput at each (executor, n_shards) cell.
+
+    Replays the *same* pre-rendered traffic per cell, so the curve
+    isolates executor/shard scaling from workload variance.  Returns
+    ``{executor: {str(n_shards): PhaseReport}}`` — the shape
+    ``SoakReport.scaling`` serializes into ``BENCH_service.json``.
+    """
+    duration = cfg.duration_s if duration_s is None else duration_s
+    curves: Dict[str, Dict[str, PhaseReport]] = {}
+    for executor in executors:
+        for n_shards in shard_counts:
+            if should_stop():
+                return curves
+            log(f"scaling [{executor} x{n_shards}]: closed loop, "
+                f"{duration:.0f}s")
+            phase = asyncio.run(_replay_phase(
+                cfg, traffic,
+                _service_config(cfg, BLOCK, profile,
+                                n_shards=n_shards, executor=executor),
+                duration, offered_samples_per_second=None,
+                should_stop=should_stop))
+            log(f"  sustained "
+                f"{phase.sustained_samples_per_second:,.0f} samples/s")
+            curves.setdefault(executor, {})[str(n_shards)] = phase
+    return curves
+
+
 def run_soak(cfg: SoakConfig,
              profile: Optional[SimulationProfile] = None,
              log=lambda msg: None,
-             chaos_cocktails: Optional[Dict[str, ChaosConfig]] = None
+             chaos_cocktails: Optional[Dict[str, ChaosConfig]] = None,
+             scaling_shards: Optional[Tuple[int, ...]] = None,
+             scaling_executors: Tuple[str, ...] = (THREAD, PROCESS),
+             scaling_duration_s: Optional[float] = None,
+             should_stop=lambda: False
              ) -> SoakReport:
     """Run the full soak (throughput phase, then overload phase, then
-    one chaos phase per cocktail in ``chaos_cocktails``)."""
+    one chaos phase per cocktail in ``chaos_cocktails``, then — when
+    ``scaling_shards`` is given — a shard-count scaling sweep per
+    executor).  ``should_stop`` ends the run early but cleanly: the
+    current phase drains, later phases are skipped."""
     profile = profile or SimulationProfile.fast()
     log(f"rendering traffic: {cfg.n_readers} readers x "
         f"{cfg.tags_per_reader} tags, pool of {cfg.pool_epochs} "
         f"epochs, churn every {cfg.churn_every}")
     traffic = build_traffic(cfg, profile)
 
-    log(f"throughput phase: closed loop, {cfg.duration_s:.0f}s")
+    log(f"throughput phase [{cfg.executor}]: closed loop, "
+        f"{cfg.duration_s:.0f}s")
     throughput = asyncio.run(_replay_phase(
         cfg, traffic, _service_config(cfg, BLOCK, profile),
-        cfg.duration_s, offered_samples_per_second=None))
+        cfg.duration_s, offered_samples_per_second=None,
+        should_stop=should_stop))
     log(f"  sustained {throughput.sustained_samples_per_second:,.0f} "
         f"samples/s, p99 chunk latency "
         f"{throughput.p99_chunk_latency_s * 1e3:.1f} ms")
 
     overload = None
-    if cfg.overload and throughput.sustained_samples_per_second > 0:
+    if cfg.overload and throughput.sustained_samples_per_second > 0 \
+            and not should_stop():
         offered = (cfg.overload_factor
                    * throughput.sustained_samples_per_second)
         log(f"overload phase: open loop at {offered:,.0f} samples/s "
@@ -374,13 +447,16 @@ def run_soak(cfg: SoakConfig,
             f"{cfg.duration_s:.0f}s")
         overload = asyncio.run(_replay_phase(
             cfg, traffic, _service_config(cfg, SHED_OLDEST, profile),
-            cfg.duration_s, offered_samples_per_second=offered))
+            cfg.duration_s, offered_samples_per_second=offered,
+            should_stop=should_stop))
         log(f"  shed fraction {overload.shed_fraction:.1%}, max queue "
             f"depth {overload.max_queue_depth}, accounting "
             f"{'exact' if overload.accounting_exact else 'BROKEN'}")
 
     chaos_reports: Dict[str, PhaseReport] = {}
     for name, chaos in (chaos_cocktails or {}).items():
+        if should_stop():
+            break
         log(f"chaos phase [{name}]: open loop, "
             f"{cfg.chaos_duration_s:.0f}s")
         phase = _run_chaos_phase(cfg, traffic, chaos, profile)
@@ -391,5 +467,14 @@ def run_soak(cfg: SoakConfig,
             f"{phase.unexpected_thread_exceptions} unexpected thread "
             f"exceptions")
         chaos_reports[name] = phase
+
+    scaling: Dict[str, Dict[str, PhaseReport]] = {}
+    if scaling_shards and not should_stop():
+        scaling = run_scaling_sweep(
+            cfg, traffic, profile, executors=scaling_executors,
+            shard_counts=tuple(scaling_shards),
+            duration_s=scaling_duration_s, log=log,
+            should_stop=should_stop)
     return SoakReport(config=cfg, throughput=throughput,
-                      overload=overload, chaos=chaos_reports)
+                      overload=overload, chaos=chaos_reports,
+                      scaling=scaling)

@@ -89,6 +89,132 @@ class _StreamSlot:
     consecutive_failures: int = 0
 
 
+class SessionPool:
+    """The executor-agnostic half of a shard: warm sessions + retries.
+
+    Everything that must live *next to the decoder state* — the
+    per-stream LRU of warm :class:`SessionDecoder`\\ s, the retry
+    budget, the consecutive-failure respawn ladder, the stage-latency
+    observer — is collected here so the thread executor can run it
+    in-process and the process executor can run the **same code**
+    inside each shard's child against the child's own
+    :class:`MetricsRegistry` (shipped back as snapshot deltas).
+
+    :meth:`decode` returns a plain verdict tuple
+    ``(status, result, attempts, error, decode_s)`` rather than a
+    :class:`ChunkResult` because across a process boundary the frame's
+    bookkeeping (latency, ring retire, completion callbacks) belongs
+    to the parent.
+    """
+
+    def __init__(self, shard_id: int, config: ServiceConfig,
+                 registry: MetricsRegistry):
+        self.shard_id = shard_id
+        self.config = config
+        self._sessions: "OrderedDict[Tuple[int, int], _StreamSlot]" = \
+            OrderedDict()
+        self._observer = StageLatencyObserver(
+            registry, shard_id, buckets=config.latency_buckets)
+        self._shard_label = str(shard_id)
+        self._m_retries = registry.counter(
+            "lf_chunk_retries_total",
+            "Decode attempts beyond the first, per shard.")
+        self._m_respawns = registry.counter(
+            "lf_session_respawns_total",
+            "Per-stream sessions restarted cold after repeated "
+            "failures.")
+        self._m_evictions = registry.counter(
+            "lf_session_evictions_total",
+            "Per-stream sessions evicted by the LRU cap.")
+        self._m_sessions = registry.gauge(
+            "lf_live_sessions", "Warm per-stream sessions held.")
+
+    def decode(self, frame: ChunkFrame, samples: np.ndarray
+               ) -> Tuple[str, Optional[EpochResult], int,
+                          Optional[str], float]:
+        """Decode one frame's samples through its stream's warm
+        session; returns ``(status, result, attempts, error,
+        decode_s)``.  Never raises for an ordinary decode failure; a
+        ``BaseException`` (chaos worker kill) escapes to the caller.
+        """
+        # allow_nonfinite: a corrupted shm region (chaos injection,
+        # DMA gone wrong) must reach the decode path's guard stage —
+        # which repairs or rejects it — rather than crash on trace
+        # validation here and skip the caller's accounting.
+        trace = IQTrace(samples=samples,
+                        sample_rate_hz=frame.sample_rate_hz,
+                        start_time_s=frame.start_time_s,
+                        allow_nonfinite=True)
+        slot = self._slot_for(frame.stream_key)
+        attempts = 0
+        error: Optional[str] = None
+        result: Optional[EpochResult] = None
+        decode_s = 0.0
+        while attempts < self.config.max_attempts:
+            attempts += 1
+            start = time.perf_counter()
+            try:
+                result = slot.decoder.decode_epoch(
+                    trace, sample_offset=frame.sample_offset)
+                decode_s = time.perf_counter() - start
+                break
+            except Exception as exc:  # noqa: BLE001 — supervision
+                decode_s = time.perf_counter() - start
+                error = f"{type(exc).__name__}: {exc}"
+                if attempts < self.config.max_attempts:
+                    self._m_retries.inc(1.0, shard=self._shard_label)
+        if result is None:
+            slot.consecutive_failures += 1
+            if slot.consecutive_failures >= self.config.respawn_after:
+                self._respawn(frame.stream_key, slot)
+            status = STATUS_FAILED
+        else:
+            slot.consecutive_failures = 0
+            status = STATUS_DEGRADED if result.degraded else STATUS_OK
+        return status, result, attempts, error, decode_s
+
+    def _slot_for(self, key: Tuple[int, int]) -> _StreamSlot:
+        slot = self._sessions.get(key)
+        if slot is not None:
+            self._sessions.move_to_end(key)
+            return slot
+        while len(self._sessions) >= self.config.max_sessions:
+            self._sessions.popitem(last=False)
+            self._m_evictions.inc(1.0, shard=self._shard_label)
+        slot = _StreamSlot(decoder=self._build_decoder(key))
+        self._sessions[key] = slot
+        self._m_sessions.set(float(len(self._sessions)),
+                             shard=self._shard_label)
+        return slot
+
+    def _build_decoder(self, key: Tuple[int, int]):
+        seed = stream_seed(self.config.seed, *key)
+        if self.config.decoder_factory is not None:
+            return self.config.decoder_factory(key, seed)
+        decoder = SessionDecoder(self.config.decoder, rng=seed,
+                                 session_config=self.config.session)
+        decoder.add_observer(self._observer)
+        return decoder
+
+    def _respawn(self, key: Tuple[int, int], slot: _StreamSlot) -> None:
+        """Cold-restart a stream whose chunks keep failing."""
+        self._sessions[key] = _StreamSlot(
+            decoder=self._build_decoder(key))
+        self._m_respawns.inc(1.0, shard=self._shard_label,
+                             kind="stream_session")
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Aggregated warm-cache counters across this pool's sessions
+        (hit counters strictly positive = warm state pays)."""
+        totals: Dict[str, int] = {}
+        for slot in list(self._sessions.values()):
+            stats = getattr(slot.decoder, "cache_stats", None)
+            if stats:
+                for k, v in stats.items():
+                    totals[k] = totals.get(k, 0) + int(v)
+        return totals
+
+
 class ShardWorker:
     """One shard: a worker thread, its queue, ring, and warm sessions.
 
@@ -109,10 +235,10 @@ class ShardWorker:
         self._stop = False
         self._idle = threading.Condition(self._cond)
         self._in_flight = 0
-        self._sessions: "OrderedDict[Tuple[int, int], _StreamSlot]" = \
-            OrderedDict()
-        self._observer = StageLatencyObserver(
-            registry, shard_id, buckets=config.latency_buckets)
+        # Thread executor: the pool (warm sessions, retries, stage
+        # observer) lives right here.  The process executor's subclass
+        # leaves this one cold and runs a twin inside the child.
+        self.pool = SessionPool(shard_id, config, registry)
         shard = str(shard_id)
         self._m_ingested = registry.counter(
             "lf_chunks_ingested_total",
@@ -126,23 +252,15 @@ class ShardWorker:
         self._m_samples = registry.counter(
             "lf_samples_decoded_total",
             "IQ samples decoded to completion.")
-        self._m_retries = registry.counter(
-            "lf_chunk_retries_total",
-            "Decode attempts beyond the first, per shard.")
         self._m_respawns = registry.counter(
             "lf_session_respawns_total",
             "Per-stream sessions restarted cold after repeated "
             "failures.")
-        self._m_evictions = registry.counter(
-            "lf_session_evictions_total",
-            "Per-stream sessions evicted by the LRU cap.")
         self._m_inline = registry.counter(
             "lf_ring_inline_fallbacks_total",
             "Chunks carried inline because the ring had no room.")
         self._m_depth = registry.gauge(
             "lf_queue_depth", "Frames waiting on the shard queue.")
-        self._m_sessions = registry.gauge(
-            "lf_live_sessions", "Warm per-stream sessions held.")
         self._m_latency = registry.histogram(
             "lf_chunk_latency_seconds",
             "Ingest-to-completion latency per chunk.",
@@ -155,6 +273,12 @@ class ShardWorker:
         self._thread: Optional[threading.Thread] = None
 
     # -- lifecycle ---------------------------------------------------------
+
+    def prestart(self) -> None:
+        """Executor hook run by the service *before* any worker thread
+        starts.  The process executor forks its children here, while
+        the parent is still single-threaded (forking a multi-threaded
+        process can inherit locks mid-acquire)."""
 
     def start(self) -> None:
         self._thread = threading.Thread(
@@ -177,7 +301,13 @@ class ShardWorker:
                     break
                 frame = self._queue.popleft()
             self._shed(frame, reason="service stopped")
+        self._shutdown_executor()
         self.ring.close()
+
+    def _shutdown_executor(self) -> None:
+        """Executor hook run by :meth:`stop` after the worker thread
+        has exited and the queue is empty, before the ring closes.
+        The process executor stops and reaps its child here."""
 
     def ensure_alive(self) -> bool:
         """Respawn the worker thread if its loop died.  True if it
@@ -302,34 +432,9 @@ class ShardWorker:
     def _decode_frame(self, frame: ChunkFrame) -> ChunkResult:
         samples = (frame.inline if frame.frame_id < 0
                    else self.ring.view(frame.frame_id))
-        # allow_nonfinite: a corrupted shm region (chaos injection,
-        # DMA gone wrong) must reach the decode path's guard stage —
-        # which repairs or rejects it — rather than crash on trace
-        # validation here and skip the accounting below.
-        trace = IQTrace(samples=samples,
-                        sample_rate_hz=frame.sample_rate_hz,
-                        start_time_s=frame.start_time_s,
-                        allow_nonfinite=True)
-        slot = self._slot_for(frame.stream_key)
-        attempts = 0
-        error: Optional[str] = None
-        result: Optional[EpochResult] = None
-        decode_s = 0.0
         try:
-            while attempts < self.config.max_attempts:
-                attempts += 1
-                start = time.perf_counter()
-                try:
-                    result = slot.decoder.decode_epoch(
-                        trace, sample_offset=frame.sample_offset)
-                    decode_s = time.perf_counter() - start
-                    break
-                except Exception as exc:  # noqa: BLE001 — supervision
-                    decode_s = time.perf_counter() - start
-                    error = f"{type(exc).__name__}: {exc}"
-                    if attempts < self.config.max_attempts:
-                        self._m_retries.inc(1.0,
-                                            shard=self._shard_label)
+            status, result, attempts, error, decode_s = \
+                self.pool.decode(frame, samples)
         finally:
             # Retire even when a BaseException (chaos worker kill)
             # aborts the decode: a dead shard must not leak its
@@ -337,15 +442,17 @@ class ShardWorker:
             # /dev/shm backing it pins.
             if frame.frame_id >= 0:
                 self.ring.retire(frame.frame_id)
+        return self._complete(frame, status, result, attempts, error,
+                              decode_s)
+
+    def _complete(self, frame: ChunkFrame, status: str,
+                  result: Optional[EpochResult], attempts: int,
+                  error: Optional[str], decode_s: float
+                  ) -> ChunkResult:
+        """Parent-side terminal accounting shared by both executors:
+        counters, latency/decode histograms, and the verdict record."""
         latency = time.perf_counter() - frame.submitted_at
-        if result is None:
-            slot.consecutive_failures += 1
-            if slot.consecutive_failures >= self.config.respawn_after:
-                self._respawn(frame.stream_key, slot)
-            status = STATUS_FAILED
-        else:
-            slot.consecutive_failures = 0
-            status = STATUS_DEGRADED if result.degraded else STATUS_OK
+        if result is not None:
             self._m_samples.inc(float(frame.n_samples),
                                 shard=self._shard_label)
             self._m_decode.observe(decode_s, shard=self._shard_label)
@@ -359,43 +466,7 @@ class ShardWorker:
 
     # -- warm-session management -------------------------------------------
 
-    def _slot_for(self, key: Tuple[int, int]) -> _StreamSlot:
-        slot = self._sessions.get(key)
-        if slot is not None:
-            self._sessions.move_to_end(key)
-            return slot
-        while len(self._sessions) >= self.config.max_sessions:
-            self._sessions.popitem(last=False)
-            self._m_evictions.inc(1.0, shard=self._shard_label)
-        slot = _StreamSlot(decoder=self._build_decoder(key))
-        self._sessions[key] = slot
-        self._m_sessions.set(float(len(self._sessions)),
-                             shard=self._shard_label)
-        return slot
-
-    def _build_decoder(self, key: Tuple[int, int]):
-        seed = stream_seed(self.config.seed, *key)
-        if self.config.decoder_factory is not None:
-            return self.config.decoder_factory(key, seed)
-        decoder = SessionDecoder(self.config.decoder, rng=seed,
-                                 session_config=self.config.session)
-        decoder.add_observer(self._observer)
-        return decoder
-
-    def _respawn(self, key: Tuple[int, int], slot: _StreamSlot) -> None:
-        """Cold-restart a stream whose chunks keep failing."""
-        self._sessions[key] = _StreamSlot(
-            decoder=self._build_decoder(key))
-        self._m_respawns.inc(1.0, shard=self._shard_label,
-                             kind="stream_session")
-
     def cache_stats(self) -> Dict[str, int]:
         """Aggregated warm-cache counters across this shard's
         sessions (hit counters strictly positive = warm state pays)."""
-        totals: Dict[str, int] = {}
-        for slot in list(self._sessions.values()):
-            stats = getattr(slot.decoder, "cache_stats", None)
-            if stats:
-                for k, v in stats.items():
-                    totals[k] = totals.get(k, 0) + int(v)
-        return totals
+        return self.pool.cache_stats()

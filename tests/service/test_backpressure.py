@@ -64,6 +64,10 @@ class _Harness:
 
         config_kwargs.setdefault("n_shards", 1)
         config_kwargs.setdefault("queue_depth", 2)
+        # The gate/counter seams are in-process shared state: pin the
+        # thread executor so the REPRO_SERVICE_EXECUTOR matrix cannot
+        # fork them away from the asserting test.
+        config_kwargs.setdefault("executor", "thread")
         self.config = ServiceConfig(decoder_factory=factory,
                                     **config_kwargs)
         self.service = DecodeService(self.config)
@@ -207,7 +211,7 @@ def test_lru_eviction_caps_live_sessions():
                 await h.service.submit(reader, 0, _trace())
             await h.service.drain()
             worker = h.service._workers[0]
-            assert len(worker._sessions) <= 2
+            assert len(worker.pool._sessions) <= 2
         assert h.built == 4            # each stream built once
 
     asyncio.run(run())

@@ -57,6 +57,11 @@ class _Harness:
         config_kwargs.setdefault("n_shards", 1)
         config_kwargs.setdefault("queue_depth", 4)
         config_kwargs.setdefault("overflow", SHED_OLDEST)
+        # The harness counts decoder calls through in-process shared
+        # state, so it pins the thread executor regardless of the
+        # REPRO_SERVICE_EXECUTOR matrix; process-executor chaos runs
+        # through its own cross-process harness.
+        config_kwargs.setdefault("executor", "thread")
         base = ServiceConfig(
             decoder_factory=lambda key, seed: self.decoder,
             **config_kwargs)

@@ -14,7 +14,8 @@ import numpy as np
 import pytest
 
 from repro.errors import FrameTooLargeError, RingFullError, ServiceError
-from repro.service import ChunkRing, shard_index, stream_seed
+from repro.service import (ChunkRing, RingView, shard_index,
+                           stream_seed)
 
 
 def _chunk(n: int, fill: complex = 1 + 1j) -> np.ndarray:
@@ -170,3 +171,133 @@ class TestRouting:
     def test_stream_seed_deterministic(self):
         assert stream_seed(7, 3, 1) == stream_seed(7, 3, 1)
         assert stream_seed(7, 3, 1) != stream_seed(8, 3, 1)
+
+
+class TestCrossProcess:
+    """Parent-writer / child-reader use of one shm ring.
+
+    The process executor's contract: the parent owns every piece of
+    ring bookkeeping, the child only maps ``(start, n)`` regions of
+    the same shared-memory block through a ``RingView``.
+    """
+
+    @pytest.fixture()
+    def shm_ring(self):
+        r = ChunkRing(16, use_shared_memory=True)
+        if r.shm_name is None:
+            pytest.skip("no shared memory on this platform")
+        yield r
+        r.close()
+
+    def test_parent_writer_child_reader_roundtrip(self, shm_ring):
+        """A child attaches by name and reads back — and mutates —
+        exactly the samples the parent framed."""
+        import multiprocessing as mp
+
+        data = np.arange(8, dtype=np.complex128) * (3 - 1j)
+        fid = shm_ring.write(data)
+        start, n = shm_ring.region(fid)
+
+        def child(name, start, n, conn):
+            view = RingView(name)
+            try:
+                got = view.view(start, n)
+                conn.send(np.array_equal(
+                    got, np.arange(n) * (3 - 1j)))
+                got[0] = 99 + 0j     # visible to the parent: same page
+                conn.send(True)
+            finally:
+                view.close()
+                conn.close()
+
+        ctx = mp.get_context()
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(target=child,
+                           args=(shm_ring.shm_name, start, n,
+                                 child_conn))
+        proc.start()
+        child_conn.close()
+        assert parent_conn.recv() is True    # child saw the samples
+        assert parent_conn.recv() is True    # child wrote in place
+        proc.join(timeout=10.0)
+        assert proc.exitcode == 0
+        # The child's in-place write landed in the parent's mapping.
+        assert shm_ring.view(fid)[0] == 99 + 0j
+        # Bookkeeping never left the parent: retire works as if the
+        # child had never existed.
+        shm_ring.retire(fid)
+        assert shm_ring.free_samples == shm_ring.capacity
+
+    def test_wraparound_under_concurrent_retire(self, shm_ring):
+        """Frames stream through a small ring — wrapping — while a
+        child reads each region concurrently with the parent retiring
+        earlier frames out of order."""
+        import multiprocessing as mp
+
+        def child(name, conn):
+            view = RingView(name)
+            try:
+                while True:
+                    msg = conn.recv()
+                    if msg is None:
+                        break
+                    fill, start, n = msg
+                    got = view.view(start, n)
+                    conn.send(bool(np.all(got == fill)))
+            finally:
+                view.close()
+                conn.close()
+
+        ctx = mp.get_context()
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(target=child,
+                           args=(shm_ring.shm_name, child_conn))
+        proc.start()
+        child_conn.close()
+
+        pending = []                     # (fid, fill) not yet retired
+        wrapped_before = shm_ring.frames_wrapped
+        for i in range(40):
+            fill = complex(i, -i)
+            # Keep up to 2 frames live so allocations must wrap.
+            while True:
+                try:
+                    fid = shm_ring.write(_chunk(6, fill))
+                    break
+                except RingFullError:
+                    old_fid, _ = pending.pop(0)
+                    shm_ring.retire(old_fid)
+            pending.append((fid, fill))
+            start, n = shm_ring.region(fid)
+            parent_conn.send((fill, start, n))
+            assert parent_conn.recv() is True
+            # Retire out of order: newest first every third frame.
+            if len(pending) == 2 and i % 3 == 0:
+                newest_fid, _ = pending.pop()
+                shm_ring.retire(newest_fid)
+        for fid, _ in pending:
+            shm_ring.retire(fid)
+        parent_conn.send(None)
+        proc.join(timeout=10.0)
+        assert proc.exitcode == 0
+        assert shm_ring.frames_wrapped > wrapped_before
+        assert shm_ring.live_frames == 0
+        assert shm_ring.free_samples == shm_ring.capacity
+
+    def test_ring_view_bounds_checked(self, shm_ring):
+        view = RingView(shm_ring.shm_name)
+        try:
+            with pytest.raises(ServiceError):
+                view.view(10, 10)        # past the 16-sample ring
+            with pytest.raises(ServiceError):
+                view.view(-1, 4)
+        finally:
+            view.close()
+
+    def test_region_rejects_dead_frames(self, shm_ring):
+        fid = shm_ring.write(_chunk(4))
+        shm_ring.retire(fid)
+        with pytest.raises(ServiceError):
+            shm_ring.region(fid)
+        with pytest.raises(ServiceError):
+            shm_ring.region(12345)

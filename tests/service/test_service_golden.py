@@ -40,17 +40,22 @@ def decoder_config(capture):
 
 def _stream_through_service(trace, config, *, reader=0, antenna=0,
                             n_shards=2, chunk_samples=None,
-                            service_seed=0):
+                            service_seed=0, executor=None):
     """Chunk ``trace`` and stream it through a fresh service; returns
-    (per-chunk outcomes, merged result, cache stats, metrics page)."""
+    (per-chunk outcomes, merged result, cache stats, metrics page).
+
+    ``executor=None`` keeps ServiceConfig's default (the
+    REPRO_SERVICE_EXECUTOR matrix), so the whole golden suite runs
+    under whichever executor CI selects."""
     chunk_samples = chunk_samples or len(trace) // 3
     fs = trace.sample_rate_hz
+    extra = {} if executor is None else {"executor": executor}
 
     async def run():
         outcomes = []
         service = DecodeService(ServiceConfig(
             n_shards=n_shards, overflow=BLOCK, decoder=config,
-            seed=service_seed))
+            seed=service_seed, **extra))
         service.add_result_handler(outcomes.append)
         async with service:
             for chunk in chunk_trace(trace, chunk_samples):
@@ -66,8 +71,13 @@ def _stream_through_service(trace, config, *, reader=0, antenna=0,
     return asyncio.run(run())
 
 
+@pytest.mark.parametrize("executor", ["thread", "process"])
 def test_service_decode_is_bit_identical_to_offline(capture,
-                                                    decoder_config):
+                                                    decoder_config,
+                                                    executor):
+    """Both executors must replay the offline decode bit-identically:
+    the process executor rebuilds sessions in its children from the
+    same stream seeds the thread executor (and the offline path) use."""
     _, cap = capture
     trace = cap.trace
     chunk_samples = len(trace) // 3
@@ -77,7 +87,8 @@ def test_service_decode_is_bit_identical_to_offline(capture,
         session=SessionDecoder(decoder_config,
                                rng=stream_seed(0, 0, 0)))
     outcomes, merged, _, _ = _stream_through_service(
-        trace, decoder_config, chunk_samples=chunk_samples)
+        trace, decoder_config, chunk_samples=chunk_samples,
+        executor=executor)
 
     assert all(o.status in ("ok", "degraded") for o in outcomes)
     assert digest_result(merged) == digest_result(offline)

@@ -56,8 +56,12 @@ class _KillNthDecoder:
 
 def _run_kill_service(n_chunks: int, kill_calls) -> tuple:
     decoder = _KillNthDecoder(kill_calls)
+    # Thread executor pinned: these tests assert on the *shared*
+    # decoder's call count and the worker-thread kill semantics; the
+    # process-executor variants below cover the cross-process chain.
     config = ServiceConfig(
         n_shards=1, queue_depth=8, overflow=SHED_OLDEST,
+        executor="thread",
         decoder_factory=lambda key, seed: decoder)
     service = DecodeService(config)
     results: list = []
@@ -114,6 +118,7 @@ def test_chaos_kill_cocktail_leaves_no_shm_behind():
     before = _shm_entries()
     base = ServiceConfig(n_shards=2, queue_depth=4,
                          overflow=SHED_OLDEST,
+                         executor="thread",
                          decoder_factory=lambda key, seed:
                          _KillNthDecoder(()))
     config, injector = chaos_service_config(
@@ -134,3 +139,80 @@ def test_chaos_kill_cocktail_leaves_no_shm_behind():
     assert escapes.unexpected == []
     leaked = _shm_entries() - before
     assert not leaked, f"leaked /dev/shm segments: {sorted(leaked)}"
+
+
+# -- process executor: the same hygiene across a real process boundary --
+
+
+def _run_process_chaos(n_chunks: int, chaos: ChaosConfig) -> tuple:
+    """Chaos replay with ``executor="process"``; returns
+    ``(service, results, injector, rings)`` captured pre-shutdown."""
+    base = ServiceConfig(n_shards=2, queue_depth=8,
+                         overflow=SHED_OLDEST, executor="process",
+                         decoder_factory=lambda key, seed:
+                         _KillNthDecoder(()))
+    config, injector = chaos_service_config(base, chaos)
+    service = DecodeService(config)
+    results: list = []
+    service.add_result_handler(results.append)
+
+    async def run():
+        async with service:
+            for i in range(n_chunks):
+                await service.submit(reader_id=i % 3, antenna=0,
+                                     trace=_trace(),
+                                     sample_offset=0.0)
+            await service.drain()
+            return [(w.ring.live_frames, w.ring.free_samples,
+                     w.ring.capacity) for w in service._workers]
+
+    rings = asyncio.run(run())
+    return service, results, injector, rings
+
+
+@pytest.mark.skipif(not _SHM_DIR.is_dir(),
+                    reason="no /dev/shm on this platform")
+def test_killed_child_retires_in_flight_frame_without_leaking_slot():
+    """A chaos kill takes down a real child process mid-frame; the
+    parent must retire the frame's ring slot, deliver the failed
+    verdict, respawn the child, and keep accounting exact."""
+    before = _shm_entries()
+    service, results, injector, rings = _run_process_chaos(
+        30, ChaosConfig(kill_rate=0.3, seed=11))
+    assert injector.counts()["kill"] > 0
+    stats = service.snapshot()
+    assert stats.submitted == 30
+    assert stats.submitted == stats.decoded + stats.failed + stats.shed
+    killed = [r for r in results
+              if r.error and "ChaosWorkerKill" in r.error]
+    assert len(killed) == injector.counts()["kill"]
+    assert all(r.status == "failed" for r in killed)
+    # Pre-shutdown ring snapshot: every killed child's in-flight frame
+    # was retired by the parent — no slot leaked, full capacity free.
+    for live, free, capacity in rings:
+        assert live == 0
+        assert free == capacity
+    # The parent respawned a child per kill (exposed as
+    # worker_process respawns in the shared registry).
+    assert 'kind="worker_process"' in service.render_metrics()
+    leaked = _shm_entries() - before
+    assert not leaked, f"leaked /dev/shm segments: {sorted(leaked)}"
+
+
+@pytest.mark.skipif(not _SHM_DIR.is_dir(),
+                    reason="no /dev/shm on this platform")
+def test_process_executor_reaps_children_and_shm_on_shutdown():
+    """After a clean stop no child process and no /dev/shm entry of
+    the service survives."""
+    import multiprocessing as mp
+
+    before = _shm_entries()
+    children_before = {p.pid for p in mp.active_children()}
+    service, results, injector, _ = _run_process_chaos(
+        12, ChaosConfig(crash_rate=0.2, corrupt_rate=0.2, seed=5))
+    stats = service.snapshot()
+    assert stats.submitted == stats.decoded + stats.failed + stats.shed
+    leaked = _shm_entries() - before
+    assert not leaked, f"leaked /dev/shm segments: {sorted(leaked)}"
+    orphans = {p.pid for p in mp.active_children()} - children_before
+    assert not orphans, f"orphaned shard children: {orphans}"
