@@ -75,6 +75,17 @@ SURVIVAL_CANDIDATE = BENCH_DIR / "results" / "survival_matrix.json"
 #: half its chunks; far above that means real throughput collapsed
 #: under load (the shedding itself got expensive).
 DEFAULT_SHED_CEILING = 0.75
+#: Committed quick-grid signoff baseline (run_signoff.py --quick).
+SIGNOFF_BASELINE = BENCH_DIR / "SIGNOFF_quick.json"
+#: Default location run_signoff.py drops its export.
+SIGNOFF_CANDIDATE = BENCH_DIR / "results" / "signoff.json"
+#: Absolute slack when requiring the BER waterfall to be monotone:
+#: with a few hundred bits per cell, counting noise can tick a cell
+#: up by a couple of errors without any real trend break.
+WATERFALL_SLACK = 0.02
+#: Absolute tolerance for per-cell fraction regressions (capacity
+#: goodput, eye opening) against the committed signoff baseline.
+DEFAULT_SIGNOFF_TOLERANCE = 0.10
 
 
 def _entry_backend(bench: dict) -> str:
@@ -421,6 +432,116 @@ def check_survival(path: Path) -> int:
     return 1 if failed else 0
 
 
+def check_signoff(candidate_path: Path, baseline_path: Path,
+                  tolerance: float) -> int:
+    """Gate the link-margin signoff export, if one is present.
+
+    Shape invariants hold unconditionally: the BER waterfall must fall
+    (noise-tolerantly) with SNR for both schemes, LF must sit at or
+    above ASK on (nearly) every row — the Figure 14 geometry — and
+    every auto-tuned family must score at least its own baseline (the
+    tuner only ever accepts improving moves, so worse-than-stock means
+    the harness broke).
+
+    Against the committed quick baseline the gate also requires that
+    no capacity cell's goodput and no eye scenario's opening regresses
+    past the tolerance.  With no baseline committed (or a candidate
+    from a different grid), the comparison is informational only.
+    """
+    if not candidate_path.exists():
+        print("signoff: no export found (skipped) — run "
+              "benchmarks/run_signoff.py to produce one")
+        return 0
+    try:
+        candidate = json.loads(candidate_path.read_text())
+    except ValueError as exc:
+        print(f"signoff: FAIL: unreadable export {candidate_path}: "
+              f"{exc}")
+        return 1
+
+    failed = False
+    rows = (candidate.get("waterfall") or {}).get("rows") or []
+    by_snr = sorted(rows, key=lambda r: r["snr_db"])
+    for scheme in ("lf_ber", "ask_ber"):
+        for low, high in zip(by_snr, by_snr[1:]):
+            if high[scheme] > low[scheme] + WATERFALL_SLACK:
+                print(f"signoff: FAIL: {scheme} rises from "
+                      f"{low[scheme]:.3f} @ {low['snr_db']:g} dB to "
+                      f"{high[scheme]:.3f} @ {high['snr_db']:g} dB — "
+                      f"waterfall is not monotone")
+                failed = True
+    if by_snr:
+        inverted = sum(1 for r in by_snr
+                       if r["lf_ber"] + WATERFALL_SLACK < r["ask_ber"])
+        if inverted > 1:
+            print(f"signoff: FAIL: LF beats ASK on {inverted} rows — "
+                  f"the Figure 14 gap direction flipped")
+            failed = True
+        gap = (candidate.get("waterfall") or {}).get("snr_gap_db")
+        gap_text = f"{gap:.2f} dB" if gap is not None else "unfitted"
+        print(f"signoff: waterfall {len(by_snr)} rows, SNR gap "
+              f"{gap_text}")
+
+    for family, report in (candidate.get("autotune") or {}).items():
+        if report["best_score"] < report["baseline_score"]:
+            print(f"signoff: FAIL: autotune[{family}] scored below "
+                  f"stock settings — the tuner harness is broken")
+            failed = True
+    improved = sorted(f for f, r in
+                      (candidate.get("autotune") or {}).items()
+                      if r.get("improved"))
+    if candidate.get("autotune"):
+        print(f"signoff: autotune improves {improved or 'nothing'}")
+
+    if not baseline_path.exists():
+        print(f"signoff: no committed baseline at "
+              f"{baseline_path.name} — cell comparison skipped "
+              f"(informational)")
+        return 1 if failed else 0
+    baseline = json.loads(baseline_path.read_text())
+
+    def _cells(payload):
+        return {(r["snr_db"], r["n_tags"], r["drift_ppm"]):
+                r["goodput_fraction"]
+                for r in (payload.get("capacity") or {})
+                .get("rows", [])}
+
+    base_cells = _cells(baseline)
+    cand_cells = _cells(candidate)
+    compared = 0
+    for coords, base_value in base_cells.items():
+        got = cand_cells.get(coords)
+        if got is None:
+            continue
+        compared += 1
+        if got < base_value - tolerance:
+            print(f"signoff: FAIL: capacity cell {coords} goodput "
+                  f"{got:.3f} regressed past baseline "
+                  f"{base_value:.3f} - {tolerance}")
+            failed = True
+    for name, base_eye in (baseline.get("eye") or {}).items():
+        cand_eye = (candidate.get("eye") or {}).get(name)
+        if cand_eye is None:
+            continue
+        base_open = base_eye["summary"]["min_opening"]
+        cand_open = cand_eye["summary"]["min_opening"]
+        compared += 1
+        if cand_open < base_open - tolerance:
+            print(f"signoff: FAIL: eye[{name}] min opening "
+                  f"{cand_open:.3f} regressed past baseline "
+                  f"{base_open:.3f} - {tolerance}")
+            failed = True
+    if compared:
+        print(f"signoff: {compared} cells compared against "
+              f"{baseline_path.name}")
+    else:
+        print("signoff: no overlapping cells with the baseline "
+              "(different grids?) — informational only")
+    if not failed:
+        print("signoff: OK")
+    return 1 if failed else 0
+
+
 def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when decoder throughput regresses past the "
@@ -454,6 +575,17 @@ def main(argv: list | None = None) -> int:
                         help="survival matrix JSON from "
                              "repro.robustness.survival (gated only "
                              "when the file exists)")
+    parser.add_argument("--signoff-candidate", type=Path,
+                        default=SIGNOFF_CANDIDATE,
+                        help="signoff export from run_signoff.py "
+                             "(gated only when the file exists)")
+    parser.add_argument("--signoff-baseline", type=Path,
+                        default=SIGNOFF_BASELINE,
+                        help="committed SIGNOFF_quick.json baseline")
+    parser.add_argument("--signoff-tolerance", type=float,
+                        default=DEFAULT_SIGNOFF_TOLERANCE,
+                        help="allowed absolute per-cell drop vs the "
+                             "signoff baseline (default 0.10)")
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
@@ -500,6 +632,9 @@ def main(argv: list | None = None) -> int:
         args.service_candidate, args.service_baseline,
         args.tolerance, args.shed_ceiling)
     survival_status = check_survival(args.survival)
+    signoff_status = check_signoff(
+        args.signoff_candidate, args.signoff_baseline,
+        args.signoff_tolerance)
     if failed:
         return 1
     if status:
@@ -508,6 +643,8 @@ def main(argv: list | None = None) -> int:
         return service_status
     if survival_status:
         return survival_status
+    if signoff_status:
+        return signoff_status
     if any_faster:
         print("OK (faster than baseline — consider refreshing it with "
               "benchmarks/run_bench.py)")

@@ -12,6 +12,28 @@ from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: The benchmarks' standard load: 16 tags at 10 kbps, seed 77.
+BENCH_SEED = 77
+BENCH_N_TAGS = 16
+
+
+def sixteen_tag_synth(drift_ppm=None, noise_std=0.01):
+    """The shared 16-tag benchmark network, as a scenario synthesizer.
+
+    Both speed benchmarks draw the same population (seed 77, inherited
+    simulator generator — the convention their committed baselines
+    were recorded under); they differ only in crystal quality and
+    noise floor, which callers override here.  Consecutive
+    ``capture(epoch_index=i)`` calls on the returned synthesizer renders
+    a multi-epoch session, matching the sessions the baselines pinned.
+    """
+    from repro.experiments.scenario import ScenarioSpec, ScenarioSynth
+    spec = ScenarioSpec(
+        name="bench_16_tag", n_tags=BENCH_N_TAGS, bitrate_bps=10e3,
+        noise_std=noise_std, drift_ppm=drift_ppm, seed=BENCH_SEED,
+        spawn_sim_rng=False)
+    return ScenarioSynth(spec)
+
 
 def record(result, benchmark=None) -> None:
     """Print an ExperimentResult and persist it under results/."""

@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Link-margin signoff suite: eye metrics, BER waterfalls, capacity
+surfaces and decoder auto-tuning, exported as machine-readable JSON.
+
+Runs the full margin battery through the unified scenario/sweep layer
+and writes one ``signoff.json`` that ``check_regression.py`` can gate
+(waterfall monotonicity, no cell regressing past tolerance vs the
+committed ``SIGNOFF_quick.json`` baseline)::
+
+    PYTHONPATH=src python benchmarks/run_signoff.py --quick
+    PYTHONPATH=src python benchmarks/run_signoff.py --out signoff.json
+
+``--quick`` shrinks every grid to CI size (a couple of minutes on one
+core); the default grids are the full signoff surface.  Results are
+deterministic for a given ``--seed`` — captures, decoder seeds and
+tuner evaluations are all pinned through the sweep layer.
+
+Refreshing the committed baseline is a deliberate act::
+
+    PYTHONPATH=src python benchmarks/run_signoff.py --quick \
+        --out benchmarks/SIGNOFF_quick.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_OUT = BENCH_DIR / "results" / "signoff.json"
+
+#: Eye-analysis scenarios: name -> ScenarioSpec kwargs.
+EYE_SCENARIOS = {
+    "clean": dict(n_tags=4, snr_db=15.0),
+    "low_snr": dict(n_tags=4, snr_db=7.0),
+    "drift_heavy": dict(n_tags=4, snr_db=15.0, drift_ppm=4000.0),
+}
+
+
+def _json_safe(value):
+    """Replace non-finite floats with None, recursively."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def run_eye_section(quick: bool, seed: int) -> dict:
+    from repro.analysis.eye import eye_metrics, eye_summary
+    from repro.experiments.scenario import ScenarioSpec, ScenarioSynth
+    section = {}
+    for name, kwargs in EYE_SCENARIOS.items():
+        spec = ScenarioSpec(name=f"eye_{name}", bitrate_bps=10e3,
+                            seed=seed, **kwargs)
+        capture = ScenarioSynth(spec).capture(0.012)
+        metrics = eye_metrics(capture)
+        section[name] = {
+            "tags": [m.as_dict() for m in metrics],
+            "summary": eye_summary(metrics),
+        }
+    return section
+
+
+def run_waterfall_section(quick: bool, seed: int) -> dict:
+    from repro.analysis.waterfall import ber_waterfall
+    if quick:
+        return ber_waterfall([6.0, 9.0, 12.0, 15.0], n_bits=200,
+                             n_trials=2, seed=seed)
+    return ber_waterfall([5.0, 7.0, 9.0, 11.0, 13.0, 15.0],
+                         n_bits=400, n_trials=3, seed=seed)
+
+
+def run_capacity_section(quick: bool, seed: int) -> dict:
+    from repro.analysis.waterfall import capacity_surface
+    if quick:
+        rows = capacity_surface([8.0, 15.0], [2, 6], [150.0, 16000.0],
+                                bitrate_bps=10e3, n_trials=1,
+                                seed=seed)
+    else:
+        rows = capacity_surface([6.0, 9.0, 12.0, 15.0], [2, 6, 10],
+                                [150.0, 1000.0, 4000.0, 16000.0],
+                                bitrate_bps=10e3, n_trials=2,
+                                seed=seed)
+    return {"rows": rows}
+
+
+def run_autotune_section(quick: bool, seed: int) -> dict:
+    from repro.analysis.autotune import SCENARIO_FAMILIES, autotune
+    rounds = 1 if quick else 2
+    section = {}
+    for family in SCENARIO_FAMILIES:
+        result = autotune(family, rounds=rounds, seed=seed)
+        section[family] = result.as_dict()
+    return section
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the link-margin signoff suite and export "
+                    "signoff.json.")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized grids (minutes, not hours)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output path (default {DEFAULT_OUT})")
+    parser.add_argument("--seed", type=int, default=14,
+                        help="master seed for every section")
+    parser.add_argument("--skip", action="append", default=[],
+                        choices=["eye", "waterfall", "capacity",
+                                 "autotune"],
+                        help="omit a section (repeatable)")
+    args = parser.parse_args(argv)
+
+    sections = {
+        "eye": run_eye_section,
+        "waterfall": run_waterfall_section,
+        "capacity": run_capacity_section,
+        "autotune": run_autotune_section,
+    }
+    payload = {"schema": 1, "quick": bool(args.quick),
+               "seed": args.seed}
+    for name, runner in sections.items():
+        if name in args.skip:
+            continue
+        started = time.monotonic()
+        payload[name] = _json_safe(runner(args.quick, args.seed))
+        print(f"{name}: done in {time.monotonic() - started:.1f}s")
+
+    waterfall = payload.get("waterfall")
+    if waterfall:
+        gap = waterfall.get("snr_gap_db")
+        gap_text = f"{gap:.2f} dB" if gap is not None else "unfitted"
+        print(f"waterfall: SNR gap {gap_text} "
+              f"(paper: ~4 dB)")
+    tuned = payload.get("autotune") or {}
+    improved = sorted(f for f, r in tuned.items() if r["improved"])
+    if tuned:
+        print(f"autotune: {len(improved)}/{len(tuned)} families beat "
+              f"defaults {improved}")
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

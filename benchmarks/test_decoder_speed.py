@@ -5,32 +5,17 @@ full pipeline chews through a 16-tag epoch.  Useful for tracking
 regressions when the decoder changes.
 """
 
-import numpy as np
 import pytest
 
+from conftest import sixteen_tag_synth
 from repro.core.kernels import available_backends
 from repro.core.pipeline import LFDecoder, LFDecoderConfig
-from repro.phy.channel import ChannelModel, random_coefficients
-from repro.reader.simulator import NetworkSimulator
-from repro.tags.lf_tag import LFTag
-from repro.types import SimulationProfile, TagConfig
 
 
 @pytest.fixture(scope="module")
 def sixteen_tag_capture():
-    profile = SimulationProfile.fast()
-    gen = np.random.default_rng(77)
-    coeffs = random_coefficients(16, rng=gen)
-    channel = ChannelModel({k: coeffs[k] for k in range(16)},
-                           environment_offset=0.5 + 0.3j)
-    tags = [LFTag(TagConfig(tag_id=k, bitrate_bps=10e3,
-                            channel_coefficient=coeffs[k]),
-                  profile=profile,
-                  rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
-            for k in range(16)]
-    sim = NetworkSimulator(tags, channel, profile=profile,
-                           noise_std=0.01, rng=gen)
-    return profile, sim.run_epoch(0.010)
+    synth = sixteen_tag_synth()
+    return synth.profile, synth.capture(0.010)
 
 
 # One A/B entry per kernel backend the environment can construct:

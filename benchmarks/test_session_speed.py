@@ -27,12 +27,9 @@ import time
 import numpy as np
 import pytest
 
+from conftest import sixteen_tag_synth
 from repro.core import LFDecoder, LFDecoderConfig, SessionDecoder
 from repro.core.engine import BatchDecoder
-from repro.phy.channel import ChannelModel, random_coefficients
-from repro.reader.simulator import NetworkSimulator
-from repro.tags.lf_tag import LFTag
-from repro.types import SimulationProfile, TagConfig
 
 N_TAGS = 16
 N_EPOCHS = 8
@@ -44,24 +41,12 @@ STEADY = slice(2, N_EPOCHS)  # epochs with fully-populated caches
 @pytest.fixture(scope="module")
 def session_captures():
     """Eight consecutive 16-tag epochs plus the per-epoch ground truth."""
-    profile = SimulationProfile.fast()
-    gen = np.random.default_rng(77)
-    coeffs = random_coefficients(N_TAGS, rng=gen)
-    channel = ChannelModel({k: coeffs[k] for k in range(N_TAGS)},
-                           environment_offset=0.5 + 0.3j)
-    tags = [LFTag(TagConfig(tag_id=k, bitrate_bps=10e3,
-                            channel_coefficient=coeffs[k],
-                            clock_drift_ppm=40.0),
-                  profile=profile,
-                  rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
-            for k in range(N_TAGS)]
-    sim = NetworkSimulator(tags, channel, profile=profile,
-                           noise_std=0.015, rng=gen)
-    captures = [sim.run_epoch(EPOCH_S, epoch_index=i)
+    synth = sixteen_tag_synth(drift_ppm=40.0, noise_std=0.015)
+    captures = [synth.capture(EPOCH_S, epoch_index=i)
                 for i in range(N_EPOCHS)]
     config = LFDecoderConfig(candidate_bitrates_bps=[10e3],
-                             profile=profile)
-    return profile, config, captures
+                             profile=synth.profile)
+    return synth.profile, config, captures
 
 
 def _truth_decoded(result, truth) -> bool:

@@ -88,6 +88,7 @@ from .core import (
     ViterbiDecoder,
     BatchDecoder,
     EpochOutcome,
+    TrialSpec,
 )
 from .robustness import (
     GuardConfig,
@@ -155,6 +156,7 @@ __all__ = [
     "ViterbiDecoder",
     "BatchDecoder",
     "EpochOutcome",
+    "TrialSpec",
     # robustness
     "GuardConfig",
     "TraceHealth",

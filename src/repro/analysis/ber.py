@@ -32,11 +32,7 @@ from ..baselines.ask import AskDecoder
 from ..core.anchor import assemble_bits
 from ..core.edges import EdgeDetector, EdgeDetectorConfig
 from ..errors import ConfigurationError, DecodeError
-from ..phy.channel import ChannelModel
-from ..phy.noise import noise_std_for_snr
-from ..reader.simulator import NetworkSimulator
-from ..tags.ask_tag import AskTag
-from ..types import IQTrace, SimulationProfile, TagConfig
+from ..types import IQTrace, SimulationProfile
 from ..utils.rng import SeedLike, make_rng
 from ..utils.stats import ber_from_bits
 
@@ -54,23 +50,22 @@ def _single_tag_capture(snr_db: float, n_bits: int,
                         profile: SimulationProfile,
                         coefficient: complex,
                         rng: np.random.Generator):
-    """One epoch of a lone ASK tag at the requested raw-sample SNR."""
-    channel = ChannelModel({0: coefficient},
-                           environment_offset=0.5 + 0.3j)
-    cfg = TagConfig(tag_id=0,
-                    bitrate_bps=profile.default_bitrate_bps,
-                    channel_coefficient=coefficient)
-    tag = AskTag(cfg, start_offset_s=2.0 / profile.default_bitrate_bps,
-                 profile=profile,
-                 rng=np.random.default_rng(rng.integers(0, 2 ** 63)))
-    noise = noise_std_for_snr(abs(coefficient) ** 2, snr_db)
-    sim = NetworkSimulator([tag], channel, profile=profile,
-                           noise_std=noise,
-                           rng=np.random.default_rng(
-                               rng.integers(0, 2 ** 63)))
-    header = tag.header_bits()
+    """One epoch of a lone ASK tag at the requested raw-sample SNR.
+
+    Rendered through the unified scenario factory (pinned coefficient
+    skips the draw; the per-tag and noise generators consume ``rng``
+    in the canonical order, matching the pre-factory construction bit
+    for bit).
+    """
+    from ..experiments.scenario import ScenarioSpec, ScenarioSynth
+    spec = ScenarioSpec(
+        name="ber_single_tag", n_tags=1, tag_kind="ask",
+        coefficients=(coefficient,), snr_db=snr_db,
+        start_offset_s=2.0 / profile.default_bitrate_bps)
+    synth = ScenarioSynth(spec, profile=profile, rng=rng)
+    header = synth.tags[0].header_bits()
     duration = (n_bits + header + 4) / profile.default_bitrate_bps
-    return sim.run_epoch(duration)
+    return synth.capture(duration)
 
 
 def genie_lf_decode(trace: IQTrace, offset_samples: float,
@@ -114,6 +109,42 @@ def genie_lf_decode(trace: IQTrace, offset_samples: float,
     return ViterbiDecoder().decode_bits(signed, initial_state=RISE)
 
 
+def decode_against_truth(capture, decoder: str) -> Dict[str, int]:
+    """Genie-timing decode of a lone-tag capture, scored vs truth."""
+    truth = capture.truths[0]
+    try:
+        if decoder == "ask":
+            bits = AskDecoder().decode(
+                capture.trace, truth.offset_samples,
+                truth.period_samples, truth.n_bits)
+        else:
+            bits = genie_lf_decode(
+                capture.trace, truth.offset_samples,
+                truth.period_samples, truth.n_bits)
+    except DecodeError:
+        bits = np.empty(0, dtype=np.int8)
+    ber = ber_from_bits(truth.bits, bits)
+    return {"errors": int(round(ber * truth.n_bits)),
+            "bits": truth.n_bits}
+
+
+def ber_trial(trace, payload, rng, config) -> Dict[str, int]:
+    """Engine-dispatched single-tag BER trial.
+
+    The capture's entropy is fully pinned inside the payload's spec
+    (coefficient + population seeds), so the trial is reproducible in
+    any worker; ``rng`` is unused (genie decodes draw no randomness).
+    """
+    from ..experiments.scenario import ScenarioSynth
+    profile = payload["profile"]
+    synth = ScenarioSynth(payload["spec"], profile=profile)
+    header = synth.tags[0].header_bits()
+    duration = (payload["n_bits"] + header + 4) \
+        / profile.default_bitrate_bps
+    return decode_against_truth(synth.capture(duration),
+                                payload["decoder"])
+
+
 def ber_sweep(snr_db_values: Sequence[float],
               decoder: str = "lf",
               n_bits: int = 400,
@@ -121,7 +152,8 @@ def ber_sweep(snr_db_values: Sequence[float],
               profile: Optional[SimulationProfile] = None,
               coefficient: complex = 0.1 + 0.04j,
               decision_domain: bool = True,
-              rng: SeedLike = None) -> List[BerPoint]:
+              rng: SeedLike = None,
+              runner=None) -> List[BerPoint]:
     """Measure BER at each SNR for one decoding scheme.
 
     ``decoder`` is ``"lf"`` (edge-differential decoding) or ``"ask"``
@@ -129,45 +161,55 @@ def ber_sweep(snr_db_values: Sequence[float],
     Figure 14 convention) the SNR values are interpreted post
     integration: the raw-sample SNR of the capture is lowered by the
     full-bit averaging gain ``10*log10(samples_per_bit)``.
+
+    Trials execute through the batch engine: each (SNR, trial) cell's
+    capture entropy is pre-drawn from ``rng`` in the legacy serial
+    order and pinned into a self-contained scenario spec, so results
+    are identical to the old in-process loop for any worker count.
+    Pass a :class:`~repro.experiments.sweep.SweepRunner` built over
+    :func:`ber_trial` as ``runner`` to share one engine across sweeps.
     """
     if decoder not in ("lf", "ask"):
         raise ConfigurationError(
             f"decoder must be 'lf' or 'ask', got {decoder!r}")
     if n_bits < 10:
         raise ConfigurationError("need at least 10 bits per trial")
+    from ..core.engine import TrialSpec
+    from ..experiments.scenario import ScenarioSpec
+    from ..experiments.sweep import SweepGrid, SweepRunner, results_of
     prof = profile or SimulationProfile.fast()
     gen = make_rng(rng)
-    ask_decoder = AskDecoder()
     gain_db = 10.0 * math.log10(prof.samples_per_bit()) \
         if decision_domain else 0.0
 
-    points: List[BerPoint] = []
+    grid = SweepGrid()
+    start_offset = 2.0 / prof.default_bitrate_bps
     for snr_db in snr_db_values:
         raw_snr = snr_db - gain_db
-        errors = 0
-        total = 0
+        trials = []
         for _ in range(n_trials):
-            capture = _single_tag_capture(raw_snr, n_bits, prof,
-                                          coefficient, gen)
-            truth = capture.truths[0]
-            try:
-                if decoder == "ask":
-                    bits = ask_decoder.decode(
-                        capture.trace, truth.offset_samples,
-                        truth.period_samples, truth.n_bits)
-                else:
-                    bits = genie_lf_decode(
-                        capture.trace, truth.offset_samples,
-                        truth.period_samples, truth.n_bits)
-            except DecodeError:
-                bits = np.empty(0, dtype=np.int8)
-            ber = ber_from_bits(truth.bits, bits)
-            errors += int(round(ber * truth.n_bits))
-            total += truth.n_bits
-        points.append(BerPoint(snr_db=float(snr_db),
-                               ber=errors / total,
-                               bits_measured=total))
-    return points
+            tag_seed = int(gen.integers(0, 2 ** 63))
+            sim_seed = int(gen.integers(0, 2 ** 63))
+            spec = ScenarioSpec(
+                name="ber_single_tag", n_tags=1, tag_kind="ask",
+                coefficients=(coefficient,), snr_db=raw_snr,
+                start_offset_s=start_offset,
+                population_seeds=(tag_seed, sim_seed))
+            trials.append(TrialSpec(payload={
+                "spec": spec, "profile": prof, "decoder": decoder,
+                "n_bits": n_bits}))
+        grid.add_cell({"snr_db": float(snr_db)}, trials)
+
+    def _fold(cell, outcomes):
+        results = results_of(outcomes)
+        errors = sum(r["errors"] for r in results)
+        total = sum(r["bits"] for r in results)
+        return {"snr_db": cell.coords["snr_db"],
+                "ber": errors / total, "bits_measured": total}
+
+    rows = (runner or SweepRunner(ber_trial)).run(grid, _fold)
+    return [BerPoint(snr_db=r["snr_db"], ber=r["ber"],
+                     bits_measured=r["bits_measured"]) for r in rows]
 
 
 def fitted_ber_curve(points: Sequence[BerPoint]

@@ -18,12 +18,8 @@ from scipy.optimize import linear_sum_assignment
 
 from ..core.pipeline import LFDecoder, LFDecoderConfig
 from ..errors import ConfigurationError
-from ..phy.channel import ChannelModel, random_coefficients
 from ..reader.epoch import EpochCapture
-from ..reader.simulator import NetworkSimulator
-from ..tags.lf_tag import LFTag
-from ..types import EpochResult, SimulationProfile, TagConfig, \
-    ThroughputReport
+from ..types import EpochResult, SimulationProfile, ThroughputReport
 from ..utils.rng import SeedLike, make_rng
 
 _UNMATCHED = 10 ** 9
@@ -137,23 +133,26 @@ def run_lf_epochs(n_tags: int,
                   noise_std: float = 0.01,
                   decoder_config: Optional[LFDecoderConfig] = None,
                   rng: SeedLike = None) -> LFRunResult:
-    """Simulate and decode several LF epochs; return scored results."""
+    """Simulate and decode several LF epochs; return scored results.
+
+    Synthesis goes through the unified scenario factory: the
+    population draws (coefficients, tag generators, noise generator)
+    come from one :class:`~repro.experiments.scenario.ScenarioSynth`
+    consuming ``rng`` in the canonical order, after which the decoder
+    draws its generator from the same stream — bit-identical to the
+    hand-rolled construction this function used before the factory
+    existed.  One decoder persists across epochs (its RNG state
+    carries over), mirroring a long-lived reader session.
+    """
     if n_epochs < 1:
         raise ConfigurationError("need at least one epoch")
+    from ..experiments.scenario import ScenarioSpec, ScenarioSynth
     prof = profile or SimulationProfile.fast()
     gen = make_rng(rng)
-    coeffs = random_coefficients(n_tags, rng=gen)
-    channel = ChannelModel({k: coeffs[k] for k in range(n_tags)},
-                           environment_offset=0.5 + 0.3j)
-    tags = [LFTag(TagConfig(tag_id=k, bitrate_bps=bitrate_bps,
-                            channel_coefficient=coeffs[k]),
-                  profile=prof,
-                  rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
-            for k in range(n_tags)]
-    sim = NetworkSimulator(tags, channel, profile=prof,
-                           noise_std=noise_std,
-                           rng=np.random.default_rng(
-                               gen.integers(0, 2 ** 63)))
+    synth = ScenarioSynth(
+        ScenarioSpec(name="lf_epochs", n_tags=n_tags,
+                     bitrate_bps=bitrate_bps, noise_std=noise_std),
+        profile=prof, rng=gen)
     config = decoder_config or LFDecoderConfig(
         candidate_bitrates_bps=[bitrate_bps], profile=prof)
     decoder = LFDecoder(config,
@@ -161,7 +160,7 @@ def run_lf_epochs(n_tags: int,
                             gen.integers(0, 2 ** 63)))
     run = LFRunResult(n_tags=n_tags, bitrate_bps=bitrate_bps)
     for epoch in range(n_epochs):
-        capture = sim.run_epoch(epoch_duration_s, epoch_index=epoch)
+        capture = synth.capture(epoch_duration_s, epoch_index=epoch)
         result = decoder.decode_epoch(capture.trace)
         run.reports.append(score_epoch(capture, result))
     return run

@@ -36,7 +36,7 @@ from .stages import (DecodeContext, Stage, StageObserver, StageRunner,
 from .pipeline import LFDecoder, LFDecoderConfig
 from .session import SessionConfig, SessionState, StreamTracker
 from .session_decoder import SessionDecoder
-from .engine import BatchDecoder, EpochOutcome
+from .engine import BatchDecoder, EpochOutcome, TrialSpec
 
 __all__ = [
     "EdgeDetector",
@@ -70,6 +70,7 @@ __all__ = [
     "StreamTracker",
     "BatchDecoder",
     "EpochOutcome",
+    "TrialSpec",
     "DecodeContext",
     "Stage",
     "StageObserver",

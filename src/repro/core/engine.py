@@ -33,6 +33,18 @@ hundreds of independent epochs with the same :class:`LFDecoderConfig`.
   :meth:`BatchDecoder.aggregate_timings` folds them into one profile
   for the whole batch.
 
+The same supervision machinery also runs *generic trials*
+(:meth:`BatchDecoder.iter_trials`): a :class:`TrialSpec` pairs an
+optional trace with an arbitrary picklable payload and an optional
+explicit integer seed, and a top-level ``trial_fn(trace, payload, rng,
+config)`` replaces the stock epoch decode.  Experiment sweeps use this
+to push their per-trial work (decode + score, reliability-link runs,
+config-variant decodes) through one engine instead of bespoke serial
+loops, with the same ordered streaming, retry/hang/crash supervision
+and per-worker-count determinism.  An explicit ``seed`` reproduces a
+legacy ``np.random.default_rng(seed)`` stream bit for bit, which is
+how refit experiments keep row parity with their serial ancestors.
+
 Workers receive the decoder config once (pool initializer), not once
 per task.  Trace samples travel through ``multiprocessing.shared_memory``
 when available: the parent writes each epoch's samples into a block
@@ -55,8 +67,8 @@ from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from itertools import chain
-from typing import (Deque, Dict, Iterable, Iterator, List, Optional,
-                    Sequence)
+from typing import (Any, Callable, Deque, Dict, Iterable, Iterator,
+                    List, Optional, Sequence)
 
 import numpy as np
 
@@ -137,6 +149,64 @@ def _decode_task_shm(index: int, shm_name: str, n_samples: int,
         shm.close()
 
 
+def _trial_task(fn: Callable, index: int, trace: Optional[IQTrace],
+                payload: Any, seed,
+                config: Optional[LFDecoderConfig] = None) -> Any:
+    """Run one generic trial with a task-local RNG.
+
+    ``seed`` is either an explicit integer (legacy serial loops seeded
+    ``default_rng(int)``; passing the raw int through reproduces that
+    stream exactly) or an engine-spawned :class:`SeedSequence`.  The
+    trial function must return *derived* data only — under the
+    shared-memory transport the trace is a view of a block the parent
+    unlinks once the result arrives.
+    """
+    cfg = config if config is not None else _WORKER_CONFIG
+    rng = np.random.default_rng(seed)
+    return fn(trace, payload, rng, cfg)
+
+
+def _trial_task_shm(fn: Callable, index: int, shm_name: str,
+                    n_samples: int, sample_rate_hz: float,
+                    start_time_s: float, payload: Any, seed) -> Any:
+    """Shared-memory transport for :func:`_trial_task` (same tracker
+    discipline as :func:`_decode_task_shm`)."""
+    shm = _shared_memory.SharedMemory(name=shm_name)
+    try:
+        import multiprocessing
+        if multiprocessing.get_start_method() != "fork":
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker layout varies
+        pass
+    try:
+        samples = np.ndarray((n_samples,), dtype=np.complex128,
+                             buffer=shm.buf)
+        trace = IQTrace(samples=samples, sample_rate_hz=sample_rate_hz,
+                        start_time_s=start_time_s)
+        return _trial_task(fn, index, trace, payload, seed)
+    finally:
+        shm.close()
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One generic unit of supervised work for :meth:`iter_trials`.
+
+    ``trace`` rides the engine's zero-copy transport when present;
+    trials that synthesize their own data (or none) leave it ``None``.
+    ``payload`` is any picklable context the trial function needs
+    (scenario spec, config variant, trial index).  ``seed``, when set,
+    is handed verbatim to ``np.random.default_rng`` — the exact-parity
+    hook for refit serial loops; when ``None`` the engine assigns the
+    task's spawned child :class:`SeedSequence`.
+    """
+
+    trace: Optional[IQTrace] = None
+    payload: Any = None
+    seed: Optional[int] = None
+
+
 @dataclass
 class EpochOutcome:
     """Supervision verdict for one batch input.
@@ -148,11 +218,17 @@ class EpochOutcome:
     or hangs; ``result`` is ``None`` and ``error`` says why).
     ``attempts`` counts submissions, including resubmissions forced by
     *other* tasks crashing the shared pool.
+
+    For :meth:`BatchDecoder.iter_trials` the same verdict applies to a
+    generic trial: ``result`` holds whatever the trial function
+    returned (``degraded`` only when that object exposes a truthy
+    ``.degraded``), and ``epoch_index`` is the trial's position in the
+    input sequence.
     """
 
     epoch_index: int
     status: str
-    result: Optional[EpochResult] = None
+    result: Optional[Any] = None
     attempts: int = 1
     error: Optional[str] = None
 
@@ -171,8 +247,11 @@ class _Task:
     """
 
     index: int
-    trace: IQTrace
-    seed_seq: np.random.SeedSequence
+    trace: Optional[IQTrace]
+    #: Explicit int seed (trial parity) or engine-spawned SeedSequence.
+    seed_seq: Any
+    #: Opaque trial context (``None`` for stock epoch decodes).
+    payload: Any = None
     attempts: int = 0
     #: Attempts that ended in an in-worker exception (retry budget).
     errors: int = 0
@@ -180,14 +259,17 @@ class _Task:
     crashes: int = 0
     future: Optional[Future] = None
     shm: Optional["_shared_memory.SharedMemory"] = None
-    result: Optional[EpochResult] = None
+    result: Optional[Any] = None
     error: Optional[str] = None
+    #: A harvested result settles the task even when it is ``None`` —
+    #: trial functions may legitimately return ``None``.
+    done: bool = False
     failed: bool = False
     suspect: bool = False
 
     @property
     def settled(self) -> bool:
-        return self.failed or self.result is not None
+        return self.failed or self.done
 
     def release_shm(self) -> None:
         if self.shm is not None:
@@ -320,54 +402,100 @@ class BatchDecoder:
         engine guarantees exactly one outcome per input even when tasks
         raise, hang, or kill their worker process.
         """
-        trace_iter = iter(traces)
         seed_iter = iter_spawn_seed_sequences(self.seed)
+        tasks = (_Task(index=index, trace=trace,
+                       seed_seq=next(seed_iter))
+                 for index, trace in enumerate(traces))
+        yield from self._iter_task_outcomes(tasks, None)
+
+    def run_trials(self, trial_fn: Callable,
+                   trials: Sequence[TrialSpec]) -> List[EpochOutcome]:
+        """Run every trial; one :class:`EpochOutcome` per input."""
+        return list(self.iter_trials(trial_fn, trials))
+
+    def iter_trials(self, trial_fn: Callable,
+                    trials: Iterable[TrialSpec]
+                    ) -> Iterator[EpochOutcome]:
+        """Yield one :class:`EpochOutcome` per trial, in input order.
+
+        ``trial_fn`` must be a top-level (picklable) callable with
+        signature ``(trace, payload, rng, config) -> Any``; it runs
+        under the full supervision contract of :meth:`iter_outcomes`.
+        Each trial's ``rng`` derives from its explicit ``seed`` when
+        set, else from the engine's spawned child sequence for that
+        input position — either way identical for any worker count.
+        One child sequence is consumed per trial regardless, so mixing
+        explicit and engine seeds never shifts later trials' streams.
+        """
+        seed_iter = iter_spawn_seed_sequences(self.seed)
+
+        def _tasks() -> Iterator[_Task]:
+            for index, spec in enumerate(trials):
+                child = next(seed_iter)
+                seed = spec.seed if spec.seed is not None else child
+                yield _Task(index=index, trace=spec.trace,
+                            seed_seq=seed, payload=spec.payload)
+
+        yield from self._iter_task_outcomes(_tasks(), trial_fn)
+
+    def _iter_task_outcomes(self, task_iter: Iterator[_Task],
+                            trial_fn: Optional[Callable]
+                            ) -> Iterator[EpochOutcome]:
         if self.max_workers <= 1:
-            yield from self._iter_serial(trace_iter, seed_iter)
+            yield from self._iter_serial(task_iter, trial_fn)
             return
-        # A lone epoch is not worth a process pool.
-        first = list(_take(trace_iter, 2))
+        # A lone task is not worth a process pool.
+        first = list(_take(task_iter, 2))
         if len(first) <= 1:
-            yield from self._iter_serial(iter(first), seed_iter)
+            yield from self._iter_serial(iter(first), trial_fn)
             return
-        yield from self._iter_supervised(chain(first, trace_iter),
-                                         seed_iter)
+        yield from self._iter_supervised(chain(first, task_iter),
+                                         trial_fn)
 
     # -- serial path -------------------------------------------------------
 
-    def _iter_serial(self, trace_iter: Iterator[IQTrace],
-                     seed_iter) -> Iterator[EpochOutcome]:
-        """In-process decode with the same retry policy (no watchdog:
-        a hang in the caller's own process cannot be preempted)."""
-        for index, trace in enumerate(trace_iter):
-            seed_seq = next(seed_iter)
+    def _run_local(self, task: _Task,
+                   trial_fn: Optional[Callable]) -> Any:
+        if trial_fn is None:
+            return _decode_task(task.index, task.trace, task.seed_seq,
+                                config=self.config)
+        return _trial_task(trial_fn, task.index, task.trace,
+                           task.payload, task.seed_seq,
+                           config=self.config)
+
+    def _iter_serial(self, task_iter: Iterator[_Task],
+                     trial_fn: Optional[Callable]
+                     ) -> Iterator[EpochOutcome]:
+        """In-process execution with the same retry policy (no
+        watchdog: a hang in the caller's own process cannot be
+        preempted)."""
+        for task in task_iter:
             attempts = 0
             while True:
                 attempts += 1
                 try:
-                    result = _decode_task(index, trace, seed_seq,
-                                          config=self.config)
+                    result = self._run_local(task, trial_fn)
                 except Exception as exc:  # noqa: BLE001 — supervision
                     if attempts >= self.max_attempts:
                         yield EpochOutcome(
-                            epoch_index=index, status="failed",
+                            epoch_index=task.index, status="failed",
                             attempts=attempts,
                             error=f"{type(exc).__name__}: {exc}")
                         break
                     time.sleep(self.retry_backoff_s
                                * (2 ** (attempts - 1)))
                 else:
-                    yield _settled(index, result, attempts)
+                    yield _settled(task.index, result, attempts)
                     break
 
     # -- supervised pool path ----------------------------------------------
 
-    def _iter_supervised(self, trace_iter: Iterator[IQTrace],
-                         seed_iter) -> Iterator[EpochOutcome]:
+    def _iter_supervised(self, task_iter: Iterator[_Task],
+                         trial_fn: Optional[Callable]
+                         ) -> Iterator[EpochOutcome]:
         window = 2 * self.max_workers
         pending: Deque[_Task] = deque()
         pool = self._new_pool()
-        index = 0
         exhausted = False
 
         def _fail(task: _Task, message: str) -> None:
@@ -395,6 +523,7 @@ class BatchDecoder:
             exc = task.future.exception()
             if exc is None:
                 task.result = task.future.result()
+                task.done = True
                 task.suspect = False
                 task.future = None
                 task.release_shm()
@@ -463,20 +592,17 @@ class BatchDecoder:
                         if in_flight >= cap:
                             break
                         if task.future is None and not task.settled:
-                            self._submit(pool, task)
+                            self._submit(pool, task, trial_fn)
                             in_flight += 1
                     while in_flight < cap and not exhausted:
-                        trace = next(trace_iter, None)
-                        if trace is None:
+                        task = next(task_iter, None)
+                        if task is None:
                             exhausted = True
                             break
-                        task = _Task(index=index, trace=trace,
-                                     seed_seq=next(seed_iter))
-                        index += 1
                         # Enqueue before submitting: a submit that dies
                         # with the pool must not lose the epoch.
                         pending.append(task)
-                        self._submit(pool, task)
+                        self._submit(pool, task, trial_fn)
                         in_flight += 1
                 except BrokenProcessPool:
                     _pool_broke()
@@ -506,6 +632,7 @@ class BatchDecoder:
                     _worker_error(head, exc)
                 else:
                     head.result = result
+                    head.done = True
                     head.suspect = False
                     head.future = None
                     head.release_shm()
@@ -529,23 +656,25 @@ class BatchDecoder:
                                    initargs=(self.config,))
 
     def _outcome_of(self, task: _Task) -> EpochOutcome:
-        if task.result is not None:
+        if task.done:
             return _settled(task.index, task.result,
                             max(task.attempts, 1))
         return EpochOutcome(epoch_index=task.index, status="failed",
                             attempts=max(task.attempts, 1),
                             error=task.error or "task failed")
 
-    def _submit(self, pool: ProcessPoolExecutor, task: _Task) -> None:
-        """Submit one decode, preferring the shared-memory transport.
+    def _submit(self, pool: ProcessPoolExecutor, task: _Task,
+                trial_fn: Optional[Callable] = None) -> None:
+        """Submit one task, preferring the shared-memory transport.
 
         Falls back to the pickle transport per task when the block
         cannot be created (exhausted ``/dev/shm``, zero-size trace) —
-        the decode itself is transport-agnostic.
+        the work itself is transport-agnostic.  Trace-less trials
+        always pickle (there are no samples to move).
         """
         task.attempts += 1
         trace = task.trace
-        if self.use_shared_memory:
+        if self.use_shared_memory and trace is not None:
             samples = np.ascontiguousarray(trace.samples,
                                            dtype=np.complex128)
             shm = None
@@ -556,10 +685,17 @@ class BatchDecoder:
                                   buffer=shm.buf)
                 view[:] = samples
                 task.shm = shm
-                task.future = pool.submit(
-                    _decode_task_shm, task.index, shm.name,
-                    samples.size, trace.sample_rate_hz,
-                    trace.start_time_s, task.seed_seq)
+                if trial_fn is None:
+                    task.future = pool.submit(
+                        _decode_task_shm, task.index, shm.name,
+                        samples.size, trace.sample_rate_hz,
+                        trace.start_time_s, task.seed_seq)
+                else:
+                    task.future = pool.submit(
+                        _trial_task_shm, trial_fn, task.index,
+                        shm.name, samples.size, trace.sample_rate_hz,
+                        trace.start_time_s, task.payload,
+                        task.seed_seq)
                 return
             except BrokenProcessPool:
                 task.shm = None
@@ -578,8 +714,13 @@ class BatchDecoder:
                         shm.unlink()
                     except FileNotFoundError:  # pragma: no cover
                         pass
-        task.future = pool.submit(_decode_task, task.index, trace,
-                                  task.seed_seq)
+        if trial_fn is None:
+            task.future = pool.submit(_decode_task, task.index, trace,
+                                      task.seed_seq)
+        else:
+            task.future = pool.submit(_trial_task, trial_fn,
+                                      task.index, trace, task.payload,
+                                      task.seed_seq)
 
     def aggregate_timings(self, results: Iterable[EpochResult]
                           ) -> Dict[str, float]:
@@ -598,9 +739,10 @@ class BatchDecoder:
         return total
 
 
-def _settled(index: int, result: EpochResult,
+def _settled(index: int, result: Any,
              attempts: int) -> EpochOutcome:
-    status = "degraded" if result.degraded else "ok"
+    degraded = bool(getattr(result, "degraded", False))
+    status = "degraded" if degraded else "ok"
     return EpochOutcome(epoch_index=index, status=status, result=result,
                         attempts=attempts)
 

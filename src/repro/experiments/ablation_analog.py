@@ -9,15 +9,43 @@ fallback enabled vs disabled.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from ..analysis.ber import _single_tag_capture
-from ..core.pipeline import LFDecoder, LFDecoderConfig
+from ..core.engine import TrialSpec
 from ..types import SimulationProfile
 from ..utils.rng import SeedLike, make_rng
 from .common import ExperimentResult
+from .sweep import SweepGrid, SweepRunner, results_of
+
+
+def analog_trial(trace, payload: Dict[str, Any], rng,
+                 config) -> Dict[str, int]:
+    """One capture decoded with and without the analog fold.
+
+    ``rng`` (the engine's ``default_rng(seed)``) renders the capture;
+    the decoders re-derive their legacy generators from the raw seed in
+    the payload (``seed + 1``, one fresh generator per variant).
+    """
+    from ..analysis.ber import _single_tag_capture
+    from ..core.pipeline import LFDecoder, LFDecoderConfig
+    prof = payload["profile"]
+    capture = _single_tag_capture(
+        payload["snr_db"], payload["n_bits"], prof, 0.1 + 0.04j, rng)
+    truth = capture.truths[0]
+    hits = {}
+    for fallback in (True, False):
+        decoder = LFDecoder(LFDecoderConfig(
+            candidate_bitrates_bps=[prof.default_bitrate_bps],
+            profile=prof, min_header_score=0.6,
+            enable_analog_fallback=fallback),
+            rng=np.random.default_rng(payload["seed"] + 1))
+        result = decoder.decode_epoch(capture.trace)
+        hit = any(abs(s.offset_samples - truth.offset_samples) < 30
+                  for s in result.streams)
+        hits["with_fallback" if fallback else "without"] = int(hit)
+    return hits
 
 
 def run(snr_db_values: Optional[List[float]] = None,
@@ -34,30 +62,30 @@ def run(snr_db_values: Optional[List[float]] = None,
     prof = profile or SimulationProfile.fast()
     gen = make_rng(rng)
 
-    rows = []
+    # Trial seeds pre-drawn in the legacy snr-then-trial order; each
+    # engine trial renders the capture from its seed and runs both
+    # decoder variants against it.
+    grid = SweepGrid()
     for snr in snrs:
-        acquired = {True: 0, False: 0}
-        for trial in range(n_trials):
+        trials = []
+        for _ in range(n_trials):
             seed = int(gen.integers(0, 2 ** 31))
-            capture = _single_tag_capture(
-                snr, n_bits, prof, 0.1 + 0.04j,
-                np.random.default_rng(seed))
-            truth = capture.truths[0]
-            for fallback in (True, False):
-                decoder = LFDecoder(LFDecoderConfig(
-                    candidate_bitrates_bps=[prof.default_bitrate_bps],
-                    profile=prof, min_header_score=0.6,
-                    enable_analog_fallback=fallback),
-                    rng=np.random.default_rng(seed + 1))
-                result = decoder.decode_epoch(capture.trace)
-                hit = any(abs(s.offset_samples - truth.offset_samples)
-                          < 30 for s in result.streams)
-                acquired[fallback] += int(hit)
-        rows.append({
-            "snr_db": snr,
-            "acquired_with_fallback": acquired[True] / n_trials,
-            "acquired_without": acquired[False] / n_trials,
-        })
+            trials.append(TrialSpec(seed=seed, payload={
+                "snr_db": snr, "n_bits": n_bits, "profile": prof,
+                "seed": seed}))
+        grid.add_cell({"snr_db": snr}, trials)
+
+    def _fold(cell, outcomes):
+        results = results_of(outcomes)
+        return {
+            "snr_db": cell.coords["snr_db"],
+            "acquired_with_fallback":
+                sum(r["with_fallback"] for r in results) / n_trials,
+            "acquired_without":
+                sum(r["without"] for r in results) / n_trials,
+        }
+
+    rows = SweepRunner(analog_trial).run(grid, _fold)
     return ExperimentResult(
         experiment_id="ablation_analog",
         description="Single-tag stream acquisition vs SNR, with/"

@@ -11,16 +11,15 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-import numpy as np
-
-from ..analysis.throughput import score_epoch
-from ..core.pipeline import LFDecoder, LFDecoderConfig
-from ..phy.channel import ChannelModel, random_coefficients
-from ..reader.simulator import NetworkSimulator
-from ..tags.lf_tag import LFTag
-from ..types import SimulationProfile, TagConfig
+from ..core.engine import TrialSpec
+from ..core.pipeline import LFDecoderConfig
+from ..phy.channel import random_coefficients
+from ..types import SimulationProfile
 from ..utils.rng import SeedLike, make_rng
 from .common import ExperimentResult
+from .scenario import ScenarioSpec
+from .sweep import SweepGrid, SweepRunner, results_of
+from .trials import scenario_decode_trial
 
 
 def run(drift_values_ppm: Optional[List[float]] = None,
@@ -40,39 +39,36 @@ def run(drift_values_ppm: Optional[List[float]] = None,
     rate = prof.default_bitrate_bps
     gen = make_rng(rng)
 
-    rows = []
+    # Each (drift, epoch) trial's entropy — coefficients, per-tag and
+    # simulator seeds, decoder seed — is pre-drawn in the legacy serial
+    # order and pinned into a self-contained spec.
+    grid = SweepGrid()
     for drift in drifts:
-        correct = 0
-        sent = 0
+        trials = []
         for epoch in range(n_epochs):
             coeffs = random_coefficients(n_tags, rng=gen)
-            channel = ChannelModel(
-                {k: coeffs[k] for k in range(n_tags)},
-                environment_offset=0.5 + 0.3j)
-            tags = [LFTag(TagConfig(tag_id=k, bitrate_bps=rate,
-                                    channel_coefficient=coeffs[k],
-                                    clock_drift_ppm=drift),
-                          profile=prof,
-                          rng=np.random.default_rng(
-                              gen.integers(0, 2 ** 63)))
-                    for k in range(n_tags)]
-            sim = NetworkSimulator(
-                tags, channel, profile=prof, noise_std=0.01,
-                rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
-            capture = sim.run_epoch(epoch_duration_s,
-                                    epoch_index=epoch)
-            decoder = LFDecoder(
-                LFDecoderConfig(candidate_bitrates_bps=[rate],
-                                profile=prof),
-                rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
-            report = score_epoch(capture,
-                                 decoder.decode_epoch(capture.trace))
-            correct += report.bits_correct
-            sent += report.bits_sent
-        rows.append({
-            "drift_ppm": drift,
-            "goodput_fraction": correct / sent if sent else 0.0,
-        })
+            seeds = tuple(int(gen.integers(0, 2 ** 63))
+                          for _ in range(n_tags + 1))
+            decoder_seed = int(gen.integers(0, 2 ** 63))
+            spec = ScenarioSpec(
+                name="ablation_drift", n_tags=n_tags,
+                bitrate_bps=rate, drift_ppm=drift,
+                coefficients=tuple(coeffs), population_seeds=seeds)
+            trials.append(TrialSpec(seed=decoder_seed, payload={
+                "spec": spec, "profile": prof,
+                "decoder_config": LFDecoderConfig(
+                    candidate_bitrates_bps=[rate], profile=prof),
+                "duration": epoch_duration_s, "epoch_index": epoch}))
+        grid.add_cell({"drift_ppm": drift}, trials)
+
+    def _fold(cell, outcomes):
+        results = results_of(outcomes)
+        correct = sum(r["bits_correct"] for r in results)
+        sent = sum(r["bits_sent"] for r in results)
+        return {"drift_ppm": cell.coords["drift_ppm"],
+                "goodput_fraction": correct / sent if sent else 0.0}
+
+    rows = SweepRunner(scenario_decode_trial).run(grid, _fold)
     return ExperimentResult(
         experiment_id="ablation_drift",
         description="Decoder goodput vs tag clock drift",

@@ -15,13 +15,15 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..analysis.throughput import lf_throughput_sweep
 from ..baselines.buzz import BuzzConfig, BuzzSimulator
 from ..baselines.tdma import TdmaConfig, TdmaSimulator
+from ..core.engine import TrialSpec
 from ..phy.channel import ChannelModel, random_coefficients
 from ..types import SimulationProfile
 from ..utils.rng import SeedLike, make_rng
 from .common import ExperimentResult
+from .sweep import SweepGrid, SweepRunner, results_of
+from .trials import lf_epochs_trial
 
 
 def run(tag_counts: Optional[List[int]] = None,
@@ -30,7 +32,14 @@ def run(tag_counts: Optional[List[int]] = None,
         profile: Optional[SimulationProfile] = None,
         rng: SeedLike = 2015,
         quick: bool = False) -> ExperimentResult:
-    """Measure the Figure 8 sweep."""
+    """Measure the Figure 8 sweep.
+
+    The measured LF runs dispatch through the sweep layer (one
+    engine-supervised trial per tag count, seeded exactly as the old
+    serial ``lf_throughput_sweep`` loop drew them); the TDMA and Buzz
+    columns stay in-process — they are analytic protocol models, not
+    decodes.
+    """
     counts = tag_counts or [4, 8, 12, 16]
     if quick:
         counts = [c for c in counts if c <= 8] or counts[:1]
@@ -39,9 +48,18 @@ def run(tag_counts: Optional[List[int]] = None,
     rate = prof.default_bitrate_bps
     gen = make_rng(rng)
 
-    lf_runs = lf_throughput_sweep(counts, rate, n_epochs=n_epochs,
-                                  epoch_duration_s=epoch_duration_s,
-                                  profile=prof, rng=gen)
+    # Pre-draw each count's run seed in the legacy order (the sweep
+    # consumed one child draw per count before TDMA/Buzz touched gen).
+    grid = SweepGrid()
+    for n in counts:
+        seed = int(gen.integers(0, 2 ** 63))
+        grid.add_cell({"n_tags": n}, TrialSpec(seed=seed, payload={
+            "n_tags": n, "rate": rate, "n_epochs": n_epochs,
+            "duration": epoch_duration_s, "profile": prof}))
+    lf_rows = SweepRunner(lf_epochs_trial).run(
+        grid, lambda cell, outs: {**cell.coords,
+                                  **results_of(outs)[0]})
+    lf_runs = {row["n_tags"]: row for row in lf_rows}
     tdma = TdmaSimulator(TdmaConfig(bitrate_bps=rate), rng=gen)
 
     rows = []
@@ -50,13 +68,13 @@ def run(tag_counts: Optional[List[int]] = None,
         buzz = BuzzSimulator(
             ChannelModel({k: c for k, c in enumerate(coeffs)}),
             BuzzConfig(bitrate_bps=rate), rng=gen)
-        lf_bps = lf_runs[n].throughput_bps
+        lf_bps = lf_runs[n]["throughput_bps"]
         rows.append({
             "n_tags": n,
             "tdma_x": tdma.aggregate_throughput_bps(n) / rate,
             "buzz_x": buzz.aggregate_throughput_bps(n) / rate,
             "lf_x": lf_bps / rate,
-            "lf_goodput_fraction": lf_runs[n].goodput_fraction,
+            "lf_goodput_fraction": lf_runs[n]["goodput_fraction"],
             "max_x": float(n),
         })
     last = rows[-1]

@@ -13,13 +13,13 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-import numpy as np
-
-from ..analysis.throughput import run_lf_epochs
+from ..core.engine import TrialSpec
 from ..core.pipeline import LFDecoderConfig
 from ..types import SimulationProfile
 from ..utils.rng import SeedLike, make_rng
 from .common import ExperimentResult
+from .sweep import SweepGrid, SweepRunner, results_of
+from .trials import lf_epochs_trial
 
 VARIANTS = (
     ("edge", False, False),
@@ -47,29 +47,37 @@ def run(n_tags: int = 16,
     prof = profile or SimulationProfile.fast()
     gen = make_rng(rng)
 
-    rows = []
+    # One cell per rate fraction; its three decoder-variant trials
+    # share the cell seed (identical captures, ablated configs) and
+    # dispatch through the engine.
+    grid = SweepGrid()
     for fraction in fractions:
         rate = prof.default_bitrate_bps * fraction
         prof.validate_bitrate(rate)
-        samples_per_bit = prof.samples_per_bit(rate)
         # Keep the per-epoch bit budget roughly constant across rates.
         duration = 130.0 / rate
         seed = int(gen.integers(0, 2 ** 31))
-        row = {
-            "rate_x": fraction,
-            "samples_per_bit": samples_per_bit,
-        }
+        trials = []
         for name, iq, ec in VARIANTS:
             config = LFDecoderConfig(
                 candidate_bitrates_bps=[rate], profile=prof,
                 enable_iq_separation=iq, enable_error_correction=ec)
-            result = run_lf_epochs(
-                n_tags, rate, n_epochs, duration, profile=prof,
-                decoder_config=config,
-                rng=np.random.default_rng(seed))
-            row[f"{name}_x"] = result.throughput_bps \
+            trials.append(TrialSpec(seed=seed, payload={
+                "n_tags": n_tags, "rate": rate, "n_epochs": n_epochs,
+                "duration": duration, "profile": prof,
+                "decoder_config": config}))
+        grid.add_cell({"rate_x": fraction,
+                       "samples_per_bit": prof.samples_per_bit(rate)},
+                      trials)
+
+    def _fold(cell, outcomes):
+        row = dict(cell.coords)
+        for (name, _, _), result in zip(VARIANTS, results_of(outcomes)):
+            row[f"{name}_x"] = result["throughput_bps"] \
                 / prof.default_bitrate_bps
-        rows.append(row)
+        return row
+
+    rows = SweepRunner(lf_epochs_trial).run(grid, _fold)
     return ExperimentResult(
         experiment_id="fig10",
         description=f"Throughput vs per-tag bitrate, {n_tags} nodes "

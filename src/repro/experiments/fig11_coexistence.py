@@ -14,43 +14,31 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-import numpy as np
-
-from ..analysis.throughput import match_streams
-from ..core.pipeline import LFDecoder, LFDecoderConfig
-from ..phy.channel import ChannelModel, random_coefficients
-from ..reader.simulator import NetworkSimulator
-from ..tags.lf_tag import LFTag
-from ..types import SimulationProfile, TagConfig
+from ..core.engine import TrialSpec
+from ..core.pipeline import LFDecoderConfig
+from ..phy.channel import random_coefficients
+from ..types import SimulationProfile
 from ..utils.rng import SeedLike, make_rng
 from .common import ExperimentResult
+from .scenario import ScenarioSpec
+from .sweep import SweepGrid, SweepRunner, results_of
 
 
-def _run_pair(slow_rate: float, fast_rate: float,
-              profile: SimulationProfile, gen) -> List[dict]:
-    coeffs = random_coefficients(2, min_separation=0.03, rng=gen)
-    channel = ChannelModel({0: coeffs[0], 1: coeffs[1]},
-                           environment_offset=0.5 + 0.3j)
-    tags = [
-        LFTag(TagConfig(tag_id=0, bitrate_bps=slow_rate,
-                        channel_coefficient=coeffs[0]),
-              profile=profile,
-              rng=np.random.default_rng(gen.integers(0, 2 ** 63))),
-        LFTag(TagConfig(tag_id=1, bitrate_bps=fast_rate,
-                        channel_coefficient=coeffs[1]),
-              profile=profile,
-              rng=np.random.default_rng(gen.integers(0, 2 ** 63))),
-    ]
-    sim = NetworkSimulator(tags, channel, profile=profile,
-                           noise_std=0.01,
-                           rng=np.random.default_rng(
-                               gen.integers(0, 2 ** 63)))
-    duration = 26.0 / slow_rate
-    capture = sim.run_epoch(duration)
-    decoder = LFDecoder(LFDecoderConfig(
-        candidate_bitrates_bps=sorted({slow_rate, fast_rate}),
-        profile=profile),
-        rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
+def pair_trial(trace, payload, rng, config) -> List[dict]:
+    """Engine-dispatched slow+fast pair: render, decode, score both.
+
+    The pair's capture is fully pinned in the payload's spec
+    (coefficients + population seeds); ``rng`` seeds the decoder, with
+    the exact generator the legacy serial loop drew for it.
+    """
+    from ..analysis.throughput import match_streams
+    from ..core.pipeline import LFDecoder
+    from .scenario import ScenarioSynth
+    profile = payload["profile"]
+    synth = ScenarioSynth(payload["spec"], profile=profile)
+    slow_rate = payload["spec"].bitrates_bps[0]
+    capture = synth.capture(26.0 / slow_rate)
+    decoder = LFDecoder(payload["decoder_config"], rng=rng)
     result = decoder.decode_epoch(capture.trace)
     matches = match_streams(capture, result)
     rows = []
@@ -80,14 +68,37 @@ def run(rate_fractions: Optional[List[float]] = None,
     prof = profile or SimulationProfile.fast()
     gen = make_rng(rng)
 
-    rows = []
-    node = 0
+    # Pre-draw each pair's entropy in the legacy serial order
+    # (coefficients, two tag seeds, sim seed, decoder seed) and pin it
+    # into a self-contained spec per sweep cell.
+    grid = SweepGrid()
     for fraction in fractions:
         slow_rate = prof.default_bitrate_bps * fraction
         prof.validate_bitrate(slow_rate)
-        pair_rows = _run_pair(slow_rate, prof.default_bitrate_bps,
-                              prof, gen)
-        for row in pair_rows:
+        coeffs = random_coefficients(2, min_separation=0.03, rng=gen)
+        seeds = tuple(int(gen.integers(0, 2 ** 63)) for _ in range(3))
+        decoder_seed = int(gen.integers(0, 2 ** 63))
+        spec = ScenarioSpec(
+            name="fig11_pair", n_tags=2,
+            bitrates_bps=(slow_rate, prof.default_bitrate_bps),
+            coefficients=tuple(coeffs), population_seeds=seeds)
+        config = LFDecoderConfig(
+            candidate_bitrates_bps=sorted(
+                {slow_rate, prof.default_bitrate_bps}),
+            profile=prof)
+        grid.add_cell(
+            {"fraction": fraction},
+            TrialSpec(seed=decoder_seed,
+                      payload={"spec": spec, "profile": prof,
+                               "decoder_config": config}))
+
+    pair_rows_by_cell = SweepRunner(pair_trial).run(
+        grid, lambda cell, outs: {"pair_rows": results_of(outs)[0]})
+
+    rows = []
+    node = 0
+    for folded in pair_rows_by_cell:
+        for row in folded["pair_rows"]:
             row["node"] = node
             node += 1
             rows.append(row)

@@ -8,14 +8,33 @@ epochs even under heavy concurrency.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from ..link.reliability import ReliableLink, ReliableTransferConfig
+from ..core.engine import TrialSpec
 from ..types import SimulationProfile
 from ..utils.rng import SeedLike, make_rng
 from .common import ExperimentResult
+from .sweep import SweepGrid, SweepRunner, results_of
+
+
+def reliability_trial(trace, payload: Dict[str, Any], rng,
+                      config) -> Dict[str, float]:
+    """One full Broadcast-ACK transfer (simulate every retry epoch)."""
+    from ..link.reliability import ReliableLink, ReliableTransferConfig
+    n = payload["n_tags"]
+    link = ReliableLink(
+        n,
+        ReliableTransferConfig(message_bits=payload["message_bits"],
+                               max_epochs=15),
+        profile=payload["profile"], rng=rng)
+    outcome = link.run()
+    first = (outcome.per_epoch_deliveries[0] / n
+             if outcome.per_epoch_deliveries else 0.0)
+    return {"epochs_used": outcome.epochs_used,
+            "delivery_ratio": outcome.delivery_ratio,
+            "first_epoch_delivery": first}
 
 
 def run(tag_counts: Optional[List[int]] = None,
@@ -32,30 +51,30 @@ def run(tag_counts: Optional[List[int]] = None,
     prof = profile or SimulationProfile.fast()
     gen = make_rng(rng)
 
-    rows = []
+    # Each trial's seed is pre-drawn in the legacy per-count order so
+    # engine dispatch reproduces the serial loop's generators exactly.
+    grid = SweepGrid()
     for n in counts:
-        epochs = []
-        ratios = []
-        first_epoch = []
-        for _ in range(n_trials):
-            link = ReliableLink(
-                n,
-                ReliableTransferConfig(message_bits=message_bits,
-                                       max_epochs=15),
-                profile=prof,
-                rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
-            outcome = link.run()
-            epochs.append(outcome.epochs_used)
-            ratios.append(outcome.delivery_ratio)
-            first = (outcome.per_epoch_deliveries[0] / n
-                     if outcome.per_epoch_deliveries else 0.0)
-            first_epoch.append(first)
-        rows.append({
-            "n_tags": n,
-            "mean_epochs_to_complete": float(np.mean(epochs)),
-            "delivery_ratio": float(np.mean(ratios)),
-            "first_epoch_delivery": float(np.mean(first_epoch)),
-        })
+        trials = [TrialSpec(seed=int(gen.integers(0, 2 ** 63)),
+                            payload={"n_tags": n,
+                                     "message_bits": message_bits,
+                                     "profile": prof})
+                  for _ in range(n_trials)]
+        grid.add_cell({"n_tags": n}, trials)
+
+    def _fold(cell, outcomes):
+        results = results_of(outcomes)
+        return {
+            "n_tags": cell.coords["n_tags"],
+            "mean_epochs_to_complete": float(np.mean(
+                [r["epochs_used"] for r in results])),
+            "delivery_ratio": float(np.mean(
+                [r["delivery_ratio"] for r in results])),
+            "first_epoch_delivery": float(np.mean(
+                [r["first_epoch_delivery"] for r in results])),
+        }
+
+    rows = SweepRunner(reliability_trial).run(grid, _fold)
     return ExperimentResult(
         experiment_id="sec36",
         description="Broadcast-ACK reliable transfer: epochs to full "

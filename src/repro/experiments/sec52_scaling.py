@@ -21,9 +21,12 @@ import numpy as np
 
 from ..analysis.collision_prob import collision_probability_at_least
 from ..analysis.throughput import run_lf_epochs
+from ..core.engine import TrialSpec
 from ..types import SimulationProfile
 from ..utils.rng import SeedLike, make_rng
 from .common import ExperimentResult
+from .sweep import SweepGrid, SweepRunner, results_of
+from .trials import lf_epochs_trial
 
 
 def max_tags_for_collision_budget(samples_per_bit: float,
@@ -57,7 +60,6 @@ def run(rate_fractions: Optional[List[float]] = None,
         fractions = [1.0, 0.1]
         empirical_n_tags = 24
     prof = profile or SimulationProfile.fast()
-    gen = make_rng(rng)
 
     rows = []
     for fraction in fractions:
@@ -71,20 +73,37 @@ def run(rate_fractions: Optional[List[float]] = None,
                 max_tags_for_collision_budget(spb),
         })
 
-    # Empirical spot check at the reduced rate.
+    # Empirical spot check at the reduced rate.  Integer seeds pass
+    # straight through the engine (a worker's ``default_rng(seed)`` is
+    # the legacy ``make_rng(seed)`` generator); an explicit generator
+    # cannot cross a process boundary, so it runs in-process.
     rate = prof.default_bitrate_bps * empirical_fraction
     prof.validate_bitrate(rate)
     duration = 120.0 / rate
-    result = run_lf_epochs(empirical_n_tags, rate, n_epochs=2,
-                           epoch_duration_s=duration, profile=prof,
-                           rng=gen)
+    if rng is None or isinstance(rng, (int, np.integer)):
+        grid = SweepGrid()
+        grid.add_cell(
+            {"rate_x": empirical_fraction},
+            TrialSpec(seed=None if rng is None else int(rng),
+                      payload={"n_tags": empirical_n_tags,
+                               "rate": rate, "n_epochs": 2,
+                               "duration": duration,
+                               "profile": prof}))
+        goodput = SweepRunner(lf_epochs_trial).run(
+            grid, lambda cell, outs:
+            results_of(outs)[0])[0]["goodput_fraction"]
+    else:
+        result = run_lf_epochs(empirical_n_tags, rate, n_epochs=2,
+                               epoch_duration_s=duration, profile=prof,
+                               rng=make_rng(rng))
+        goodput = result.goodput_fraction
     rows.append({
         "rate_x": empirical_fraction,
         "samples_per_bit": prof.samples_per_bit(rate),
         "edge_slots": -1,
         "max_tags_p3_below_1pct": -1,
         "empirical_n_tags": empirical_n_tags,
-        "empirical_goodput_fraction": result.goodput_fraction,
+        "empirical_goodput_fraction": goodput,
     })
     return ExperimentResult(
         experiment_id="sec52",

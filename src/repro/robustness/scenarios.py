@@ -18,18 +18,13 @@ running the whole sweep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
-import numpy as np
-
-from ..phy.channel import ChannelModel, random_coefficients
 from ..reader.epoch import EpochCapture
-from ..reader.simulator import NetworkSimulator
-from ..tags.lf_tag import LFTag
-from ..types import SimulationProfile, TagConfig
+from ..types import SimulationProfile
 from .impairments import (Impairment, MultipathChannel, SweptInterferer,
-                          TagMobility, impair_capture)
+                          TagMobility)
 
 __all__ = ["Scenario", "SCENARIOS", "build_scenario_capture"]
 
@@ -49,6 +44,15 @@ class Scenario:
     seed: int = 42
     epoch_seconds: float = 0.01
     noise_std: float = 0.01
+
+    def to_spec(self):
+        """This scenario as a :class:`ScenarioSpec` (same waveform)."""
+        from ..experiments.scenario import ScenarioSpec
+        return ScenarioSpec(
+            name=self.name, n_tags=self.n_tags, bitrate_bps=10e3,
+            noise_std=self.noise_std, impairments=self.impairments,
+            epoch_s=self.epoch_seconds, seed=self.seed,
+            description=self.description)
 
 
 def _hallway(n_tags: int, name: str, blurb: str) -> Scenario:
@@ -105,27 +109,11 @@ def build_scenario_capture(scenario: Scenario,
                            ) -> EpochCapture:
     """Regenerate a scenario's exact impaired capture.
 
-    Mirrors the test suite's standard network construction (same
-    coefficient draw, same seeding discipline) so survival-matrix
-    cells and test assertions talk about the same waveform.
+    Delegates to the unified scenario factory
+    (:mod:`repro.experiments.scenario`), which implements the same
+    construction this module used to hand-roll — same coefficient
+    draw, same seeding discipline — so survival-matrix cells, tests
+    and the signoff suite all talk about the same waveform.
     """
-    profile = profile or SimulationProfile.fast()
-    gen = np.random.default_rng(scenario.seed)
-    coeffs = random_coefficients(scenario.n_tags, rng=gen)
-    channel = ChannelModel(
-        {k: coeffs[k] for k in range(scenario.n_tags)},
-        environment_offset=0.5 + 0.3j)
-    tags = [LFTag(TagConfig(tag_id=k, bitrate_bps=10e3,
-                            channel_coefficient=coeffs[k]),
-                  profile=profile,
-                  rng=np.random.default_rng(gen.integers(0, 2 ** 63)))
-            for k in range(scenario.n_tags)]
-    sim = NetworkSimulator(tags, channel, profile=profile,
-                           noise_std=scenario.noise_std,
-                           rng=np.random.default_rng(
-                               gen.integers(0, 2 ** 63)))
-    capture = sim.run_epoch(scenario.epoch_seconds)
-    if not scenario.impairments:
-        return capture
-    return impair_capture(capture, scenario.impairments,
-                          rng=scenario.seed)
+    from ..experiments.scenario import build_capture
+    return build_capture(scenario.to_spec(), profile=profile)

@@ -49,11 +49,8 @@ import numpy as np
 
 from ..core.pipeline import LFDecoderConfig
 from ..errors import ConfigurationError
-from ..phy.channel import ChannelModel, random_coefficients
 from ..reader.batch import chunk_trace
-from ..reader.simulator import NetworkSimulator
-from ..tags.lf_tag import LFTag
-from ..types import IQTrace, SimulationProfile, TagConfig
+from ..types import IQTrace, SimulationProfile
 from .chaos import (ChaosConfig, ChaosInjector, capture_thread_exceptions,
                     chaos_service_config)
 from .config import (BLOCK, PROCESS, SHED_OLDEST, THREAD, ServiceConfig,
@@ -176,30 +173,26 @@ ReaderTraffic = List[List[Tuple[IQTrace, float]]]
 
 def _build_reader_pool(reader_id: int, cfg: SoakConfig,
                        profile: SimulationProfile) -> ReaderTraffic:
+    from ..experiments.scenario import ScenarioSpec, ScenarioSynth
     epochs: ReaderTraffic = []
     for pool_index in range(cfg.pool_epochs):
         generation = (pool_index // cfg.churn_every
                       if cfg.churn_every else 0)
-        gen = np.random.default_rng(
-            (cfg.seed, reader_id, generation))
-        n_tags = cfg.tags_per_reader
-        coeffs = random_coefficients(n_tags, rng=gen)
         # Churned generations carry fresh tag ids so a new population
         # reads as new streams, not as impossible drift of old ones.
-        base_id = generation * n_tags
-        channel = ChannelModel(
-            {base_id + k: coeffs[k] for k in range(n_tags)},
-            environment_offset=0.5 + 0.3j)
-        tags = [LFTag(TagConfig(tag_id=base_id + k,
-                                bitrate_bps=10e3,
-                                channel_coefficient=coeffs[k]),
-                      profile=profile,
-                      rng=np.random.default_rng(
-                          gen.integers(0, 2 ** 63)))
-                for k in range(n_tags)]
-        sim = NetworkSimulator(tags, channel, profile=profile,
-                               noise_std=0.01, rng=gen)
-        capture = sim.run_epoch(cfg.epoch_s, epoch_index=pool_index)
+        # The population generator doubles as the simulator's noise
+        # source (spawn_sim_rng=False) — the pool's pinned-baseline
+        # convention, reproduced by the unified scenario factory.
+        spec = ScenarioSpec(
+            name=f"soak_r{reader_id}_g{generation}",
+            n_tags=cfg.tags_per_reader, bitrate_bps=10e3,
+            tag_id_base=generation * cfg.tags_per_reader,
+            spawn_sim_rng=False)
+        synth = ScenarioSynth(
+            spec, profile=profile,
+            rng=np.random.default_rng(
+                (cfg.seed, reader_id, generation)))
+        capture = synth.capture(cfg.epoch_s, epoch_index=pool_index)
         trace = capture.trace
         chunk_samples = max(1, len(trace) // cfg.chunks_per_epoch)
         fs = trace.sample_rate_hz

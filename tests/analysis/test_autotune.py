@@ -1,0 +1,100 @@
+"""Decoder auto-tuner: knob plumbing, descent invariants, families."""
+
+import pytest
+
+from repro.analysis.autotune import (DEFAULT_KNOBS, Knob, TuneResult,
+                                     autotune, build_decoder_config,
+                                     default_params,
+                                     scenario_families)
+from repro.core.fidelity import FidelityPolicy
+from repro.core.pipeline import LFDecoderConfig
+from repro.errors import ConfigurationError
+from repro.types import SimulationProfile
+
+QUICK_KNOBS = (Knob("min_header_score", (0.6, 0.75)),
+               Knob("collision_guard_extra", (1, 3)))
+
+
+class TestKnobRegistry:
+    def test_defaults_match_stock_configs(self):
+        params = default_params(DEFAULT_KNOBS)
+        assert params["min_header_score"] == \
+            LFDecoderConfig.__dataclass_fields__[
+                "min_header_score"].default
+        assert params["fidelity.pregate_margin"] == \
+            FidelityPolicy.__dataclass_fields__[
+                "pregate_margin"].default
+
+    def test_every_default_knob_builds_a_config(self):
+        prof = SimulationProfile.fast()
+        for knob in DEFAULT_KNOBS:
+            for value in knob.values:
+                params = default_params(DEFAULT_KNOBS)
+                params[knob.name] = value
+                config = build_decoder_config(params, [10e3], prof)
+                assert isinstance(config, LFDecoderConfig)
+
+    def test_nested_knobs_reach_sub_configs(self):
+        prof = SimulationProfile.fast()
+        params = default_params(DEFAULT_KNOBS)
+        params["fidelity.pregate_margin"] = 0.25
+        params["equalizer.noise_regularization"] = 0.05
+        params["guard.max_interp_gap"] = 32
+        config = build_decoder_config(params, [10e3], prof)
+        assert config.fidelity.pregate_margin == 0.25
+        assert config.equalizer_config.noise_regularization == 0.05
+        assert config.guard_config.max_interp_gap == 32
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ConfigurationError):
+            default_params((Knob("no_such_field", (1,)),))
+        with pytest.raises(ConfigurationError):
+            default_params((Knob("nowhere.field", (1,)),))
+
+
+class TestScenarioFamilies:
+    def test_families_are_pinned_and_distinct(self):
+        families = scenario_families()
+        assert set(families) == {"low_snr", "dense",
+                                 "multipath_room", "drift_heavy"}
+        seeds = [spec.seed for specs in families.values()
+                 for spec in specs]
+        assert len(seeds) == len(set(seeds))
+
+
+class TestAutotune:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return autotune("low_snr", knobs=QUICK_KNOBS, rounds=1,
+                        seed=4242)
+
+    def test_never_worse_than_stock(self, result):
+        assert result.best_score >= result.baseline_score
+        assert result.improved == \
+            (result.best_score > result.baseline_score)
+
+    def test_changed_params_stay_in_registry(self, result):
+        allowed = {k.name: set(k.values) for k in QUICK_KNOBS}
+        for name, value in result.changed_params.items():
+            assert value in allowed[name]
+
+    def test_deterministic(self, result):
+        again = autotune("low_snr", knobs=QUICK_KNOBS, rounds=1,
+                         seed=4242)
+        assert again.best_score == result.best_score
+        assert again.best_params == result.best_params
+        assert again.history == result.history
+
+    def test_as_dict_is_json_shaped(self, result):
+        import json
+        payload = json.loads(json.dumps(result.as_dict()))
+        assert payload["family"] == "low_snr"
+        assert isinstance(payload["improved"], bool)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            autotune("underwater", knobs=QUICK_KNOBS)
+
+    def test_zero_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            autotune("low_snr", knobs=QUICK_KNOBS, rounds=0)

@@ -1,0 +1,73 @@
+"""Eye-diagram metrics: discrimination, genie timing, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.eye import (EyeMetrics, eye_metrics, eye_summary,
+                                tag_eye_metrics)
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import ScenarioSpec, ScenarioSynth
+
+
+def _capture(**kwargs):
+    defaults = dict(name="eye_test", n_tags=4, bitrate_bps=10e3,
+                    seed=7)
+    defaults.update(kwargs)
+    return ScenarioSynth(ScenarioSpec(**defaults)).capture(0.012)
+
+
+class TestEyeMetrics:
+    def test_per_tag_coverage(self):
+        capture = _capture(snr_db=15.0)
+        metrics = eye_metrics(capture)
+        assert [m.tag_id for m in metrics] == \
+            [t.tag_id for t in capture.truths]
+        for m in metrics:
+            assert m.n_transitions > 0
+            assert m.n_transitions <= m.n_boundaries
+            assert 0.0 <= m.matched_fraction <= 1.0
+
+    def test_opening_discriminates_snr(self):
+        clean = eye_summary(eye_metrics(_capture(snr_db=15.0)))
+        noisy = eye_summary(eye_metrics(_capture(snr_db=2.0)))
+        assert clean["min_opening"] > noisy["min_opening"]
+        assert clean["min_opening"] > 0.5
+
+    def test_clean_eye_is_open_with_small_jitter(self):
+        summary = eye_summary(eye_metrics(_capture(snr_db=15.0)))
+        assert summary["mean_opening"] > 0.8
+        assert summary["max_jitter_samples"] < 5.0
+        assert summary["max_crossing_spread_samples"] < 20.0
+
+    def test_deterministic(self):
+        a = eye_metrics(_capture(snr_db=10.0))
+        b = eye_metrics(_capture(snr_db=10.0))
+        assert a == b
+
+    def test_single_tag_matches_every_transition(self):
+        capture = _capture(n_tags=1, snr_db=15.0)
+        (m,) = eye_metrics(capture)
+        assert m.matched_fraction == 1.0
+        assert m.jitter_samples < 2.0
+
+    def test_unmatched_tag_reports_infinite_jitter(self):
+        capture = _capture(n_tags=1, snr_db=15.0)
+        truth = capture.truths[0]
+        m = tag_eye_metrics(capture, truth,
+                            detected_positions=np.array([],
+                                                        dtype=np.int64))
+        assert m.matched_fraction == 0.0
+        assert np.isinf(m.jitter_samples)
+        # Summary turns the unmeasurable jitter into None, not inf.
+        summary = eye_summary([m])
+        assert summary["max_jitter_samples"] is None
+
+    def test_empty_capture_rejected(self):
+        capture = _capture(n_tags=1)
+        capture.truths.clear()
+        with pytest.raises(ConfigurationError):
+            eye_metrics(capture)
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            eye_summary([])

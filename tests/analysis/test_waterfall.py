@@ -1,0 +1,78 @@
+"""BER waterfall and capacity surface: shape, determinism, guards."""
+
+import pytest
+
+from repro.analysis.waterfall import ber_waterfall, capacity_surface
+from repro.errors import ConfigurationError
+
+
+class TestBerWaterfall:
+    @pytest.fixture(scope="class")
+    def waterfall(self):
+        return ber_waterfall([6.0, 10.0, 14.0], n_bits=150,
+                             n_trials=2, seed=14)
+
+    def test_row_shape(self, waterfall):
+        rows = waterfall["rows"]
+        assert [r["snr_db"] for r in rows] == [6.0, 10.0, 14.0]
+        for row in rows:
+            assert 0.0 <= row["lf_ber"] <= 1.0
+            assert 0.0 <= row["ask_ber"] <= 1.0
+            assert row["bits_measured"] > 0
+
+    def test_fig14_snr_gap_shape(self, waterfall):
+        """LF needs more SNR than ASK, and BER falls with SNR."""
+        rows = waterfall["rows"]
+        assert rows[0]["lf_ber"] >= rows[0]["ask_ber"]
+        assert rows[-1]["lf_ber"] <= rows[0]["lf_ber"]
+        assert rows[-1]["ask_ber"] <= rows[0]["ask_ber"]
+        gap = waterfall["snr_gap_db"]
+        if gap is not None:
+            assert 1.0 < gap < 10.0
+
+    def test_deterministic(self, waterfall):
+        again = ber_waterfall([6.0, 10.0, 14.0], n_bits=150,
+                              n_trials=2, seed=14)
+        assert again == waterfall
+
+    def test_empty_snr_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ber_waterfall([])
+
+
+class TestCapacitySurface:
+    @pytest.fixture(scope="class")
+    def surface(self):
+        return capacity_surface([8.0, 15.0], [2, 4], [150.0, 16000.0],
+                                bitrate_bps=10e3, n_trials=1,
+                                epoch_s=0.01, seed=520)
+
+    def test_grid_coverage(self, surface):
+        coords = {(r["snr_db"], r["n_tags"], r["drift_ppm"])
+                  for r in surface}
+        assert len(coords) == 8
+        for row in surface:
+            assert 0.0 <= row["goodput_fraction"] <= 1.0
+            assert row["decoded_bps_x"] <= row["offered_bps_x"] + 1e-09
+
+    def test_margin_directions(self, surface):
+        cells = {(r["snr_db"], r["n_tags"], r["drift_ppm"]): r
+                 for r in surface}
+        # More SNR never hurts badly; DCO-class drift always hurts.
+        clean = cells[(15.0, 2, 150.0)]
+        assert clean["goodput_fraction"] > 0.9
+        assert cells[(15.0, 2, 16000.0)]["goodput_fraction"] < \
+            clean["goodput_fraction"]
+
+    def test_cell_stability_under_axis_growth(self):
+        base = capacity_surface([8.0], [2], [150.0],
+                                bitrate_bps=10e3, n_trials=1,
+                                epoch_s=0.01, seed=520)
+        grown = capacity_surface([8.0, 15.0], [2], [150.0],
+                                 bitrate_bps=10e3, n_trials=1,
+                                 epoch_s=0.01, seed=520)
+        assert grown[0] == base[0]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            capacity_surface([], [2], [150.0])

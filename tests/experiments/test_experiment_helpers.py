@@ -101,3 +101,44 @@ class TestFormatting:
             rows=[{"a": 1}, {"a": 2, "b": 3}])
         table = result.format_table()
         assert "b" in table.splitlines()[1]
+
+    def test_none_cells_render_as_dash(self):
+        result = ExperimentResult(
+            experiment_id="x", description="d",
+            rows=[{"a": 1, "b": None}, {"a": None, "b": 2}])
+        lines = result.format_table().splitlines()
+        assert all("None" not in line for line in lines)
+        assert any("-" in line for line in lines[2:])
+
+    def test_ragged_rows_format_with_dashes(self):
+        """Rows missing a column entirely still format (as '-')."""
+        result = ExperimentResult(
+            experiment_id="x", description="d",
+            rows=[{"a": 1}, {"b": 2}])
+        table = result.format_table()
+        assert "a" in table and "b" in table
+        assert "-" in table
+
+
+class TestColumnAccessor:
+    def test_column_extracts_values(self):
+        result = ExperimentResult(
+            experiment_id="x", description="d",
+            rows=[{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert result.column("a") == [1, 3]
+
+    def test_ragged_rows_raise_with_missing_indexes(self):
+        from repro.errors import ConfigurationError
+        result = ExperimentResult(
+            experiment_id="x", description="d",
+            rows=[{"a": 1}, {"b": 2}, {"a": 3}, {"b": 4}])
+        with pytest.raises(ConfigurationError) as excinfo:
+            result.column("a")
+        # The error names the offending rows, not just the key.
+        assert "a" in str(excinfo.value)
+
+    def test_none_valued_cells_are_not_missing(self):
+        result = ExperimentResult(
+            experiment_id="x", description="d",
+            rows=[{"a": None}, {"a": 5}])
+        assert result.column("a") == [None, 5]

@@ -1,0 +1,52 @@
+"""Every registered experiment has a benchmark runner.
+
+The ``benchmarks/test_*.py`` modules are how CI actually executes each
+experiment end to end; an experiment registered without a runner is
+silent dead weight, and a runner without a registry id is orphaned.
+The id-to-filename convention: ``fig8`` -> ``test_fig08_*.py``
+(two-digit figure numbers), everything else matches its module name
+prefix (``sec36`` -> ``test_sec36_*.py``).
+"""
+
+import re
+from pathlib import Path
+
+from repro.experiments import REGISTRY
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+#: Benchmark modules that measure infrastructure, not experiments.
+NON_EXPERIMENT_RUNNERS = {"test_decoder_speed", "test_session_speed"}
+
+
+def _runner_prefix(experiment_id: str) -> str:
+    match = re.fullmatch(r"(fig|table|sec)(\d+)(.*)", experiment_id)
+    if match and match.group(1) == "fig":
+        return f"test_fig{int(match.group(2)):02d}"
+    return f"test_{experiment_id}"
+
+
+def _bench_stems() -> set:
+    return {path.stem for path in BENCH_DIR.glob("test_*.py")}
+
+
+class TestRegistryCompleteness:
+    def test_every_experiment_has_a_benchmark_runner(self):
+        stems = _bench_stems()
+        missing = sorted(
+            eid for eid in REGISTRY
+            if not any(stem.startswith(_runner_prefix(eid))
+                       for stem in stems))
+        assert not missing, (
+            f"experiments without a benchmarks/test_*.py runner: "
+            f"{missing}")
+
+    def test_every_runner_maps_back_to_an_experiment(self):
+        prefixes = {_runner_prefix(eid) for eid in REGISTRY}
+        orphans = sorted(
+            stem for stem in _bench_stems()
+            if stem not in NON_EXPERIMENT_RUNNERS
+            and not any(stem.startswith(prefix)
+                        for prefix in prefixes))
+        assert not orphans, (
+            f"benchmark runners with no registry id: {orphans}")

@@ -1,0 +1,38 @@
+"""Fixed-seed row pinning for sweep-dispatched experiments.
+
+Every experiment whose trials run through the sweep layer
+(:mod:`repro.experiments.sweep` → :class:`repro.core.engine.BatchDecoder`)
+must reproduce the committed golden rows bit for bit at its default
+seed — the guarantee that engine dispatch, worker counts, and future
+sweep refactors never move the science output.
+
+Regenerate deliberately after an intended output change::
+
+    PYTHONPATH=src python tests/golden/generate_experiment_rows.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_experiment
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+sys.path.insert(0, str(GOLDEN_DIR))
+from generate_experiment_rows import PINNED_EXPERIMENTS  # noqa: E402
+
+GOLDEN = json.loads((GOLDEN_DIR / "experiment_rows.json").read_text())
+
+
+def test_golden_covers_all_pinned_experiments():
+    assert sorted(GOLDEN) == sorted(PINNED_EXPERIMENTS)
+
+
+@pytest.mark.parametrize("experiment_id", PINNED_EXPERIMENTS)
+def test_rows_identical_on_fixed_seed(experiment_id):
+    result = run_experiment(experiment_id, quick=True)
+    fresh = json.loads(json.dumps(result.rows))
+    assert fresh == GOLDEN[experiment_id]["rows"]
+    assert result.notes == GOLDEN[experiment_id]["notes"]

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Regenerate the golden experiment rows (``experiment_rows.json``).
+
+The file pins the exact quick-mode ``ExperimentResult`` rows (and
+notes) of every experiment whose trials dispatch through the sweep
+layer, at their default seeds.  ``tests/experiments/test_row_pinning.py``
+compares fresh runs against it: the sweep/engine plumbing may be
+refactored freely, but on fixed seeds the science output must not move
+by a single bit.
+
+Regeneration is a deliberate act (a change that is *meant* to alter
+experiment output)::
+
+    PYTHONPATH=src python tests/golden/generate_experiment_rows.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "experiment_rows.json"
+
+#: Every experiment that executes trials through the sweep layer.
+PINNED_EXPERIMENTS = [
+    "fig8", "fig10", "fig11", "fig14",
+    "sec36", "sec52",
+    "ablation_analog", "ablation_drift",
+]
+
+
+def generate() -> dict:
+    from repro.experiments import run_experiment
+    pinned = {}
+    for eid in PINNED_EXPERIMENTS:
+        result = run_experiment(eid, quick=True)
+        pinned[eid] = {
+            "rows": json.loads(json.dumps(result.rows)),
+            "notes": result.notes,
+        }
+    return pinned
+
+
+def main() -> None:
+    GOLDEN_PATH.write_text(
+        json.dumps(generate(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+"""The signoff section of the benchmark regression gate.
+
+Exercises ``benchmarks/check_regression.py::check_signoff`` against
+synthetic signoff exports: waterfall monotonicity, gap direction, the
+tuner never-worse invariant, per-cell comparison against a committed
+baseline, and the informational paths when either file is missing.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    REPO_ROOT / "benchmarks" / "check_regression.py")
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def _export(lf_bers=(0.2, 0.05, 0.0), ask_bers=(0.08, 0.01, 0.0),
+            goodput=0.9, opening=0.8, tuned_best=110.0,
+            tuned_baseline=100.0) -> dict:
+    snrs = [6.0, 10.0, 14.0]
+    return {
+        "schema": 1,
+        "quick": True,
+        "waterfall": {
+            "rows": [{"snr_db": s, "lf_ber": lf, "ask_ber": ask,
+                      "bits_measured": 400}
+                     for s, lf, ask in zip(snrs, lf_bers, ask_bers)],
+            "snr_gap_db": 4.2,
+        },
+        "capacity": {"rows": [{"snr_db": 8.0, "n_tags": 2,
+                               "drift_ppm": 150.0,
+                               "goodput_fraction": goodput,
+                               "decoded_bps_x": 1.8,
+                               "offered_bps_x": 2.0}]},
+        "eye": {"clean": {"tags": [],
+                          "summary": {"min_opening": opening}}},
+        "autotune": {"low_snr": {"baseline_score": tuned_baseline,
+                                 "best_score": tuned_best,
+                                 "improved":
+                                     tuned_best > tuned_baseline}},
+    }
+
+
+def _write(tmp_path: Path, name: str, payload: dict) -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestCheckSignoff:
+    def test_healthy_export_passes(self, tmp_path):
+        candidate = _write(tmp_path, "cand.json", _export())
+        baseline = _write(tmp_path, "base.json", _export())
+        assert check_regression.check_signoff(candidate, baseline,
+                                              0.1) == 0
+
+    def test_missing_candidate_skips(self, tmp_path):
+        baseline = _write(tmp_path, "base.json", _export())
+        assert check_regression.check_signoff(
+            tmp_path / "nope.json", baseline, 0.1) == 0
+
+    def test_missing_baseline_is_informational(self, tmp_path):
+        candidate = _write(tmp_path, "cand.json", _export())
+        assert check_regression.check_signoff(
+            candidate, tmp_path / "nope.json", 0.1) == 0
+
+    def test_unreadable_candidate_fails(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        baseline = _write(tmp_path, "base.json", _export())
+        assert check_regression.check_signoff(bad, baseline, 0.1) == 1
+
+    def test_non_monotone_waterfall_fails(self, tmp_path):
+        candidate = _write(tmp_path, "cand.json",
+                           _export(lf_bers=(0.05, 0.2, 0.0)))
+        baseline = _write(tmp_path, "base.json", _export())
+        assert check_regression.check_signoff(candidate, baseline,
+                                              0.1) == 1
+
+    def test_counting_noise_within_slack_passes(self, tmp_path):
+        slack = check_regression.WATERFALL_SLACK
+        candidate = _write(
+            tmp_path, "cand.json",
+            _export(lf_bers=(0.2, 0.05, 0.05 + slack / 2)))
+        baseline = _write(tmp_path, "base.json", _export())
+        assert check_regression.check_signoff(candidate, baseline,
+                                              0.1) == 0
+
+    def test_flipped_gap_direction_fails(self, tmp_path):
+        candidate = _write(tmp_path, "cand.json",
+                           _export(lf_bers=(0.01, 0.005, 0.0),
+                                   ask_bers=(0.3, 0.2, 0.1)))
+        baseline = _write(tmp_path, "base.json", _export())
+        assert check_regression.check_signoff(candidate, baseline,
+                                              0.1) == 1
+
+    def test_tuner_below_stock_fails(self, tmp_path):
+        candidate = _write(tmp_path, "cand.json",
+                           _export(tuned_best=90.0))
+        baseline = _write(tmp_path, "base.json", _export())
+        assert check_regression.check_signoff(candidate, baseline,
+                                              0.1) == 1
+
+    def test_capacity_cell_regression_fails(self, tmp_path):
+        candidate = _write(tmp_path, "cand.json",
+                           _export(goodput=0.5))
+        baseline = _write(tmp_path, "base.json", _export(goodput=0.9))
+        assert check_regression.check_signoff(candidate, baseline,
+                                              0.1) == 1
+
+    def test_capacity_drop_within_tolerance_passes(self, tmp_path):
+        candidate = _write(tmp_path, "cand.json",
+                           _export(goodput=0.85))
+        baseline = _write(tmp_path, "base.json", _export(goodput=0.9))
+        assert check_regression.check_signoff(candidate, baseline,
+                                              0.1) == 0
+
+    def test_eye_opening_regression_fails(self, tmp_path):
+        candidate = _write(tmp_path, "cand.json",
+                           _export(opening=0.5))
+        baseline = _write(tmp_path, "base.json", _export(opening=0.8))
+        assert check_regression.check_signoff(candidate, baseline,
+                                              0.1) == 1
+
+    def test_disjoint_grids_are_informational(self, tmp_path):
+        other = _export()
+        other["capacity"]["rows"][0]["snr_db"] = 99.0
+        other["eye"] = {}
+        candidate = _write(tmp_path, "cand.json", other)
+        baseline = _write(tmp_path, "base.json", _export())
+        # Eye cell overlaps nothing, capacity coords differ: no
+        # comparisons, but shape invariants still hold -> pass.
+        assert check_regression.check_signoff(candidate, baseline,
+                                              0.1) == 0
+
+    def test_committed_baseline_matches_current_schema(self):
+        """The committed quick baseline stays gateable."""
+        baseline = REPO_ROOT / "benchmarks" / "SIGNOFF_quick.json"
+        assert baseline.exists()
+        assert check_regression.check_signoff(baseline, baseline,
+                                              0.0) == 0
